@@ -1,0 +1,556 @@
+//! A-priori [1, 2] — the support-pruning baseline (§3.1).
+//!
+//! The paper's comparison (Fig 6(i),(j)) runs pair-level a-priori on the
+//! support-pruned `NewsP` matrix: count singleton frequencies, keep columns
+//! inside the support window, then hold one counter per surviving pair —
+//! `f(f−1)/2` counters, the memory blow-up §3.1 complains about — and read
+//! rules off the pair counts.
+//!
+//! Two extensions beyond the paper's scope live here too:
+//!
+//! * **DHP filtering** \[14\]: a hashed pair-bucket count from the first pass
+//!   prunes pairs whose bucket total already falls below the support
+//!   threshold.
+//! * **k-itemset mining + rule generation** — the classic full a-priori
+//!   (the paper's future-work §7 notes DMC cannot do this).
+
+use dmc_core::fxhash::{FxHashMap, FxHashSet};
+use dmc_core::threshold::{conf_qualifies, sim_qualifies};
+use dmc_core::{ImplicationRule, SimilarityRule};
+use dmc_matrix::{canonical_less, ColumnId, SparseMatrix};
+
+/// Configuration for the pair-level miner.
+#[derive(Clone, Debug)]
+pub struct AprioriConfig {
+    /// Minimum singleton support (absolute row count).
+    pub min_support: u32,
+    /// Maximum singleton support (the `NewsP` upper window); `u32::MAX`
+    /// disables it.
+    pub max_support: u32,
+    /// Minimum pair support for a rule; the paper's comparison mines every
+    /// qualifying confidence rule among frequent columns, so this defaults
+    /// to 1.
+    pub min_pair_support: u32,
+    /// DHP: number of hash buckets for pair filtering; `None` disables.
+    pub dhp_buckets: Option<usize>,
+}
+
+impl AprioriConfig {
+    /// A configuration with the given singleton support window.
+    #[must_use]
+    pub fn new(min_support: u32, max_support: u32) -> Self {
+        Self {
+            min_support,
+            max_support,
+            min_pair_support: 1,
+            dhp_buckets: None,
+        }
+    }
+
+    /// Builder-style: enable DHP filtering with `buckets` buckets.
+    #[must_use]
+    pub fn with_dhp(mut self, buckets: usize) -> Self {
+        self.dhp_buckets = Some(buckets);
+        self
+    }
+}
+
+/// Output of the pair miners, with the counter-array size the paper's
+/// memory argument is about.
+#[derive(Debug)]
+pub struct AprioriPairOutput<R> {
+    pub rules: Vec<R>,
+    /// Columns surviving the support window.
+    pub frequent_columns: usize,
+    /// Pair counters actually allocated.
+    pub pair_counters: usize,
+}
+
+#[inline]
+fn dhp_bucket(a: ColumnId, b: ColumnId, buckets: usize) -> usize {
+    // Cheap mix; only bucket balance matters.
+    let x = (u64::from(a) << 32) | u64::from(b);
+    (x.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 17) as usize % buckets
+}
+
+/// Shared pair-counting state of the two pair miners.
+struct PairCounts {
+    ones: Vec<u32>,
+    hits: FxHashMap<(ColumnId, ColumnId), u32>,
+    frequent_columns: usize,
+}
+
+fn count_pairs(matrix: &SparseMatrix, config: &AprioriConfig) -> PairCounts {
+    let ones = matrix.column_ones();
+    let frequent: Vec<bool> = ones
+        .iter()
+        .map(|&o| o >= config.min_support && o <= config.max_support)
+        .collect();
+
+    // Optional DHP pre-pass: bucketed pair counts.
+    let dhp: Option<Vec<u32>> = config.dhp_buckets.map(|buckets| {
+        let mut counts = vec![0u32; buckets];
+        for row in matrix.rows() {
+            for (i, &a) in row.iter().enumerate() {
+                if !frequent[a as usize] {
+                    continue;
+                }
+                for &b in &row[i + 1..] {
+                    if frequent[b as usize] {
+                        counts[dhp_bucket(a, b, buckets)] += 1;
+                    }
+                }
+            }
+        }
+        counts
+    });
+    let pair_passes_dhp = |a: ColumnId, b: ColumnId| -> bool {
+        match (&dhp, config.dhp_buckets) {
+            (Some(counts), Some(buckets)) => {
+                counts[dhp_bucket(a, b, buckets)] >= config.min_pair_support
+            }
+            _ => true,
+        }
+    };
+
+    let mut hits: FxHashMap<(ColumnId, ColumnId), u32> = FxHashMap::default();
+    for row in matrix.rows() {
+        for (i, &a) in row.iter().enumerate() {
+            if !frequent[a as usize] {
+                continue;
+            }
+            for &b in &row[i + 1..] {
+                if frequent[b as usize] && pair_passes_dhp(a, b) {
+                    *hits.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let frequent_columns = frequent.iter().filter(|&&f| f).count();
+    PairCounts {
+        ones,
+        hits,
+        frequent_columns,
+    }
+}
+
+/// Pair-level a-priori for implication rules: support-prune columns, count
+/// all surviving pairs, emit rules with confidence ≥ `minconf` in the
+/// canonical direction.
+#[must_use]
+pub fn apriori_implications(
+    matrix: &SparseMatrix,
+    config: &AprioriConfig,
+    minconf: f64,
+) -> AprioriPairOutput<ImplicationRule> {
+    let counts = count_pairs(matrix, config);
+    let (ones, frequent_columns) = (counts.ones, counts.frequent_columns);
+    let mut rules = Vec::new();
+    let pair_counters = counts.hits.len();
+    for ((a, b), h) in counts.hits {
+        if h < config.min_pair_support {
+            continue;
+        }
+        let (oa, ob) = (ones[a as usize], ones[b as usize]);
+        let (lhs, rhs, ol, or_) = if canonical_less(a, oa, b, ob) {
+            (a, b, oa, ob)
+        } else {
+            (b, a, ob, oa)
+        };
+        if conf_qualifies(u64::from(h), u64::from(ol), minconf) {
+            rules.push(ImplicationRule {
+                lhs,
+                rhs,
+                hits: h,
+                lhs_ones: ol,
+                rhs_ones: or_,
+            });
+        }
+    }
+    rules.sort_unstable();
+    AprioriPairOutput {
+        rules,
+        frequent_columns,
+        pair_counters,
+    }
+}
+
+/// Pair-level a-priori for similarity rules.
+#[must_use]
+pub fn apriori_similarities(
+    matrix: &SparseMatrix,
+    config: &AprioriConfig,
+    minsim: f64,
+) -> AprioriPairOutput<SimilarityRule> {
+    let counts = count_pairs(matrix, config);
+    let (ones, frequent_columns) = (counts.ones, counts.frequent_columns);
+    let mut rules = Vec::new();
+    let pair_counters = counts.hits.len();
+    for ((a, b), h) in counts.hits {
+        if h < config.min_pair_support {
+            continue;
+        }
+        let (oa, ob) = (ones[a as usize], ones[b as usize]);
+        if sim_qualifies(u64::from(h), u64::from(oa), u64::from(ob), minsim) {
+            let (x, y, ox, oy) = if canonical_less(a, oa, b, ob) {
+                (a, b, oa, ob)
+            } else {
+                (b, a, ob, oa)
+            };
+            rules.push(SimilarityRule {
+                a: x,
+                b: y,
+                hits: h,
+                a_ones: ox,
+                b_ones: oy,
+            });
+        }
+    }
+    rules.sort_unstable();
+    AprioriPairOutput {
+        rules,
+        frequent_columns,
+        pair_counters,
+    }
+}
+
+/// A frequent itemset with its support count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Itemset {
+    /// Sorted item (column) ids.
+    pub items: Vec<ColumnId>,
+    pub support: u32,
+}
+
+/// Full a-priori: all frequent itemsets with support ≥ `min_support`, level
+/// by level, up to `max_len` items (0 = unlimited).
+#[must_use]
+pub fn frequent_itemsets(matrix: &SparseMatrix, min_support: u32, max_len: usize) -> Vec<Itemset> {
+    let ones = matrix.column_ones();
+    let mut result: Vec<Itemset> = Vec::new();
+
+    // L1.
+    let mut level: Vec<Vec<ColumnId>> = ones
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o >= min_support)
+        .map(|(c, _)| vec![c as ColumnId])
+        .collect();
+    for set in &level {
+        result.push(Itemset {
+            items: set.clone(),
+            support: ones[set[0] as usize],
+        });
+    }
+
+    let mut k = 2;
+    while !level.is_empty() && (max_len == 0 || k <= max_len) {
+        // Candidate generation: join L_{k-1} with itself on the first k-2
+        // items, then prune candidates with an infrequent subset.
+        let prev: FxHashSet<&[ColumnId]> = level.iter().map(Vec::as_slice).collect();
+        let mut candidates: Vec<Vec<ColumnId>> = Vec::new();
+        for i in 0..level.len() {
+            for j in i + 1..level.len() {
+                let (a, b) = (&level[i], &level[j]);
+                if a[..k - 2] != b[..k - 2] {
+                    continue;
+                }
+                let mut cand = a.clone();
+                let last = b[k - 2];
+                if last <= *cand.last().unwrap() {
+                    continue;
+                }
+                cand.push(last);
+                if all_subsets_frequent(&cand, &prev) {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Count candidates by scanning rows.
+        let mut counts: FxHashMap<&[ColumnId], u32> = FxHashMap::default();
+        for cand in &candidates {
+            counts.insert(cand.as_slice(), 0);
+        }
+        for row in matrix.rows() {
+            if row.len() < k {
+                continue;
+            }
+            for cand in &candidates {
+                if is_subset_sorted(cand, row) {
+                    *counts.get_mut(cand.as_slice()).unwrap() += 1;
+                }
+            }
+        }
+        let mut next_level = Vec::new();
+        for cand in &candidates {
+            let support = counts[cand.as_slice()];
+            if support >= min_support {
+                result.push(Itemset {
+                    items: cand.clone(),
+                    support,
+                });
+                next_level.push(cand.clone());
+            }
+        }
+        level = next_level;
+        k += 1;
+    }
+    result.sort_by(|a, b| a.items.cmp(&b.items));
+    result
+}
+
+fn all_subsets_frequent(cand: &[ColumnId], prev: &FxHashSet<&[ColumnId]>) -> bool {
+    let mut sub = Vec::with_capacity(cand.len() - 1);
+    for skip in 0..cand.len() {
+        sub.clear();
+        sub.extend(
+            cand.iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &c)| c),
+        );
+        if !prev.contains(sub.as_slice()) {
+            return false;
+        }
+    }
+    true
+}
+
+#[inline]
+fn is_subset_sorted(needle: &[ColumnId], haystack: &[ColumnId]) -> bool {
+    let mut hi = 0;
+    for &n in needle {
+        while hi < haystack.len() && haystack[hi] < n {
+            hi += 1;
+        }
+        if hi >= haystack.len() || haystack[hi] != n {
+            return false;
+        }
+        hi += 1;
+    }
+    true
+}
+
+/// A multi-item association rule `antecedent ⇒ consequent`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ItemsetRule {
+    pub antecedent: Vec<ColumnId>,
+    pub consequent: Vec<ColumnId>,
+    pub support: u32,
+    pub confidence: f64,
+}
+
+/// Classic rule generation from frequent itemsets: for every itemset and
+/// every non-empty proper antecedent subset, emit the rule when its
+/// confidence meets `minconf`.
+#[must_use]
+pub fn rules_from_itemsets(itemsets: &[Itemset], minconf: f64) -> Vec<ItemsetRule> {
+    let support: FxHashMap<&[ColumnId], u32> = itemsets
+        .iter()
+        .map(|s| (s.items.as_slice(), s.support))
+        .collect();
+    let mut rules = Vec::new();
+    for set in itemsets.iter().filter(|s| s.items.len() >= 2) {
+        let n = set.items.len();
+        // 2^n antecedent subsets; a >20-item set would be astronomically
+        // supported anyway and its subset rules are already emitted.
+        if n > 20 {
+            continue;
+        }
+        // Enumerate non-empty proper subsets by bitmask.
+        for mask in 1u32..(1 << n) - 1 {
+            let antecedent: Vec<ColumnId> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| set.items[i])
+                .collect();
+            let Some(&ante_support) = support.get(antecedent.as_slice()) else {
+                continue;
+            };
+            let confidence = f64::from(set.support) / f64::from(ante_support);
+            if conf_qualifies(u64::from(set.support), u64::from(ante_support), minconf) {
+                let consequent: Vec<ColumnId> = (0..n)
+                    .filter(|&i| mask & (1 << i) == 0)
+                    .map(|i| set.items[i])
+                    .collect();
+                rules.push(ItemsetRule {
+                    antecedent,
+                    consequent,
+                    support: set.support,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent)));
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    fn market() -> SparseMatrix {
+        // A small basket data set: {bread=0, milk=1, butter=2, beer=3}.
+        SparseMatrix::from_rows(
+            4,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0, 1, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![0, 1, 2],
+            ],
+        )
+    }
+
+    #[test]
+    fn pair_rules_match_oracle_when_unpruned() {
+        let m = market();
+        let cfg = AprioriConfig::new(1, u32::MAX);
+        for &minconf in &[1.0, 0.8, 0.5] {
+            let out = apriori_implications(&m, &cfg, minconf);
+            let expected = oracle::exact_implications(&m, minconf, false);
+            assert_eq!(out.rules, expected, "minconf={minconf}");
+        }
+    }
+
+    #[test]
+    fn similarity_rules_match_oracle_when_unpruned() {
+        let m = market();
+        let cfg = AprioriConfig::new(1, u32::MAX);
+        for &minsim in &[1.0, 0.6, 0.4] {
+            let out = apriori_similarities(&m, &cfg, minsim);
+            assert_eq!(
+                out.rules,
+                oracle::exact_similarities(&m, minsim),
+                "minsim={minsim}"
+            );
+        }
+    }
+
+    #[test]
+    fn support_window_prunes_columns() {
+        let m = market();
+        // ones: bread 5, milk 5, butter 4, beer 1.
+        let out = apriori_implications(&m, &AprioriConfig::new(2, u32::MAX), 0.5);
+        assert_eq!(out.frequent_columns, 3, "beer is infrequent");
+        assert!(out.rules.iter().all(|r| r.lhs != 3 && r.rhs != 3));
+        let windowed = apriori_implications(&m, &AprioriConfig::new(2, 4), 0.5);
+        assert_eq!(windowed.frequent_columns, 1, "only butter inside [2, 4]");
+        assert!(windowed.rules.is_empty());
+    }
+
+    #[test]
+    fn dhp_filter_preserves_frequent_pairs() {
+        let m = market();
+        let minconf = 0.6;
+        let plain = apriori_implications(&m, &AprioriConfig::new(2, u32::MAX), minconf);
+        for buckets in [1, 2, 7, 64] {
+            let cfg = AprioriConfig::new(2, u32::MAX).with_dhp(buckets);
+            let dhp = apriori_implications(&m, &cfg, minconf);
+            assert_eq!(dhp.rules, plain.rules, "buckets={buckets}");
+            assert!(dhp.pair_counters <= plain.pair_counters + 1);
+        }
+    }
+
+    #[test]
+    fn dhp_with_real_pair_support_reduces_counters() {
+        let m = market();
+        let mut cfg = AprioriConfig::new(2, u32::MAX).with_dhp(256);
+        cfg.min_pair_support = 3;
+        let out = apriori_implications(&m, &cfg, 0.5);
+        let mut unfiltered = AprioriConfig::new(2, u32::MAX);
+        unfiltered.min_pair_support = 3;
+        let plain = apriori_implications(&m, &unfiltered, 0.5);
+        assert_eq!(out.rules, plain.rules);
+        assert!(out.pair_counters <= plain.pair_counters);
+    }
+
+    #[test]
+    fn frequent_itemsets_classic_example() {
+        let m = market();
+        let sets = frequent_itemsets(&m, 3, 0);
+        let as_tuples: Vec<(Vec<ColumnId>, u32)> =
+            sets.iter().map(|s| (s.items.clone(), s.support)).collect();
+        assert_eq!(
+            as_tuples,
+            vec![
+                (vec![0], 5),
+                (vec![0, 1], 4),
+                (vec![0, 1, 2], 3),
+                (vec![0, 2], 3),
+                (vec![1], 5),
+                (vec![1, 2], 4),
+                (vec![2], 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn itemset_supports_are_antimonotone() {
+        let m = market();
+        let sets = frequent_itemsets(&m, 1, 0);
+        let support: FxHashMap<&[ColumnId], u32> = sets
+            .iter()
+            .map(|s| (s.items.as_slice(), s.support))
+            .collect();
+        for set in &sets {
+            if set.items.len() >= 2 {
+                for skip in 0..set.items.len() {
+                    let sub: Vec<ColumnId> = set
+                        .items
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != skip)
+                        .map(|(_, &c)| c)
+                        .collect();
+                    assert!(support[sub.as_slice()] >= set.support);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_item_rules() {
+        let m = market();
+        let sets = frequent_itemsets(&m, 3, 0);
+        let rules = rules_from_itemsets(&sets, 0.75);
+        // {bread, milk} => {butter}: support 3, antecedent support 4 -> 0.75.
+        assert!(rules.iter().any(|r| {
+            r.antecedent == vec![0, 1]
+                && r.consequent == vec![2]
+                && (r.confidence - 0.75).abs() < 1e-9
+        }));
+        // Every emitted rule meets the threshold.
+        assert!(rules.iter().all(|r| r.confidence >= 0.75 - 1e-9));
+        // Pair rules from itemsets agree with the pair miner.
+        let pair_rules: Vec<_> = rules
+            .iter()
+            .filter(|r| r.antecedent.len() == 1 && r.consequent.len() == 1)
+            .collect();
+        assert!(!pair_rules.is_empty());
+    }
+
+    #[test]
+    fn max_len_caps_itemset_size() {
+        let m = market();
+        let sets = frequent_itemsets(&m, 1, 2);
+        assert!(sets.iter().all(|s| s.items.len() <= 2));
+    }
+
+    #[test]
+    fn empty_matrix_yields_nothing() {
+        let m = SparseMatrix::from_rows(3, vec![]);
+        assert!(
+            apriori_implications(&m, &AprioriConfig::new(1, u32::MAX), 0.5)
+                .rules
+                .is_empty()
+        );
+        assert!(frequent_itemsets(&m, 1, 0).is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! K-Min — bottom-k sketches estimating containment for implication rules.
+//!
+//! The paper's Fig 6(i) compares DMC-imp against "K-Min, a variant of
+//! Min-Hash which can extract implication rules instead of similarity
+//! rules", noting it "could not extract complete sets of true rules" and is
+//! plotted at ≤10% false negatives. This module implements the standard
+//! construction behind that variant (Cohen's size-estimation framework
+//! \[7\]):
+//!
+//! * every row gets one pseudo-random hash value;
+//! * each column keeps the **k smallest** hash values of its rows (its
+//!   bottom-k sketch);
+//! * for a pair, the bottom-k sketch of the *union* is the k smallest of
+//!   the merged sketches, and the fraction of those also present in both
+//!   sketches estimates the Jaccard similarity `J`;
+//! * containment (= confidence) follows as
+//!   `|A ∩ B| / |A| = J · (|A| + |B|) / ((1 + J) · |A|)` using the exact
+//!   column counts from the pre-scan.
+//!
+//! Candidates with estimated confidence above `minconf − slack` are then
+//! optionally verified exactly. Without verification the output can have
+//! false positives and negatives, like the paper's K-Min.
+
+use dmc_core::threshold::conf_qualifies;
+use dmc_core::ImplicationRule;
+use dmc_matrix::{canonical_less, ColumnId, SparseMatrix};
+
+use crate::minhash::{intersection_size, splitmix64};
+
+/// Configuration for [`kmin_implications`].
+#[derive(Clone, Debug)]
+pub struct KMinConfig {
+    /// Sketch size (number of smallest hash values kept per column).
+    pub k: usize,
+    /// RNG seed for row hashing.
+    pub seed: u64,
+    /// Candidate cut-off slack below `minconf`.
+    pub candidate_slack: f64,
+    /// Verify candidates exactly (removes false positives).
+    pub verify: bool,
+}
+
+impl KMinConfig {
+    /// Defaults: verification on, 0.05 slack.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            seed: 0x0dd_ba11,
+            candidate_slack: 0.05,
+            verify: true,
+        }
+    }
+
+    /// Builder-style: toggle exact verification.
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+}
+
+/// Output of [`kmin_implications`].
+#[derive(Debug)]
+pub struct KMinOutput {
+    pub rules: Vec<ImplicationRule>,
+    /// Candidate pairs examined after sketch filtering.
+    pub candidates: usize,
+    pub verified: bool,
+}
+
+/// A column's bottom-k sketch: the k smallest row hashes, sorted ascending.
+#[derive(Clone, Debug, Default)]
+pub struct BottomK {
+    values: Vec<u64>,
+}
+
+impl BottomK {
+    /// Inserts a hash, keeping only the k smallest.
+    pub fn insert(&mut self, k: usize, h: u64) {
+        match self.values.binary_search(&h) {
+            Ok(_) => {} // duplicate hash (same row cannot repeat per column)
+            Err(pos) => {
+                if pos < k {
+                    self.values.insert(pos, h);
+                    self.values.truncate(k);
+                }
+            }
+        }
+    }
+
+    /// Sorted sketch values.
+    #[must_use]
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// Builds all column sketches in one scan.
+#[must_use]
+pub fn sketches(matrix: &SparseMatrix, k: usize, seed: u64) -> Vec<BottomK> {
+    let mut sketches = vec![BottomK::default(); matrix.n_cols()];
+    for (r, row) in matrix.rows().enumerate() {
+        let h = splitmix64(seed ^ (r as u64));
+        for &c in row {
+            sketches[c as usize].insert(k, h);
+        }
+    }
+    sketches
+}
+
+/// Estimates the Jaccard similarity of two columns from their sketches.
+#[must_use]
+pub fn estimate_jaccard(a: &BottomK, b: &BottomK, k: usize) -> f64 {
+    // Bottom-k of the union = k smallest of the merged sketches; count how
+    // many of them live in both sketches.
+    let (av, bv) = (a.values(), b.values());
+    if av.is_empty() && bv.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut taken = 0;
+    let mut in_both = 0;
+    while taken < k && (i < av.len() || j < bv.len()) {
+        let next_a = av.get(i).copied();
+        let next_b = bv.get(j).copied();
+        match (next_a, next_b) {
+            (Some(x), Some(y)) if x == y => {
+                in_both += 1;
+                i += 1;
+                j += 1;
+            }
+            (Some(x), Some(y)) if x < y => i += 1,
+            (Some(_), Some(_)) | (None, Some(_)) => j += 1,
+            (Some(_), None) => i += 1,
+            (None, None) => break,
+        }
+        taken += 1;
+    }
+    if taken == 0 {
+        0.0
+    } else {
+        f64::from(in_both) / taken as f64
+    }
+}
+
+/// Estimated confidence `|A ∩ B| / |A|` from a Jaccard estimate and exact
+/// column counts.
+#[must_use]
+pub fn containment_from_jaccard(jaccard: f64, ones_a: u32, ones_b: u32) -> f64 {
+    if ones_a == 0 {
+        return 0.0;
+    }
+    let inter = jaccard * f64::from(ones_a + ones_b) / (1.0 + jaccard);
+    (inter / f64::from(ones_a)).min(1.0)
+}
+
+/// Mines implication rules with bottom-k sketches at threshold `minconf`.
+#[must_use]
+pub fn kmin_implications(matrix: &SparseMatrix, minconf: f64, config: &KMinConfig) -> KMinOutput {
+    let ones = matrix.column_ones();
+    let sk = sketches(matrix, config.k, config.seed);
+    let cutoff = (minconf - config.candidate_slack).max(0.0);
+
+    let nonzero: Vec<ColumnId> = ones
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o > 0)
+        .map(|(c, _)| c as ColumnId)
+        .collect();
+
+    let mut candidate_pairs = Vec::new();
+    for (i, &a) in nonzero.iter().enumerate() {
+        for &b in &nonzero[i + 1..] {
+            // Canonical orientation: confidence is judged from the smaller
+            // column.
+            let (lhs, rhs) = if canonical_less(a, ones[a as usize], b, ones[b as usize]) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let j = estimate_jaccard(&sk[lhs as usize], &sk[rhs as usize], config.k);
+            let est = containment_from_jaccard(j, ones[lhs as usize], ones[rhs as usize]);
+            if est >= cutoff {
+                candidate_pairs.push((lhs, rhs, est));
+            }
+        }
+    }
+    let candidates = candidate_pairs.len();
+
+    let column_rows = if config.verify {
+        Some(matrix.column_rows())
+    } else {
+        None
+    };
+    let mut rules = Vec::new();
+    for (lhs, rhs, est) in candidate_pairs {
+        let (ol, or_) = (ones[lhs as usize], ones[rhs as usize]);
+        if let Some(cols) = &column_rows {
+            let hits = intersection_size(&cols[lhs as usize], &cols[rhs as usize]);
+            if conf_qualifies(u64::from(hits), u64::from(ol), minconf) {
+                rules.push(ImplicationRule {
+                    lhs,
+                    rhs,
+                    hits,
+                    lhs_ones: ol,
+                    rhs_ones: or_,
+                });
+            }
+        } else if est >= minconf {
+            let est_hits = ((est * f64::from(ol)).round() as u32).min(ol);
+            rules.push(ImplicationRule {
+                lhs,
+                rhs,
+                hits: est_hits,
+                lhs_ones: ol,
+                rhs_ones: or_,
+            });
+        }
+    }
+    rules.sort_unstable();
+    rules.dedup();
+    KMinOutput {
+        rules,
+        candidates,
+        verified: config.verify,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    #[test]
+    fn bottom_k_keeps_smallest() {
+        let mut s = BottomK::default();
+        for h in [50, 10, 40, 30, 20, 60] {
+            s.insert(3, h);
+        }
+        assert_eq!(s.values(), &[10, 20, 30]);
+        s.insert(3, 5);
+        assert_eq!(s.values(), &[5, 10, 20]);
+        s.insert(3, 100);
+        assert_eq!(s.values(), &[5, 10, 20]);
+    }
+
+    #[test]
+    fn duplicate_hash_is_ignored() {
+        let mut s = BottomK::default();
+        s.insert(4, 7);
+        s.insert(4, 7);
+        assert_eq!(s.values(), &[7]);
+    }
+
+    #[test]
+    fn identical_columns_estimate_full_jaccard() {
+        let m = SparseMatrix::from_rows(2, vec![vec![0, 1]; 10]);
+        let sk = sketches(&m, 8, 1);
+        assert_eq!(estimate_jaccard(&sk[0], &sk[1], 8), 1.0);
+    }
+
+    #[test]
+    fn disjoint_columns_estimate_zero() {
+        let rows: Vec<Vec<ColumnId>> = (0..10).map(|r| vec![(r % 2) as ColumnId]).collect();
+        let m = SparseMatrix::from_rows(2, rows);
+        let sk = sketches(&m, 8, 1);
+        assert_eq!(estimate_jaccard(&sk[0], &sk[1], 8), 0.0);
+    }
+
+    #[test]
+    fn containment_algebra() {
+        // J = 1/3 with |A| = 2, |B| = 2 -> intersection 1 -> conf 0.5.
+        let c = containment_from_jaccard(1.0 / 3.0, 2, 2);
+        assert!((c - 0.5).abs() < 1e-9);
+        assert_eq!(containment_from_jaccard(0.5, 0, 5), 0.0);
+        assert!(containment_from_jaccard(1.0, 4, 8) <= 1.0);
+    }
+
+    #[test]
+    fn verified_output_has_no_false_positives() {
+        let m = crate::test_util::random_matrix(80, 30, 0.15, 21);
+        let out = kmin_implications(&m, 0.8, &KMinConfig::new(16));
+        let exact = oracle::exact_implications(&m, 0.8, false);
+        for rule in &out.rules {
+            assert!(exact.contains(rule), "false positive: {rule}");
+        }
+    }
+
+    #[test]
+    fn large_sketch_recovers_everything_on_small_data() {
+        let m = crate::test_util::random_matrix(50, 20, 0.25, 5);
+        // k larger than any column: sketches are exact row sets.
+        let mut cfg = KMinConfig::new(64);
+        cfg.candidate_slack = 0.3;
+        let out = kmin_implications(&m, 0.75, &cfg);
+        assert_eq!(out.rules, oracle::exact_implications(&m, 0.75, false));
+    }
+
+    #[test]
+    fn unverified_mode_estimates() {
+        let m = SparseMatrix::from_rows(2, vec![vec![0, 1], vec![0, 1], vec![1]]);
+        let out = kmin_implications(&m, 0.9, &KMinConfig::new(8).with_verify(false));
+        assert!(!out.verified);
+        // S_0 ⊂ S_1 with conf 1.0: must be found (k covers all rows).
+        assert_eq!(out.rules.len(), 1);
+        assert_eq!((out.rules[0].lhs, out.rules[0].rhs), (0, 1));
+    }
+}

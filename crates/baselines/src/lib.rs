@@ -1,0 +1,43 @@
+//! Baseline algorithms the DMC paper compares against (§3, §6.2 / Fig
+//! 6(i),(j)), plus the exact oracle the test suite validates everything
+//! with.
+//!
+//! * [`oracle`] — brute-force exact rule mining. Slow but unarguable;
+//!   every miner in the workspace is property-tested against it.
+//! * [`apriori`] — support-pruned pair rules (the paper's comparison
+//!   target), optional DHP hash filtering \[14\], and, beyond the paper's
+//!   pair scope, full k-itemset mining with multi-antecedent rule
+//!   generation.
+//! * [`minhash`] — Min-Hash signatures [7, 8] with all-pairs comparison or
+//!   LSH banding \[10\], with optional exact verification of candidates.
+//! * [`kmin`] — the K-Min variant (bottom-k sketches) estimating
+//!   containment/confidence for implication rules; like the paper's K-Min
+//!   it can produce false negatives, which the harness measures.
+
+pub mod apriori;
+pub mod kmin;
+pub mod minhash;
+pub mod oracle;
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::minhash::splitmix64;
+    use dmc_matrix::{ColumnId, SparseMatrix};
+
+    /// Deterministic pseudo-random matrix for in-crate tests.
+    pub fn random_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> SparseMatrix {
+        let mut data = Vec::with_capacity(rows);
+        let mut state = seed;
+        for r in 0..rows {
+            let mut row = Vec::new();
+            for c in 0..cols {
+                state = splitmix64(state ^ ((r * cols + c) as u64));
+                if (state as f64 / u64::MAX as f64) < density {
+                    row.push(c as ColumnId);
+                }
+            }
+            data.push(row);
+        }
+        SparseMatrix::from_rows(cols, data)
+    }
+}

@@ -1,0 +1,382 @@
+//! Min-Hash [7, 8] — the sketch baseline for similarity rules (§3.2).
+//!
+//! Each of `k` independent hash functions assigns every row a pseudo-random
+//! value; a column's signature component is the minimum value over its
+//! rows. For any pair, `Pr[component matches] = Sim(c_i, c_j)`, so the
+//! fraction of matching components estimates the Jaccard similarity. All
+//! `k` components are filled in a single data scan.
+//!
+//! Candidate generation is either all-pairs signature comparison or LSH
+//! banding \[10\] (`b` bands of `r` rows, `b·r = k`): columns whose band
+//! hashes collide in at least one band become candidates — drastically
+//! fewer comparisons at high thresholds.
+//!
+//! Like the paper's Min-Hash, the sketch alone yields false positives *and*
+//! false negatives; [`MinHashConfig::verify`] re-checks candidates exactly
+//! (removing false positives — false negatives remain, and the test suite
+//! measures them against the oracle).
+
+use dmc_core::fxhash::FxHashMap;
+use dmc_core::threshold::sim_qualifies;
+use dmc_core::SimilarityRule;
+use dmc_matrix::{canonical_less, ColumnId, RowId, SparseMatrix};
+
+/// Configuration for [`minhash_similarities`].
+#[derive(Clone, Debug)]
+pub struct MinHashConfig {
+    /// Number of hash functions (signature length).
+    pub k: usize,
+    /// RNG seed for the hash family.
+    pub seed: u64,
+    /// Candidate cut-off on the estimated similarity; defaults to the query
+    /// threshold minus a slack that trades candidate volume against false
+    /// negatives.
+    pub candidate_slack: f64,
+    /// Verify candidates against the matrix (exact counts; removes false
+    /// positives).
+    pub verify: bool,
+    /// LSH banding `(bands, rows_per_band)`; `None` compares all pairs.
+    /// `bands * rows_per_band` must not exceed `k`.
+    pub banding: Option<(usize, usize)>,
+}
+
+impl MinHashConfig {
+    /// A reasonable default: 128 hash functions, verification on,
+    /// all-pairs comparison, 0.05 slack.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            seed: 0x00c0_ffee,
+            candidate_slack: 0.05,
+            verify: true,
+            banding: None,
+        }
+    }
+
+    /// Builder-style: use LSH banding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands * rows_per_band > k`.
+    #[must_use]
+    pub fn with_banding(mut self, bands: usize, rows_per_band: usize) -> Self {
+        assert!(
+            bands * rows_per_band <= self.k,
+            "banding exceeds signature length"
+        );
+        self.banding = Some((bands, rows_per_band));
+        self
+    }
+
+    /// Builder-style: toggle exact verification.
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+}
+
+/// Output of [`minhash_similarities`].
+#[derive(Debug)]
+pub struct MinHashOutput {
+    /// Qualifying rules (exact counts when verified; estimated counts
+    /// otherwise — `hits` is then the re-scaled estimate).
+    pub rules: Vec<SimilarityRule>,
+    /// Candidate pairs examined after sketch filtering.
+    pub candidates: usize,
+    /// Whether rules carry exact verified counts.
+    pub verified: bool,
+}
+
+/// SplitMix64 — a small, well-distributed stateless mixer for row hashing.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-column Min-Hash signatures, one scan over the matrix.
+///
+/// Returns a `n_cols × k` row-major array; components of all-zero columns
+/// stay at `u64::MAX`.
+#[must_use]
+pub fn signatures(matrix: &SparseMatrix, k: usize, seed: u64) -> Vec<u64> {
+    let m = matrix.n_cols();
+    let mut sig = vec![u64::MAX; m * k];
+    for (r, row) in matrix.rows().enumerate() {
+        if row.is_empty() {
+            continue;
+        }
+        // h_l(r): one mix per (row, hash function).
+        for l in 0..k {
+            let h = splitmix64(seed ^ ((l as u64) << 40) ^ (r as u64));
+            for &c in row {
+                let slot = &mut sig[c as usize * k + l];
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+    }
+    sig
+}
+
+/// Fraction of matching signature components.
+#[inline]
+#[must_use]
+pub fn estimate_similarity(sig: &[u64], k: usize, a: ColumnId, b: ColumnId) -> f64 {
+    let sa = &sig[a as usize * k..a as usize * k + k];
+    let sb = &sig[b as usize * k..b as usize * k + k];
+    let matches = sa.iter().zip(sb).filter(|(x, y)| x == y).count();
+    matches as f64 / k as f64
+}
+
+/// Mines similarity rules with Min-Hash at threshold `minsim`.
+#[must_use]
+pub fn minhash_similarities(
+    matrix: &SparseMatrix,
+    minsim: f64,
+    config: &MinHashConfig,
+) -> MinHashOutput {
+    let k = config.k;
+    let sig = signatures(matrix, k, config.seed);
+    let ones = matrix.column_ones();
+    let cutoff = (minsim - config.candidate_slack).max(0.0);
+
+    let candidate_pairs: Vec<(ColumnId, ColumnId)> = match config.banding {
+        None => all_pairs_candidates(&sig, k, &ones, cutoff),
+        Some((bands, rows_per_band)) => banded_candidates(&sig, k, &ones, bands, rows_per_band),
+    };
+    let candidates = candidate_pairs.len();
+
+    let column_rows = if config.verify {
+        Some(matrix.column_rows())
+    } else {
+        None
+    };
+
+    let mut rules = Vec::new();
+    for (a, b) in candidate_pairs {
+        let (oa, ob) = (ones[a as usize], ones[b as usize]);
+        if let Some(cols) = &column_rows {
+            let hits = intersection_size(&cols[a as usize], &cols[b as usize]);
+            if sim_qualifies(u64::from(hits), u64::from(oa), u64::from(ob), minsim) {
+                let (x, y, ox, oy) = orient(a, oa, b, ob);
+                rules.push(SimilarityRule {
+                    a: x,
+                    b: y,
+                    hits,
+                    a_ones: ox,
+                    b_ones: oy,
+                });
+            }
+        } else {
+            let est = estimate_similarity(&sig, k, a, b);
+            if est >= minsim {
+                // Back out an estimated hit count from sim = h/(oa+ob−h).
+                let est_hits = ((est * f64::from(oa + ob)) / (1.0 + est)).round() as u32;
+                let est_hits = est_hits.min(oa.min(ob));
+                let (x, y, ox, oy) = orient(a, oa, b, ob);
+                rules.push(SimilarityRule {
+                    a: x,
+                    b: y,
+                    hits: est_hits,
+                    a_ones: ox,
+                    b_ones: oy,
+                });
+            }
+        }
+    }
+    rules.sort_unstable();
+    rules.dedup();
+    MinHashOutput {
+        rules,
+        candidates,
+        verified: config.verify,
+    }
+}
+
+#[inline]
+fn orient(a: ColumnId, oa: u32, b: ColumnId, ob: u32) -> (ColumnId, ColumnId, u32, u32) {
+    if canonical_less(a, oa, b, ob) {
+        (a, b, oa, ob)
+    } else {
+        (b, a, ob, oa)
+    }
+}
+
+fn all_pairs_candidates(
+    sig: &[u64],
+    k: usize,
+    ones: &[u32],
+    cutoff: f64,
+) -> Vec<(ColumnId, ColumnId)> {
+    let nonzero: Vec<ColumnId> = ones
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o > 0)
+        .map(|(c, _)| c as ColumnId)
+        .collect();
+    let mut pairs = Vec::new();
+    for (i, &a) in nonzero.iter().enumerate() {
+        for &b in &nonzero[i + 1..] {
+            if estimate_similarity(sig, k, a, b) >= cutoff {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs
+}
+
+fn banded_candidates(
+    sig: &[u64],
+    k: usize,
+    ones: &[u32],
+    bands: usize,
+    rows_per_band: usize,
+) -> Vec<(ColumnId, ColumnId)> {
+    let mut pairs: Vec<(ColumnId, ColumnId)> = Vec::new();
+    for band in 0..bands {
+        let start = band * rows_per_band;
+        let mut buckets: FxHashMap<u64, Vec<ColumnId>> = FxHashMap::default();
+        for (c, &o) in ones.iter().enumerate() {
+            if o == 0 {
+                continue;
+            }
+            let slice = &sig[c * k + start..c * k + start + rows_per_band];
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &v in slice {
+                h = splitmix64(h ^ v);
+            }
+            buckets.entry(h).or_default().push(c as ColumnId);
+        }
+        for bucket in buckets.values() {
+            for (i, &a) in bucket.iter().enumerate() {
+                for &b in &bucket[i + 1..] {
+                    pairs.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Size of the intersection of two sorted row lists.
+#[must_use]
+pub fn intersection_size(a: &[RowId], b: &[RowId]) -> u32 {
+    let mut count = 0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    /// Identical columns always collide on every component.
+    #[test]
+    fn identical_columns_match_perfectly() {
+        let m = SparseMatrix::from_rows(3, vec![vec![0, 1], vec![0, 1, 2], vec![0, 1]]);
+        let sig = signatures(&m, 64, 42);
+        assert_eq!(estimate_similarity(&sig, 64, 0, 1), 1.0);
+        assert!(estimate_similarity(&sig, 64, 0, 2) < 1.0);
+    }
+
+    #[test]
+    fn estimator_concentrates_near_true_similarity() {
+        // Two columns sharing 3 of 4 rows: sim = 0.6 (hits 3, union 5).
+        let rows: Vec<Vec<ColumnId>> = vec![vec![0, 1], vec![0, 1], vec![0, 1], vec![0], vec![1]];
+        let m = SparseMatrix::from_rows(2, rows);
+        let sig = signatures(&m, 512, 7);
+        let est = estimate_similarity(&sig, 512, 0, 1);
+        assert!((est - 0.6).abs() < 0.12, "est={est}");
+    }
+
+    #[test]
+    fn verified_output_has_no_false_positives() {
+        let m = random_matrix(60, 25, 0.2, 99);
+        let out = minhash_similarities(&m, 0.5, &MinHashConfig::new(128));
+        let exact = oracle::exact_similarities(&m, 0.5);
+        for rule in &out.rules {
+            assert!(exact.contains(rule), "false positive: {rule}");
+        }
+    }
+
+    #[test]
+    fn high_k_recovers_all_rules_on_small_data() {
+        let m = random_matrix(40, 15, 0.3, 3);
+        let mut cfg = MinHashConfig::new(512);
+        cfg.candidate_slack = 0.2;
+        let out = minhash_similarities(&m, 0.6, &cfg);
+        let exact = oracle::exact_similarities(&m, 0.6);
+        assert_eq!(
+            out.rules, exact,
+            "512 hashes with wide slack finds everything here"
+        );
+    }
+
+    #[test]
+    fn banding_agrees_with_all_pairs_for_identical_columns() {
+        let m = SparseMatrix::from_rows(
+            4,
+            vec![vec![0, 1, 2], vec![0, 1], vec![0, 1, 3], vec![2, 3]],
+        );
+        let banded = minhash_similarities(&m, 1.0, &MinHashConfig::new(64).with_banding(16, 4));
+        let plain = minhash_similarities(&m, 1.0, &MinHashConfig::new(64));
+        assert_eq!(banded.rules, plain.rules);
+        assert_eq!(banded.rules.len(), 1); // c0 ~ c1
+    }
+
+    #[test]
+    fn unverified_mode_reports_estimates() {
+        let m = SparseMatrix::from_rows(2, vec![vec![0, 1], vec![0, 1], vec![0]]);
+        let out = minhash_similarities(&m, 0.5, &MinHashConfig::new(256).with_verify(false));
+        assert!(!out.verified);
+        // sim(0,1) = 2/3; the estimated rule must be present with hits near 2.
+        assert_eq!(out.rules.len(), 1);
+        assert!(out.rules[0].hits >= 1 && out.rules[0].hits <= 3);
+    }
+
+    #[test]
+    fn intersection_size_merge() {
+        assert_eq!(intersection_size(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[4], &[4]), 1);
+    }
+
+    /// Deterministic pseudo-random matrix for tests.
+    fn random_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> SparseMatrix {
+        let mut data = Vec::with_capacity(rows);
+        let mut state = seed;
+        for r in 0..rows {
+            let mut row = Vec::new();
+            for c in 0..cols {
+                state = splitmix64(state ^ ((r * cols + c) as u64));
+                if (state as f64 / u64::MAX as f64) < density {
+                    row.push(c as ColumnId);
+                }
+            }
+            data.push(row);
+        }
+        SparseMatrix::from_rows(cols, data)
+    }
+}

@@ -1,0 +1,172 @@
+//! Brute-force exact rule mining — the test oracle.
+//!
+//! Counts every pair's co-occurrences by enumerating the pairs of each row
+//! (`O(Σ density²)` time, one hash map of pair counters). Fine for test and
+//! bench-calibration sizes, hopeless at the paper's scale — which is the
+//! point of DMC.
+
+use dmc_core::fxhash::FxHashMap;
+use dmc_core::threshold::{conf_qualifies, sim_qualifies};
+use dmc_core::{ImplicationRule, SimilarityRule};
+use dmc_matrix::{canonical_less, ColumnId, SparseMatrix};
+
+/// Co-occurrence counts for every pair that appears together at least once,
+/// keyed by canonically ordered `(a, b)`.
+#[must_use]
+pub fn pair_hits(matrix: &SparseMatrix) -> FxHashMap<(ColumnId, ColumnId), u32> {
+    let ones = matrix.column_ones();
+    let mut hits: FxHashMap<(ColumnId, ColumnId), u32> = FxHashMap::default();
+    for row in matrix.rows() {
+        for (i, &a) in row.iter().enumerate() {
+            for &b in &row[i + 1..] {
+                let key = if canonical_less(a, ones[a as usize], b, ones[b as usize]) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                *hits.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    hits
+}
+
+/// All implication rules with confidence ≥ `minconf`, in the paper's
+/// canonical direction; with `emit_reverse`, qualifying reverse directions
+/// too. Sorted.
+#[must_use]
+pub fn exact_implications(
+    matrix: &SparseMatrix,
+    minconf: f64,
+    emit_reverse: bool,
+) -> Vec<ImplicationRule> {
+    let ones = matrix.column_ones();
+    let mut rules = Vec::new();
+    for ((a, b), h) in pair_hits(matrix) {
+        let (oa, ob) = (ones[a as usize], ones[b as usize]);
+        if conf_qualifies(u64::from(h), u64::from(oa), minconf) {
+            rules.push(ImplicationRule {
+                lhs: a,
+                rhs: b,
+                hits: h,
+                lhs_ones: oa,
+                rhs_ones: ob,
+            });
+        }
+        if emit_reverse && conf_qualifies(u64::from(h), u64::from(ob), minconf) {
+            rules.push(ImplicationRule {
+                lhs: b,
+                rhs: a,
+                hits: h,
+                lhs_ones: ob,
+                rhs_ones: oa,
+            });
+        }
+    }
+    rules.sort_unstable();
+    rules
+}
+
+/// All similarity rules with Jaccard ≥ `minsim`, canonical order, sorted.
+#[must_use]
+pub fn exact_similarities(matrix: &SparseMatrix, minsim: f64) -> Vec<SimilarityRule> {
+    let ones = matrix.column_ones();
+    let mut rules = Vec::new();
+    for ((a, b), h) in pair_hits(matrix) {
+        let (oa, ob) = (ones[a as usize], ones[b as usize]);
+        if sim_qualifies(u64::from(h), u64::from(oa), u64::from(ob), minsim) {
+            rules.push(SimilarityRule {
+                a,
+                b,
+                hits: h,
+                a_ones: oa,
+                b_ones: ob,
+            });
+        }
+    }
+    rules.sort_unstable();
+    rules
+}
+
+/// Exact co-occurrence count of one pair (for spot verification).
+#[must_use]
+pub fn exact_pair_hits(matrix: &SparseMatrix, a: ColumnId, b: ColumnId) -> u32 {
+    let mut hits = 0;
+    for row in matrix.rows() {
+        if row.binary_search(&a).is_ok() && row.binary_search(&b).is_ok() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![1, 5],
+                vec![2, 3, 4],
+                vec![2, 4],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 3, 5],
+                vec![0, 2, 3, 4, 5],
+                vec![3, 5],
+                vec![0, 1, 4],
+            ],
+        )
+    }
+
+    #[test]
+    fn fig2_oracle_matches_paper_rules() {
+        let rules = exact_implications(&fig2(), 0.8, false);
+        let pairs: Vec<(ColumnId, ColumnId)> = rules.iter().map(|r| (r.lhs, r.rhs)).collect();
+        assert_eq!(pairs, vec![(0, 1), (2, 4)]);
+    }
+
+    #[test]
+    fn pair_hits_counts_cooccurrences() {
+        let m = SparseMatrix::from_rows(3, vec![vec![0, 1], vec![0, 1, 2], vec![1, 2]]);
+        let hits = pair_hits(&m);
+        // ones: [2, 3, 2] -> canonical keys: (0,1), (0,2), (2,1).
+        assert_eq!(hits[&(0, 1)], 2);
+        assert_eq!(hits[&(2, 1)], 2);
+        assert_eq!(hits[&(0, 2)], 1);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn exact_pair_hits_spot_check() {
+        let m = fig2();
+        assert_eq!(exact_pair_hits(&m, 0, 1), 4);
+        assert_eq!(exact_pair_hits(&m, 2, 4), 4);
+        assert_eq!(exact_pair_hits(&m, 0, 4), 3);
+    }
+
+    #[test]
+    fn reverse_rules_require_their_own_confidence() {
+        // S_0 = {0}, S_1 = {0, 1}.
+        let m = SparseMatrix::from_rows(2, vec![vec![0, 1], vec![1]]);
+        let fwd = exact_implications(&m, 0.9, false);
+        assert_eq!(fwd.len(), 1);
+        let both = exact_implications(&m, 0.9, true);
+        assert_eq!(both.len(), 1, "reverse at 0.5 conf does not qualify");
+        let loose = exact_implications(&m, 0.5, true);
+        assert_eq!(loose.len(), 2);
+    }
+
+    #[test]
+    fn similarity_oracle_basics() {
+        let m = SparseMatrix::from_rows(3, vec![vec![0, 1], vec![0, 1], vec![0, 2]]);
+        // sim(0,1) = 2/3; sim(0,2) = 1/3; sim(1,2) = 0.
+        let at_060 = exact_similarities(&m, 0.6);
+        assert_eq!(at_060.len(), 1);
+        assert_eq!((at_060[0].a, at_060[0].b), (1, 0));
+        let at_030 = exact_similarities(&m, 0.3);
+        assert_eq!(at_030.len(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Ablation benchmarks: each §4/§5 optimization toggled individually.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmc_bench::datasets::{self, Scale};
+use dmc_core::{
+    find_implications, find_similarities, ImplicationConfig, RowOrder, SimilarityConfig,
+    SwitchPolicy,
+};
+
+fn bench_row_order(c: &mut Criterion) {
+    let m = datasets::wlog(Scale::Small);
+    c.bench_function("ablation/imp-bucketed-order", |b| {
+        b.iter(|| black_box(find_implications(&m, &ImplicationConfig::new(0.85))));
+    });
+    c.bench_function("ablation/imp-original-order", |b| {
+        b.iter(|| {
+            black_box(find_implications(
+                &m,
+                &ImplicationConfig::new(0.85).with_row_order(RowOrder::Original),
+            ))
+        });
+    });
+}
+
+fn bench_hundred_stage(c: &mut Criterion) {
+    let m = datasets::wlog(Scale::Small);
+    c.bench_function("ablation/imp-with-100pct-stage", |b| {
+        b.iter(|| black_box(find_implications(&m, &ImplicationConfig::new(0.9))));
+    });
+    c.bench_function("ablation/imp-without-100pct-stage", |b| {
+        b.iter(|| {
+            black_box(find_implications(
+                &m,
+                &ImplicationConfig::new(0.9).with_hundred_stage(false),
+            ))
+        });
+    });
+}
+
+fn bench_max_hits(c: &mut Criterion) {
+    let m = datasets::dicd(Scale::Small);
+    c.bench_function("ablation/sim-with-max-hits", |b| {
+        b.iter(|| black_box(find_similarities(&m, &SimilarityConfig::new(0.85))));
+    });
+    c.bench_function("ablation/sim-without-max-hits", |b| {
+        b.iter(|| {
+            black_box(find_similarities(
+                &m,
+                &SimilarityConfig::new(0.85).with_max_hits_pruning(false),
+            ))
+        });
+    });
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let m = datasets::plink(Scale::Small).transposed;
+    c.bench_function("ablation/imp-paper-switch", |b| {
+        b.iter(|| black_box(find_implications(&m, &ImplicationConfig::new(0.8))));
+    });
+    c.bench_function("ablation/imp-never-switch", |b| {
+        b.iter(|| {
+            black_box(find_implications(
+                &m,
+                &ImplicationConfig::new(0.8).with_switch(SwitchPolicy::never()),
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_row_order,
+    bench_hundred_stage,
+    bench_max_hits,
+    bench_switch
+);
+criterion_main!(benches);

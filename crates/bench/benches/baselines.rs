@@ -1,0 +1,46 @@
+//! Baseline benchmarks on the NewsP comparison set (Fig 6(i),(j)).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmc_baselines::apriori::{apriori_implications, AprioriConfig};
+use dmc_baselines::kmin::{kmin_implications, KMinConfig};
+use dmc_baselines::minhash::{minhash_similarities, signatures, MinHashConfig};
+use dmc_bench::datasets::{self, Scale};
+use dmc_core::{find_implications, ImplicationConfig};
+
+fn bench_comparison(c: &mut Criterion) {
+    let m = datasets::newsp(Scale::Small);
+    c.bench_function("baseline/dmc-imp-newsp-0.85", |b| {
+        b.iter(|| black_box(find_implications(&m, &ImplicationConfig::new(0.85))));
+    });
+    c.bench_function("baseline/apriori-newsp-0.85", |b| {
+        b.iter(|| {
+            black_box(apriori_implications(
+                &m,
+                &AprioriConfig::new(1, u32::MAX),
+                0.85,
+            ))
+        });
+    });
+    c.bench_function("baseline/kmin-newsp-0.85", |b| {
+        b.iter(|| black_box(kmin_implications(&m, 0.85, &KMinConfig::new(32))));
+    });
+    c.bench_function("baseline/minhash-newsp-0.85", |b| {
+        b.iter(|| {
+            black_box(minhash_similarities(
+                &m,
+                0.85,
+                &MinHashConfig::new(96).with_banding(24, 4),
+            ))
+        });
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let m = datasets::newsp(Scale::Small);
+    c.bench_function("baseline/minhash-signatures-k64", |b| {
+        b.iter(|| black_box(signatures(&m, 64, 1)));
+    });
+}
+
+criterion_group!(benches, bench_comparison, bench_signatures);
+criterion_main!(benches);

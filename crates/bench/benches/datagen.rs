@@ -1,0 +1,25 @@
+//! Generator throughput benchmarks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmc_datagen::{
+    dictionary, link_graph, news, weblog, DictionaryConfig, LinkGraphConfig, NewsConfig,
+    WeblogConfig,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("datagen/weblog-5k", |b| {
+        b.iter(|| black_box(weblog(&WeblogConfig::new(5000, 1000, 1))));
+    });
+    c.bench_function("datagen/linkgraph-2.5k", |b| {
+        b.iter(|| black_box(link_graph(&LinkGraphConfig::new(2500, 2))));
+    });
+    c.bench_function("datagen/news-3k", |b| {
+        b.iter(|| black_box(news(&NewsConfig::new(3000, 2000, 3))));
+    });
+    c.bench_function("datagen/dictionary-1.5k", |b| {
+        b.iter(|| black_box(dictionary(&DictionaryConfig::new(1500, 900, 4))));
+    });
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! DMC kernel benchmarks: the counting scan, the bitmap tail, both drivers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmc_bench::datasets::{self, Scale};
+use dmc_core::{
+    find_implications, find_implications_parallel, find_similarities, ImplicationConfig,
+    SimilarityConfig, SwitchPolicy,
+};
+
+fn bench_imp(c: &mut Criterion) {
+    let m = datasets::wlog(Scale::Small);
+    c.bench_function("dmc/imp-wlog-0.9", |b| {
+        b.iter(|| black_box(find_implications(&m, &ImplicationConfig::new(0.9))));
+    });
+    c.bench_function("dmc/imp-wlog-1.0", |b| {
+        b.iter(|| black_box(find_implications(&m, &ImplicationConfig::new(1.0))));
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let m = datasets::dicd(Scale::Small);
+    c.bench_function("dmc/sim-dicd-0.9", |b| {
+        b.iter(|| black_box(find_similarities(&m, &SimilarityConfig::new(0.9))));
+    });
+}
+
+fn bench_bitmap_tail(c: &mut Criterion) {
+    let m = datasets::plink(Scale::Small).transposed;
+    // Force an early switch so the tail phase dominates.
+    let forced = ImplicationConfig::new(0.9).with_switch(SwitchPolicy::always_at(64));
+    c.bench_function("dmc/imp-plinkT-forced-bitmap", |b| {
+        b.iter(|| black_box(find_implications(&m, &forced)));
+    });
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let m = datasets::wlog(Scale::Small);
+    for threads in [1, 2, 4] {
+        c.bench_function(&format!("dmc/imp-wlog-0.9-par{threads}"), |b| {
+            b.iter(|| {
+                black_box(find_implications_parallel(
+                    &m,
+                    &ImplicationConfig::new(0.9),
+                    threads,
+                ))
+            });
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_imp,
+    bench_sim,
+    bench_bitmap_tail,
+    bench_parallel
+);
+criterion_main!(benches);

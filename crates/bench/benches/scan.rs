@@ -1,0 +1,42 @@
+//! Substrate benchmarks: matrix scanning, ordering, transforms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmc_bench::datasets::{self, Scale};
+use dmc_matrix::order::{bucketed_sparsest_first, exact_sparsest_first};
+use dmc_matrix::transform::transpose;
+
+fn bench_scan(c: &mut Criterion) {
+    let m = datasets::wlog(Scale::Small);
+    c.bench_function("scan/rows-touch-all", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for row in m.rows() {
+                acc += row.len() as u64;
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("scan/column-ones", |b| {
+        b.iter(|| black_box(m.column_ones()))
+    });
+}
+
+fn bench_order(c: &mut Criterion) {
+    let m = datasets::wlog(Scale::Small);
+    c.bench_function("order/bucketed-sparsest-first", |b| {
+        b.iter(|| black_box(bucketed_sparsest_first(&m)));
+    });
+    c.bench_function("order/exact-sparsest-first", |b| {
+        b.iter(|| black_box(exact_sparsest_first(&m)));
+    });
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let m = datasets::plink(Scale::Small).forward;
+    c.bench_function("transform/transpose", |b| {
+        b.iter(|| black_box(transpose(&m)))
+    });
+}
+
+criterion_group!(benches, bench_scan, bench_order, bench_transform);
+criterion_main!(benches);

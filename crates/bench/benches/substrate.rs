@@ -1,0 +1,61 @@
+//! Substrate micro-benchmarks: bitset kernels and spill-file replay.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmc_bitset::BitSet;
+use dmc_matrix::spill::BucketSpill;
+
+fn bench_bitset(c: &mut Criterion) {
+    let a = BitSet::from_indices(4096, (0..4096).step_by(3));
+    let b = BitSet::from_indices(4096, (0..4096).step_by(5));
+    c.bench_function("bitset/and-not-count-4096", |bench| {
+        bench.iter(|| black_box(a.and_not_count(&b)));
+    });
+    c.bench_function("bitset/is-subset-4096", |bench| {
+        bench.iter(|| black_box(a.is_subset(&b)));
+    });
+    c.bench_function("bitset/ones-iterate-4096", |bench| {
+        bench.iter(|| black_box(a.ones().sum::<usize>()));
+    });
+    c.bench_function("bitset/insert-1k", |bench| {
+        bench.iter(|| {
+            let mut s = BitSet::new(4096);
+            for i in (0..4096).step_by(4) {
+                s.insert(i);
+            }
+            black_box(s)
+        });
+    });
+}
+
+fn bench_spill(c: &mut Criterion) {
+    let rows: Vec<Vec<u32>> = (0..2000u32)
+        .map(|i| (0..(i % 23)).map(|k| k * 31 % 500).collect::<Vec<u32>>())
+        .map(|mut r| {
+            r.sort_unstable();
+            r.dedup();
+            r
+        })
+        .collect();
+    c.bench_function("spill/push-2k-rows", |bench| {
+        bench.iter(|| {
+            let mut spill = BucketSpill::in_temp(500).unwrap();
+            for row in &rows {
+                spill.push_row(row).unwrap();
+            }
+            black_box(spill.rows())
+        });
+    });
+    c.bench_function("spill/replay-2k-rows", |bench| {
+        let mut spill = BucketSpill::in_temp(500).unwrap();
+        for row in &rows {
+            spill.push_row(row).unwrap();
+        }
+        bench.iter(|| {
+            let total: usize = spill.replay().unwrap().map(|r| r.unwrap().len()).sum();
+            black_box(total)
+        });
+    });
+}
+
+criterion_group!(benches, bench_bitset, bench_spill);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Threshold sweeps (the Fig 6(a),(b) shape as micro-benchmarks).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmc_bench::datasets::{self, Scale};
+use dmc_core::{find_implications, find_similarities, ImplicationConfig, SimilarityConfig};
+
+fn bench_imp_sweep(c: &mut Criterion) {
+    let m = datasets::wlogp(Scale::Small);
+    let mut group = c.benchmark_group("sweep/imp-wlogp");
+    for thr in [1.0, 0.9, 0.8, 0.7] {
+        group.bench_with_input(BenchmarkId::from_parameter(thr), &thr, |b, &thr| {
+            b.iter(|| black_box(find_implications(&m, &ImplicationConfig::new(thr))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_sweep(c: &mut Criterion) {
+    let m = datasets::wlogp(Scale::Small);
+    let mut group = c.benchmark_group("sweep/sim-wlogp");
+    for thr in [1.0, 0.9, 0.8, 0.7] {
+        group.bench_with_input(BenchmarkId::from_parameter(thr), &thr, |b, &thr| {
+            b.iter(|| black_box(find_similarities(&m, &SimilarityConfig::new(thr))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_imp_sweep, bench_sim_sweep);
+criterion_main!(benches);

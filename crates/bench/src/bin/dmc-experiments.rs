@@ -1,0 +1,75 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! dmc-experiments <experiment> [scale]
+//!   experiment: table1 | fig2 | fig3 | fig4 | fig6a | fig6b | fig6cd |
+//!               fig6ef | fig6gh | fig6ij | fig7 | speedups | ablation |
+//!               verify | all
+//!   scale:      small | medium (default) | large
+//! ```
+
+use dmc_bench::datasets::Scale;
+use dmc_bench::experiments as exp;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dmc-experiments <experiment> [scale]\n\
+         experiments: table1 fig2 fig3 fig4 fig6a fig6b fig6cd fig6ef \
+         fig6gh fig6ij fig7 speedups ablation verify all\n\
+         scales: small medium large (default medium)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first() else {
+        return usage();
+    };
+    let scale = match args.get(1).map(String::as_str) {
+        None => Scale::Medium,
+        Some(s) => match Scale::parse(s) {
+            Some(s) => s,
+            None => return usage(),
+        },
+    };
+
+    let run_one = |name: &str| -> Option<String> {
+        Some(match name {
+            "table1" => exp::table1(scale),
+            "fig2" => exp::fig2_trace(),
+            "fig3" => exp::fig3(scale),
+            "fig4" => exp::fig4(scale),
+            "fig6a" => exp::fig6a(scale),
+            "fig6b" => exp::fig6b(scale),
+            "fig6cd" => exp::fig6cd(scale),
+            "fig6ef" => exp::fig6ef(scale),
+            "fig6gh" => exp::fig6gh(scale),
+            "fig6ij" => exp::fig6ij(scale),
+            "fig7" => exp::fig7(scale),
+            "speedups" => exp::speedups(scale),
+            "ablation" => exp::ablation(scale),
+            "verify" => exp::verify(scale),
+            _ => return None,
+        })
+    };
+
+    if which == "all" {
+        for name in [
+            "table1", "fig2", "fig3", "fig4", "fig6a", "fig6b", "fig6cd", "fig6ef", "fig6gh",
+            "fig6ij", "fig7", "speedups", "ablation", "verify",
+        ] {
+            println!("==== {name} ====");
+            println!("{}", run_one(name).expect("known experiment"));
+        }
+        return ExitCode::SUCCESS;
+    }
+    match run_one(which) {
+        Some(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        None => usage(),
+    }
+}

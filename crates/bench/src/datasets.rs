@@ -1,0 +1,131 @@
+//! The seven Table-1 data sets, generated at a configurable scale.
+//!
+//! Name mapping (paper → here): `Wlog`/`WlogP` → [`wlog`]/[`wlogp`],
+//! `plinkF`/`plinkT` → [`plink`], `News`/`NewsP` → [`news_full`]/[`newsp`],
+//! `dicD` → [`dicd`]. The default [`Scale::Medium`] keeps every sweep in
+//! seconds on a laptop; [`Scale::Large`] stresses the same shapes harder.
+//! Absolute sizes are smaller than the paper's (its corpora are up to 700k
+//! columns); the shapes — heavy tails, crawler rows, frequency-≤4 link
+//! columns, topical clusters, synonym columns — are preserved, which is
+//! what drives every qualitative result (see DESIGN.md §4).
+
+use dmc_datagen::{
+    dictionary, link_graph, news, weblog, DictionaryConfig, LinkGraphConfig, NewsConfig,
+    WeblogConfig,
+};
+use dmc_matrix::transform::{prune_columns_by_support, prune_min_support};
+use dmc_matrix::SparseMatrix;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-sweep sizes for tests and quick runs.
+    Small,
+    /// The default experiment scale.
+    Medium,
+    /// Stress scale.
+    Large,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `large`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    fn factor(self) -> usize {
+        match self {
+            Scale::Small => 1,
+            Scale::Medium => 4,
+            Scale::Large => 12,
+        }
+    }
+}
+
+/// `Wlog`: web access log, heavy-tailed with crawler rows.
+#[must_use]
+pub fn wlog(scale: Scale) -> SparseMatrix {
+    let f = scale.factor();
+    let mut cfg = WeblogConfig::new(5000 * f, 1000 * f, seed(1));
+    cfg.crawlers = 3 + f;
+    weblog(&cfg)
+}
+
+/// `WlogP`: [`wlog`] with columns of ≤ 10 ones pruned (the paper's
+/// derivation).
+#[must_use]
+pub fn wlogp(scale: Scale) -> SparseMatrix {
+    prune_min_support(&wlog(scale), 11).matrix
+}
+
+/// `plinkF` and `plinkT`: the link graph in both orientations.
+#[must_use]
+pub fn plink(scale: Scale) -> dmc_datagen::LinkGraphs {
+    let f = scale.factor();
+    link_graph(&LinkGraphConfig::new(2500 * f, seed(2)))
+}
+
+/// `News`: the full synthetic corpus.
+#[must_use]
+pub fn news_full(scale: Scale) -> dmc_datagen::NewsData {
+    let f = scale.factor();
+    news(&NewsConfig::new(3000 * f, 2000 * f, seed(3)))
+}
+
+/// `NewsP`: the corpus support-pruned to the paper's window (min 0.2%,
+/// max 20% of documents) — the a-priori-friendly comparison set of Fig
+/// 6(i),(j).
+#[must_use]
+pub fn newsp(scale: Scale) -> SparseMatrix {
+    let data = news_full(scale);
+    let docs = data.matrix.n_rows();
+    let min = (docs as f64 * 0.002).ceil() as usize;
+    let max = (docs as f64 * 0.20).floor() as usize;
+    prune_columns_by_support(&data.matrix, min.max(2), max).matrix
+}
+
+/// `dicD`: the dictionary matrix.
+#[must_use]
+pub fn dicd(scale: Scale) -> SparseMatrix {
+    let f = scale.factor();
+    dictionary(&DictionaryConfig::new(1500 * f, 900 * f, seed(4)))
+}
+
+/// Deterministic per-dataset seeds.
+fn seed(i: u64) -> u64 {
+    0xD31C_0000 + i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_build_at_small_scale() {
+        let w = wlog(Scale::Small);
+        assert_eq!(w.n_rows(), 5000);
+        let wp = wlogp(Scale::Small);
+        assert!(wp.n_cols() < w.n_cols(), "pruning removes columns");
+        let g = plink(Scale::Small);
+        assert_eq!(g.forward.n_rows(), 2500);
+        let n = news_full(Scale::Small);
+        assert_eq!(n.matrix.n_rows(), 3000);
+        let np = newsp(Scale::Small);
+        assert!(np.n_cols() < n.matrix.n_cols());
+        let d = dicd(Scale::Small);
+        assert_eq!(d.n_cols(), 1500);
+    }
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment harness for the DMC reproduction.
+//!
+//! [`datasets`] builds the seven laptop-scale analogues of the paper's
+//! Table 1 corpora; [`experiments`] regenerates every table and figure of
+//! §6 (run them via the `dmc-experiments` binary); [`table`] renders the
+//! results as aligned text tables, which `EXPERIMENTS.md` records next to
+//! the paper's numbers.
+
+pub mod datasets;
+pub mod experiments;
+pub mod table;

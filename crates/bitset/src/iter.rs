@@ -1,0 +1,142 @@
+//! Iteration over set bits.
+
+use crate::{BitSet, WORD_BITS};
+
+/// Iterator over the indices of set bits of a [`BitSet`], ascending.
+///
+/// Uses the standard trailing-zeros / clear-lowest-bit loop, so iteration
+/// cost is proportional to the number of set bits plus the number of words.
+#[derive(Clone)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    /// Remaining bits of the word currently being drained.
+    current: u64,
+    /// Index of the *next* word to load, minus one is the current word.
+    word_idx: usize,
+}
+
+impl<'a> Ones<'a> {
+    pub(crate) fn new(words: &'a [u64]) -> Self {
+        Self {
+            words,
+            current: 0,
+            word_idx: 0,
+        }
+    }
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            let &word = self.words.get(self.word_idx)?;
+            self.current = word;
+            self.word_idx += 1;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some((self.word_idx - 1) * WORD_BITS + bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let lower = self.current.count_ones() as usize;
+        let rest: usize = self.words[self.word_idx.min(self.words.len())..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (lower + rest, Some(lower + rest))
+    }
+}
+
+impl ExactSizeIterator for Ones<'_> {}
+impl std::iter::FusedIterator for Ones<'_> {}
+
+/// Owning iterator over set bits, used by `IntoIterator for BitSet`.
+pub struct IntoOnes {
+    set: BitSet,
+    next_bit: usize,
+}
+
+impl Iterator for IntoOnes {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.next_bit < self.set.len() {
+            let bit = self.next_bit;
+            self.next_bit += 1;
+            if self.set.contains(bit) {
+                return Some(bit);
+            }
+        }
+        None
+    }
+}
+
+impl IntoIterator for BitSet {
+    type Item = usize;
+    type IntoIter = IntoOnes;
+
+    fn into_iter(self) -> IntoOnes {
+        IntoOnes {
+            set: self,
+            next_bit: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Ones<'a>;
+
+    fn into_iter(self) -> Ones<'a> {
+        self.ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BitSet;
+
+    #[test]
+    fn ones_crosses_word_boundaries() {
+        let set = BitSet::from_indices(200, [0, 63, 64, 65, 127, 128, 199]);
+        let collected: Vec<usize> = set.ones().collect();
+        assert_eq!(collected, vec![0, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn ones_exact_size() {
+        let set = BitSet::from_indices(150, [3, 70, 149]);
+        let iter = set.ones();
+        assert_eq!(iter.len(), 3);
+        let mut iter = iter;
+        iter.next();
+        assert_eq!(iter.len(), 2);
+    }
+
+    #[test]
+    fn ones_empty() {
+        let set = BitSet::new(128);
+        assert_eq!(set.ones().next(), None);
+    }
+
+    #[test]
+    fn into_iter_owning_and_borrowing_agree() {
+        let set = BitSet::from_indices(90, [5, 64, 89]);
+        let borrowed: Vec<usize> = (&set).into_iter().collect();
+        let owned: Vec<usize> = set.into_iter().collect();
+        assert_eq!(borrowed, owned);
+        assert_eq!(owned, vec![5, 64, 89]);
+    }
+
+    #[test]
+    fn fused_after_exhaustion() {
+        let set = BitSet::from_indices(10, [9]);
+        let mut iter = set.ones();
+        assert_eq!(iter.next(), Some(9));
+        assert_eq!(iter.next(), None);
+        assert_eq!(iter.next(), None);
+    }
+}

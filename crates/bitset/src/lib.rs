@@ -1,0 +1,47 @@
+//! Fixed-size bitsets for the DMC rule-mining workspace.
+//!
+//! The DMC-bitmap phase of the paper ("Dynamic Miss-Counting Algorithms",
+//! ICDE 2000, §4.2) represents the tail of the row stream as one bitmap per
+//! column and needs exactly three primitives to finish miss counting:
+//!
+//! * `popcount(bm(c_j) & !bm(c_k))` — misses of `c_j` against `c_k` in the
+//!   tail (Phase 1 of Algorithm 4.1),
+//! * bitmap equality — identical-column extraction (DMC-sim step 2),
+//! * iteration over set bits — hit counting (Phase 2 of Algorithm 4.1).
+//!
+//! No sanctioned offline crate provides this, so the substrate lives here.
+//! [`BitSet`] is a dense, heap-allocated, fixed-capacity bitset over `u64`
+//! words; all binary operations require equal capacity and are `O(words)`.
+
+mod bitset;
+mod iter;
+mod matrix;
+
+pub use bitset::BitSet;
+pub use iter::{IntoOnes, Ones};
+pub use matrix::BitMatrix;
+
+/// Number of bits per storage word.
+pub(crate) const WORD_BITS: usize = u64::BITS as usize;
+
+/// Number of `u64` words needed to hold `bits` bits.
+#[inline]
+pub(crate) const fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(63), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+    }
+}

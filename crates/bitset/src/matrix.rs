@@ -1,0 +1,177 @@
+//! A column-indexed collection of equal-length bitmaps.
+//!
+//! DMC-bitmap (Algorithm 4.1) builds one bitmap per *surviving* column over
+//! the tail rows `r_t..r_n`. Most columns never appear in the tail and get no
+//! bitmap at all ("we do not have to create bitmaps for those columns that
+//! have no 1's in the rest of rows"), so [`BitMatrix`] stores bitmaps
+//! sparsely, keyed by column id.
+
+use crate::BitSet;
+use std::collections::HashMap;
+
+/// A sparse map from column id to a fixed-width [`BitSet`] of tail rows.
+///
+/// `width` is the number of tail rows; every stored bitmap has exactly that
+/// capacity. Columns without a bitmap are semantically all-zero, which the
+/// query methods honor.
+#[derive(Clone, Debug)]
+pub struct BitMatrix {
+    width: usize,
+    rows_bits: HashMap<u32, BitSet>,
+}
+
+impl BitMatrix {
+    /// Creates an empty matrix whose bitmaps will hold `width` bits.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Self {
+            width,
+            rows_bits: HashMap::new(),
+        }
+    }
+
+    /// Number of bits per bitmap (tail length).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of columns that have at least one materialized bitmap.
+    #[must_use]
+    pub fn columns(&self) -> usize {
+        self.rows_bits.len()
+    }
+
+    /// Sets bit `bit` of column `col`, materializing the bitmap on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= width`.
+    pub fn set(&mut self, col: u32, bit: usize) {
+        let width = self.width;
+        self.rows_bits
+            .entry(col)
+            .or_insert_with(|| BitSet::new(width))
+            .insert(bit);
+    }
+
+    /// The bitmap of `col`, if it was ever written.
+    #[must_use]
+    pub fn get(&self, col: u32) -> Option<&BitSet> {
+        self.rows_bits.get(&col)
+    }
+
+    /// Popcount of column `col`'s bitmap (0 if absent).
+    #[must_use]
+    pub fn count_ones(&self, col: u32) -> usize {
+        self.get(col).map_or(0, BitSet::count_ones)
+    }
+
+    /// `popcount(bm(lhs) & !bm(rhs))`, treating absent bitmaps as all-zero.
+    ///
+    /// This is the tail miss count of Phase 1 of Algorithm 4.1. When the RHS
+    /// column has no tail bitmap, every tail 1 of the LHS is a miss.
+    #[must_use]
+    pub fn miss_count(&self, lhs: u32, rhs: u32) -> usize {
+        match (self.get(lhs), self.get(rhs)) {
+            (None, _) => 0,
+            (Some(l), None) => l.count_ones(),
+            (Some(l), Some(r)) => l.and_not_count(r),
+        }
+    }
+
+    /// `popcount(bm(lhs) & bm(rhs))`, treating absent bitmaps as all-zero.
+    #[must_use]
+    pub fn hit_count(&self, lhs: u32, rhs: u32) -> usize {
+        match (self.get(lhs), self.get(rhs)) {
+            (Some(l), Some(r)) => l.and_count(r),
+            _ => 0,
+        }
+    }
+
+    /// `true` when the two columns have identical tail bitmaps
+    /// (absent ≡ all-zero).
+    #[must_use]
+    pub fn identical(&self, a: u32, b: u32) -> bool {
+        match (self.get(a), self.get(b)) {
+            (None, None) => true,
+            (Some(x), None) | (None, Some(x)) => x.is_clear(),
+            (Some(x), Some(y)) => x == y,
+        }
+    }
+
+    /// Iterates over `(column, bitmap)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &BitSet)> {
+        self.rows_bits.iter().map(|(&c, b)| (c, b))
+    }
+
+    /// Approximate heap bytes used by the materialized bitmaps.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.rows_bits
+            .values()
+            .map(|b| b.heap_bytes() + std::mem::size_of::<(u32, BitSet)>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_columns_are_all_zero() {
+        let mut m = BitMatrix::new(10);
+        m.set(3, 0);
+        m.set(3, 7);
+        assert_eq!(m.count_ones(3), 2);
+        assert_eq!(m.count_ones(99), 0);
+        // Misses of col 3 against an absent column: all of col 3's ones.
+        assert_eq!(m.miss_count(3, 99), 2);
+        // Misses of an absent column against anything: zero.
+        assert_eq!(m.miss_count(99, 3), 0);
+        assert_eq!(m.hit_count(3, 99), 0);
+    }
+
+    #[test]
+    fn miss_and_hit_counts() {
+        let mut m = BitMatrix::new(8);
+        for bit in [0, 1, 2] {
+            m.set(1, bit);
+        }
+        for bit in [1, 2, 3] {
+            m.set(2, bit);
+        }
+        assert_eq!(m.miss_count(1, 2), 1); // bit 0
+        assert_eq!(m.miss_count(2, 1), 1); // bit 3
+        assert_eq!(m.hit_count(1, 2), 2); // bits 1, 2
+    }
+
+    #[test]
+    fn identical_handles_absent_and_empty() {
+        let mut m = BitMatrix::new(4);
+        m.set(1, 2);
+        m.set(2, 2);
+        assert!(m.identical(1, 2));
+        assert!(m.identical(50, 51), "two absent columns are identical");
+        m.set(3, 0);
+        assert!(!m.identical(1, 3));
+        assert!(!m.identical(3, 50));
+    }
+
+    #[test]
+    fn columns_counts_materialized_only() {
+        let mut m = BitMatrix::new(4);
+        assert_eq!(m.columns(), 0);
+        m.set(7, 0);
+        m.set(7, 1);
+        m.set(9, 3);
+        assert_eq!(m.columns(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_past_width_panics() {
+        BitMatrix::new(4).set(0, 4);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests: BitSet operations agree with a naive
+//! `std::collections::BTreeSet<usize>` model.
+
+use dmc_bitset::BitSet;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const LEN: usize = 300;
+
+fn index_set() -> impl Strategy<Value = BTreeSet<usize>> {
+    proptest::collection::btree_set(0..LEN, 0..64)
+}
+
+fn build(model: &BTreeSet<usize>) -> BitSet {
+    BitSet::from_indices(LEN, model.iter().copied())
+}
+
+proptest! {
+    #[test]
+    fn ones_matches_model(model in index_set()) {
+        let set = build(&model);
+        let collected: Vec<usize> = set.ones().collect();
+        let expected: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+        prop_assert_eq!(set.count_ones(), model.len());
+    }
+
+    #[test]
+    fn and_not_count_matches_model(a in index_set(), b in index_set()) {
+        let (sa, sb) = (build(&a), build(&b));
+        let expected = a.difference(&b).count();
+        prop_assert_eq!(sa.and_not_count(&sb), expected);
+    }
+
+    #[test]
+    fn and_or_counts_match_model(a in index_set(), b in index_set()) {
+        let (sa, sb) = (build(&a), build(&b));
+        prop_assert_eq!(sa.and_count(&sb), a.intersection(&b).count());
+        prop_assert_eq!(sa.or_count(&sb), a.union(&b).count());
+    }
+
+    #[test]
+    fn subset_and_disjoint_match_model(a in index_set(), b in index_set()) {
+        let (sa, sb) = (build(&a), build(&b));
+        prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
+        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn in_place_ops_match_model(a in index_set(), b in index_set()) {
+        let sb = build(&b);
+
+        let mut u = build(&a);
+        u.union_with(&sb);
+        prop_assert_eq!(u.ones().collect::<Vec<_>>(),
+                        a.union(&b).copied().collect::<Vec<_>>());
+
+        let mut i = build(&a);
+        i.intersect_with(&sb);
+        prop_assert_eq!(i.ones().collect::<Vec<_>>(),
+                        a.intersection(&b).copied().collect::<Vec<_>>());
+
+        let mut d = build(&a);
+        d.difference_with(&sb);
+        prop_assert_eq!(d.ones().collect::<Vec<_>>(),
+                        a.difference(&b).copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_remove_toggle(model in index_set(), bit in 0..LEN) {
+        let mut set = build(&model);
+        let had = set.contains(bit);
+        prop_assert_eq!(set.insert(bit), !had);
+        prop_assert!(set.contains(bit));
+        prop_assert!(set.remove(bit));
+        prop_assert!(!set.contains(bit));
+        prop_assert_eq!(set.count_ones(), model.len() - usize::from(had));
+    }
+
+    #[test]
+    fn equality_matches_model(a in index_set(), b in index_set()) {
+        prop_assert_eq!(build(&a) == build(&b), a == b);
+    }
+}

@@ -1,0 +1,272 @@
+//! Subcommand implementations for the `dmc` binary.
+
+use crate::args::{ArgError, Args};
+use dmc_core::{
+    find_implications, find_implications_parallel, find_implications_streamed, find_similarities,
+    find_similarities_streamed, rule_groups, ImplicationConfig, RowOrder, SimilarityConfig,
+    SwitchPolicy,
+};
+use dmc_datagen::{
+    dictionary, link_graph, news, weblog, DictionaryConfig, LinkGraphConfig, NewsConfig,
+    WeblogConfig,
+};
+use dmc_matrix::io::{read_matrix, write_matrix, RowLines};
+use dmc_matrix::stats::{column_density_histogram, matrix_stats, row_density_histogram};
+use dmc_matrix::SparseMatrix;
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn load(args: &Args) -> Result<SparseMatrix, Box<dyn Error>> {
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError::Required("<file>".into()))?;
+    let matrix = if path == "-" {
+        read_matrix(std::io::stdin().lock())?
+    } else {
+        read_matrix(File::open(path)?)?
+    };
+    Ok(matrix)
+}
+
+fn row_order(args: &Args) -> Result<RowOrder, Box<dyn Error>> {
+    Ok(match args.get("order") {
+        None | Some("bucketed") => RowOrder::BucketedSparsestFirst,
+        Some("sorted") => RowOrder::ExactSparsestFirst,
+        Some("original") => RowOrder::Original,
+        Some(other) => return Err(Box::new(ArgError::BadValue("order".into(), other.into()))),
+    })
+}
+
+fn switch_policy(args: &Args) -> Result<SwitchPolicy, Box<dyn Error>> {
+    let mut policy = SwitchPolicy::paper();
+    policy.max_tail_rows = args.get_or("switch-rows", policy.max_tail_rows)?;
+    policy.memory_limit_bytes = args.get_or("switch-bytes", policy.memory_limit_bytes)?;
+    Ok(policy)
+}
+
+/// `dmc imp`: implication rules.
+pub fn imp(args: &Args) -> CmdResult {
+    let minconf: f64 = args.require("minconf")?;
+    let mut config = ImplicationConfig::new(minconf)
+        .with_row_order(row_order(args)?)
+        .with_switch(switch_policy(args)?)
+        .with_reverse(args.flag("reverse"));
+    config.hundred_stage = !args.flag("no-hundred-stage");
+
+    if args.flag("stream") {
+        // Out-of-core: one pass over the file plus spill-file replays;
+        // the matrix is never materialized. Needs the column count up
+        // front.
+        let n_cols: usize = args.require("cols")?;
+        let path = args
+            .positional(0)
+            .ok_or_else(|| ArgError::Required("<file>".into()))?;
+        let reader = std::io::BufReader::new(File::open(path)?);
+        let out = find_implications_streamed(RowLines::new(reader), n_cols, &config)?;
+        return print_imp(args, &out, minconf, None);
+    }
+
+    let matrix = load(args)?;
+    let threads: usize = args.get_or("threads", 1)?;
+    let out = if threads > 1 {
+        find_implications_parallel(&matrix, &config, threads)
+    } else {
+        find_implications(&matrix, &config)
+    };
+    print_imp(args, &out, minconf, Some(&matrix))
+}
+
+fn print_imp(
+    args: &Args,
+    out: &dmc_core::ImplicationOutput,
+    minconf: f64,
+    matrix: Option<&SparseMatrix>,
+) -> CmdResult {
+    if let Some(path) = args.get("output") {
+        let mut file = BufWriter::new(File::create(path)?);
+        dmc_core::write_rules(&out.rules, &[], &mut file)?;
+        file.flush()?;
+    }
+    let limit: usize = args.get_or("limit", usize::MAX)?;
+    if !args.flag("quiet") {
+        for rule in out.rules.iter().take(limit) {
+            println!("{rule}");
+        }
+    }
+    match matrix {
+        Some(m) => eprintln!(
+            "{} rules at minconf {minconf} ({} rows, {} cols); peak counter array {} entries",
+            out.rules.len(),
+            m.n_rows(),
+            m.n_cols(),
+            out.memory.peak_candidates()
+        ),
+        None => eprintln!(
+            "{} rules at minconf {minconf} (streamed); peak counter array {} entries",
+            out.rules.len(),
+            out.memory.peak_candidates()
+        ),
+    }
+    for (phase, time) in out.phases.phases() {
+        eprintln!("  {phase:<12} {:.3}s", time.as_secs_f64());
+    }
+    Ok(())
+}
+
+/// `dmc sim`: similarity rules.
+pub fn sim(args: &Args) -> CmdResult {
+    let minsim: f64 = args.require("minsim")?;
+    let mut config = SimilarityConfig::new(minsim)
+        .with_row_order(row_order(args)?)
+        .with_switch(switch_policy(args)?)
+        .with_max_hits_pruning(!args.flag("no-max-hits"));
+    config.hundred_stage = !args.flag("no-hundred-stage");
+
+    let out = if args.flag("stream") {
+        let n_cols: usize = args.require("cols")?;
+        let path = args
+            .positional(0)
+            .ok_or_else(|| ArgError::Required("<file>".into()))?;
+        let reader = std::io::BufReader::new(File::open(path)?);
+        find_similarities_streamed(RowLines::new(reader), n_cols, &config)?
+    } else {
+        let matrix = load(args)?;
+        find_similarities(&matrix, &config)
+    };
+    if let Some(path) = args.get("output") {
+        let mut file = BufWriter::new(File::create(path)?);
+        dmc_core::write_rules(&[], &out.rules, &mut file)?;
+        file.flush()?;
+    }
+    let limit: usize = args.get_or("limit", usize::MAX)?;
+    if !args.flag("quiet") {
+        for rule in out.rules.iter().take(limit) {
+            println!("{rule}");
+        }
+    }
+    eprintln!(
+        "{} pairs at minsim {minsim}; peak counter array {} entries",
+        out.rules.len(),
+        out.memory.peak_candidates()
+    );
+    Ok(())
+}
+
+/// `dmc groups`: rule-graph clusters (§6.3).
+pub fn groups(args: &Args) -> CmdResult {
+    let matrix = load(args)?;
+    let minconf: f64 = args.get_or("minconf", 1.0)?;
+    let minsim: f64 = args.get_or("minsim", 1.0)?;
+    let imps = find_implications(&matrix, &ImplicationConfig::new(minconf));
+    let sims = find_similarities(&matrix, &SimilarityConfig::new(minsim));
+    let clusters = rule_groups(matrix.n_cols(), &imps.rules, &sims.rules);
+    for (i, cluster) in clusters.iter().enumerate() {
+        let members: Vec<String> = cluster.iter().map(|c| format!("c{c}")).collect();
+        println!("group {i}: {}", members.join(" "));
+    }
+    eprintln!(
+        "{} groups from {} implication + {} similarity rules",
+        clusters.len(),
+        imps.rules.len(),
+        sims.rules.len()
+    );
+    Ok(())
+}
+
+/// `dmc verify`: re-check a rules file against a matrix.
+pub fn verify(args: &Args) -> CmdResult {
+    let matrix = load(args)?;
+    let rules_path: String = args.require("rules")?;
+    let (imps, sims) = dmc_core::read_rules(File::open(&rules_path)?)?;
+    let minconf: f64 = args.get_or("minconf", 1.0)?;
+    let minsim: f64 = args.get_or("minsim", 1.0)?;
+    let mut bad = 0usize;
+    for (rule, check) in imps
+        .iter()
+        .zip(dmc_core::verify_implications(&matrix, &imps, minconf))
+    {
+        if check != dmc_core::RuleCheck::Valid {
+            println!("FAIL {rule}: {check:?}");
+            bad += 1;
+        }
+    }
+    for (rule, check) in sims
+        .iter()
+        .zip(dmc_core::verify_similarities(&matrix, &sims, minsim))
+    {
+        if check != dmc_core::RuleCheck::Valid {
+            println!("FAIL {rule}: {check:?}");
+            bad += 1;
+        }
+    }
+    eprintln!(
+        "{} of {} rules verified",
+        imps.len() + sims.len() - bad,
+        imps.len() + sims.len()
+    );
+    if bad > 0 {
+        return Err(format!("{bad} rules failed verification").into());
+    }
+    Ok(())
+}
+
+/// `dmc stats`: data-set statistics.
+pub fn stats(args: &Args) -> CmdResult {
+    let matrix = load(args)?;
+    let s = matrix_stats(&matrix);
+    println!("rows            {}", s.rows);
+    println!("columns         {}", s.cols);
+    println!("nonzero columns {}", s.nonzero_cols);
+    println!("nnz             {}", s.nnz);
+    println!("avg row density {:.2}", s.avg_row_density);
+    println!("max row density {}", s.max_row_density);
+    println!("max column ones {}", s.max_col_ones);
+    println!("row-density histogram [2^i, 2^(i+1)):");
+    for (b, count) in row_density_histogram(&matrix).iter().enumerate() {
+        println!("  2^{b:<2} {count}");
+    }
+    println!("column-density histogram [2^i, 2^(i+1)):");
+    for (b, count) in column_density_histogram(&matrix).iter().enumerate() {
+        println!("  2^{b:<2} {count}");
+    }
+    Ok(())
+}
+
+/// `dmc gen`: synthetic data sets in the text format.
+pub fn gen(args: &Args) -> CmdResult {
+    let kind = args
+        .positional(0)
+        .ok_or_else(|| ArgError::Required("<kind>".into()))?;
+    let rows: usize = args.get_or("rows", 10_000)?;
+    let cols: usize = args.get_or("cols", 2_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let matrix = match kind {
+        "weblog" => weblog(&WeblogConfig::new(rows, cols, seed)),
+        "linkgraph" => link_graph(&LinkGraphConfig::new(rows, seed)).forward,
+        "news" => news(&NewsConfig::new(rows, cols, seed)).matrix,
+        "dictionary" => dictionary(&DictionaryConfig::new(cols, rows, seed)),
+        other => return Err(Box::new(ArgError::BadValue("<kind>".into(), other.into()))),
+    };
+    match args.get("output") {
+        Some(path) => {
+            let mut file = BufWriter::new(File::create(path)?);
+            write_matrix(&matrix, &mut file)?;
+            file.flush()?;
+            eprintln!(
+                "wrote {} ({} rows, {} cols, {} nnz)",
+                path,
+                matrix.n_rows(),
+                matrix.n_cols(),
+                matrix.nnz()
+            );
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write_matrix(&matrix, stdout.lock())?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! `dmc` — mine implication and similarity rules from transaction files.
+//!
+//! ```text
+//! dmc imp <file> --minconf 0.9 [--order bucketed|sorted|original]
+//!                [--reverse] [--threads N] [--limit N] [--quiet]
+//! dmc sim <file> --minsim 0.8 [--order …] [--limit N] [--quiet]
+//! dmc groups <file> --minconf 0.9 --minsim 0.9
+//! dmc stats <file>
+//! dmc gen <weblog|linkgraph|news|dictionary> --rows N --cols N
+//!         [--seed N] [--output file]
+//! ```
+//!
+//! Files use the line-oriented transaction format of `dmc_matrix::io`
+//! (one row per line, space-separated column ids; `-` reads stdin).
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: dmc <command> [args]
+commands:
+  imp <file> --minconf X   mine implication rules (file '-' = stdin)
+      [--order bucketed|sorted|original] [--reverse] [--threads N]
+      [--switch-rows N --switch-bytes N] [--limit N] [--quiet]
+      [--stream --cols N]  out-of-core: spill to disk, never materialize
+  sim <file> --minsim X    mine similarity rules
+      [--order ...] [--no-max-hits] [--limit N] [--quiet]
+  groups <file> --minconf X --minsim X
+                           cluster columns connected by rules
+  verify <file> --rules R  re-check a rules file against the data
+      [--minconf X] [--minsim X]
+  stats <file>             print data-set statistics
+  gen <kind> --rows N --cols N [--seed N] [--output file]
+                           generate a synthetic data set
+                           (weblog | linkgraph | news | dictionary)";
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1);
+    let Some(command) = raw.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("dmc: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "imp" => commands::imp(&args),
+        "sim" => commands::sim(&args),
+        "groups" => commands::groups(&args),
+        "verify" => commands::verify(&args),
+        "stats" => commands::stats(&args),
+        "gen" => commands::gen(&args),
+        _ => {
+            eprintln!("dmc: unknown command {command:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dmc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end tests of the `dmc` binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_dmc");
+
+fn run(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
+    let mut cmd = Command::new(BIN);
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    }
+    let mut child = cmd.spawn().expect("spawn dmc");
+    if let Some(input) = stdin {
+        // The child may exit before reading stdin (usage errors); a broken
+        // pipe here is fine.
+        let _ = child.stdin.as_mut().unwrap().write_all(input.as_bytes());
+    }
+    let out = child.wait_with_output().expect("wait dmc");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// The Figure 1 matrix in the text format.
+const FIG1: &str = "# cols 3\n1 2\n0 1 2\n0\n1\n";
+
+#[test]
+fn imp_from_stdin() {
+    let (stdout, stderr, ok) = run(&["imp", "-", "--minconf", "1.0"], Some(FIG1));
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.trim(), "c2 => c1 (conf 2/2 = 1.000)");
+    assert!(stderr.contains("1 rules"));
+}
+
+#[test]
+fn sim_from_stdin() {
+    let input = "# cols 3\n0 1\n0 1 2\n0 1\n";
+    let (stdout, _, ok) = run(&["sim", "-", "--minsim", "1.0"], Some(input));
+    assert!(ok);
+    assert_eq!(stdout.trim(), "c0 ~ c1 (sim 3/3 = 1.000)");
+}
+
+#[test]
+fn quiet_and_limit() {
+    let (stdout, stderr, ok) = run(&["imp", "-", "--minconf", "0.5", "--quiet"], Some(FIG1));
+    assert!(ok);
+    assert!(stdout.is_empty(), "quiet suppresses rules: {stdout}");
+    assert!(stderr.contains("rules at minconf"));
+}
+
+#[test]
+fn stats_reports_shape() {
+    let (stdout, _, ok) = run(&["stats", "-"], Some(FIG1));
+    assert!(ok);
+    assert!(stdout.contains("rows            4"));
+    assert!(stdout.contains("columns         3"));
+    assert!(stdout.contains("nnz             7"));
+}
+
+#[test]
+fn groups_clusters_rules() {
+    let input = "# cols 4\n0 1\n0 1\n2 3\n2 3\n";
+    let (stdout, _, ok) = run(
+        &["groups", "-", "--minconf", "1.0", "--minsim", "1.0"],
+        Some(input),
+    );
+    assert!(ok);
+    assert!(stdout.contains("group 0: c0 c1"), "{stdout}");
+    assert!(stdout.contains("group 1: c2 c3"), "{stdout}");
+}
+
+#[test]
+fn gen_roundtrips_through_stats() {
+    let (matrix_text, _, ok) = run(
+        &[
+            "gen", "news", "--rows", "200", "--cols", "300", "--seed", "5",
+        ],
+        None,
+    );
+    assert!(ok);
+    let (stats, _, ok) = run(&["stats", "-"], Some(&matrix_text));
+    assert!(ok);
+    assert!(stats.contains("rows            200"), "{stats}");
+    assert!(stats.contains("columns         300"));
+}
+
+#[test]
+fn parallel_flag_matches_sequential() {
+    let input = "# cols 4\n0 1 2\n0 1\n1 2 3\n0 1 2\n";
+    let (seq, _, _) = run(&["imp", "-", "--minconf", "0.6"], Some(input));
+    let (par, _, _) = run(
+        &["imp", "-", "--minconf", "0.6", "--threads", "3"],
+        Some(input),
+    );
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, stderr, ok) = run(&["imp", "-"], Some(FIG1));
+    assert!(!ok, "missing --minconf must fail");
+    assert!(stderr.contains("minconf"));
+
+    let (_, stderr, ok) = run(&["frobnicate"], None);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, ok) = run(
+        &["imp", "-", "--minconf", "0.9", "--order", "zigzag"],
+        Some(FIG1),
+    );
+    assert!(!ok);
+    assert!(stderr.contains("order"));
+}
+
+#[test]
+fn reverse_flag_adds_reverse_rules() {
+    let input = "# cols 2\n0 1\n0 1\n";
+    let (fwd, _, _) = run(&["imp", "-", "--minconf", "1.0"], Some(input));
+    assert_eq!(fwd.lines().count(), 1);
+    let (both, _, _) = run(&["imp", "-", "--minconf", "1.0", "--reverse"], Some(input));
+    assert_eq!(both.lines().count(), 2);
+}
+
+#[test]
+fn streamed_mode_matches_in_memory() {
+    let dir = std::env::temp_dir().join("dmc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream-input.txt");
+    std::fs::write(&path, "# cols 4\n0 1 2\n0 1\n1 2 3\n0 1 2\n0 1\n").unwrap();
+    let p = path.to_str().unwrap();
+    let (in_mem, _, ok1) = run(&["imp", p, "--minconf", "0.6"], None);
+    let (streamed, stderr, ok2) = run(
+        &["imp", p, "--minconf", "0.6", "--stream", "--cols", "4"],
+        None,
+    );
+    assert!(ok1 && ok2, "{stderr}");
+    assert_eq!(in_mem, streamed);
+    assert!(stderr.contains("streamed"));
+
+    let (sim_mem, _, _) = run(&["sim", p, "--minsim", "0.5"], None);
+    let (sim_str, _, _) = run(
+        &["sim", p, "--minsim", "0.5", "--stream", "--cols", "4"],
+        None,
+    );
+    assert_eq!(sim_mem, sim_str);
+}
+
+#[test]
+fn streamed_mode_requires_cols() {
+    let dir = std::env::temp_dir().join("dmc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream-nocols.txt");
+    std::fs::write(&path, "0 1\n").unwrap();
+    let (_, stderr, ok) = run(
+        &[
+            "imp",
+            path.to_str().unwrap(),
+            "--minconf",
+            "0.9",
+            "--stream",
+        ],
+        None,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("cols"));
+}
+
+#[test]
+fn verify_roundtrip_through_rules_file() {
+    let dir = std::env::temp_dir().join("dmc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("verify-input.txt");
+    std::fs::write(&data, "# cols 3\n0 1\n0 1 2\n0 1\n2\n").unwrap();
+    let rules = dir.join("verify-rules.txt");
+    let d = data.to_str().unwrap();
+    let r = rules.to_str().unwrap();
+
+    let (_, _, ok) = run(
+        &["imp", d, "--minconf", "0.6", "--output", r, "--quiet"],
+        None,
+    );
+    assert!(ok);
+    let (_, stderr, ok) = run(&["verify", d, "--rules", r, "--minconf", "0.6"], None);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("verified"), "{stderr}");
+
+    // Tampered rules file fails verification.
+    let text = std::fs::read_to_string(&rules).unwrap();
+    let tampered = text.replace("imp 0", "imp 2");
+    std::fs::write(&rules, tampered).unwrap();
+    let (stdout, _, ok) = run(&["verify", d, "--rules", r, "--minconf", "0.6"], None);
+    assert!(!ok);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+}

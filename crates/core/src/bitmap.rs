@@ -1,0 +1,227 @@
+//! DMC-bitmap (Algorithm 4.1): the low-memory tail phase.
+//!
+//! When scanning sparsest-first, the densest rows come last and can explode
+//! the candidate lists (§4.2, Fig 3). Once few rows remain and the counter
+//! array is large, the driver stops miss-counting, loads the remaining
+//! *tail* rows, builds one bitmap per column over those rows, and finishes
+//! in two phases:
+//!
+//! * **Phase 1** — columns whose candidate list is *closed*
+//!   (`cnt > maxmis`): the list is final, so each candidate's total miss
+//!   count is its counter plus `popcount(bm(c_j) & !bm(c_k))`.
+//! * **Phase 2** — columns still *open* (`cnt ≤ maxmis`): the list may be
+//!   missing tail-only partners, so hits are counted instead: seed hit
+//!   counters with `cnt(c_j) − mis(c_j, c_k)` from the list, add tail
+//!   co-occurrences, and emit partners with
+//!   `hit ≥ ones(c_j) − maxmis(c_j)`.
+//!
+//! Candidates that were *deleted* during the counting scan need no special
+//! care in Phase 2: their misses already exceeded the budget, so even
+//! crediting them zero head hits cannot raise them back over the bar.
+
+use crate::base::BaseScan;
+use crate::fxhash::FxHashMap;
+use crate::rules::ImplicationRule;
+use dmc_bitset::BitMatrix;
+use dmc_matrix::{canonical_less, ColumnId};
+
+/// Builds the per-column tail bitmaps. Only columns that are active, not
+/// done, and actually appear in the tail get a bitmap (absent ≡ all-zero).
+pub(crate) fn build_tail_bitmaps(
+    tail: &[&[ColumnId]],
+    active: &[bool],
+    done: &[bool],
+) -> BitMatrix {
+    let mut bm = BitMatrix::new(tail.len());
+    for (t, row) in tail.iter().enumerate() {
+        for &k in *row {
+            if active[k as usize] && !done[k as usize] {
+                bm.set(k, t);
+            }
+        }
+    }
+    bm
+}
+
+/// Finishes an implication [`BaseScan`] over the unscanned `tail` rows.
+///
+/// After this returns, every active column's rules have been emitted and
+/// the scan is complete.
+pub fn finish_with_bitmaps(scan: &mut BaseScan, tail: &[&[ColumnId]]) {
+    let bm = build_tail_bitmaps(tail, &scan.active, &scan.done);
+    let n_cols = scan.ones.len();
+
+    for j in 0..n_cols as ColumnId {
+        let ji = j as usize;
+        if !scan.needs_finish(j) || scan.ones[ji] == 0 {
+            continue;
+        }
+        if scan.cnt[ji] > scan.maxmis[ji] {
+            phase1_closed(scan, &bm, j);
+        } else {
+            phase2_open(scan, &bm, tail, j);
+        }
+        scan.done[ji] = true;
+    }
+}
+
+/// Phase 1: finish a closed column by bitmap miss counting.
+fn phase1_closed(scan: &mut BaseScan, bm: &BitMatrix, j: ColumnId) {
+    let ji = j as usize;
+    let Some(list) = scan.lists.release(j, &mut scan.mem) else {
+        return;
+    };
+    let ones_j = scan.ones[ji];
+    let maxmis_j = scan.maxmis[ji];
+    for cand in list {
+        let total_miss = cand.miss + bm.miss_count(j, cand.col) as u32;
+        if total_miss <= maxmis_j {
+            scan.rules.push(ImplicationRule {
+                lhs: j,
+                rhs: cand.col,
+                hits: ones_j - total_miss,
+                lhs_ones: ones_j,
+                rhs_ones: scan.ones[cand.col as usize],
+            });
+        }
+    }
+}
+
+/// Phase 2: finish an open column by hit counting over its tail rows.
+fn phase2_open(scan: &mut BaseScan, bm: &BitMatrix, tail: &[&[ColumnId]], j: ColumnId) {
+    let ji = j as usize;
+    let ones_j = scan.ones[ji];
+    let min_hits = ones_j - scan.maxmis[ji];
+    let cnt_j = scan.cnt[ji];
+
+    let mut hits: FxHashMap<ColumnId, u32> = FxHashMap::default();
+    if let Some(list) = scan.lists.release(j, &mut scan.mem) {
+        for cand in list {
+            hits.insert(cand.col, cnt_j - cand.miss);
+        }
+    }
+    if let Some(rows_of_j) = bm.get(j) {
+        for t in rows_of_j.ones() {
+            for &k in tail[t] {
+                if k != j && scan.active[k as usize] {
+                    *hits.entry(k).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    for (k, h) in hits {
+        if h >= min_hits && canonical_less(j, ones_j, k, scan.ones[k as usize]) {
+            scan.rules.push(ImplicationRule {
+                lhs: j,
+                rhs: k,
+                hits: h,
+                lhs_ones: ones_j,
+                rhs_ones: scan.ones[k as usize],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_matrix::SparseMatrix;
+
+    fn fig2() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![1, 5],
+                vec![2, 3, 4],
+                vec![2, 4],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 3, 5],
+                vec![0, 2, 3, 4, 5],
+                vec![3, 5],
+                vec![0, 1, 4],
+            ],
+        )
+    }
+
+    fn run_with_switch_at(
+        matrix: &SparseMatrix,
+        minconf: f64,
+        head_rows: usize,
+    ) -> Vec<ImplicationRule> {
+        let mut scan = BaseScan::new(
+            matrix.n_cols(),
+            minconf,
+            matrix.column_ones(),
+            None,
+            true,
+            false,
+        );
+        for r in 0..head_rows {
+            scan.process_row(matrix.row(r));
+        }
+        let tail: Vec<&[ColumnId]> = (head_rows..matrix.n_rows())
+            .map(|r| matrix.row(r))
+            .collect();
+        finish_with_bitmaps(&mut scan, &tail);
+        let (mut rules, _) = scan.into_parts();
+        rules.sort();
+        rules
+    }
+
+    /// Switching at any point must produce exactly the rules of the pure
+    /// counting scan.
+    #[test]
+    fn switch_point_is_output_invariant() {
+        let m = fig2();
+        let expected = run_with_switch_at(&m, 0.8, m.n_rows());
+        assert_eq!(
+            expected.iter().map(|r| (r.lhs, r.rhs)).collect::<Vec<_>>(),
+            vec![(0, 1), (2, 4)]
+        );
+        for head in 0..m.n_rows() {
+            assert_eq!(run_with_switch_at(&m, 0.8, head), expected, "head={head}");
+        }
+    }
+
+    #[test]
+    fn switch_point_invariant_at_other_thresholds() {
+        let m = fig2();
+        for &minconf in &[1.0, 0.9, 0.6, 0.4] {
+            let expected = run_with_switch_at(&m, minconf, m.n_rows());
+            for head in 0..m.n_rows() {
+                assert_eq!(
+                    run_with_switch_at(&m, minconf, head),
+                    expected,
+                    "minconf={minconf} head={head}"
+                );
+            }
+        }
+    }
+
+    /// All-bitmap execution (switch before any row) equals the full scan —
+    /// Phase 2 alone must find everything.
+    #[test]
+    fn pure_bitmap_run_matches() {
+        let m = fig2();
+        let rules = run_with_switch_at(&m, 0.8, 0);
+        assert_eq!(
+            rules.iter().map(|r| (r.lhs, r.rhs)).collect::<Vec<_>>(),
+            vec![(0, 1), (2, 4)]
+        );
+    }
+
+    #[test]
+    fn tail_bitmaps_skip_done_and_inactive() {
+        let mut active = vec![true; 3];
+        active[0] = false;
+        let mut done = vec![false; 3];
+        done[1] = true;
+        let rows: Vec<Vec<ColumnId>> = vec![vec![0, 1, 2], vec![0, 2]];
+        let tail: Vec<&[ColumnId]> = rows.iter().map(Vec::as_slice).collect();
+        let bm = build_tail_bitmaps(&tail, &active, &done);
+        assert_eq!(bm.count_ones(0), 0, "inactive column gets no bitmap");
+        assert_eq!(bm.count_ones(1), 0, "done column gets no bitmap");
+        assert_eq!(bm.count_ones(2), 2);
+    }
+}

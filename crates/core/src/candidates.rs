@@ -1,0 +1,180 @@
+//! Candidate-list storage shared by the DMC scans.
+//!
+//! Every LHS column `c_j` that is still viable owns a list of candidate RHS
+//! columns, each with its miss counter (Fig 2(b) of the paper). Lists are
+//! kept sorted by candidate column id so the per-row update is a merge with
+//! the row's sorted column slice.
+
+use dmc_matrix::ColumnId;
+use dmc_metrics::CounterMemory;
+
+/// A candidate entry of the implication scan: the RHS column and the misses
+/// of the LHS against it so far.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImpCandidate {
+    pub col: ColumnId,
+    pub miss: u32,
+}
+
+/// A candidate entry of the similarity scan. Unlike confidence, the miss
+/// budget depends on *both* column sizes, so it is computed at admission and
+/// stored per pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimCandidate {
+    pub col: ColumnId,
+    pub miss: u32,
+    /// Largest tolerable miss count for this pair
+    /// ([`crate::threshold::max_misses_sim`]).
+    pub budget: u32,
+}
+
+/// Per-column candidate lists with [`CounterMemory`] accounting.
+///
+/// `None` means the column either has not been seen yet or has had its list
+/// released (completion or emptiness); the scans distinguish those through
+/// their own `cnt`/`done` state.
+#[derive(Debug)]
+pub struct ColumnLists<T> {
+    lists: Vec<Option<Vec<T>>>,
+}
+
+impl<T> ColumnLists<T> {
+    /// One empty slot per column.
+    #[must_use]
+    pub fn new(n_cols: usize) -> Self {
+        let mut lists = Vec::with_capacity(n_cols);
+        lists.resize_with(n_cols, || None);
+        Self { lists }
+    }
+
+    /// The list of `col`, if it exists.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    #[must_use]
+    pub fn get(&self, col: ColumnId) -> Option<&Vec<T>> {
+        self.lists[col as usize].as_ref()
+    }
+
+    /// Mutable access to the list of `col`, if it exists.
+    #[inline]
+    pub fn get_mut(&mut self, col: ColumnId) -> Option<&mut Vec<T>> {
+        self.lists[col as usize].as_mut()
+    }
+
+    /// Installs a freshly created list for `col`, recording its footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the column already has a list.
+    pub fn install(&mut self, col: ColumnId, list: Vec<T>, mem: &mut CounterMemory) {
+        debug_assert!(
+            self.lists[col as usize].is_none(),
+            "column c{col} already has a list"
+        );
+        mem.add_list();
+        mem.add_candidates(list.len());
+        self.lists[col as usize] = Some(list);
+    }
+
+    /// Removes and returns the list of `col`, updating the accounting.
+    pub fn release(&mut self, col: ColumnId, mem: &mut CounterMemory) -> Option<Vec<T>> {
+        let list = self.lists[col as usize].take();
+        if let Some(list) = &list {
+            mem.remove_candidates(list.len());
+            mem.remove_list();
+        }
+        list
+    }
+
+    /// Takes the list out for in-place modification; pair with
+    /// [`ColumnLists::put_back`]. Accounting is the caller's duty via the
+    /// returned length delta.
+    #[inline]
+    pub fn take(&mut self, col: ColumnId) -> Option<Vec<T>> {
+        self.lists[col as usize].take()
+    }
+
+    /// Restores a list taken with [`ColumnLists::take`].
+    #[inline]
+    pub fn put_back(&mut self, col: ColumnId, list: Vec<T>) {
+        self.lists[col as usize] = Some(list);
+    }
+
+    /// Iterates `(column, list)` pairs for columns that own a list.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn iter(&self) -> impl Iterator<Item = (ColumnId, &Vec<T>)> {
+        self.lists
+            .iter()
+            .enumerate()
+            .filter_map(|(c, l)| l.as_ref().map(|l| (c as ColumnId, l)))
+    }
+
+    /// Total live candidate entries (for accounting cross-checks).
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[must_use]
+    pub fn total_candidates(&self) -> usize {
+        self.lists.iter().flatten().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_release_roundtrip_with_accounting() {
+        let mut mem = CounterMemory::new();
+        let mut lists: ColumnLists<ImpCandidate> = ColumnLists::new(4);
+        lists.install(
+            2,
+            vec![
+                ImpCandidate { col: 3, miss: 0 },
+                ImpCandidate { col: 1, miss: 1 },
+            ],
+            &mut mem,
+        );
+        assert_eq!(mem.current_candidates(), 2);
+        assert_eq!(lists.total_candidates(), 2);
+        assert!(lists.get(2).is_some());
+        assert!(lists.get(0).is_none());
+
+        let freed = lists.release(2, &mut mem).unwrap();
+        assert_eq!(freed.len(), 2);
+        assert_eq!(mem.current_candidates(), 0);
+        assert!(lists.get(2).is_none());
+        assert!(
+            lists.release(2, &mut mem).is_none(),
+            "double release is a no-op"
+        );
+    }
+
+    #[test]
+    fn take_and_put_back() {
+        let mut mem = CounterMemory::new();
+        let mut lists: ColumnLists<SimCandidate> = ColumnLists::new(2);
+        lists.install(
+            0,
+            vec![SimCandidate {
+                col: 1,
+                miss: 0,
+                budget: 2,
+            }],
+            &mut mem,
+        );
+        let mut taken = lists.take(0).unwrap();
+        assert!(lists.get(0).is_none());
+        taken[0].miss += 1;
+        lists.put_back(0, taken);
+        assert_eq!(lists.get(0).unwrap()[0].miss, 1);
+    }
+
+    #[test]
+    fn iter_skips_absent() {
+        let mut mem = CounterMemory::new();
+        let mut lists: ColumnLists<ImpCandidate> = ColumnLists::new(5);
+        lists.install(1, vec![], &mut mem);
+        lists.install(4, vec![ImpCandidate { col: 0, miss: 0 }], &mut mem);
+        let cols: Vec<ColumnId> = lists.iter().map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![1, 4]);
+    }
+}

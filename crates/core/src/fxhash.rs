@@ -1,0 +1,148 @@
+//! A fast, non-cryptographic hasher for hot integer-keyed maps.
+//!
+//! DMC's bitmap Phase 2 and several baselines hash millions of `u32` column
+//! ids. `std`'s default SipHash is collision-resistant but slow for short
+//! integer keys (Rust perf-book, "Hashing"); the sanctioned offline crate
+//! set has no `rustc-hash`, so this module implements the same
+//! multiply-rotate FxHash scheme used by rustc, with tests.
+//!
+//! Not HashDoS-resistant — keys here are internal column/row ids, never
+//! attacker-controlled.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc FxHash algorithm: for each word, rotate-left, xor, multiply by
+/// a fixed odd constant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hashes: Vec<u64> = (0u32..1000).map(|k| hash_of(&k)).collect();
+        let unique: FxHashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            1000,
+            "no collisions on small consecutive keys"
+        );
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // 9 bytes exercises the chunk + remainder path.
+        let a = hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let b = hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+        for k in 0..100 {
+            map.insert(k, k * 2);
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map[&7], 14);
+
+        let set: FxHashSet<u32> = (0..50).collect();
+        assert!(set.contains(&49));
+        assert!(!set.contains(&50));
+    }
+
+    #[test]
+    fn spread_across_low_bits() {
+        // HashMap uses the low bits of the hash; consecutive keys must not
+        // all collide there.
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for k in 0u32..256 {
+            low_bits.insert(hash_of(&k) & 0xff);
+        }
+        assert!(
+            low_bits.len() > 128,
+            "got {} distinct low bytes",
+            low_bits.len()
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Rule grouping (§6.3 and the paper's future-work item 1).
+//!
+//! DMC mines pairwise rules only, but §6.3 shows that *grouping* related
+//! rules recovers multi-attribute structure: the Fig-7 Polgar cluster is
+//! "all rules related to keyword Polgar and its successors, recursively".
+//! This module provides both operations the paper uses:
+//!
+//! * [`rule_closure`] — the recursive successor expansion from a seed
+//!   column (exactly the Fig-7 selection), and
+//! * [`rule_groups`] — connected components of the whole rule graph
+//!   (union-find), turning a flat rule list into topic-like clusters.
+
+use crate::rules::{ImplicationRule, SimilarityRule};
+use dmc_matrix::ColumnId;
+
+/// Union-find over column ids with path halving and union by size.
+#[derive(Debug)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: ColumnId) -> ColumnId {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: ColumnId, b: ColumnId) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// `true` when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: ColumnId, b: ColumnId) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// All rules reachable from `seed` by following rule successors
+/// recursively (§6.3's "selecting all rules related to keyword *Polgar*
+/// and its successors"). Rules are returned in the order discovered by the
+/// expansion, deduplicated. Indexed by LHS, so the cost is proportional to
+/// the closure, not to the whole rule set.
+#[must_use]
+pub fn rule_closure(rules: &[ImplicationRule], seed: ColumnId) -> Vec<ImplicationRule> {
+    let mut by_lhs: crate::fxhash::FxHashMap<ColumnId, Vec<&ImplicationRule>> =
+        crate::fxhash::FxHashMap::default();
+    for rule in rules {
+        by_lhs.entry(rule.lhs).or_default().push(rule);
+    }
+    let mut frontier = vec![seed];
+    let mut seen_cols: crate::fxhash::FxHashSet<ColumnId> = std::iter::once(seed).collect();
+    let mut emitted: crate::fxhash::FxHashSet<(ColumnId, ColumnId)> =
+        crate::fxhash::FxHashSet::default();
+    let mut out: Vec<ImplicationRule> = Vec::new();
+    while let Some(lhs) = frontier.pop() {
+        let Some(successors) = by_lhs.get(&lhs) else {
+            continue;
+        };
+        for &rule in successors {
+            if emitted.insert((rule.lhs, rule.rhs)) {
+                out.push(*rule);
+            }
+            if seen_cols.insert(rule.rhs) {
+                frontier.push(rule.rhs);
+            }
+        }
+    }
+    out
+}
+
+/// Groups columns into clusters connected by implication rules (either
+/// direction) or similarity rules. Returns the clusters with ≥ 2 members,
+/// each sorted, ordered by their smallest member.
+#[must_use]
+pub fn rule_groups(
+    n_cols: usize,
+    implications: &[ImplicationRule],
+    similarities: &[SimilarityRule],
+) -> Vec<Vec<ColumnId>> {
+    let mut sets = DisjointSets::new(n_cols);
+    for r in implications {
+        sets.union(r.lhs, r.rhs);
+    }
+    for r in similarities {
+        sets.union(r.a, r.b);
+    }
+    let mut by_root: std::collections::BTreeMap<ColumnId, Vec<ColumnId>> =
+        std::collections::BTreeMap::new();
+    for c in 0..n_cols as ColumnId {
+        let root = sets.find(c);
+        by_root.entry(root).or_default().push(c);
+    }
+    let mut groups: Vec<Vec<ColumnId>> = by_root.into_values().filter(|g| g.len() >= 2).collect();
+    groups.sort_by_key(|g| g[0]);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(lhs: ColumnId, rhs: ColumnId) -> ImplicationRule {
+        ImplicationRule {
+            lhs,
+            rhs,
+            hits: 9,
+            lhs_ones: 10,
+            rhs_ones: 20,
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_basics() {
+        let mut ds = DisjointSets::new(5);
+        assert!(!ds.connected(0, 1));
+        assert!(ds.union(0, 1));
+        assert!(!ds.union(1, 0), "already merged");
+        assert!(ds.connected(0, 1));
+        ds.union(2, 3);
+        assert!(!ds.connected(1, 2));
+        ds.union(0, 3);
+        assert!(ds.connected(1, 2));
+        assert!(!ds.connected(4, 0));
+    }
+
+    #[test]
+    fn closure_follows_successors_transitively() {
+        let rules = vec![rule(0, 1), rule(1, 2), rule(2, 3), rule(5, 6), rule(3, 0)];
+        let closure = rule_closure(&rules, 0);
+        let pairs: Vec<(u32, u32)> = closure.iter().map(|r| (r.lhs, r.rhs)).collect();
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 2)));
+        assert!(pairs.contains(&(2, 3)));
+        assert!(pairs.contains(&(3, 0)), "cycles are handled");
+        assert!(!pairs.contains(&(5, 6)), "unrelated component excluded");
+        assert_eq!(closure.len(), 4);
+    }
+
+    #[test]
+    fn closure_of_unknown_seed_is_empty() {
+        let rules = vec![rule(0, 1)];
+        assert!(rule_closure(&rules, 9).is_empty());
+    }
+
+    #[test]
+    fn groups_merge_imp_and_sim_edges() {
+        let imps = vec![rule(0, 1), rule(2, 3)];
+        let sims = vec![SimilarityRule {
+            a: 1,
+            b: 2,
+            hits: 5,
+            a_ones: 5,
+            b_ones: 5,
+        }];
+        let groups = rule_groups(6, &imps, &sims);
+        assert_eq!(groups, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn singletons_are_dropped() {
+        let groups = rule_groups(4, &[rule(2, 3)], &[]);
+        assert_eq!(groups, vec![vec![2, 3]]);
+    }
+
+    #[test]
+    fn groups_are_deterministically_ordered() {
+        let imps = vec![rule(4, 5), rule(0, 1)];
+        let groups = rule_groups(6, &imps, &[]);
+        assert_eq!(groups, vec![vec![0, 1], vec![4, 5]]);
+    }
+}

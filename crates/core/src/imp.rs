@@ -1,0 +1,382 @@
+//! DMC-imp (Algorithm 4.2): the full implication-rule pipeline.
+//!
+//! 1. Pre-scan: per-column 1-counts (and, implicitly, the §4.1 density
+//!    buckets through the configured [`RowOrder`]).
+//! 2. Exact stage: 100%-confidence rules via the simplified scan (§4.3).
+//! 3. Remove columns that can only carry exact rules
+//!    (`maxmis(c) = 0`; the corrected Algorithm 4.2 step 3 bound).
+//! 4. Sub-100% stage: DMC-base over the surviving columns, switching to
+//!    DMC-bitmap per the configured [`SwitchPolicy`].
+//!
+//! Both counting stages scan rows in the configured order and monitor the
+//! counter-array footprint; the driver collects phase timings, peak memory
+//! and (optionally) the Fig-3 memory history into [`ImplicationOutput`].
+
+use crate::base::BaseScan;
+use crate::bitmap::finish_with_bitmaps;
+use crate::config::ImplicationConfig;
+use crate::hundred::{HundredMode, HundredScan};
+use crate::rules::ImplicationRule;
+use crate::threshold::{conf_qualifies, only_exact_rules_conf};
+use dmc_matrix::{ColumnId, RowId, SparseMatrix};
+use dmc_metrics::{CounterMemory, PhaseReport, PhaseTimer};
+
+/// Result of [`find_implications`].
+#[derive(Debug)]
+pub struct ImplicationOutput {
+    /// All qualifying rules, sorted by `(lhs, rhs)`.
+    pub rules: Vec<ImplicationRule>,
+    /// Phase breakdown: `pre-scan`, `100% rules`, `<100% rules`,
+    /// `bitmap tail`.
+    pub phases: PhaseReport,
+    /// Counter-array accounting across all stages (peak = max over stages).
+    pub memory: CounterMemory,
+    /// Whether the sub-100% stage switched to DMC-bitmap, and after how
+    /// many scanned rows.
+    pub bitmap_switch_at: Option<usize>,
+}
+
+impl ImplicationOutput {
+    /// Convenience: `(lhs, rhs)` pairs of the rules.
+    #[must_use]
+    pub fn pairs(&self) -> Vec<(ColumnId, ColumnId)> {
+        self.rules.iter().map(|r| (r.lhs, r.rhs)).collect()
+    }
+
+    /// The `k` rules with the highest confidence (ties by more hits, then
+    /// canonical order).
+    #[must_use]
+    pub fn top_by_confidence(&self, k: usize) -> Vec<&ImplicationRule> {
+        let mut refs: Vec<&ImplicationRule> = self.rules.iter().collect();
+        refs.sort_by(|a, b| {
+            b.confidence()
+                .partial_cmp(&a.confidence())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.hits.cmp(&a.hits))
+                .then(a.cmp(b))
+        });
+        refs.truncate(k);
+        refs
+    }
+
+    /// All rules whose LHS is `col`, in canonical order.
+    #[must_use]
+    pub fn for_lhs(&self, col: ColumnId) -> Vec<&ImplicationRule> {
+        self.rules.iter().filter(|r| r.lhs == col).collect()
+    }
+}
+
+/// Mines all implication rules of `matrix` at `config.minconf`.
+///
+/// Returns every rule `c_i ⇒ c_j` with confidence ≥ *minconf* in the
+/// paper's canonical direction (`|S_i| < |S_j|`, ties by id), plus reverse
+/// directions when [`ImplicationConfig::emit_reverse`] is set. Exact — no
+/// false positives or negatives.
+#[must_use]
+pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> ImplicationOutput {
+    let mut timer = PhaseTimer::new();
+    let mut memory = if config.record_memory_history {
+        CounterMemory::with_history(4096)
+    } else {
+        CounterMemory::new()
+    };
+
+    // Step 1: pre-scan.
+    let (ones, order) = {
+        let _g = timer.enter("pre-scan");
+        (matrix.column_ones(), config.row_order.permutation(matrix))
+    };
+
+    let mut rules = Vec::new();
+    let mut bitmap_switch_at = None;
+
+    // Step 2: exact rules through the simplified scan.
+    if config.hundred_stage || config.minconf >= 1.0 {
+        let _g = timer.enter("100% rules");
+        let hundred = run_hundred(
+            matrix,
+            &order,
+            &config.switch,
+            ones.clone(),
+            config.record_memory_history,
+        );
+        let (imp, _, mem) = hundred.into_parts();
+        rules.extend(imp);
+        memory.absorb_peak(&mem);
+    }
+
+    // Steps 3–4: sub-100% rules over columns that can tolerate misses.
+    if config.minconf < 1.0 {
+        let active: Option<Vec<bool>> = if config.hundred_stage {
+            Some(
+                ones.iter()
+                    .map(|&o| !only_exact_rules_conf(u64::from(o), config.minconf))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let mut scan = BaseScan::new(
+            matrix.n_cols(),
+            config.minconf,
+            ones,
+            active,
+            config.release_completed,
+            config.record_memory_history,
+        );
+        {
+            let _g = timer.enter("<100% rules");
+            bitmap_switch_at = scan_rows(matrix, &order, &config.switch, &mut scan);
+        }
+        if let Some(pos) = bitmap_switch_at {
+            let _g = timer.enter("bitmap tail");
+            let tail: Vec<&[ColumnId]> = order[pos..]
+                .iter()
+                .map(|&r| matrix.row(r as usize))
+                .collect();
+            finish_with_bitmaps(&mut scan, &tail);
+        }
+        let (stage_rules, mem) = scan.into_parts();
+        // The exact stage already emitted every 0-miss rule (over all
+        // columns); keep only rules with at least one miss to avoid
+        // duplicates. Without the exact stage this scan is the sole source.
+        if config.hundred_stage {
+            rules.extend(stage_rules.into_iter().filter(|r| r.misses() > 0));
+        } else {
+            rules.extend(stage_rules);
+        }
+        memory.absorb_peak(&mem);
+    }
+
+    if config.emit_reverse {
+        let reversed: Vec<ImplicationRule> = rules
+            .iter()
+            .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.rhs_ones), config.minconf))
+            .map(|r| r.reversed())
+            .collect();
+        rules.extend(reversed);
+    }
+
+    rules.sort_unstable();
+    rules.dedup();
+    ImplicationOutput {
+        rules,
+        phases: timer.report(),
+        memory,
+        bitmap_switch_at,
+    }
+}
+
+/// Runs the exact-rule scan over `order`, honoring the switch policy.
+fn run_hundred(
+    matrix: &SparseMatrix,
+    order: &[RowId],
+    switch: &crate::config::SwitchPolicy,
+    ones: Vec<u32>,
+    record_history: bool,
+) -> HundredScan {
+    let mut scan = HundredScan::with_history(
+        matrix.n_cols(),
+        HundredMode::Implication,
+        ones,
+        record_history,
+    );
+    for (pos, &r) in order.iter().enumerate() {
+        let remaining = order.len() - pos;
+        if switch.should_switch(remaining, scan.memory().current_bytes()) {
+            let tail: Vec<&[ColumnId]> = order[pos..]
+                .iter()
+                .map(|&r| matrix.row(r as usize))
+                .collect();
+            scan.finish_with_bitmaps(&tail);
+            return scan;
+        }
+        scan.process_row(matrix.row(r as usize));
+        scan.sample_memory(pos + 1);
+    }
+    scan.finish_with_bitmaps(&[]);
+    scan
+}
+
+/// Feeds rows to a [`BaseScan`] in `order`, stopping where the switch
+/// policy fires. Returns the switch position, if any; the caller runs the
+/// bitmap tail from there.
+fn scan_rows(
+    matrix: &SparseMatrix,
+    order: &[RowId],
+    switch: &crate::config::SwitchPolicy,
+    scan: &mut BaseScan,
+) -> Option<usize> {
+    for (pos, &r) in order.iter().enumerate() {
+        let remaining = order.len() - pos;
+        if switch.should_switch(remaining, scan.memory().current_bytes()) {
+            return Some(pos);
+        }
+        scan.process_row(matrix.row(r as usize));
+        scan.sample_memory(pos + 1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwitchPolicy;
+    use dmc_matrix::order::RowOrder;
+
+    fn fig2() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![1, 5],
+                vec![2, 3, 4],
+                vec![2, 4],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 3, 5],
+                vec![0, 2, 3, 4, 5],
+                vec![3, 5],
+                vec![0, 1, 4],
+            ],
+        )
+    }
+
+    #[test]
+    fn fig2_at_80_percent() {
+        let out = find_implications(&fig2(), &ImplicationConfig::new(0.8));
+        assert_eq!(out.pairs(), vec![(0, 1), (2, 4)]);
+        assert!(out.phases.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn hundred_stage_toggle_is_equivalent() {
+        let m = fig2();
+        for &minconf in &[1.0, 0.9, 0.8, 0.6, 0.35] {
+            let with = find_implications(&m, &ImplicationConfig::new(minconf));
+            let without = find_implications(
+                &m,
+                &ImplicationConfig::new(minconf).with_hundred_stage(false),
+            );
+            assert_eq!(with.rules, without.rules, "minconf={minconf}");
+        }
+    }
+
+    #[test]
+    fn row_orders_are_equivalent() {
+        let m = fig2();
+        let base = find_implications(&m, &ImplicationConfig::new(0.8));
+        for order in [
+            RowOrder::Original,
+            RowOrder::ExactSparsestFirst,
+            RowOrder::Custom((0..9).rev().collect()),
+        ] {
+            let out = find_implications(
+                &m,
+                &ImplicationConfig::new(0.8).with_row_order(order.clone()),
+            );
+            assert_eq!(out.rules, base.rules, "order={order:?}");
+        }
+    }
+
+    #[test]
+    fn forced_bitmap_switch_is_equivalent() {
+        let m = fig2();
+        for tail in 1..=9 {
+            let cfg = ImplicationConfig::new(0.8).with_switch(SwitchPolicy::always_at(tail));
+            let out = find_implications(&m, &cfg);
+            assert_eq!(out.pairs(), vec![(0, 1), (2, 4)], "tail={tail}");
+            assert_eq!(out.bitmap_switch_at, Some(9 - tail));
+            assert!(out.phases.phase("bitmap tail") > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn no_switch_under_never_policy() {
+        let m = fig2();
+        let out = find_implications(
+            &m,
+            &ImplicationConfig::new(0.8).with_switch(SwitchPolicy::never()),
+        );
+        assert_eq!(out.bitmap_switch_at, None);
+    }
+
+    #[test]
+    fn reverse_emission_adds_qualifying_reverses() {
+        // Columns 0 and 1 identical => both directions at 100%.
+        let m = SparseMatrix::from_rows(3, vec![vec![0, 1], vec![0, 1], vec![2]]);
+        let fwd = find_implications(&m, &ImplicationConfig::new(1.0));
+        assert_eq!(fwd.pairs(), vec![(0, 1)]);
+        let both = find_implications(&m, &ImplicationConfig::new(1.0).with_reverse(true));
+        assert_eq!(both.pairs(), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn reverse_emission_respects_threshold() {
+        // S_0 = {0}, S_1 = {0, 1}: 0 => 1 holds at 1.0; 1 => 0 at 0.5.
+        let m = SparseMatrix::from_rows(2, vec![vec![0, 1], vec![1]]);
+        let out = find_implications(&m, &ImplicationConfig::new(0.8).with_reverse(true));
+        assert_eq!(out.pairs(), vec![(0, 1)]);
+        let loose = find_implications(&m, &ImplicationConfig::new(0.5).with_reverse(true));
+        assert_eq!(loose.pairs(), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn memory_history_is_recorded_when_requested() {
+        let m = fig2();
+        let mut cfg = ImplicationConfig::new(0.8)
+            .with_row_order(RowOrder::Original)
+            .with_hundred_stage(false); // a single scan records one history
+        cfg.record_memory_history = true;
+        cfg.release_completed = false;
+        let out = find_implications(&m, &cfg);
+        let hist = out.memory.history();
+        assert_eq!(hist.len(), 9, "one sample per row");
+        let candidates: Vec<usize> = hist.iter().map(|s| s.candidates).collect();
+        assert_eq!(candidates, vec![1, 4, 4, 7, 9, 7, 7, 6, 2], "§4.1 history");
+    }
+
+    #[test]
+    fn empty_and_degenerate_matrices() {
+        let empty = SparseMatrix::from_rows(0, vec![]);
+        assert!(find_implications(&empty, &ImplicationConfig::new(0.9))
+            .rules
+            .is_empty());
+
+        let single = SparseMatrix::from_rows(3, vec![vec![0, 1, 2]]);
+        let out = find_implications(&single, &ImplicationConfig::new(1.0));
+        assert_eq!(out.pairs(), vec![(0, 1), (0, 2), (1, 2)]);
+
+        let no_rows = SparseMatrix::from_rows(5, vec![]);
+        assert!(find_implications(&no_rows, &ImplicationConfig::new(0.5))
+            .rules
+            .is_empty());
+    }
+
+    #[test]
+    fn all_ones_matrix_yields_all_pairs() {
+        let m = SparseMatrix::from_rows(4, vec![vec![0, 1, 2, 3]; 3]);
+        let out = find_implications(&m, &ImplicationConfig::new(1.0));
+        assert_eq!(out.rules.len(), 6);
+        assert!(out.rules.iter().all(|r| r.confidence() == 1.0));
+    }
+}
+
+#[cfg(test)]
+mod output_tests {
+    use super::*;
+    use dmc_matrix::SparseMatrix;
+
+    #[test]
+    fn top_and_lhs_queries() {
+        // c0 ⊂ c2 (conf 1.0), c1 => c2 at 2/3.
+        let m = SparseMatrix::from_rows(3, vec![vec![0, 1, 2], vec![1, 2], vec![0, 1, 2], vec![1]]);
+        let out = find_implications(&m, &ImplicationConfig::new(0.6));
+        let top = out.top_by_confidence(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].confidence(), 1.0);
+        let from_zero = out.for_lhs(0);
+        assert!(from_zero.iter().all(|r| r.lhs == 0));
+        assert!(!from_zero.is_empty());
+        assert_eq!(out.top_by_confidence(100).len(), out.rules.len());
+    }
+}

@@ -1,0 +1,81 @@
+//! Dynamic Miss-Counting (DMC) algorithms.
+//!
+//! This crate implements the contribution of *"Dynamic Miss-Counting
+//! Algorithms: Finding Implication and Similarity Rules with Confidence
+//! Pruning"* (Fujiwara, Ullman, Motwani — ICDE 2000): mining **all**
+//! implication rules `c_i ⇒ c_j` with confidence ≥ *minconf* and all
+//! similarity rules `c_i ≃ c_j` with Jaccard similarity ≥ *minsim* from a
+//! 0/1 matrix, **without support pruning** and without the false
+//! positives/negatives of sketch-based methods.
+//!
+//! # The idea
+//!
+//! For a rule `c_i ⇒ c_j`, every row where `c_i` is 1 but `c_j` is 0 is a
+//! **miss**. The rule holds iff the number of misses is at most
+//! `maxmis(c_i) = floor((1 − minconf) · ones(c_i))`. DMC therefore counts
+//! misses rather than hits: a candidate pair is deleted the moment its miss
+//! counter exceeds the budget, and no new candidate is admitted for a column
+//! once the column has been seen more than `maxmis` times (any unseen
+//! partner has already missed too often). With high thresholds the budgets
+//! are small and candidate lists stay tiny — *confidence pruning*.
+//!
+//! # Entry points
+//!
+//! * [`find_implications`] — DMC-imp (Algorithm 4.2): two scans, 100%-rule
+//!   fast path, bucketed sparsest-first row order, automatic switch to the
+//!   low-memory DMC-bitmap tail phase.
+//! * [`find_similarities`] — DMC-sim (Algorithm 5.1): adds column-density
+//!   and maximum-hits pruning.
+//!
+//! ```
+//! use dmc_core::{find_implications, ImplicationConfig};
+//! use dmc_matrix::SparseMatrix;
+//!
+//! // Figure 1 of the paper.
+//! let m = SparseMatrix::from_rows(3, vec![
+//!     vec![1, 2], vec![0, 1, 2], vec![0], vec![1],
+//! ]);
+//! let out = find_implications(&m, &ImplicationConfig::new(1.0));
+//! let rules: Vec<String> = out.rules.iter().map(ToString::to_string).collect();
+//! // Only c3 => c2 survives at 100% confidence (0-indexed: 2 => 1).
+//! assert_eq!(rules, vec!["c2 => c1 (conf 2/2 = 1.000)"]);
+//! ```
+//!
+//! # Fidelity notes
+//!
+//! Threshold boundaries are evaluated through the shared predicates in
+//! [`threshold`] (a rule with confidence exactly `minconf` qualifies, with a
+//! small epsilon guarding against `f64` artifacts such as
+//! `0.1 * 10 > 1`). Three off-by-one issues in the paper's pruning bounds
+//! are resolved to their exact forms — see `DESIGN.md` and the `threshold`
+//! module docs.
+
+mod base;
+mod bitmap;
+mod candidates;
+mod config;
+pub mod fxhash;
+pub mod groups;
+mod hundred;
+mod imp;
+mod parallel;
+mod rules;
+pub mod rules_io;
+mod sim;
+pub mod stream;
+pub mod threshold;
+pub mod validate;
+
+pub use base::{BaseOutcome, BaseScan};
+pub use config::{ImplicationConfig, SimilarityConfig, SwitchPolicy};
+pub use groups::{rule_closure, rule_groups, DisjointSets};
+pub use imp::{find_implications, ImplicationOutput};
+pub use parallel::{find_implications_parallel, find_similarities_parallel};
+pub use rules::{ImplicationRule, SimilarityRule};
+pub use rules_io::{read_rules, write_rules, RuleParseError};
+pub use sim::{find_similarities, SimilarityOutput};
+pub use stream::{find_implications_streamed, find_similarities_streamed, StreamError};
+pub use validate::{verify_implications, verify_similarities, RuleCheck};
+
+// Re-exports so downstream users need only this crate for common flows.
+pub use dmc_matrix::{order::RowOrder, ColumnId, SparseMatrix};

@@ -1,0 +1,285 @@
+//! Parallel DMC-imp (the paper's §7 future-work item 2).
+//!
+//! The paper suggests a divide-and-conquer parallelization in the style of
+//! FDM. Miss counting decomposes cleanly by **LHS column**: the candidate
+//! list of `c_j` is touched only at rows containing `c_j`, and never reads
+//! another column's list. So each worker scans the whole row stream but owns
+//! a disjoint subset of LHS columns (round-robin, to balance the skewed
+//! column-density distributions of Fig 4); every column remains visible as
+//! an RHS candidate to every worker.
+//!
+//! The result is bit-identical to the sequential scan: same rules, same
+//! counts. Workers use `crossbeam` scoped threads and return their rules
+//! for a deterministic merge-and-sort.
+
+use crate::base::BaseScan;
+use crate::bitmap::finish_with_bitmaps;
+use crate::config::{ImplicationConfig, SimilarityConfig};
+use crate::imp::ImplicationOutput;
+use crate::rules::{ImplicationRule, SimilarityRule};
+use crate::sim::{SimScan, SimilarityOutput};
+use crate::threshold::conf_qualifies;
+use dmc_matrix::{ColumnId, SparseMatrix};
+use dmc_metrics::{CounterMemory, PhaseTimer};
+
+/// Mines implication rules with `threads` workers; output is identical to
+/// [`crate::find_implications`].
+///
+/// `bitmap_switch_at` is reported as `None`: each worker applies the switch
+/// policy to its own (smaller) counter array, so there is no single switch
+/// position for the run.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn find_implications_parallel(
+    matrix: &SparseMatrix,
+    config: &ImplicationConfig,
+    threads: usize,
+) -> ImplicationOutput {
+    assert!(threads > 0, "need at least one worker");
+    let mut timer = PhaseTimer::new();
+
+    let (ones, order) = {
+        let _g = timer.enter("pre-scan");
+        (matrix.column_ones(), config.row_order.permutation(matrix))
+    };
+
+    // Workers mine *all* rules (including exact ones) for their LHS
+    // partition in a single pass, so neither the separate 100% stage nor
+    // the Algorithm 4.2 step-3 column removal applies here; every column
+    // stays active. The sequential driver remains the reference
+    // implementation of the staged pipeline.
+    let active: Vec<bool> = vec![true; matrix.n_cols()];
+
+    let scan_guard = timer.enter("<100% rules");
+    let worker_results: Vec<(Vec<ImplicationRule>, CounterMemory)> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let ones = ones.clone();
+                    let active = active.clone();
+                    let order = &order;
+                    scope.spawn(move |_| {
+                        let mut scan = BaseScan::new(
+                            matrix.n_cols(),
+                            config.minconf,
+                            ones,
+                            Some(active),
+                            config.release_completed,
+                            false,
+                        );
+                        let lhs: Vec<bool> =
+                            (0..matrix.n_cols()).map(|c| c % threads == w).collect();
+                        scan.set_lhs_mask(lhs);
+                        let mut switched = false;
+                        for (pos, &r) in order.iter().enumerate() {
+                            let remaining = order.len() - pos;
+                            if config
+                                .switch
+                                .should_switch(remaining, scan.memory().current_bytes())
+                            {
+                                let tail: Vec<&[ColumnId]> = order[pos..]
+                                    .iter()
+                                    .map(|&r| matrix.row(r as usize))
+                                    .collect();
+                                finish_with_bitmaps(&mut scan, &tail);
+                                switched = true;
+                                break;
+                            }
+                            scan.process_row(matrix.row(r as usize));
+                        }
+                        if !switched {
+                            finish_with_bitmaps(&mut scan, &[]);
+                        }
+                        scan.into_parts()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+    drop(scan_guard);
+
+    let mut rules = Vec::new();
+    let mut memory = CounterMemory::new();
+    for (worker_rules, mem) in worker_results {
+        rules.extend(worker_rules);
+        memory.absorb_peak(&mem);
+    }
+
+    if config.emit_reverse {
+        let reversed: Vec<ImplicationRule> = rules
+            .iter()
+            .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.rhs_ones), config.minconf))
+            .map(|r| r.reversed())
+            .collect();
+        rules.extend(reversed);
+    }
+    rules.sort_unstable();
+    rules.dedup();
+    ImplicationOutput {
+        rules,
+        phases: timer.report(),
+        memory,
+        bitmap_switch_at: None,
+    }
+}
+
+/// Mines similarity rules with `threads` workers; output is identical to
+/// [`crate::find_similarities`]. Workers partition the smaller-column side
+/// of each pair round-robin; `cnt` counters (which the §5.2 bound reads for
+/// both sides) advance in every worker.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn find_similarities_parallel(
+    matrix: &SparseMatrix,
+    config: &SimilarityConfig,
+    threads: usize,
+) -> SimilarityOutput {
+    assert!(threads > 0, "need at least one worker");
+    let mut timer = PhaseTimer::new();
+
+    let (ones, order) = {
+        let _g = timer.enter("pre-scan");
+        (matrix.column_ones(), config.row_order.permutation(matrix))
+    };
+
+    let scan_guard = timer.enter("<100% rules");
+    let worker_results: Vec<(Vec<SimilarityRule>, CounterMemory)> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let ones = ones.clone();
+                    let order = &order;
+                    scope.spawn(move |_| {
+                        let mut scan = SimScan::new(matrix.n_cols(), config, ones, None);
+                        let lhs: Vec<bool> =
+                            (0..matrix.n_cols()).map(|c| c % threads == w).collect();
+                        scan.set_lhs_mask(lhs);
+                        let mut switched = false;
+                        for (pos, &r) in order.iter().enumerate() {
+                            let remaining = order.len() - pos;
+                            if config.switch.should_switch(remaining, scan.memory_bytes()) {
+                                let tail: Vec<&[ColumnId]> = order[pos..]
+                                    .iter()
+                                    .map(|&r| matrix.row(r as usize))
+                                    .collect();
+                                scan.finish_with_bitmaps(&tail);
+                                switched = true;
+                                break;
+                            }
+                            scan.process_row(matrix.row(r as usize));
+                        }
+                        if !switched {
+                            scan.finish_with_bitmaps(&[]);
+                        }
+                        scan.into_parts()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+    drop(scan_guard);
+
+    let mut rules = Vec::new();
+    let mut memory = CounterMemory::new();
+    for (worker_rules, mem) in worker_results {
+        rules.extend(worker_rules);
+        memory.absorb_peak(&mem);
+    }
+    rules.sort_unstable();
+    rules.dedup();
+    SimilarityOutput {
+        rules,
+        phases: timer.report(),
+        memory,
+        bitmap_switch_at: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_implications, find_similarities};
+    use dmc_matrix::SparseMatrix;
+
+    fn fig2() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![1, 5],
+                vec![2, 3, 4],
+                vec![2, 4],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 3, 5],
+                vec![0, 2, 3, 4, 5],
+                vec![3, 5],
+                vec![0, 1, 4],
+            ],
+        )
+    }
+
+    #[test]
+    fn matches_sequential_at_various_thread_counts() {
+        let m = fig2();
+        for &minconf in &[1.0, 0.8, 0.5] {
+            let cfg = ImplicationConfig::new(minconf);
+            let seq = find_implications(&m, &cfg);
+            for threads in [1, 2, 3, 8] {
+                let par = find_implications_parallel(&m, &cfg, threads);
+                assert_eq!(par.rules, seq.rules, "minconf={minconf} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_emission_matches_sequential() {
+        let m = fig2();
+        let cfg = ImplicationConfig::new(0.8).with_reverse(true);
+        let seq = find_implications(&m, &cfg);
+        let par = find_implications_parallel(&m, &cfg, 4);
+        assert_eq!(par.rules, seq.rules);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let m = fig2();
+        let _ = find_implications_parallel(&m, &ImplicationConfig::new(0.9), 0);
+    }
+
+    #[test]
+    fn sim_matches_sequential_at_various_thread_counts() {
+        let m = fig2();
+        for &minsim in &[1.0, 0.75, 0.4] {
+            let cfg = SimilarityConfig::new(minsim);
+            let seq = find_similarities(&m, &cfg);
+            for threads in [1, 2, 3, 8] {
+                let par = find_similarities_parallel(&m, &cfg, threads);
+                assert_eq!(par.rules, seq.rules, "minsim={minsim} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_parallel_with_pruning_disabled_matches() {
+        let m = fig2();
+        let cfg = SimilarityConfig::new(0.6).with_max_hits_pruning(false);
+        let seq = find_similarities(&m, &cfg);
+        let par = find_similarities_parallel(&m, &cfg, 3);
+        assert_eq!(par.rules, seq.rules);
+    }
+}

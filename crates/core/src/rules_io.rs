@@ -1,0 +1,201 @@
+//! Text serialization of rule sets.
+//!
+//! A stable, line-oriented interchange format so mined rules can be piped
+//! between tools, diffed, and re-loaded without re-scanning the data:
+//!
+//! ```text
+//! imp <lhs> <rhs> <hits> <lhs_ones> <rhs_ones>
+//! sim <a> <b> <hits> <a_ones> <b_ones>
+//! ```
+//!
+//! Lines starting with `#` are comments; blank lines are skipped.
+
+use crate::rules::{ImplicationRule, SimilarityRule};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors while parsing a rules file.
+#[derive(Debug)]
+pub enum RuleParseError {
+    Io(io::Error),
+    /// Line did not match the format; payload is (line number, content).
+    BadLine {
+        line: usize,
+        content: String,
+    },
+}
+
+impl std::fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleParseError::Io(e) => write!(f, "io error: {e}"),
+            RuleParseError::BadLine { line, content } => {
+                write!(f, "line {line}: malformed rule {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+impl From<io::Error> for RuleParseError {
+    fn from(e: io::Error) -> Self {
+        RuleParseError::Io(e)
+    }
+}
+
+/// Writes implication and similarity rules in the text format.
+///
+/// # Errors
+///
+/// Propagates IO errors from `writer`.
+pub fn write_rules<W: Write>(
+    implications: &[ImplicationRule],
+    similarities: &[SimilarityRule],
+    mut writer: W,
+) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# dmc rules: {} imp, {} sim",
+        implications.len(),
+        similarities.len()
+    )?;
+    for r in implications {
+        writeln!(
+            writer,
+            "imp {} {} {} {} {}",
+            r.lhs, r.rhs, r.hits, r.lhs_ones, r.rhs_ones
+        )?;
+    }
+    for r in similarities {
+        writeln!(
+            writer,
+            "sim {} {} {} {} {}",
+            r.a, r.b, r.hits, r.a_ones, r.b_ones
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a rules file back into rule vectors.
+///
+/// # Errors
+///
+/// Returns [`RuleParseError`] on IO failure or malformed lines.
+pub fn read_rules<R: Read>(
+    reader: R,
+) -> Result<(Vec<ImplicationRule>, Vec<SimilarityRule>), RuleParseError> {
+    let reader = BufReader::new(reader);
+    let mut imps = Vec::new();
+    let mut sims = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let bad = || RuleParseError::BadLine {
+            line: line_no,
+            content: trimmed.to_string(),
+        };
+        let mut parts = trimmed.split_whitespace();
+        let kind = parts.next().ok_or_else(bad)?;
+        let mut next = || -> Result<u32, RuleParseError> {
+            parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())
+        };
+        let (x, y, hits, ox, oy) = (next()?, next()?, next()?, next()?, next()?);
+        match kind {
+            "imp" => imps.push(ImplicationRule {
+                lhs: x,
+                rhs: y,
+                hits,
+                lhs_ones: ox,
+                rhs_ones: oy,
+            }),
+            "sim" => sims.push(SimilarityRule {
+                a: x,
+                b: y,
+                hits,
+                a_ones: ox,
+                b_ones: oy,
+            }),
+            _ => return Err(bad()),
+        }
+    }
+    Ok((imps, sims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<ImplicationRule>, Vec<SimilarityRule>) {
+        (
+            vec![
+                ImplicationRule {
+                    lhs: 0,
+                    rhs: 1,
+                    hits: 9,
+                    lhs_ones: 10,
+                    rhs_ones: 20,
+                },
+                ImplicationRule {
+                    lhs: 5,
+                    rhs: 2,
+                    hits: 3,
+                    lhs_ones: 3,
+                    rhs_ones: 7,
+                },
+            ],
+            vec![SimilarityRule {
+                a: 1,
+                b: 4,
+                hits: 6,
+                a_ones: 7,
+                b_ones: 8,
+            }],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (imps, sims) = sample();
+        let mut buf = Vec::new();
+        write_rules(&imps, &sims, &mut buf).unwrap();
+        let (back_imps, back_sims) = read_rules(&buf[..]).unwrap();
+        assert_eq!(back_imps, imps);
+        assert_eq!(back_sims, sims);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\nimp 1 2 3 4 5\n# trailing\n";
+        let (imps, sims) = read_rules(text.as_bytes()).unwrap();
+        assert_eq!(imps.len(), 1);
+        assert!(sims.is_empty());
+        assert_eq!(imps[0].lhs, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["imp 1 2 3 4", "foo 1 2 3 4 5", "imp 1 2 x 4 5", "imp"] {
+            let err = read_rules(bad.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, RuleParseError::BadLine { line: 1, .. }),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_rule_sets() {
+        let (imps, sims) = read_rules("".as_bytes()).unwrap();
+        assert!(imps.is_empty() && sims.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        let err = read_rules("garbage line here\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Out-of-core mining: two passes over a row *stream*, never holding the
+//! matrix in memory.
+//!
+//! This is the workflow the paper actually ran: the corpora live on disk,
+//! the first scan counts per-column 1s and partitions rows into density
+//! bucket files (§4.1), and the second scan replays the buckets sparsest
+//! first. Memory holds only the counter array (and the bitmap tail when
+//! the §4.2 switch fires) — `O(columns + candidates)`, independent of the
+//! row count.
+//!
+//! [`find_implications_streamed`] / [`find_similarities_streamed`] accept
+//! any fallible row iterator (e.g. `dmc_matrix::io::RowLines` over a file)
+//! and spill to a [`BucketSpill`] in the system temp directory. The scan
+//! order is always the paper's bucketed sparsest-first (that is what the
+//! spill files encode); other [`crate::RowOrder`]s require an in-memory
+//! matrix.
+
+use crate::base::BaseScan;
+use crate::bitmap::finish_with_bitmaps;
+use crate::config::{ImplicationConfig, SimilarityConfig};
+use crate::hundred::{HundredMode, HundredScan};
+use crate::imp::ImplicationOutput;
+use crate::sim::{SimScan, SimilarityOutput};
+use crate::threshold::{conf_qualifies, only_exact_rules_conf, only_exact_rules_sim};
+use dmc_matrix::spill::BucketSpill;
+use dmc_matrix::ColumnId;
+use dmc_metrics::{CounterMemory, PhaseTimer};
+use std::io;
+
+/// Errors from the streaming drivers.
+#[derive(Debug)]
+pub enum StreamError<E> {
+    /// The caller's row source failed.
+    Source(E),
+    /// Spill-file IO failed.
+    Io(io::Error),
+    /// A row contained an id `>= n_cols`; payload is (row index, id).
+    ColumnOutOfRange { row: usize, id: ColumnId },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for StreamError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Source(e) => write!(f, "row source error: {e}"),
+            StreamError::Io(e) => write!(f, "spill io error: {e}"),
+            StreamError::ColumnOutOfRange { row, id } => {
+                write!(f, "row {row}: column id {id} out of range")
+            }
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for StreamError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Source(e) => Some(e),
+            StreamError::Io(e) => Some(e),
+            StreamError::ColumnOutOfRange { .. } => None,
+        }
+    }
+}
+
+impl<E> From<io::Error> for StreamError<E> {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// Pass 1: count column 1s and spill normalized rows into density buckets.
+fn prescan<I, E>(rows: I, n_cols: usize) -> Result<(Vec<u32>, BucketSpill), StreamError<E>>
+where
+    I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
+{
+    let mut spill = BucketSpill::in_temp(n_cols)?;
+    let mut ones = vec![0u32; n_cols];
+    for (idx, row) in rows.into_iter().enumerate() {
+        let mut row = row.map_err(StreamError::Source)?;
+        row.sort_unstable();
+        row.dedup();
+        if let Some(&max) = row.last() {
+            if max as usize >= n_cols {
+                return Err(StreamError::ColumnOutOfRange { row: idx, id: max });
+            }
+        }
+        for &c in &row {
+            ones[c as usize] += 1;
+        }
+        spill.push_row(&row)?;
+    }
+    Ok((ones, spill))
+}
+
+/// One scan's hooks for the spill replay: the switch policy reads the
+/// counter footprint, rows feed the scan, and the tail finishes it.
+trait ReplayHandler {
+    fn counter_bytes(&self) -> usize;
+    fn row(&mut self, row: &[ColumnId]);
+    fn tail(&mut self, tail: &[&[ColumnId]]);
+}
+
+/// Replays the spill through a [`ReplayHandler`], honoring the switch
+/// policy. Returns the switch position, if any.
+fn replay_with_switch<E, H: ReplayHandler>(
+    spill: &mut BucketSpill,
+    total_rows: usize,
+    switch: crate::config::SwitchPolicy,
+    handler: &mut H,
+) -> Result<Option<usize>, StreamError<E>> {
+    let mut replay = spill.replay()?;
+    let mut pos = 0usize;
+    loop {
+        let remaining = total_rows - pos;
+        if switch.should_switch(remaining, handler.counter_bytes()) {
+            // Materialize the tail (bounded by the policy's max_tail_rows).
+            let mut tail_rows: Vec<Vec<ColumnId>> = Vec::with_capacity(remaining);
+            for row in replay {
+                tail_rows.push(row?);
+            }
+            let tail: Vec<&[ColumnId]> = tail_rows.iter().map(Vec::as_slice).collect();
+            handler.tail(&tail);
+            return Ok(Some(pos));
+        }
+        match replay.next() {
+            Some(row) => {
+                handler.row(&row?);
+                pos += 1;
+            }
+            None => {
+                handler.tail(&[]);
+                return Ok(None);
+            }
+        }
+    }
+}
+
+impl ReplayHandler for HundredScan {
+    fn counter_bytes(&self) -> usize {
+        self.memory().current_bytes()
+    }
+    fn row(&mut self, row: &[ColumnId]) {
+        self.process_row(row);
+    }
+    fn tail(&mut self, tail: &[&[ColumnId]]) {
+        self.finish_with_bitmaps(tail);
+    }
+}
+
+impl ReplayHandler for BaseScan {
+    fn counter_bytes(&self) -> usize {
+        self.memory().current_bytes()
+    }
+    fn row(&mut self, row: &[ColumnId]) {
+        self.process_row(row);
+    }
+    fn tail(&mut self, tail: &[&[ColumnId]]) {
+        finish_with_bitmaps(self, tail);
+    }
+}
+
+impl ReplayHandler for SimScan {
+    fn counter_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+    fn row(&mut self, row: &[ColumnId]) {
+        self.process_row(row);
+    }
+    fn tail(&mut self, tail: &[&[ColumnId]]) {
+        self.finish_with_bitmaps(tail);
+    }
+}
+
+/// Streaming DMC-imp over a fallible row iterator.
+///
+/// Equivalent to [`crate::find_implications`] with
+/// `RowOrder::BucketedSparsestFirst` (the config's `row_order` is ignored —
+/// the spill files *are* the bucket order).
+///
+/// # Errors
+///
+/// Fails on source errors, spill IO errors, or out-of-range column ids.
+pub fn find_implications_streamed<I, E>(
+    rows: I,
+    n_cols: usize,
+    config: &ImplicationConfig,
+) -> Result<ImplicationOutput, StreamError<E>>
+where
+    I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
+{
+    let mut timer = PhaseTimer::new();
+    let (ones, mut spill) = {
+        let _g = timer.enter("pre-scan");
+        prescan(rows, n_cols)?
+    };
+    let total_rows = spill.rows();
+
+    let mut rules = Vec::new();
+    let mut memory = CounterMemory::new();
+    let mut bitmap_switch_at = None;
+
+    if config.hundred_stage || config.minconf >= 1.0 {
+        let _g = timer.enter("100% rules");
+        let mut scan = HundredScan::new(n_cols, HundredMode::Implication, ones.clone());
+        replay_with_switch(&mut spill, total_rows, config.switch, &mut scan)?;
+        let (imp, _, mem) = scan.into_parts();
+        rules.extend(imp);
+        memory.absorb_peak(&mem);
+    }
+
+    if config.minconf < 1.0 {
+        let active: Option<Vec<bool>> = if config.hundred_stage {
+            Some(
+                ones.iter()
+                    .map(|&o| !only_exact_rules_conf(u64::from(o), config.minconf))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let mut scan = BaseScan::new(
+            n_cols,
+            config.minconf,
+            ones,
+            active,
+            config.release_completed,
+            false,
+        );
+        {
+            let _g = timer.enter("<100% rules");
+            bitmap_switch_at =
+                replay_with_switch(&mut spill, total_rows, config.switch, &mut scan)?;
+        }
+        let (stage_rules, mem) = scan.into_parts();
+        if config.hundred_stage {
+            rules.extend(stage_rules.into_iter().filter(|r| r.misses() > 0));
+        } else {
+            rules.extend(stage_rules);
+        }
+        memory.absorb_peak(&mem);
+    }
+
+    if config.emit_reverse {
+        let reversed: Vec<_> = rules
+            .iter()
+            .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.rhs_ones), config.minconf))
+            .map(|r| r.reversed())
+            .collect();
+        rules.extend(reversed);
+    }
+    rules.sort_unstable();
+    rules.dedup();
+    Ok(ImplicationOutput {
+        rules,
+        phases: timer.report(),
+        memory,
+        bitmap_switch_at,
+    })
+}
+
+/// Streaming DMC-sim over a fallible row iterator (see
+/// [`find_implications_streamed`]).
+///
+/// # Errors
+///
+/// Fails on source errors, spill IO errors, or out-of-range column ids.
+pub fn find_similarities_streamed<I, E>(
+    rows: I,
+    n_cols: usize,
+    config: &SimilarityConfig,
+) -> Result<SimilarityOutput, StreamError<E>>
+where
+    I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
+{
+    let mut timer = PhaseTimer::new();
+    let (ones, mut spill) = {
+        let _g = timer.enter("pre-scan");
+        prescan(rows, n_cols)?
+    };
+    let total_rows = spill.rows();
+
+    let mut rules = Vec::new();
+    let mut memory = CounterMemory::new();
+    let mut bitmap_switch_at = None;
+
+    if config.hundred_stage || config.minsim >= 1.0 {
+        let _g = timer.enter("100% rules");
+        let mut scan = HundredScan::new(n_cols, HundredMode::Identical, ones.clone());
+        replay_with_switch(&mut spill, total_rows, config.switch, &mut scan)?;
+        let (_, sims, mem) = scan.into_parts();
+        rules.extend(sims);
+        memory.absorb_peak(&mem);
+    }
+
+    if config.minsim < 1.0 {
+        let active: Option<Vec<bool>> = if config.hundred_stage {
+            Some(
+                ones.iter()
+                    .map(|&o| !only_exact_rules_sim(u64::from(o), config.minsim))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let mut scan = SimScan::new(n_cols, config, ones, active);
+        {
+            let _g = timer.enter("<100% rules");
+            bitmap_switch_at =
+                replay_with_switch(&mut spill, total_rows, config.switch, &mut scan)?;
+        }
+        let (stage_rules, mem) = scan.into_parts();
+        if config.hundred_stage {
+            rules.extend(stage_rules.into_iter().filter(|r| r.hits < r.union()));
+        } else {
+            rules.extend(stage_rules);
+        }
+        memory.absorb_peak(&mem);
+    }
+
+    rules.sort_unstable();
+    rules.dedup();
+    Ok(SimilarityOutput {
+        rules,
+        phases: timer.report(),
+        memory,
+        bitmap_switch_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_implications, find_similarities, SparseMatrix, SwitchPolicy};
+    use dmc_matrix::order::RowOrder;
+    use std::convert::Infallible;
+
+    fn fig2() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![1, 5],
+                vec![2, 3, 4],
+                vec![2, 4],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 3, 5],
+                vec![0, 2, 3, 4, 5],
+                vec![3, 5],
+                vec![0, 1, 4],
+            ],
+        )
+    }
+
+    fn rows_of(m: &SparseMatrix) -> Vec<Result<Vec<ColumnId>, Infallible>> {
+        m.rows().map(|r| Ok(r.to_vec())).collect()
+    }
+
+    #[test]
+    fn streamed_imp_matches_in_memory() {
+        let m = fig2();
+        for &minconf in &[1.0, 0.8, 0.5] {
+            let cfg = ImplicationConfig::new(minconf);
+            let in_mem = find_implications(&m, &cfg);
+            let streamed = find_implications_streamed(rows_of(&m), m.n_cols(), &cfg).unwrap();
+            assert_eq!(streamed.rules, in_mem.rules, "minconf={minconf}");
+        }
+    }
+
+    #[test]
+    fn streamed_sim_matches_in_memory() {
+        let m = fig2();
+        for &minsim in &[1.0, 0.75, 0.4] {
+            let cfg = SimilarityConfig::new(minsim);
+            let in_mem = find_similarities(&m, &cfg);
+            let streamed = find_similarities_streamed(rows_of(&m), m.n_cols(), &cfg).unwrap();
+            assert_eq!(streamed.rules, in_mem.rules, "minsim={minsim}");
+        }
+    }
+
+    #[test]
+    fn streamed_imp_with_forced_switch() {
+        let m = fig2();
+        let cfg = ImplicationConfig::new(0.8).with_switch(SwitchPolicy::always_at(3));
+        let streamed = find_implications_streamed(rows_of(&m), m.n_cols(), &cfg).unwrap();
+        assert_eq!(streamed.pairs(), vec![(0, 1), (2, 4)]);
+        assert!(streamed.bitmap_switch_at.is_some());
+    }
+
+    #[test]
+    fn streamed_normalizes_unsorted_rows() {
+        let rows: Vec<Result<Vec<ColumnId>, Infallible>> =
+            vec![Ok(vec![2, 0, 2]), Ok(vec![0, 2]), Ok(vec![1])];
+        let out = find_implications_streamed(rows, 3, &ImplicationConfig::new(1.0)).unwrap();
+        // Columns 0 and 2 are identical: both directions canonical -> (0, 2).
+        assert_eq!(out.pairs(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn streamed_rejects_out_of_range_ids() {
+        let rows: Vec<Result<Vec<ColumnId>, Infallible>> = vec![Ok(vec![0, 9])];
+        let err = find_implications_streamed(rows, 3, &ImplicationConfig::new(1.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::ColumnOutOfRange { row: 0, id: 9 }
+        ));
+    }
+
+    #[test]
+    fn streamed_propagates_source_errors() {
+        #[derive(Debug)]
+        struct Boom;
+        impl std::fmt::Display for Boom {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "boom")
+            }
+        }
+        let rows: Vec<Result<Vec<ColumnId>, Boom>> = vec![Ok(vec![0]), Err(Boom)];
+        let err = find_implications_streamed(rows, 2, &ImplicationConfig::new(1.0)).unwrap_err();
+        assert!(matches!(err, StreamError::Source(Boom)));
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn streamed_equals_bucketed_in_memory_on_random_data() {
+        // The stream replays in bucket order; in-memory with the same order
+        // must agree rule-for-rule (order invariance is proven elsewhere,
+        // this checks the plumbing end to end).
+        let mut rows: Vec<Vec<ColumnId>> = Vec::new();
+        for i in 0..60u32 {
+            rows.push(vec![i % 5, 5 + (i % 3), 8 + (i % 7) % 4]);
+        }
+        rows.push((0..12).collect());
+        let m = SparseMatrix::from_rows(12, rows);
+        let cfg = ImplicationConfig::new(0.7).with_row_order(RowOrder::BucketedSparsestFirst);
+        let in_mem = find_implications(&m, &cfg);
+        let streamed = find_implications_streamed(rows_of(&m), 12, &cfg).unwrap();
+        assert_eq!(streamed.rules, in_mem.rules);
+    }
+}

@@ -1,0 +1,298 @@
+//! Threshold arithmetic shared by every algorithm in the workspace.
+//!
+//! All qualification decisions — in DMC, in the baselines, and in the exact
+//! oracle used by the tests — go through these predicates, so boundary
+//! semantics are defined exactly once:
+//!
+//! * a rule with confidence **exactly** `minconf` (or similarity exactly
+//!   `minsim`) qualifies, and
+//! * a relative epsilon ([`REL_EPS`]) absorbs `f64` artifacts. Without it,
+//!   `minconf = 0.9, ones = 10` would reject a 9-hit rule because
+//!   `0.9_f64 * 10.0 = 9.000000000000002`.
+//!
+//! The derived budgets fix three off-by-one statements in the paper:
+//!
+//! * §4.3 claims a column with "fewer than 9" 1s must have no miss at
+//!   `minconf = 0.9`; the exact bound is fewer than 10
+//!   ([`max_misses_conf`]`(9, 0.9) == 0` but `(10, 0.9) == 1`).
+//! * Algorithm 4.2 step 3 removes columns with
+//!   `ones ≤ 1/(1 − minconf)`; taken literally that also drops columns that
+//!   still carry sub-100% rules. The exact removal set is
+//!   `max_misses_conf(ones, minconf) == 0` ([`only_exact_rules_conf`]).
+//! * Algorithm 5.1 step 3 removes columns with
+//!   `ones ≤ 1/(1 − minsim) − 1`; the exact keep condition for a sub-100%
+//!   pair is `ones/(ones + 1) ≥ minsim` ([`only_exact_rules_sim`]).
+
+/// Relative tolerance on threshold comparisons: a ratio within `REL_EPS` of
+/// the threshold counts as meeting it.
+pub const REL_EPS: f64 = 1e-9;
+
+/// `true` iff a rule `lhs ⇒ rhs` with `hits` co-occurrences out of `ones`
+/// LHS occurrences meets `minconf`.
+///
+/// `ones == 0` never qualifies (the confidence is undefined).
+#[inline]
+#[must_use]
+pub fn conf_qualifies(hits: u64, ones: u64, minconf: f64) -> bool {
+    ones > 0 && hits as f64 >= (minconf - REL_EPS) * ones as f64
+}
+
+/// `true` iff a pair with `hits` co-occurrences and column sizes
+/// `ones_a`, `ones_b` meets `minsim` (Jaccard over the union).
+///
+/// # Panics
+///
+/// Panics in debug builds if `hits > min(ones_a, ones_b)`.
+#[inline]
+#[must_use]
+pub fn sim_qualifies(hits: u64, ones_a: u64, ones_b: u64, minsim: f64) -> bool {
+    debug_assert!(hits <= ones_a.min(ones_b));
+    let union = ones_a + ones_b - hits;
+    union > 0 && hits as f64 >= (minsim - REL_EPS) * union as f64
+}
+
+/// The smallest hit count that lets a column with `ones` 1s satisfy
+/// `minconf` (i.e. the `ones − maxmis` bar of the paper).
+///
+/// Returns 0 when `ones == 0`.
+#[must_use]
+pub fn min_hits_conf(ones: u64, minconf: f64) -> u64 {
+    if ones == 0 {
+        return 0;
+    }
+    let mut h = ((minconf - REL_EPS) * ones as f64).ceil().max(0.0) as u64;
+    h = h.min(ones);
+    while h > 0 && conf_qualifies(h - 1, ones, minconf) {
+        h -= 1;
+    }
+    while h < ones && !conf_qualifies(h, ones, minconf) {
+        h += 1;
+    }
+    h
+}
+
+/// `maxmis(c)` of the paper: the largest tolerable miss count for a column
+/// with `ones` 1s at `minconf`.
+///
+/// ```
+/// use dmc_core::threshold::max_misses_conf;
+/// assert_eq!(max_misses_conf(100, 0.85), 15); // Example 1.3
+/// assert_eq!(max_misses_conf(10, 0.9), 1);    // exact boundary (see module docs)
+/// assert_eq!(max_misses_conf(9, 0.9), 0);
+/// assert_eq!(max_misses_conf(5, 0.8), 1);     // Example 3.1
+/// ```
+#[must_use]
+pub fn max_misses_conf(ones: u64, minconf: f64) -> u64 {
+    ones - min_hits_conf(ones, minconf)
+}
+
+/// The smallest hit count letting a pair with column sizes `ones_a ≤ ones_b`
+/// meet `minsim`, or `None` when even `hits = min(ones_a, ones_b)` (full
+/// containment) falls short — the §5.1 column-density pruning condition.
+#[must_use]
+pub fn min_hits_sim(ones_a: u64, ones_b: u64, minsim: f64) -> Option<u64> {
+    let cap = ones_a.min(ones_b);
+    if !sim_qualifies(cap, ones_a, ones_b, minsim) {
+        return None;
+    }
+    // h / (ones_a + ones_b − h) ≥ s  ⟺  h ≥ s(ones_a + ones_b)/(1 + s)
+    let total = (ones_a + ones_b) as f64;
+    let s = minsim - REL_EPS;
+    let mut h = ((s * total) / (1.0 + s)).ceil().max(0.0) as u64;
+    h = h.min(cap);
+    while h > 0 && sim_qualifies(h - 1, ones_a, ones_b, minsim) {
+        h -= 1;
+    }
+    while h < cap && !sim_qualifies(h, ones_a, ones_b, minsim) {
+        h += 1;
+    }
+    Some(h)
+}
+
+/// The per-pair miss budget of DMC-sim: misses of the smaller column
+/// tolerated before the pair cannot reach `minsim`. `None` means the pair
+/// is pruned outright (column-density pruning).
+#[must_use]
+pub fn max_misses_sim(ones_a: u64, ones_b: u64, minsim: f64) -> Option<u64> {
+    min_hits_sim(ones_a, ones_b, minsim).map(|h| ones_a.min(ones_b) - h)
+}
+
+/// `true` iff a column with `ones` 1s can only participate in *exact*
+/// (100%-confidence) rules as an LHS — the corrected Algorithm 4.2 step 3
+/// removal condition.
+#[inline]
+#[must_use]
+pub fn only_exact_rules_conf(ones: u64, minconf: f64) -> bool {
+    max_misses_conf(ones, minconf) == 0
+}
+
+/// `true` iff a column with `ones` 1s can only participate in *identical*
+/// (100%-similar) pairs as the smaller column — the corrected Algorithm 5.1
+/// step 3 removal condition.
+///
+/// The best non-identical pair for a column of size `o` is full containment
+/// in a column of size `o + 1`, giving similarity `o/(o+1)`.
+#[inline]
+#[must_use]
+pub fn only_exact_rules_sim(ones: u64, minsim: f64) -> bool {
+    !sim_qualifies(ones, ones, ones + 1, minsim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conf_boundary_is_inclusive() {
+        assert!(conf_qualifies(85, 100, 0.85));
+        assert!(!conf_qualifies(84, 100, 0.85));
+        assert!(conf_qualifies(9, 10, 0.9), "0.9 * 10 float artifact");
+        assert!(conf_qualifies(3, 4, 0.75));
+        assert!(!conf_qualifies(0, 0, 0.5), "empty column never qualifies");
+        assert!(conf_qualifies(5, 5, 1.0));
+        assert!(!conf_qualifies(4, 5, 1.0));
+    }
+
+    #[test]
+    fn min_hits_conf_agrees_with_predicate() {
+        for &minconf in &[1.0, 0.99, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.5, 0.333, 0.01] {
+            for ones in 0..200u64 {
+                let h = min_hits_conf(ones, minconf);
+                if ones == 0 {
+                    assert_eq!(h, 0);
+                    continue;
+                }
+                assert!(
+                    conf_qualifies(h, ones, minconf),
+                    "h={h} ones={ones} c={minconf}"
+                );
+                if h > 0 {
+                    assert!(
+                        !conf_qualifies(h - 1, ones, minconf),
+                        "h-1 qualifies: h={h} ones={ones} c={minconf}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_1_3_budget() {
+        // 100 ones at 85% confidence: up to 15 misses tolerated.
+        assert_eq!(max_misses_conf(100, 0.85), 15);
+    }
+
+    #[test]
+    fn hundred_percent_budget_is_zero() {
+        for ones in 1..50 {
+            assert_eq!(max_misses_conf(ones, 1.0), 0);
+        }
+    }
+
+    #[test]
+    fn sim_boundary_is_inclusive() {
+        // 3 hits, sizes 4 and 5 -> union 6, sim 0.5.
+        assert!(sim_qualifies(3, 4, 5, 0.5));
+        assert!(!sim_qualifies(3, 4, 5, 0.51));
+        // 9 hits, sizes 9 and 10 -> sim 0.9 exactly.
+        assert!(sim_qualifies(9, 9, 10, 0.9));
+        assert!(!sim_qualifies(0, 0, 0, 0.5), "empty union never qualifies");
+        assert!(sim_qualifies(5, 5, 5, 1.0), "identical columns");
+    }
+
+    #[test]
+    fn min_hits_sim_agrees_with_predicate() {
+        for &minsim in &[1.0, 0.95, 0.9, 0.8, 0.75, 0.5, 0.25, 0.05] {
+            for oa in 0..40u64 {
+                for ob in oa..40u64 {
+                    match min_hits_sim(oa, ob, minsim) {
+                        None => {
+                            assert!(
+                                !sim_qualifies(oa.min(ob), oa, ob, minsim),
+                                "density-pruned pair is achievable: {oa},{ob},{minsim}"
+                            );
+                        }
+                        Some(h) => {
+                            assert!(sim_qualifies(h, oa, ob, minsim));
+                            if h > 0 {
+                                assert!(!sim_qualifies(h - 1, oa, ob, minsim));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_pruning_matches_ratio_condition() {
+        // §5.1: a pair with |S_i|/|S_j| < minsim is impossible.
+        assert_eq!(max_misses_sim(4, 10, 0.75), None);
+        assert!(max_misses_sim(9, 10, 0.75).is_some());
+        // Example 5.1 says "one miss is allowed" for ones 4 and 5 at
+        // minsim 0.75, but that is the loose per-column bound
+        // (1 − 0.75) · 4: with one miss the best similarity is
+        // 3/(4+5−3) = 0.5 < 0.75. The exact pair budget is 0 misses
+        // (4 hits -> 4/5 = 0.8 qualifies); tighter budgets only delete
+        // candidates earlier and cannot lose rules.
+        assert_eq!(max_misses_sim(4, 5, 0.75), Some(0));
+    }
+
+    /// Cross-validate the float predicates against exact rational
+    /// arithmetic for every threshold p/q with small q: `hits/ones >= p/q`
+    /// iff `hits * q >= p * ones`.
+    #[test]
+    fn conf_predicate_matches_rational_arithmetic() {
+        for q in 1u64..=12 {
+            for p in 1..=q {
+                let minconf = p as f64 / q as f64;
+                for ones in 1u64..=60 {
+                    for hits in 0..=ones {
+                        let exact = hits * q >= p * ones;
+                        assert_eq!(
+                            conf_qualifies(hits, ones, minconf),
+                            exact,
+                            "hits={hits} ones={ones} minconf={p}/{q}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same cross-check for similarity: `hits/union >= p/q` iff
+    /// `hits * q >= p * union`.
+    #[test]
+    fn sim_predicate_matches_rational_arithmetic() {
+        for q in 1u64..=8 {
+            for p in 1..=q {
+                let minsim = p as f64 / q as f64;
+                for oa in 1u64..=20 {
+                    for ob in oa..=20 {
+                        for hits in 0..=oa {
+                            let union = oa + ob - hits;
+                            let exact = hits * q >= p * union;
+                            assert_eq!(
+                                sim_qualifies(hits, oa, ob, minsim),
+                                exact,
+                                "hits={hits} oa={oa} ob={ob} minsim={p}/{q}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_only_conditions() {
+        // minconf 0.9: columns with <= 9 ones only carry exact rules.
+        assert!(only_exact_rules_conf(9, 0.9));
+        assert!(!only_exact_rules_conf(10, 0.9));
+        // minsim 0.9: ones 9 can reach 9/10 = 0.9 -> keep; ones 8 -> 8/9 < 0.9.
+        assert!(!only_exact_rules_sim(9, 0.9));
+        assert!(only_exact_rules_sim(8, 0.9));
+        // minsim 1.0: nothing but identical pairs ever qualifies.
+        assert!(only_exact_rules_sim(1000, 1.0));
+    }
+}

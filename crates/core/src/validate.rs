@@ -1,0 +1,144 @@
+//! Independent re-verification of mined rules against a matrix.
+//!
+//! `dmc verify` and the test harness use this to check a rules file with
+//! arithmetic that shares nothing with the miners' counting paths: hits
+//! are recomputed from the column row-sets by sorted-merge intersection.
+
+use crate::rules::{ImplicationRule, SimilarityRule};
+use crate::threshold::{conf_qualifies, sim_qualifies};
+use dmc_matrix::SparseMatrix;
+
+/// The outcome of re-checking one rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleCheck {
+    /// Counts and threshold both check out.
+    Valid,
+    /// Stored counts disagree with the matrix; payload is the recomputed
+    /// (hits, lhs/a ones, rhs/b ones).
+    WrongCounts(u32, u32, u32),
+    /// Counts are right but the rule misses the threshold.
+    BelowThreshold,
+}
+
+fn intersection(a: &[u32], b: &[u32]) -> u32 {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Re-checks implication rules against `matrix` at `minconf`.
+///
+/// Returns one [`RuleCheck`] per rule, in order.
+#[must_use]
+pub fn verify_implications(
+    matrix: &SparseMatrix,
+    rules: &[ImplicationRule],
+    minconf: f64,
+) -> Vec<RuleCheck> {
+    let cols = matrix.column_rows();
+    rules
+        .iter()
+        .map(|r| {
+            let lhs_rows = &cols[r.lhs as usize];
+            let rhs_rows = &cols[r.rhs as usize];
+            let hits = intersection(lhs_rows, rhs_rows);
+            let (ol, or_) = (lhs_rows.len() as u32, rhs_rows.len() as u32);
+            if hits != r.hits || ol != r.lhs_ones || or_ != r.rhs_ones {
+                RuleCheck::WrongCounts(hits, ol, or_)
+            } else if !conf_qualifies(u64::from(hits), u64::from(ol), minconf) {
+                RuleCheck::BelowThreshold
+            } else {
+                RuleCheck::Valid
+            }
+        })
+        .collect()
+}
+
+/// Re-checks similarity rules against `matrix` at `minsim`.
+#[must_use]
+pub fn verify_similarities(
+    matrix: &SparseMatrix,
+    rules: &[SimilarityRule],
+    minsim: f64,
+) -> Vec<RuleCheck> {
+    let cols = matrix.column_rows();
+    rules
+        .iter()
+        .map(|r| {
+            let a_rows = &cols[r.a as usize];
+            let b_rows = &cols[r.b as usize];
+            let hits = intersection(a_rows, b_rows);
+            let (oa, ob) = (a_rows.len() as u32, b_rows.len() as u32);
+            if hits != r.hits || oa != r.a_ones || ob != r.b_ones {
+                RuleCheck::WrongCounts(hits, oa, ob)
+            } else if !sim_qualifies(u64::from(hits), u64::from(oa), u64::from(ob), minsim) {
+                RuleCheck::BelowThreshold
+            } else {
+                RuleCheck::Valid
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_implications, find_similarities, ImplicationConfig, SimilarityConfig};
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            4,
+            vec![vec![0, 1, 2], vec![0, 1], vec![1, 2, 3], vec![0, 1, 2]],
+        )
+    }
+
+    #[test]
+    fn mined_rules_verify_valid() {
+        let m = sample();
+        let imps = find_implications(&m, &ImplicationConfig::new(0.6)).rules;
+        assert!(!imps.is_empty());
+        assert!(verify_implications(&m, &imps, 0.6)
+            .iter()
+            .all(|c| *c == RuleCheck::Valid));
+
+        let sims = find_similarities(&m, &SimilarityConfig::new(0.5)).rules;
+        assert!(!sims.is_empty());
+        assert!(verify_similarities(&m, &sims, 0.5)
+            .iter()
+            .all(|c| *c == RuleCheck::Valid));
+    }
+
+    #[test]
+    fn detects_wrong_counts() {
+        let m = sample();
+        let mut rule = find_implications(&m, &ImplicationConfig::new(0.6)).rules[0];
+        rule.hits += 1;
+        let checks = verify_implications(&m, &[rule], 0.6);
+        assert!(matches!(checks[0], RuleCheck::WrongCounts(..)));
+    }
+
+    #[test]
+    fn detects_below_threshold() {
+        let m = sample();
+        // A correct-count rule checked at a stricter threshold.
+        let rules = find_implications(&m, &ImplicationConfig::new(0.6)).rules;
+        let weakest = rules
+            .iter()
+            .min_by(|a, b| a.confidence().partial_cmp(&b.confidence()).unwrap())
+            .copied()
+            .unwrap();
+        assert!(weakest.confidence() < 1.0);
+        let checks = verify_implications(&m, &[weakest], 1.0);
+        assert_eq!(checks[0], RuleCheck::BelowThreshold);
+    }
+}

@@ -1,0 +1,195 @@
+//! Quest-style market-basket data (Agrawal & Srikant, VLDB '94).
+//!
+//! The classic synthetic workload of the association-mining literature
+//! (the "T10.I4.D100K" family the a-priori paper \[2\] evaluates on), used
+//! here to exercise the full a-priori itemset miner and DMC side by side
+//! on basket-shaped data:
+//!
+//! * a pool of *patterns* (potentially-large itemsets) is drawn first,
+//!   sizes geometric around `avg_pattern_size`, consecutive patterns
+//!   sharing a prefix of items (cross-pattern correlation);
+//! * each transaction draws its size geometrically around
+//!   `avg_transaction_size` and is filled by sampling weighted patterns,
+//!   keeping each pattern item with probability `1 − corruption`.
+
+use dmc_matrix::{ColumnId, MatrixBuilder, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`basket`].
+#[derive(Clone, Debug)]
+pub struct BasketConfig {
+    /// Transactions (rows).
+    pub transactions: usize,
+    /// Items (columns).
+    pub items: usize,
+    /// Mean transaction size (the `T` of T10.I4).
+    pub avg_transaction_size: f64,
+    /// Mean pattern size (the `I`).
+    pub avg_pattern_size: f64,
+    /// Number of patterns in the pool (the `L`).
+    pub patterns: usize,
+    /// Probability an item of a chosen pattern is dropped from the
+    /// transaction.
+    pub corruption: f64,
+    pub seed: u64,
+}
+
+impl BasketConfig {
+    /// A scaled-down T10.I4 analogue.
+    #[must_use]
+    pub fn new(transactions: usize, items: usize, seed: u64) -> Self {
+        Self {
+            transactions,
+            items,
+            avg_transaction_size: 10.0,
+            avg_pattern_size: 4.0,
+            patterns: (items / 10).max(4),
+            corruption: 0.25,
+            seed,
+        }
+    }
+}
+
+/// The generated baskets plus the pattern pool (ground truth for tests).
+#[derive(Debug)]
+pub struct BasketData {
+    pub matrix: SparseMatrix,
+    /// The potentially-large itemsets, sorted item lists.
+    pub patterns: Vec<Vec<ColumnId>>,
+}
+
+fn geometric_around<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    let mut len = 1;
+    while rng.gen::<f64>() < 1.0 - 1.0 / mean {
+        len += 1;
+    }
+    len
+}
+
+/// Generates the basket matrix.
+#[must_use]
+pub fn basket(config: &BasketConfig) -> BasketData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Pattern pool: sizes geometric, half the items shared with the
+    // previous pattern (the Quest correlation), the rest uniform.
+    let mut patterns: Vec<Vec<ColumnId>> = Vec::with_capacity(config.patterns);
+    for p in 0..config.patterns {
+        let size = geometric_around(&mut rng, config.avg_pattern_size).min(config.items);
+        let mut items: Vec<ColumnId> = Vec::with_capacity(size);
+        if p > 0 {
+            let prev = &patterns[p - 1];
+            for &item in prev.iter().take(size / 2) {
+                items.push(item);
+            }
+        }
+        while items.len() < size {
+            items.push(rng.gen_range(0..config.items as ColumnId));
+        }
+        items.sort_unstable();
+        items.dedup();
+        patterns.push(items);
+    }
+    // Pattern weights: exponential-ish, favoring early patterns.
+    let weights: Vec<f64> = (0..config.patterns)
+        .map(|_| -(rng.gen::<f64>().max(1e-12)).ln())
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(config.patterns);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total_weight;
+        cumulative.push(acc);
+    }
+
+    let mut builder = MatrixBuilder::with_capacity(
+        config.items,
+        config.transactions,
+        (config.transactions as f64 * config.avg_transaction_size) as usize,
+    );
+    for _ in 0..config.transactions {
+        let target = geometric_around(&mut rng, config.avg_transaction_size);
+        let mut row: Vec<ColumnId> = Vec::with_capacity(target + 4);
+        while row.len() < target {
+            let u: f64 = rng.gen();
+            let p = cumulative
+                .partition_point(|&c| c < u)
+                .min(config.patterns - 1);
+            for &item in &patterns[p] {
+                if rng.gen::<f64>() >= config.corruption {
+                    row.push(item);
+                }
+            }
+        }
+        builder.push_row(row);
+    }
+    BasketData {
+        matrix: builder.finish(),
+        patterns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let cfg = BasketConfig::new(800, 200, 3);
+        let a = basket(&cfg);
+        let b = basket(&cfg);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.matrix.n_rows(), 800);
+        assert_eq!(a.matrix.n_cols(), 200);
+        assert_eq!(a.patterns.len(), cfg.patterns);
+    }
+
+    #[test]
+    fn transaction_sizes_center_on_target() {
+        let cfg = BasketConfig::new(3000, 400, 7);
+        let data = basket(&cfg);
+        let avg = data.matrix.nnz() as f64 / data.matrix.n_rows() as f64;
+        assert!(
+            avg > 5.0 && avg < 25.0,
+            "avg basket size {avg} should be near {}",
+            cfg.avg_transaction_size
+        );
+    }
+
+    #[test]
+    fn pattern_items_cooccur_more_than_chance() {
+        let cfg = BasketConfig::new(4000, 300, 11);
+        let data = basket(&cfg);
+        // Pick the first pattern with >= 2 items and measure its pair lift.
+        let pattern = data
+            .patterns
+            .iter()
+            .find(|p| p.len() >= 2)
+            .expect("some pattern has >= 2 items");
+        let (a, b) = (pattern[0], pattern[1]);
+        let ones = data.matrix.column_ones();
+        let mut both = 0u32;
+        for row in data.matrix.rows() {
+            if row.binary_search(&a).is_ok() && row.binary_search(&b).is_ok() {
+                both += 1;
+            }
+        }
+        let n = data.matrix.n_rows() as f64;
+        let expected_independent = f64::from(ones[a as usize]) * f64::from(ones[b as usize]) / n;
+        assert!(
+            f64::from(both) > 1.5 * expected_independent,
+            "lift too low: {both} observed vs {expected_independent:.1} at independence"
+        );
+    }
+
+    #[test]
+    fn patterns_are_valid_itemsets() {
+        let data = basket(&BasketConfig::new(100, 50, 1));
+        for p in &data.patterns {
+            assert!(!p.is_empty());
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            assert!(p.iter().all(|&i| (i as usize) < 50));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! `dicD` analogue: a dictionary as a definition-word × head-word matrix.
+//!
+//! Columns are head words (words being defined), rows are definition words
+//! (§6.1): entry `(r, c)` is 1 when head word `c`'s definition uses word
+//! `r`. Similar columns are words with near-identical definitions — the
+//! paper's example is *brother-in-law* ≃ *sister-in-law*.
+//!
+//! The generator draws each head word's definition as a bag of Zipfian
+//! definition words, then plants synonym pairs whose definitions differ in
+//! only a couple of words.
+
+use crate::zipf::Zipf;
+use dmc_matrix::transform::transpose;
+use dmc_matrix::{ColumnId, MatrixBuilder, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`dictionary`].
+#[derive(Clone, Debug)]
+pub struct DictionaryConfig {
+    /// Head words (columns).
+    pub head_words: usize,
+    /// Definition vocabulary (rows).
+    pub def_words: usize,
+    /// Mean definition length.
+    pub mean_definition: f64,
+    /// Zipf exponent of definition-word frequency.
+    pub def_exponent: f64,
+    /// Planted synonym pairs: head words `2i` and `2i+1` share definitions
+    /// up to one word.
+    pub synonym_pairs: usize,
+    pub seed: u64,
+}
+
+impl DictionaryConfig {
+    /// Defaults shaped like the Webster matrix at laptop scale.
+    #[must_use]
+    pub fn new(head_words: usize, def_words: usize, seed: u64) -> Self {
+        Self {
+            head_words,
+            def_words,
+            mean_definition: 12.0,
+            def_exponent: 1.0,
+            synonym_pairs: (head_words / 50).max(1),
+            seed,
+        }
+    }
+}
+
+/// Generates the matrix (rows = definition words, columns = head words).
+#[must_use]
+pub fn dictionary(config: &DictionaryConfig) -> SparseMatrix {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let vocab = Zipf::new(config.def_words, config.def_exponent);
+
+    // Build per-head-word definitions (column-major), then transpose.
+    let mut definitions: Vec<Vec<ColumnId>> = Vec::with_capacity(config.head_words);
+    for _ in 0..config.head_words {
+        let mut len = 2;
+        while rng.gen::<f64>() < 1.0 - 1.0 / config.mean_definition {
+            len += 1;
+        }
+        let mut def: Vec<ColumnId> = (0..len)
+            .map(|_| vocab.sample(&mut rng) as ColumnId)
+            .collect();
+        def.sort_unstable();
+        def.dedup();
+        definitions.push(def);
+    }
+    for i in 0..config.synonym_pairs {
+        let (a, b) = (2 * i, 2 * i + 1);
+        if b >= config.head_words {
+            break;
+        }
+        let mut copy = definitions[a].clone();
+        // Swap one word (brother -> sister).
+        if !copy.is_empty() {
+            let idx = rng.gen_range(0..copy.len());
+            copy.remove(idx);
+            let replacement = vocab.sample(&mut rng) as ColumnId;
+            if copy.binary_search(&replacement).is_err() {
+                let pos = copy.partition_point(|&w| w < replacement);
+                copy.insert(pos, replacement);
+            }
+        }
+        definitions[b] = copy;
+    }
+
+    // definitions is head-word-major = the transposed matrix; transpose to
+    // rows = definition words.
+    let mut builder = MatrixBuilder::with_capacity(config.def_words, config.head_words, 0);
+    for def in &definitions {
+        builder.push_sorted_row(def);
+    }
+    transpose(&builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = DictionaryConfig::new(120, 80, 5);
+        let a = dictionary(&cfg);
+        assert_eq!(a, dictionary(&cfg));
+        assert_eq!(a.n_rows(), 80, "rows are definition words");
+        assert_eq!(a.n_cols(), 120, "columns are head words");
+    }
+
+    #[test]
+    fn synonyms_have_high_jaccard() {
+        let mut cfg = DictionaryConfig::new(200, 150, 9);
+        cfg.synonym_pairs = 5;
+        cfg.mean_definition = 15.0;
+        let m = dictionary(&cfg);
+        let cols = m.column_rows();
+        let (a, b) = (&cols[0], &cols[1]);
+        let inter = a.iter().filter(|r| b.binary_search(r).is_ok()).count();
+        let union = a.len() + b.len() - inter;
+        assert!(union > 0);
+        let jaccard = inter as f64 / union as f64;
+        assert!(jaccard > 0.6, "synonym pair jaccard = {jaccard}");
+    }
+
+    #[test]
+    fn definition_words_are_heavy_tailed() {
+        let cfg = DictionaryConfig::new(500, 300, 2);
+        let m = dictionary(&cfg);
+        // Row r's length = number of definitions using word r.
+        let mut usage: Vec<usize> = (0..m.n_rows()).map(|r| m.row_len(r)).collect();
+        usage.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            usage[0] > usage[150].max(1) * 3,
+            "head={} mid={}",
+            usage[0],
+            usage[150]
+        );
+    }
+}

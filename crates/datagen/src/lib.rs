@@ -1,0 +1,28 @@
+//! Synthetic data sets for the DMC reproduction.
+//!
+//! The paper evaluates on four corpora (§6.1, Table 1) that are not
+//! redistributable: Stanford web-server access logs (`Wlog`), the Stanford
+//! web-link graph (`plinkF`/`plinkT`), Reuters news documents (`News`), and
+//! the 1913 Webster dictionary (`dicD`). This crate generates structurally
+//! faithful stand-ins: what DMC's behaviour depends on is the *shape* of
+//! the 0/1 matrix — heavy-tailed row and column densities, near-duplicate
+//! columns, topical co-occurrence — and each generator reproduces the shape
+//! that drives the corresponding experiment (see `DESIGN.md` §4 for the
+//! substitution table).
+//!
+//! All generators are deterministic in their seed.
+
+pub mod basket;
+pub mod dictionary;
+pub mod linkgraph;
+pub mod news;
+pub mod planted;
+pub mod weblog;
+pub mod zipf;
+
+pub use basket::{basket, BasketConfig, BasketData};
+pub use dictionary::{dictionary, DictionaryConfig};
+pub use linkgraph::{link_graph, LinkGraphConfig, LinkGraphs};
+pub use news::{news, NewsConfig, NewsData};
+pub use planted::{planted_implications, PlantedConfig, PlantedData};
+pub use weblog::{weblog, WeblogConfig};

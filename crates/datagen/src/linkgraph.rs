@@ -1,0 +1,176 @@
+//! `plinkF` / `plinkT` analogue: a web-page link graph.
+//!
+//! The paper's link data is the Stanford crawl: ~700k pages, power-law
+//! degrees, and — crucially for Fig 6(e),(f) — a large population of
+//! columns with frequency ≤ 4, which is why the DMC-bitmap phase jumps when
+//! the threshold drops to 75% (frequency-4 columns stop being prunable).
+//!
+//! The generator grows a directed graph by preferential attachment (new
+//! pages link to existing pages proportionally to in-degree, plus uniform
+//! noise), then emits the two matrices the paper mines:
+//!
+//! * `forward` (`plinkF`): rows = source pages, columns = destinations —
+//!   similar columns are pages **cited by the same pages**;
+//! * `transposed` (`plinkT`): rows = destinations, columns = sources —
+//!   similar columns are pages **with similar outgoing link sets**.
+
+use dmc_matrix::transform::transpose;
+use dmc_matrix::{ColumnId, MatrixBuilder, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`link_graph`].
+#[derive(Clone, Debug)]
+pub struct LinkGraphConfig {
+    /// Number of pages (rows and columns of both matrices).
+    pub pages: usize,
+    /// Mean out-degree.
+    pub mean_out_degree: f64,
+    /// Probability that a link follows preferential attachment (otherwise
+    /// uniform) — higher = heavier tail.
+    pub preferential: f64,
+    /// Number of mirrored page pairs: page `2i` and `2i+1` (for small `i`)
+    /// share almost identical link sets, seeding similarity rules.
+    pub mirror_pairs: usize,
+    pub seed: u64,
+}
+
+impl LinkGraphConfig {
+    /// Defaults shaped like the paper's crawl at laptop scale.
+    #[must_use]
+    pub fn new(pages: usize, seed: u64) -> Self {
+        Self {
+            pages,
+            mean_out_degree: 8.0,
+            preferential: 0.75,
+            mirror_pairs: (pages / 100).max(1),
+            seed,
+        }
+    }
+}
+
+/// Both orientations of the generated graph.
+#[derive(Debug)]
+pub struct LinkGraphs {
+    /// Rows = sources, columns = destinations (`plinkF`).
+    pub forward: SparseMatrix,
+    /// Rows = destinations, columns = sources (`plinkT`).
+    pub transposed: SparseMatrix,
+}
+
+/// Generates the link graph and returns both matrix orientations.
+#[must_use]
+pub fn link_graph(config: &LinkGraphConfig) -> LinkGraphs {
+    let n = config.pages;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Repeated-target list for preferential attachment: sampling uniformly
+    // from it is proportional to in-degree.
+    let mut targets: Vec<ColumnId> = Vec::with_capacity(n * 4);
+    let mut out_links: Vec<Vec<ColumnId>> = Vec::with_capacity(n);
+
+    for page in 0..n {
+        let mut degree = 1;
+        while rng.gen::<f64>() < 1.0 - 1.0 / config.mean_out_degree {
+            degree += 1;
+        }
+        let mut links: Vec<ColumnId> = Vec::with_capacity(degree);
+        for _ in 0..degree {
+            let dest = if !targets.is_empty() && rng.gen::<f64>() < config.preferential {
+                targets[rng.gen_range(0..targets.len())]
+            } else {
+                rng.gen_range(0..n as ColumnId)
+            };
+            if dest != page as ColumnId {
+                links.push(dest);
+            }
+        }
+        links.sort_unstable();
+        links.dedup();
+        targets.extend_from_slice(&links);
+        out_links.push(links);
+    }
+
+    // Mirrors: page 2i+1 copies page 2i's link set with slight noise.
+    for i in 0..config.mirror_pairs {
+        let (a, b) = (2 * i, 2 * i + 1);
+        if b >= n {
+            break;
+        }
+        let mut copy = out_links[a].clone();
+        // Perturb only sets large enough to stay above ~0.75 Jaccard.
+        if copy.len() >= 4 && rng.gen::<f64>() < 0.3 {
+            let drop = rng.gen_range(0..copy.len());
+            copy.remove(drop);
+        }
+        copy.retain(|&d| d != b as ColumnId);
+        out_links[b] = copy;
+    }
+
+    let mut builder = MatrixBuilder::with_capacity(n, n, targets.len());
+    for links in &out_links {
+        builder.push_sorted_row(links);
+    }
+    let forward = builder.finish();
+    let transposed = transpose(&forward);
+    LinkGraphs {
+        forward,
+        transposed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_matrix::stats::column_density_counts;
+
+    #[test]
+    fn deterministic_and_square() {
+        let cfg = LinkGraphConfig::new(300, 9);
+        let a = link_graph(&cfg);
+        let b = link_graph(&cfg);
+        assert_eq!(a.forward, b.forward);
+        assert_eq!(a.forward.n_rows(), 300);
+        assert_eq!(a.forward.n_cols(), 300);
+        assert_eq!(a.transposed, transpose(&a.forward));
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed_with_low_frequency_mass() {
+        let cfg = LinkGraphConfig::new(2000, 13);
+        let g = link_graph(&cfg);
+        let counts = column_density_counts(&g.forward);
+        // The paper's plinkT jump at 75% comes from many frequency-<=4
+        // columns.
+        let low: usize = counts.iter().take(5).sum();
+        assert!(
+            low > g.forward.n_cols() / 3,
+            "low-frequency columns: {low} of {}",
+            g.forward.n_cols()
+        );
+        // And a heavy head: some column far above the mean in-degree.
+        let max = counts.len() - 1;
+        assert!(max > 40, "max in-degree {max}");
+    }
+
+    #[test]
+    fn mirrors_share_link_sets() {
+        let mut cfg = LinkGraphConfig::new(400, 4);
+        cfg.mirror_pairs = 10;
+        let g = link_graph(&cfg);
+        // Out-link rows of a mirror pair differ by at most one link.
+        let (r0, r1) = (g.forward.row(0), g.forward.row(1));
+        let shared = r0.iter().filter(|c| r1.binary_search(c).is_ok()).count();
+        assert!(
+            shared + 1 >= r0.len().min(r1.len()),
+            "mirrors nearly identical"
+        );
+    }
+
+    #[test]
+    fn no_self_links() {
+        let g = link_graph(&LinkGraphConfig::new(150, 2));
+        for (page, row) in g.forward.rows().enumerate() {
+            assert!(row.binary_search(&(page as ColumnId)).is_err());
+        }
+    }
+}

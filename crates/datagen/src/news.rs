@@ -1,0 +1,232 @@
+//! `News` / `NewsP` analogue: news documents over a word vocabulary.
+//!
+//! Rows are documents, columns are (stemmed, stop-word-free) words. The
+//! structure the paper's text-mining experiment (§6.3, Fig 7) relies on is
+//! *topical co-occurrence*: a story about the chess prodigy Judit Polgar
+//! mentions "polgar" rarely overall (low support) but almost always
+//! together with "chess", "grandmaster", "kasparov" — exactly the
+//! high-confidence low-support rules support pruning destroys.
+//!
+//! The generator plants a configurable number of topics. Each topic has a
+//! rare *anchor* word (like "polgar") and a set of *theme* words; documents
+//! of a topic contain the anchor with high probability and a random subset
+//! of the theme, on top of Zipfian background vocabulary. Topic 0 is the
+//! canonical "polgar" topic used by the Fig-7 experiment; the anchor and
+//! theme ids are exposed so the harness can label them.
+
+use crate::zipf::Zipf;
+use dmc_matrix::{ColumnId, MatrixBuilder, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`news`].
+#[derive(Clone, Debug)]
+pub struct NewsConfig {
+    /// Documents (rows).
+    pub docs: usize,
+    /// Vocabulary size (columns).
+    pub vocab: usize,
+    /// Number of planted topics.
+    pub topics: usize,
+    /// Theme words per topic.
+    pub theme_words: usize,
+    /// Fraction of documents that belong to some topic.
+    pub topical_fraction: f64,
+    /// Mean background words per document.
+    pub mean_background: f64,
+    /// Zipf exponent of the background vocabulary.
+    pub background_exponent: f64,
+    /// Probability that any document mentions a given theme word outside
+    /// its topic (e.g. "chess" appearing in a non-Polgar story). This keeps
+    /// theme supports above the anchor's, so `anchor ⇒ theme` is the
+    /// canonical (small ⇒ large) rule direction, as in the paper's Fig 7.
+    pub theme_background: f64,
+    /// Planted near-synonym word pairs (spelling variants like
+    /// "u.s."/"us"): both words of a pair appear in essentially the same
+    /// documents, giving the corpus high-similarity column pairs.
+    pub synonym_pairs: usize,
+    pub seed: u64,
+}
+
+impl NewsConfig {
+    /// Defaults shaped like the Reuters corpus at laptop scale.
+    #[must_use]
+    pub fn new(docs: usize, vocab: usize, seed: u64) -> Self {
+        Self {
+            docs,
+            vocab,
+            topics: (vocab / 400).max(2),
+            theme_words: 12,
+            topical_fraction: 0.35,
+            mean_background: 25.0,
+            background_exponent: 1.05,
+            theme_background: 0.02,
+            synonym_pairs: (vocab / 800).max(1),
+            seed,
+        }
+    }
+}
+
+/// The generated corpus with its planted-topic ground truth.
+#[derive(Debug)]
+pub struct NewsData {
+    pub matrix: SparseMatrix,
+    /// Per topic: the anchor word id.
+    pub anchors: Vec<ColumnId>,
+    /// Per topic: the theme word ids.
+    pub themes: Vec<Vec<ColumnId>>,
+}
+
+/// Generates the corpus.
+///
+/// Column-id layout: ids `0 .. topics*(1+theme_words)` are topic words
+/// (anchor then theme per topic); the rest is background vocabulary.
+#[must_use]
+pub fn news(config: &NewsConfig) -> NewsData {
+    let words_per_topic = 1 + config.theme_words;
+    let reserved = config.topics * words_per_topic + 2 * config.synonym_pairs;
+    assert!(
+        reserved < config.vocab,
+        "vocabulary too small for {} topics of {} words plus {} synonym pairs",
+        config.topics,
+        words_per_topic,
+        config.synonym_pairs
+    );
+    let synonym_base = config.topics * words_per_topic;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let background = Zipf::new(config.vocab - reserved, config.background_exponent);
+
+    let mut anchors = Vec::with_capacity(config.topics);
+    let mut themes = Vec::with_capacity(config.topics);
+    for t in 0..config.topics {
+        let base = (t * words_per_topic) as ColumnId;
+        anchors.push(base);
+        themes.push((base + 1..=base + config.theme_words as ColumnId).collect());
+    }
+
+    let mut builder = MatrixBuilder::with_capacity(
+        config.vocab,
+        config.docs,
+        (config.docs as f64 * (config.mean_background + 6.0)) as usize,
+    );
+    for _ in 0..config.docs {
+        let mut row: Vec<ColumnId> = Vec::new();
+        // Background text.
+        let mut len = 1;
+        while rng.gen::<f64>() < 1.0 - 1.0 / config.mean_background {
+            len += 1;
+        }
+        for _ in 0..len {
+            row.push((reserved + background.sample(&mut rng)) as ColumnId);
+        }
+        // Topic content.
+        if rng.gen::<f64>() < config.topical_fraction {
+            let t = rng.gen_range(0..config.topics);
+            // The anchor appears in most topic documents…
+            if rng.gen::<f64>() < 0.9 {
+                row.push(anchors[t]);
+            }
+            // …and drags in most of the theme (this is what makes
+            // anchor => theme-word rules high-confidence).
+            for &w in &themes[t] {
+                if rng.gen::<f64>() < 0.92 {
+                    row.push(w);
+                }
+            }
+        }
+        // Theme words also occur in unrelated stories, so their support
+        // exceeds their anchor's and anchor => theme is the canonical rule
+        // direction.
+        for theme in &themes {
+            for &w in theme {
+                if rng.gen::<f64>() < config.theme_background {
+                    row.push(w);
+                }
+            }
+        }
+        // Synonym pairs: the variants co-occur almost always, with rare
+        // one-sided uses keeping them near- rather than fully identical.
+        for p in 0..config.synonym_pairs {
+            let rate = 0.05 / (1.0 + p as f64);
+            if rng.gen::<f64>() < rate {
+                let (a, b) = (
+                    (synonym_base + 2 * p) as ColumnId,
+                    (synonym_base + 2 * p + 1) as ColumnId,
+                );
+                if rng.gen::<f64>() > 0.02 {
+                    row.push(a);
+                }
+                if rng.gen::<f64>() > 0.02 {
+                    row.push(b);
+                }
+            }
+        }
+        builder.push_row(row);
+    }
+    NewsData {
+        matrix: builder.finish(),
+        anchors,
+        themes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let cfg = NewsConfig::new(500, 800, 17);
+        let a = news(&cfg);
+        let b = news(&cfg);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.matrix.n_rows(), 500);
+        assert_eq!(a.matrix.n_cols(), 800);
+        assert_eq!(a.anchors.len(), cfg.topics);
+    }
+
+    #[test]
+    fn anchors_are_low_support() {
+        let cfg = NewsConfig::new(2000, 1500, 23);
+        let data = news(&cfg);
+        let ones = data.matrix.column_ones();
+        let anchor_support = ones[data.anchors[0] as usize];
+        // An anchor appears in roughly topical_fraction/topics * 0.9 of
+        // docs — rare relative to the head of the background vocabulary.
+        let max_background = ones.iter().copied().max().unwrap();
+        assert!(anchor_support > 0);
+        assert!(
+            anchor_support * 3 < max_background,
+            "anchor {anchor_support} vs background head {max_background}"
+        );
+    }
+
+    #[test]
+    fn anchor_implies_theme_with_high_confidence() {
+        let cfg = NewsConfig::new(4000, 1200, 31);
+        let data = news(&cfg);
+        let anchor = data.anchors[0];
+        let theme_word = data.themes[0][0];
+        let (mut anchor_rows, mut hits) = (0u32, 0u32);
+        for row in data.matrix.rows() {
+            if row.binary_search(&anchor).is_ok() {
+                anchor_rows += 1;
+                if row.binary_search(&theme_word).is_ok() {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(anchor_rows > 30, "anchor occurs: {anchor_rows}");
+        let conf = f64::from(hits) / f64::from(anchor_rows);
+        assert!(conf > 0.75, "conf(anchor => theme) = {conf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary too small")]
+    fn rejects_tiny_vocabulary() {
+        let mut cfg = NewsConfig::new(10, 20, 1);
+        cfg.topics = 5;
+        cfg.theme_words = 10;
+        let _ = news(&cfg);
+    }
+}

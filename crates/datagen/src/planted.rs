@@ -1,0 +1,157 @@
+//! Planted-rule matrices with exact ground truth.
+//!
+//! For correctness experiments the harness needs matrices whose qualifying
+//! rule set is known by construction. The generator plants implication
+//! pairs `(lhs, rhs)` with a controlled miss rate on top of independent
+//! background noise, and reports the planted pairs; tests assert the miner
+//! finds every planted pair that truly qualifies (the generator re-checks
+//! the realized confidences, so sampling noise cannot break assertions).
+
+use dmc_matrix::{ColumnId, MatrixBuilder, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`planted_implications`].
+#[derive(Clone, Debug)]
+pub struct PlantedConfig {
+    pub rows: usize,
+    pub cols: usize,
+    /// Number of planted `(lhs, rhs)` pairs (uses columns `0..2*pairs`).
+    pub pairs: usize,
+    /// Probability a row activates a planted LHS.
+    pub lhs_rate: f64,
+    /// Probability the RHS co-fires when the LHS fires (≈ the planted
+    /// confidence).
+    pub co_rate: f64,
+    /// Background density of the remaining columns.
+    pub noise: f64,
+    pub seed: u64,
+}
+
+impl PlantedConfig {
+    /// A default with strongly planted pairs over light noise.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, pairs: usize, seed: u64) -> Self {
+        assert!(2 * pairs <= cols, "need 2 columns per planted pair");
+        Self {
+            rows,
+            cols,
+            pairs,
+            lhs_rate: 0.1,
+            co_rate: 0.95,
+            noise: 0.02,
+            seed,
+        }
+    }
+}
+
+/// The generated matrix plus realized ground truth.
+#[derive(Debug)]
+pub struct PlantedData {
+    pub matrix: SparseMatrix,
+    /// The planted `(lhs, rhs)` pairs.
+    pub planted: Vec<(ColumnId, ColumnId)>,
+    /// Realized confidence of each planted pair (hits / lhs ones).
+    pub realized_confidence: Vec<f64>,
+}
+
+/// Generates the matrix and reports realized confidences.
+#[must_use]
+pub fn planted_implications(config: &PlantedConfig) -> PlantedData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = MatrixBuilder::with_capacity(config.cols, config.rows, 0);
+    let mut lhs_ones = vec![0u32; config.pairs];
+    let mut hits = vec![0u32; config.pairs];
+
+    for _ in 0..config.rows {
+        let mut row: Vec<ColumnId> = Vec::new();
+        for p in 0..config.pairs {
+            let (lhs, rhs) = (2 * p as u32, 2 * p as u32 + 1);
+            if rng.gen::<f64>() < config.lhs_rate {
+                row.push(lhs);
+                lhs_ones[p] += 1;
+                if rng.gen::<f64>() < config.co_rate {
+                    row.push(rhs);
+                    hits[p] += 1;
+                }
+            } else if rng.gen::<f64>() < config.noise {
+                // RHS also fires on its own, keeping |S_rhs| > |S_lhs|.
+                row.push(rhs);
+            }
+        }
+        for c in 2 * config.pairs..config.cols {
+            if rng.gen::<f64>() < config.noise {
+                row.push(c as ColumnId);
+            }
+        }
+        builder.push_row(row);
+    }
+    let planted: Vec<(ColumnId, ColumnId)> = (0..config.pairs)
+        .map(|p| (2 * p as u32, 2 * p as u32 + 1))
+        .collect();
+    let realized_confidence = (0..config.pairs)
+        .map(|p| {
+            if lhs_ones[p] == 0 {
+                0.0
+            } else {
+                f64::from(hits[p]) / f64::from(lhs_ones[p])
+            }
+        })
+        .collect();
+    PlantedData {
+        matrix: builder.finish(),
+        planted,
+        realized_confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realized_confidence_matches_matrix() {
+        let data = planted_implications(&PlantedConfig::new(2000, 30, 5, 3));
+        let ones = data.matrix.column_ones();
+        for (i, &(lhs, rhs)) in data.planted.iter().enumerate() {
+            let mut hits = 0u32;
+            for row in data.matrix.rows() {
+                if row.binary_search(&lhs).is_ok() && row.binary_search(&rhs).is_ok() {
+                    hits += 1;
+                }
+            }
+            let conf = f64::from(hits) / f64::from(ones[lhs as usize]);
+            assert!(
+                (conf - data.realized_confidence[i]).abs() < 1e-9,
+                "pair {i}: {conf} vs {}",
+                data.realized_confidence[i]
+            );
+        }
+    }
+
+    #[test]
+    fn planted_pairs_are_high_confidence() {
+        let data = planted_implications(&PlantedConfig::new(5000, 20, 3, 7));
+        for &conf in &data.realized_confidence {
+            assert!(conf > 0.85, "planted confidence {conf}");
+        }
+    }
+
+    #[test]
+    fn lhs_is_canonically_smaller() {
+        let data = planted_implications(&PlantedConfig::new(3000, 12, 3, 11));
+        let ones = data.matrix.column_ones();
+        for &(lhs, rhs) in &data.planted {
+            assert!(
+                ones[lhs as usize] <= ones[rhs as usize],
+                "planted direction matches the canonical order"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2 columns per planted pair")]
+    fn rejects_too_many_pairs() {
+        let _ = PlantedConfig::new(10, 4, 3, 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! `Wlog` analogue: web-server access logs.
+//!
+//! Rows are client IPs, columns are URLs; an entry is 1 when the client hit
+//! the URL (§6.1). The structure that matters to DMC:
+//!
+//! * URL popularity is Zipfian (Fig 4's straight-line column densities);
+//! * most clients touch a handful of URLs, but "a few clients such as Web
+//!   crawlers … access all pages on the site" (§4.1) — those near-full rows
+//!   are what makes sparsest-first ordering pay off and what triggers the
+//!   §4.2 memory explosion;
+//! * correlated browsing: clients follow sessions through related pages,
+//!   which is what produces high-confidence implication rules between
+//!   URLs.
+
+use crate::zipf::Zipf;
+use dmc_matrix::{ColumnId, MatrixBuilder, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`weblog`].
+#[derive(Clone, Debug)]
+pub struct WeblogConfig {
+    /// Clients (rows).
+    pub clients: usize,
+    /// URLs (columns).
+    pub urls: usize,
+    /// Zipf exponent of URL popularity.
+    pub popularity_exponent: f64,
+    /// Mean URLs per ordinary client (geometric-ish session length).
+    pub mean_session: f64,
+    /// Number of crawler rows touching `crawler_coverage` of all URLs.
+    pub crawlers: usize,
+    /// Fraction of URLs a crawler hits.
+    pub crawler_coverage: f64,
+    /// Number of "hub" URL chains: consecutive URL pairs `(u, u+1)` where
+    /// visiting `u` almost always implies visiting `u+1` (navigation
+    /// hierarchies) — the source of high-confidence rules.
+    pub hub_chains: usize,
+    pub seed: u64,
+}
+
+impl WeblogConfig {
+    /// A laptop-scale default shaped like `Wlog` (heavy-tailed, a few
+    /// crawlers).
+    #[must_use]
+    pub fn new(clients: usize, urls: usize, seed: u64) -> Self {
+        Self {
+            clients,
+            urls,
+            popularity_exponent: 1.0,
+            mean_session: 6.0,
+            crawlers: (clients / 2000).max(2),
+            crawler_coverage: 0.8,
+            hub_chains: (urls / 50).max(1),
+            seed,
+        }
+    }
+}
+
+/// Generates the access-log matrix.
+#[must_use]
+pub fn weblog(config: &WeblogConfig) -> SparseMatrix {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let popularity = Zipf::new(config.urls, config.popularity_exponent);
+    let mut builder = MatrixBuilder::with_capacity(
+        config.urls,
+        config.clients,
+        (config.clients as f64 * config.mean_session) as usize,
+    );
+
+    // Crawler rows are interleaved through the log (a crawler hits the
+    // site at arbitrary times), at evenly spaced deterministic positions.
+    let crawlers = config.crawlers.min(config.clients);
+    let ordinary = config.clients - crawlers;
+    let stride = if crawlers == 0 {
+        usize::MAX
+    } else {
+        config.clients / (crawlers + 1)
+    };
+    let mut emitted_crawlers = 0;
+    for i in 0..config.clients {
+        let crawler_due =
+            crawlers > 0 && emitted_crawlers < crawlers && (i + 1) % stride.max(1) == 0;
+        if crawler_due || i >= ordinary + emitted_crawlers {
+            let row: Vec<ColumnId> = (0..config.urls as ColumnId)
+                .filter(|_| rng.gen::<f64>() < config.crawler_coverage)
+                .collect();
+            builder.push_row(row);
+            emitted_crawlers += 1;
+            continue;
+        }
+        // Session length: 1 + geometric with the configured mean.
+        let mut len = 1;
+        while rng.gen::<f64>() < 1.0 - 1.0 / config.mean_session {
+            len += 1;
+        }
+        let mut row: Vec<ColumnId> = Vec::with_capacity(len + 2);
+        for _ in 0..len {
+            let url = popularity.sample(&mut rng) as ColumnId;
+            row.push(url);
+            // Hub chains: visiting a chain member usually pulls in its
+            // successor (a navigation click-through).
+            if (url as usize) < config.hub_chains * 2 && url % 2 == 0 && rng.gen::<f64>() < 0.95 {
+                row.push(url + 1);
+            }
+        }
+        builder.push_row(row);
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_matrix::stats::matrix_stats;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = WeblogConfig::new(200, 100, 7);
+        assert_eq!(weblog(&cfg), weblog(&cfg));
+        let other = WeblogConfig::new(200, 100, 8);
+        assert_ne!(weblog(&cfg), weblog(&other));
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = WeblogConfig::new(500, 120, 1);
+        let m = weblog(&cfg);
+        assert_eq!(m.n_rows(), 500);
+        assert_eq!(m.n_cols(), 120);
+    }
+
+    #[test]
+    fn crawler_rows_are_near_full() {
+        let mut cfg = WeblogConfig::new(300, 200, 3);
+        cfg.crawlers = 3;
+        let m = weblog(&cfg);
+        let stats = matrix_stats(&m);
+        // Crawlers cover ~80% of 200 columns; ordinary sessions ~6.
+        assert!(stats.max_row_density > 120, "max={}", stats.max_row_density);
+        assert!(
+            stats.avg_row_density < 15.0,
+            "avg={}",
+            stats.avg_row_density
+        );
+    }
+
+    #[test]
+    fn url_popularity_is_heavy_tailed() {
+        let cfg = WeblogConfig::new(2000, 300, 5);
+        let m = weblog(&cfg);
+        let mut ones = m.column_ones();
+        ones.sort_unstable_by(|a, b| b.cmp(a));
+        // Top URL is much more popular than the median one.
+        assert!(
+            ones[0] > ones[150].max(1) * 5,
+            "head={} median={}",
+            ones[0],
+            ones[150]
+        );
+    }
+
+    #[test]
+    fn hub_chains_create_high_confidence_rules() {
+        let mut cfg = WeblogConfig::new(3000, 100, 11);
+        cfg.crawlers = 0;
+        cfg.hub_chains = 5;
+        let m = weblog(&cfg);
+        let ones = m.column_ones();
+        // Count hits of (0, 1) by scanning.
+        let mut hits = 0u32;
+        for row in m.rows() {
+            if row.binary_search(&0).is_ok() && row.binary_search(&1).is_ok() {
+                hits += 1;
+            }
+        }
+        assert!(ones[0] > 20, "chain head occurs often");
+        assert!(
+            f64::from(hits) / f64::from(ones[0]) > 0.9,
+            "visiting URL 0 implies URL 1: {hits}/{}",
+            ones[0]
+        );
+    }
+}

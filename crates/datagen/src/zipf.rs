@@ -1,0 +1,116 @@
+//! Zipf sampling — the workhorse of every generator here.
+//!
+//! Web page popularity, word frequency, client activity and vertex degree
+//! are all heavy-tailed; the paper's Fig 4 column-density distributions are
+//! straight lines on log-log axes. A Zipf(`s`) sampler over ranks `1..=n`
+//! reproduces that shape.
+
+use rand::Rng;
+
+/// A Zipf(`s`) distribution over `{0, 1, …, n−1}` (rank 0 most likely),
+/// sampled by inversion on a precomputed CDF (O(log n) per draw).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if there are no ranks (never — construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[60]);
+        // Roughly Zipfian head: rank 0 ≈ 2x rank 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!(ratio > 1.5 && ratio < 3.5, "ratio={ratio}");
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 700.0, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panic() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

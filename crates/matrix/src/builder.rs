@@ -1,0 +1,145 @@
+//! Incremental construction of [`SparseMatrix`].
+
+use crate::{ColumnId, SparseMatrix};
+
+/// Builds a [`SparseMatrix`] one row at a time.
+///
+/// Rows may be pushed unsorted and with duplicates; the builder normalizes
+/// each row to a strictly increasing column list (the paper treats a row as
+/// a *set* of columns).
+///
+/// # Examples
+///
+/// ```
+/// use dmc_matrix::MatrixBuilder;
+///
+/// let mut b = MatrixBuilder::new(4);
+/// b.push_row(vec![3, 1, 1]); // unsorted + duplicate: normalized to {1, 3}
+/// b.push_row(vec![]);
+/// let m = b.finish();
+/// assert_eq!(m.row(0), &[1, 3]);
+/// assert_eq!(m.row_len(1), 0);
+/// ```
+#[derive(Debug)]
+pub struct MatrixBuilder {
+    row_offsets: Vec<usize>,
+    col_indices: Vec<ColumnId>,
+    n_cols: usize,
+}
+
+impl MatrixBuilder {
+    /// Starts a builder for a matrix with `n_cols` columns.
+    #[must_use]
+    pub fn new(n_cols: usize) -> Self {
+        Self {
+            row_offsets: vec![0],
+            col_indices: Vec::new(),
+            n_cols,
+        }
+    }
+
+    /// Pre-allocates for an expected number of rows and non-zeros.
+    #[must_use]
+    pub fn with_capacity(n_cols: usize, rows: usize, nnz: usize) -> Self {
+        let mut row_offsets = Vec::with_capacity(rows + 1);
+        row_offsets.push(0);
+        Self {
+            row_offsets,
+            col_indices: Vec::with_capacity(nnz),
+            n_cols,
+        }
+    }
+
+    /// Number of rows pushed so far.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Appends a row given as an arbitrary-order, possibly-duplicated column
+    /// list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column id is `>= n_cols`.
+    pub fn push_row(&mut self, mut cols: Vec<ColumnId>) {
+        cols.sort_unstable();
+        cols.dedup();
+        self.push_sorted_row(&cols);
+    }
+
+    /// Appends a row that is already strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is not strictly increasing or any id is
+    /// `>= n_cols`.
+    pub fn push_sorted_row(&mut self, cols: &[ColumnId]) {
+        if let Some(&last) = cols.last() {
+            assert!(
+                (last as usize) < self.n_cols,
+                "column id {last} out of range for {} columns",
+                self.n_cols
+            );
+        }
+        assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "push_sorted_row requires a strictly increasing column list"
+        );
+        self.col_indices.extend_from_slice(cols);
+        self.row_offsets.push(self.col_indices.len());
+    }
+
+    /// Finalizes the matrix.
+    #[must_use]
+    pub fn finish(self) -> SparseMatrix {
+        SparseMatrix::from_parts(self.row_offsets, self.col_indices, self.n_cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_unsorted_duplicated_rows() {
+        let mut b = MatrixBuilder::new(10);
+        b.push_row(vec![5, 2, 9, 2, 5]);
+        let m = b.finish();
+        assert_eq!(m.row(0), &[2, 5, 9]);
+    }
+
+    #[test]
+    fn with_capacity_matches_new() {
+        let mut a = MatrixBuilder::new(3);
+        let mut b = MatrixBuilder::with_capacity(3, 2, 4);
+        for builder in [&mut a, &mut b] {
+            builder.push_row(vec![0, 2]);
+            builder.push_row(vec![1]);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn n_rows_tracks_pushes() {
+        let mut b = MatrixBuilder::new(2);
+        assert_eq!(b.n_rows(), 0);
+        b.push_row(vec![0]);
+        b.push_row(vec![]);
+        assert_eq!(b.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_column() {
+        let mut b = MatrixBuilder::new(3);
+        b.push_row(vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_sorted_rejects_unsorted() {
+        let mut b = MatrixBuilder::new(5);
+        b.push_sorted_row(&[2, 1]);
+    }
+}

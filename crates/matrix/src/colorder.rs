@@ -1,0 +1,85 @@
+//! The paper's canonical column ordering.
+//!
+//! §2: since `Conf(c_j ⇒ c_i) ≤ Conf(c_i ⇒ c_j)` whenever `|S_i| < |S_j|`,
+//! only rules `c_i ⇒ c_j` with `|S_i| < |S_j|`, or `|S_i| = |S_j| ∧ i < j`,
+//! are considered. Every candidate-admission test in Algorithm 3.1 ("add all
+//! columns `c_k` such that `ones(c_k) > ones(c_j)` or (`ones(c_k) =
+//! ones(c_j)` and `k > j`)") is a comparison in this total order, so it lives
+//! in one place.
+
+use crate::ColumnId;
+
+/// `true` iff column `a` precedes column `b` in the canonical order:
+/// fewer 1s first, ties broken by smaller id.
+///
+/// A rule `a ⇒ b` (or a similarity candidate `(a, b)`) is only tracked when
+/// `canonical_less(a, ones_a, b, ones_b)` holds.
+#[inline]
+#[must_use]
+pub fn canonical_less(a: ColumnId, ones_a: u32, b: ColumnId, ones_b: u32) -> bool {
+    ones_a < ones_b || (ones_a == ones_b && a < b)
+}
+
+/// A column id bundled with its 1-count, ordered canonically.
+///
+/// Useful for sorting column sets into scan order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnInfo {
+    pub id: ColumnId,
+    pub ones: u32,
+}
+
+impl PartialOrd for ColumnInfo {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ColumnInfo {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ones, self.id).cmp(&(other.ones, other.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fewer_ones_comes_first() {
+        assert!(canonical_less(5, 2, 1, 10));
+        assert!(!canonical_less(1, 10, 5, 2));
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        assert!(canonical_less(1, 4, 2, 4));
+        assert!(!canonical_less(2, 4, 1, 4));
+        assert!(!canonical_less(3, 4, 3, 4), "irreflexive");
+    }
+
+    #[test]
+    fn total_order_is_antisymmetric() {
+        for (a, oa, b, ob) in [(0u32, 1u32, 1u32, 1u32), (0, 2, 1, 1), (7, 3, 2, 3)] {
+            let ab = canonical_less(a, oa, b, ob);
+            let ba = canonical_less(b, ob, a, oa);
+            assert!(ab != ba, "exactly one direction holds for distinct columns");
+        }
+    }
+
+    #[test]
+    fn column_info_sort_matches_canonical_less() {
+        let mut cols = [
+            ColumnInfo { id: 3, ones: 5 },
+            ColumnInfo { id: 1, ones: 2 },
+            ColumnInfo { id: 2, ones: 5 },
+            ColumnInfo { id: 0, ones: 9 },
+        ];
+        cols.sort();
+        let ids: Vec<u32> = cols.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 0]);
+        for w in cols.windows(2) {
+            assert!(canonical_less(w[0].id, w[0].ones, w[1].id, w[1].ones));
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Text interchange format for sparse 0/1 matrices.
+//!
+//! One row per line: space-separated column ids, in any order. A header line
+//! `# cols <m>` pins the column-space size; without it the size is inferred
+//! as `max id + 1`. Blank lines are empty rows; `#`-prefixed lines (other
+//! than the header) are comments. This is the usual transaction-file shape
+//! of association-mining data sets (each line lists the items of one
+//! basket).
+
+use crate::{ColumnId, MatrixBuilder, SparseMatrix};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors produced while parsing the text format.
+#[derive(Debug)]
+pub enum ParseError {
+    Io(io::Error),
+    /// A token was not a valid column id; payload is (line number, token).
+    BadToken {
+        line: usize,
+        token: String,
+    },
+    /// A `# cols` header was malformed.
+    BadHeader {
+        line: usize,
+    },
+    /// A column id at or beyond the declared column count; payload is
+    /// (line number, id, declared columns).
+    ColumnOutOfRange {
+        line: usize,
+        id: u64,
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::BadToken { line, token } => {
+                write!(f, "line {line}: invalid column id {token:?}")
+            }
+            ParseError::BadHeader { line } => write!(f, "line {line}: malformed '# cols' header"),
+            ParseError::ColumnOutOfRange { line, id, cols } => {
+                write!(
+                    f,
+                    "line {line}: column id {id} >= declared column count {cols}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads a matrix from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on IO failure, unparsable tokens, a malformed
+/// header, or ids exceeding a declared column count.
+pub fn read_matrix<R: Read>(reader: R) -> Result<SparseMatrix, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut declared_cols: Option<usize> = None;
+    let mut rows: Vec<Vec<ColumnId>> = Vec::new();
+    let mut max_id: Option<ColumnId> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("cols") {
+                let cols = parts
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or(ParseError::BadHeader { line: line_no })?;
+                declared_cols = Some(cols);
+            }
+            continue;
+        }
+        let mut row = Vec::new();
+        for token in trimmed.split_whitespace() {
+            let id: u64 = token.parse().map_err(|_| ParseError::BadToken {
+                line: line_no,
+                token: token.to_string(),
+            })?;
+            if let Some(cols) = declared_cols {
+                if id >= cols as u64 {
+                    return Err(ParseError::ColumnOutOfRange {
+                        line: line_no,
+                        id,
+                        cols,
+                    });
+                }
+            }
+            let id = ColumnId::try_from(id).map_err(|_| ParseError::BadToken {
+                line: line_no,
+                token: token.to_string(),
+            })?;
+            max_id = Some(max_id.map_or(id, |m| m.max(id)));
+            row.push(id);
+        }
+        rows.push(row);
+    }
+
+    let n_cols = declared_cols.unwrap_or(max_id.map_or(0, |m| m as usize + 1));
+    let mut builder = MatrixBuilder::new(n_cols);
+    for row in rows {
+        builder.push_row(row);
+    }
+    Ok(builder.finish())
+}
+
+/// Streaming row reader over the text format: yields one parsed row at a
+/// time without materializing the matrix (for the out-of-core pipeline in
+/// `dmc-core::stream`).
+///
+/// The `# cols` header, when present, is exposed via
+/// [`RowLines::declared_cols`] after it has been read; ids are validated
+/// against it.
+pub struct RowLines<R: BufRead> {
+    reader: R,
+    line_no: usize,
+    declared_cols: Option<usize>,
+    buf: String,
+}
+
+impl<R: BufRead> RowLines<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            line_no: 0,
+            declared_cols: None,
+            buf: String::new(),
+        }
+    }
+
+    /// The `# cols` header value, if one has been read so far.
+    #[must_use]
+    pub fn declared_cols(&self) -> Option<usize> {
+        self.declared_cols
+    }
+
+    fn parse_line(&mut self) -> Result<Option<Option<Vec<ColumnId>>>, ParseError> {
+        // Ok(None) = EOF; Ok(Some(None)) = comment/header line;
+        // Ok(Some(Some(row))) = a data row.
+        self.buf.clear();
+        if self.reader.read_line(&mut self.buf)? == 0 {
+            return Ok(None);
+        }
+        self.line_no += 1;
+        let line_no = self.line_no;
+        let trimmed = self.buf.trim();
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("cols") {
+                let cols = parts
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or(ParseError::BadHeader { line: line_no })?;
+                self.declared_cols = Some(cols);
+            }
+            return Ok(Some(None));
+        }
+        let mut row = Vec::new();
+        for token in trimmed.split_whitespace() {
+            let id: u64 = token.parse().map_err(|_| ParseError::BadToken {
+                line: line_no,
+                token: token.to_string(),
+            })?;
+            if let Some(cols) = self.declared_cols {
+                if id >= cols as u64 {
+                    return Err(ParseError::ColumnOutOfRange {
+                        line: line_no,
+                        id,
+                        cols,
+                    });
+                }
+            }
+            let id = ColumnId::try_from(id).map_err(|_| ParseError::BadToken {
+                line: line_no,
+                token: token.to_string(),
+            })?;
+            row.push(id);
+        }
+        row.sort_unstable();
+        row.dedup();
+        Ok(Some(Some(row)))
+    }
+}
+
+impl<R: BufRead> Iterator for RowLines<R> {
+    type Item = Result<Vec<ColumnId>, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.parse_line() {
+                Ok(None) => return None,
+                Ok(Some(None)) => {} // comment or header: keep reading
+                Ok(Some(Some(row))) => return Some(Ok(row)),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Writes a matrix in the text format, including the `# cols` header so the
+/// column-space size round-trips.
+///
+/// # Errors
+///
+/// Propagates IO errors from `writer`.
+pub fn write_matrix<W: Write>(matrix: &SparseMatrix, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "# cols {}", matrix.n_cols())?;
+    let mut line = String::new();
+    for row in matrix.rows() {
+        line.clear();
+        for (i, c) in row.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&c.to_string());
+        }
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = SparseMatrix::from_rows(5, vec![vec![0, 4], vec![], vec![2]]);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let back = read_matrix(&buf[..]).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reads_without_header_inferring_cols() {
+        let text = "1 3\n\n2\n";
+        let m = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(m.n_cols(), 4);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.row(1), &[] as &[ColumnId]);
+    }
+
+    #[test]
+    fn normalizes_unsorted_input() {
+        let m = read_matrix("3 1 1 0\n".as_bytes()).unwrap();
+        assert_eq!(m.row(0), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        let text = "# a comment\n# cols 10\n5\n# trailing comment\n7\n";
+        let m = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(m.n_cols(), 10);
+        assert_eq!(m.n_rows(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_token() {
+        let err = read_matrix("1 x 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::BadToken { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_when_declared() {
+        let err = read_matrix("# cols 3\n0 3\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ParseError::ColumnOutOfRange {
+                    line: 2,
+                    id: 3,
+                    cols: 3
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_matrix("# cols many\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::BadHeader { line: 1 }), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_matrix() {
+        let m = read_matrix("".as_bytes()).unwrap();
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 0);
+    }
+
+    #[test]
+    fn row_lines_streams_rows() {
+        let text = "# cols 5\n3 1\n\n# mid comment\n4\n";
+        let mut lines = RowLines::new(text.as_bytes());
+        assert_eq!(lines.next().unwrap().unwrap(), vec![1, 3]);
+        assert_eq!(lines.declared_cols(), Some(5));
+        assert_eq!(lines.next().unwrap().unwrap(), vec![]);
+        assert_eq!(lines.next().unwrap().unwrap(), vec![4]);
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn row_lines_agree_with_read_matrix() {
+        let text = "# cols 6\n0 5\n2 2 1\n\n3\n";
+        let streamed: Vec<Vec<ColumnId>> =
+            RowLines::new(text.as_bytes()).map(Result::unwrap).collect();
+        let matrix = read_matrix(text.as_bytes()).unwrap();
+        let direct: Vec<Vec<ColumnId>> = matrix.rows().map(<[ColumnId]>::to_vec).collect();
+        assert_eq!(streamed, direct);
+    }
+
+    #[test]
+    fn row_lines_propagates_errors() {
+        let mut lines = RowLines::new("1 bad\n".as_bytes());
+        assert!(matches!(
+            lines.next().unwrap().unwrap_err(),
+            ParseError::BadToken { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_matrix("9 q\n".as_bytes()).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("line 1") && msg.contains('q'), "{msg}");
+    }
+}

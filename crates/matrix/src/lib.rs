@@ -1,0 +1,49 @@
+//! Sparse binary matrix substrate for DMC rule mining.
+//!
+//! The paper ("Dynamic Miss-Counting Algorithms", ICDE 2000, §2) views the
+//! data as an `n x m` 0/1 matrix `M`: rows are transactions, columns are
+//! attributes, and `S_i` is the set of rows with a 1 in column `c_i`. Every
+//! algorithm in the workspace — DMC itself, a-priori, Min-Hash, K-Min, and
+//! the exact oracle — scans matrices through this crate.
+//!
+//! Storage is CSR-like: each row is a sorted, deduplicated slice of column
+//! ids. That matches the paper's framing ("a row consists of a set of
+//! columns", Algorithm 3.1) and makes the candidate-list merge of DMC-base a
+//! sorted-sequence merge.
+//!
+//! Beyond raw storage the crate provides the pieces §4 and §6 of the paper
+//! need:
+//!
+//! * [`order`] — row re-ordering (§4.1): exact sparsest-first and the
+//!   paper's power-of-two density buckets.
+//! * [`stats`] — Table-1 style size stats and the Fig-4 column-density
+//!   histogram.
+//! * [`transform`] — transpose (plinkF vs plinkT), support pruning
+//!   (WlogP/NewsP derivation), row selection.
+//! * [`io`] — a line-oriented text interchange format, with a streaming
+//!   row reader for out-of-core pipelines; [`io_binary`] is the compact
+//!   binary sibling for repeated reloads.
+//! * [`spill`] — disk-backed density buckets (the paper's out-of-core row
+//!   re-ordering).
+
+mod builder;
+mod colorder;
+pub mod io;
+pub mod io_binary;
+mod matrix;
+pub mod order;
+pub mod spill;
+pub mod stats;
+pub mod transform;
+
+pub use builder::MatrixBuilder;
+pub use colorder::{canonical_less, ColumnInfo};
+pub use matrix::{RowsIter, SparseMatrix};
+
+/// Column identifier. `u32` keeps hot per-candidate state small
+/// (perf-book "smaller integers" guidance); 4 billion columns is far beyond
+/// the paper's 700k-column data sets.
+pub type ColumnId = u32;
+
+/// Row identifier.
+pub type RowId = u32;

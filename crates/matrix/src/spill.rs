@@ -1,0 +1,277 @@
+//! Disk-backed density buckets (§4.1's out-of-core row re-ordering).
+//!
+//! The paper avoids sorting disk-resident data by density: during the
+//! first scan each row is appended to one of `⌈log₂ m⌉ + 1` bucket files
+//! by its 1-count, and the second scan reads the bucket files sparsest
+//! first. [`BucketSpill`] implements exactly that: rows go in via
+//! [`BucketSpill::push_row`], come back out in bucketed sparsest-first
+//! order via [`BucketSpill::replay`], any number of times.
+//!
+//! Rows are stored in a simple length-prefixed little-endian binary format
+//! (`u32` count, then `u32` ids). Files live in a caller-supplied or
+//! temporary directory and are removed on drop.
+
+use crate::order::density_bucket;
+use crate::ColumnId;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SPILL_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Writes rows into per-density bucket files and replays them sparsest
+/// bucket first.
+pub struct BucketSpill {
+    dir: PathBuf,
+    prefix: String,
+    /// Lazily opened writers, one per bucket.
+    writers: Vec<Option<BufWriter<File>>>,
+    rows: usize,
+}
+
+impl BucketSpill {
+    /// Creates a spill area under `dir` for matrices of up to `n_cols`
+    /// columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(dir: impl Into<PathBuf>, n_cols: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let buckets = density_bucket(n_cols.max(1)) + 1;
+        let prefix = format!(
+            "dmc-spill-{}-{}",
+            std::process::id(),
+            SPILL_ID.fetch_add(1, Ordering::Relaxed)
+        );
+        let mut writers = Vec::with_capacity(buckets);
+        writers.resize_with(buckets, || None);
+        Ok(Self {
+            dir,
+            prefix,
+            writers,
+            rows: 0,
+        })
+    }
+
+    /// Creates a spill area in the system temp directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn in_temp(n_cols: usize) -> io::Result<Self> {
+        Self::new(std::env::temp_dir().join("dmc-spill"), n_cols)
+    }
+
+    fn bucket_path(&self, bucket: usize) -> PathBuf {
+        self.dir.join(format!("{}-b{bucket}.rows", self.prefix))
+    }
+
+    /// Rows spilled so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Appends a sorted row to its density bucket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file IO errors.
+    pub fn push_row(&mut self, row: &[ColumnId]) -> io::Result<()> {
+        let bucket = density_bucket(row.len()).min(self.writers.len() - 1);
+        if self.writers[bucket].is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .write(true)
+                .open(self.bucket_path(bucket))?;
+            self.writers[bucket] = Some(BufWriter::new(file));
+        }
+        let writer = self.writers[bucket].as_mut().expect("just opened");
+        writer.write_all(&(row.len() as u32).to_le_bytes())?;
+        for &c in row {
+            writer.write_all(&c.to_le_bytes())?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Flushes writers and returns an iterator over all rows, sparsest
+    /// bucket first (original order within a bucket). Can be called
+    /// repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn replay(&mut self) -> io::Result<SpillReplay> {
+        for writer in self.writers.iter_mut().flatten() {
+            writer.flush()?;
+        }
+        let paths: Vec<Option<PathBuf>> = self
+            .writers
+            .iter()
+            .enumerate()
+            .map(|(b, w)| w.as_ref().map(|_| self.bucket_path(b)))
+            .collect();
+        Ok(SpillReplay {
+            paths,
+            next_bucket: 0,
+            current: None,
+        })
+    }
+}
+
+impl Drop for BucketSpill {
+    fn drop(&mut self) {
+        for bucket in 0..self.writers.len() {
+            if self.writers[bucket].is_some() {
+                let _ = std::fs::remove_file(self.bucket_path(bucket));
+            }
+        }
+    }
+}
+
+/// Row iterator over a [`BucketSpill`], sparsest bucket first.
+pub struct SpillReplay {
+    paths: Vec<Option<PathBuf>>,
+    next_bucket: usize,
+    current: Option<BufReader<File>>,
+}
+
+impl SpillReplay {
+    fn read_row(reader: &mut BufReader<File>) -> io::Result<Option<Vec<ColumnId>>> {
+        let mut len_buf = [0u8; 4];
+        match reader.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut row = Vec::with_capacity(len);
+        let mut id_buf = [0u8; 4];
+        for _ in 0..len {
+            reader.read_exact(&mut id_buf)?;
+            row.push(ColumnId::from_le_bytes(id_buf));
+        }
+        Ok(Some(row))
+    }
+}
+
+impl Iterator for SpillReplay {
+    type Item = io::Result<Vec<ColumnId>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(reader) = &mut self.current {
+                match Self::read_row(reader) {
+                    Ok(Some(row)) => return Some(Ok(row)),
+                    Ok(None) => self.current = None,
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            // Advance to the next existing bucket file.
+            loop {
+                if self.next_bucket >= self.paths.len() {
+                    return None;
+                }
+                let bucket = self.next_bucket;
+                self.next_bucket += 1;
+                if let Some(path) = &self.paths[bucket] {
+                    match File::open(path) {
+                        Ok(file) => {
+                            self.current = Some(BufReader::new(file));
+                            break;
+                        }
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir() -> PathBuf {
+        std::env::temp_dir().join("dmc-spill-tests")
+    }
+
+    #[test]
+    fn replay_orders_buckets_sparsest_first() {
+        let mut spill = BucketSpill::new(temp_dir(), 100).unwrap();
+        spill.push_row(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap(); // bucket 3
+        spill.push_row(&[9]).unwrap(); // bucket 0
+        spill.push_row(&[1, 2]).unwrap(); // bucket 1
+        spill.push_row(&[7]).unwrap(); // bucket 0
+        assert_eq!(spill.rows(), 4);
+
+        let rows: Vec<Vec<ColumnId>> = spill.replay().unwrap().map(Result::unwrap).collect();
+        assert_eq!(
+            rows,
+            vec![vec![9], vec![7], vec![1, 2], vec![1, 2, 3, 4, 5, 6, 7, 8]]
+        );
+    }
+
+    #[test]
+    fn replay_is_repeatable() {
+        let mut spill = BucketSpill::new(temp_dir(), 10).unwrap();
+        spill.push_row(&[0, 1]).unwrap();
+        spill.push_row(&[2]).unwrap();
+        let first: Vec<Vec<ColumnId>> = spill.replay().unwrap().map(Result::unwrap).collect();
+        let second: Vec<Vec<ColumnId>> = spill.replay().unwrap().map(Result::unwrap).collect();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn empty_spill_replays_nothing() {
+        let mut spill = BucketSpill::new(temp_dir(), 5).unwrap();
+        assert_eq!(spill.replay().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn empty_rows_are_preserved() {
+        let mut spill = BucketSpill::new(temp_dir(), 5).unwrap();
+        spill.push_row(&[]).unwrap();
+        spill.push_row(&[3]).unwrap();
+        let rows: Vec<Vec<ColumnId>> = spill.replay().unwrap().map(Result::unwrap).collect();
+        assert_eq!(rows, vec![vec![], vec![3]]);
+    }
+
+    #[test]
+    fn files_are_cleaned_up_on_drop() {
+        let dir = temp_dir();
+        let path;
+        {
+            let mut spill = BucketSpill::new(&dir, 10).unwrap();
+            spill.push_row(&[1]).unwrap();
+            path = spill.bucket_path(0);
+            let _ = spill.replay().unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "bucket file removed on drop");
+    }
+
+    #[test]
+    fn large_roundtrip() {
+        let mut spill = BucketSpill::new(temp_dir(), 1000).unwrap();
+        let mut expected_by_bucket: Vec<Vec<Vec<ColumnId>>> = vec![Vec::new(); 16];
+        for i in 0..500u32 {
+            let len = (i % 37) as usize;
+            let row: Vec<ColumnId> = (0..len as u32).map(|k| k * 7 % 1000).collect();
+            let mut sorted = row.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            spill.push_row(&sorted).unwrap();
+            expected_by_bucket[density_bucket(sorted.len())].push(sorted);
+        }
+        let expected: Vec<Vec<ColumnId>> = expected_by_bucket.into_iter().flatten().collect();
+        let rows: Vec<Vec<ColumnId>> = spill.replay().unwrap().map(Result::unwrap).collect();
+        assert_eq!(rows, expected);
+    }
+}

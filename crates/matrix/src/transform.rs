@@ -1,0 +1,192 @@
+//! Matrix transforms used to derive the paper's data-set variants.
+//!
+//! * [`transpose`] — `plinkF` vs `plinkT` are transposes of the same link
+//!   graph (§6.1).
+//! * [`prune_columns_by_support`] — `WlogP` prunes columns with ≤ 10 ones;
+//!   `NewsP` applies both a minimum (35) and maximum (3278) support bound.
+//! * [`select_rows`] / [`permute_rows`] — row subsetting and physical
+//!   re-ordering (algorithms normally scan through a permutation instead,
+//!   see [`crate::order`], but tests and generators want the physical form).
+
+use crate::{ColumnId, MatrixBuilder, RowId, SparseMatrix};
+
+/// The transpose `Mᵀ`: entry `(r, c)` of the result is entry `(c, r)` of
+/// `matrix`.
+#[must_use]
+pub fn transpose(matrix: &SparseMatrix) -> SparseMatrix {
+    let mut builder = MatrixBuilder::with_capacity(matrix.n_rows(), matrix.n_cols(), matrix.nnz());
+    for col_rows in matrix.column_rows() {
+        // Row ids ascend within each column list, so the row is sorted.
+        let as_cols: Vec<ColumnId> = col_rows; // RowId and ColumnId are both u32
+        builder.push_sorted_row(&as_cols);
+    }
+    builder.finish()
+}
+
+/// Result of a column-pruning transform: the pruned matrix plus the mapping
+/// from new column ids to the original ids.
+#[derive(Clone, Debug)]
+pub struct PrunedMatrix {
+    pub matrix: SparseMatrix,
+    /// `original_ids[new_id] = old_id`.
+    pub original_ids: Vec<ColumnId>,
+}
+
+impl PrunedMatrix {
+    /// Translates a pruned-space column id back to the original id.
+    #[must_use]
+    pub fn original_id(&self, new_id: ColumnId) -> ColumnId {
+        self.original_ids[new_id as usize]
+    }
+}
+
+/// Keeps only columns whose 1-count lies in `[min_support, max_support]`,
+/// renumbering the survivors densely in original-id order.
+///
+/// `max_support = usize::MAX` (see [`prune_min_support`]) disables the upper
+/// bound. Rows that become empty are kept as empty rows, matching the
+/// paper's `WlogP` row count staying within the same order of magnitude.
+#[must_use]
+pub fn prune_columns_by_support(
+    matrix: &SparseMatrix,
+    min_support: usize,
+    max_support: usize,
+) -> PrunedMatrix {
+    let ones = matrix.column_ones();
+    let mut remap = vec![ColumnId::MAX; matrix.n_cols()];
+    let mut original_ids = Vec::new();
+    for (old, &o) in ones.iter().enumerate() {
+        let o = o as usize;
+        if o >= min_support && o <= max_support {
+            remap[old] = original_ids.len() as ColumnId;
+            original_ids.push(old as ColumnId);
+        }
+    }
+    let mut builder =
+        MatrixBuilder::with_capacity(original_ids.len(), matrix.n_rows(), matrix.nnz());
+    let mut scratch: Vec<ColumnId> = Vec::new();
+    for row in matrix.rows() {
+        scratch.clear();
+        scratch.extend(
+            row.iter()
+                .map(|&c| remap[c as usize])
+                .filter(|&c| c != ColumnId::MAX),
+        );
+        // remap preserves relative order, so scratch stays sorted.
+        builder.push_sorted_row(&scratch);
+    }
+    PrunedMatrix {
+        matrix: builder.finish(),
+        original_ids,
+    }
+}
+
+/// Keeps only columns with at least `min_support` ones.
+#[must_use]
+pub fn prune_min_support(matrix: &SparseMatrix, min_support: usize) -> PrunedMatrix {
+    prune_columns_by_support(matrix, min_support, usize::MAX)
+}
+
+/// Builds a new matrix from the selected rows, in the given order.
+///
+/// # Panics
+///
+/// Panics if any row index is out of range.
+#[must_use]
+pub fn select_rows(matrix: &SparseMatrix, rows: &[RowId]) -> SparseMatrix {
+    let mut builder = MatrixBuilder::with_capacity(matrix.n_cols(), rows.len(), matrix.nnz());
+    for &r in rows {
+        builder.push_sorted_row(matrix.row(r as usize));
+    }
+    builder.finish()
+}
+
+/// Physically re-orders rows by a permutation (see [`crate::order`]).
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..n_rows`.
+#[must_use]
+pub fn permute_rows(matrix: &SparseMatrix, perm: &[RowId]) -> SparseMatrix {
+    assert_eq!(perm.len(), matrix.n_rows(), "permutation length mismatch");
+    select_rows(matrix, perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::RowOrder;
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::from_rows(4, vec![vec![0, 2], vec![1, 2, 3], vec![2], vec![0, 2]])
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = transpose(&m);
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 4);
+        assert_eq!(t.row(0), &[0, 3]); // column 0 had ones in rows 0 and 3
+        assert_eq!(t.row(2), &[0, 1, 2, 3]);
+        assert_eq!(transpose(&t), m);
+    }
+
+    #[test]
+    fn transpose_empty_and_rectangular() {
+        let m = SparseMatrix::from_rows(3, vec![vec![0], vec![2]]);
+        let t = transpose(&m);
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.row(0), &[0]);
+        assert_eq!(t.row(1), &[] as &[ColumnId]);
+        assert_eq!(t.row(2), &[1]);
+    }
+
+    #[test]
+    fn min_support_pruning_drops_and_renumbers() {
+        // ones: [2, 1, 4, 1]; min_support 2 keeps columns 0 and 2.
+        let pruned = prune_min_support(&sample(), 2);
+        assert_eq!(pruned.original_ids, vec![0, 2]);
+        assert_eq!(pruned.matrix.n_cols(), 2);
+        assert_eq!(pruned.matrix.row(0), &[0, 1]);
+        assert_eq!(pruned.matrix.row(1), &[1]);
+        assert_eq!(pruned.original_id(1), 2);
+    }
+
+    #[test]
+    fn support_window_prunes_both_ends() {
+        // ones: [2, 1, 4, 1]; window [2, 3] keeps only column 0.
+        let pruned = prune_columns_by_support(&sample(), 2, 3);
+        assert_eq!(pruned.original_ids, vec![0]);
+        assert_eq!(pruned.matrix.row(1), &[] as &[ColumnId]);
+        assert_eq!(pruned.matrix.column_ones(), vec![2]);
+    }
+
+    #[test]
+    fn pruning_to_nothing_yields_empty_columns() {
+        let pruned = prune_min_support(&sample(), 100);
+        assert_eq!(pruned.matrix.n_cols(), 0);
+        assert_eq!(pruned.matrix.n_rows(), 4);
+        assert_eq!(pruned.matrix.nnz(), 0);
+    }
+
+    #[test]
+    fn permute_rows_matches_order_module() {
+        let m = sample();
+        let perm = RowOrder::ExactSparsestFirst.permutation(&m);
+        let p = permute_rows(&m, &perm);
+        assert_eq!(p.row(0), &[2]); // sparsest row first
+        assert_eq!(p.nnz(), m.nnz());
+        assert_eq!(p.column_ones(), m.column_ones());
+    }
+
+    #[test]
+    fn select_rows_subset() {
+        let m = sample();
+        let s = select_rows(&m, &[2, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.row(0), &[2]);
+        assert_eq!(s.row(1), &[0, 2]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the matrix substrate: round-trips, parser
+//! robustness (never panic on arbitrary input), and order/transform
+//! invariants.
+
+use dmc_matrix::io::{read_matrix, write_matrix, RowLines};
+use dmc_matrix::io_binary::{decode_matrix, encode_matrix};
+use dmc_matrix::order::{bucketed_sparsest_first, density_bucket, exact_sparsest_first};
+use dmc_matrix::spill::BucketSpill;
+use dmc_matrix::transform::transpose;
+use dmc_matrix::{ColumnId, SparseMatrix};
+use proptest::prelude::*;
+
+fn matrix_strategy() -> impl Strategy<Value = SparseMatrix> {
+    (1usize..30).prop_flat_map(|cols| {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..cols as ColumnId, 0..cols.min(10)),
+            0..25,
+        )
+        .prop_map(move |rows| {
+            SparseMatrix::from_rows(
+                cols,
+                rows.into_iter().map(|s| s.into_iter().collect()).collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn text_roundtrip(m in matrix_strategy()) {
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        prop_assert_eq!(read_matrix(&buf[..]).unwrap(), m);
+    }
+
+    #[test]
+    fn binary_roundtrip(m in matrix_strategy()) {
+        prop_assert_eq!(decode_matrix(&encode_matrix(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn streaming_reader_agrees_with_batch(m in matrix_strategy()) {
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let streamed: Vec<Vec<ColumnId>> =
+            RowLines::new(&buf[..]).map(Result::unwrap).collect();
+        let direct: Vec<Vec<ColumnId>> = m.rows().map(<[ColumnId]>::to_vec).collect();
+        prop_assert_eq!(streamed, direct);
+    }
+
+    /// The text parser returns Ok or Err but never panics, whatever bytes
+    /// arrive.
+    #[test]
+    fn text_parser_never_panics(input in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = read_matrix(&input[..]);
+        for row in RowLines::new(&input[..]) {
+            let _ = row;
+        }
+    }
+
+    /// The binary decoder survives arbitrary bytes (including truncated or
+    /// bit-flipped real encodings).
+    #[test]
+    fn binary_decoder_never_panics(input in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_matrix(&input);
+    }
+
+    #[test]
+    fn binary_decoder_survives_corruption(
+        m in matrix_strategy(),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let mut bytes = encode_matrix(&m);
+        if !bytes.is_empty() {
+            let idx = flip.0 % bytes.len();
+            bytes[idx] ^= flip.1;
+        }
+        // Either decodes to *some* matrix or errors; never panics.
+        let _ = decode_matrix(&bytes);
+    }
+
+    #[test]
+    fn orders_are_permutations(m in matrix_strategy()) {
+        for perm in [bucketed_sparsest_first(&m), exact_sparsest_first(&m)] {
+            let mut sorted: Vec<u32> = perm.clone();
+            sorted.sort_unstable();
+            let expected: Vec<u32> = (0..m.n_rows() as u32).collect();
+            prop_assert_eq!(sorted, expected);
+            // Bucketed order is bucket-monotone.
+        }
+        let perm = bucketed_sparsest_first(&m);
+        let buckets: Vec<usize> = perm
+            .iter()
+            .map(|&r| density_bucket(m.row_len(r as usize)))
+            .collect();
+        prop_assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn transpose_involution(m in matrix_strategy()) {
+        prop_assert_eq!(transpose(&transpose(&m)), m);
+    }
+
+    #[test]
+    fn spill_replay_preserves_rows_in_bucket_order(m in matrix_strategy()) {
+        let dir = std::env::temp_dir().join("dmc-matrix-prop");
+        let mut spill = BucketSpill::new(dir, m.n_cols()).unwrap();
+        for row in m.rows() {
+            spill.push_row(row).unwrap();
+        }
+        let replayed: Vec<Vec<ColumnId>> =
+            spill.replay().unwrap().map(Result::unwrap).collect();
+        let perm = bucketed_sparsest_first(&m);
+        let expected: Vec<Vec<ColumnId>> =
+            perm.iter().map(|&r| m.row(r as usize).to_vec()).collect();
+        prop_assert_eq!(replayed, expected);
+    }
+}

@@ -1,0 +1,18 @@
+//! Instrumentation substrate for the DMC rule-mining workspace.
+//!
+//! The paper's evaluation (§6.2) reports two quantities per run:
+//!
+//! * **execution time**, broken down into pre-scan, 100%-rule extraction and
+//!   sub-100%-rule extraction (Fig 6(c)–(f)), and
+//! * **the maximum memory size of the counter array** that holds candidate
+//!   ids and miss counters (Fig 3, Fig 6(g),(h)).
+//!
+//! [`PhaseTimer`] provides the first, [`CounterMemory`] the second. Both are
+//! plain single-threaded accumulators the algorithms update inline; the
+//! experiments harness then renders them into the paper's tables.
+
+mod memory;
+mod timer;
+
+pub use memory::{CounterMemory, MemorySample, COL_OVERHEAD_BYTES, ENTRY_BYTES};
+pub use timer::{PhaseReport, PhaseTimer};

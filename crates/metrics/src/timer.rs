@@ -1,0 +1,163 @@
+//! Named phase timing for the Fig-6 execution-time breakdowns.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time into named phases.
+///
+/// Phases are identified by `&'static str` names and accumulate across
+/// repeated runs (re-entering a phase adds to its total). The report
+/// preserves first-seen order, matching the paper's stacked-bar breakdown
+/// (pre-scan, 100% rules, <100% rules, bitmap phase).
+///
+/// # Examples
+///
+/// ```
+/// use dmc_metrics::PhaseTimer;
+///
+/// let mut timer = PhaseTimer::new();
+/// {
+///     let _guard = timer.enter("pre-scan");
+///     // ... work ...
+/// }
+/// let report = timer.report();
+/// assert_eq!(report.phases().len(), 1);
+/// assert_eq!(report.phases()[0].0, "pre-scan");
+/// ```
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(&'static str, Duration)>,
+}
+
+impl PhaseTimer {
+    /// An empty timer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts timing `phase`; the elapsed time is recorded when the guard
+    /// drops.
+    pub fn enter(&mut self, phase: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            timer: self,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds a pre-measured duration to `phase` (for callers that measure
+    /// themselves).
+    pub fn record(&mut self, phase: &'static str, elapsed: Duration) {
+        if let Some(entry) = self.phases.iter_mut().find(|(name, _)| *name == phase) {
+            entry.1 += elapsed;
+        } else {
+            self.phases.push((phase, elapsed));
+        }
+    }
+
+    /// Total time of `phase` so far (zero if never entered).
+    #[must_use]
+    pub fn total(&self, phase: &str) -> Duration {
+        self.phases
+            .iter()
+            .find(|(name, _)| *name == phase)
+            .map_or(Duration::ZERO, |(_, d)| *d)
+    }
+
+    /// Snapshot of all phases in first-seen order.
+    #[must_use]
+    pub fn report(&self) -> PhaseReport {
+        PhaseReport {
+            phases: self.phases.clone(),
+        }
+    }
+}
+
+/// RAII guard recording a phase's elapsed time on drop.
+pub struct PhaseGuard<'a> {
+    timer: &'a mut PhaseTimer,
+    phase: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.timer.record(self.phase, elapsed);
+    }
+}
+
+/// Immutable snapshot of a [`PhaseTimer`].
+#[derive(Clone, Debug, Default)]
+pub struct PhaseReport {
+    phases: Vec<(&'static str, Duration)>,
+}
+
+impl PhaseReport {
+    /// Phases in first-seen order.
+    #[must_use]
+    pub fn phases(&self) -> &[(&'static str, Duration)] {
+        &self.phases
+    }
+
+    /// Total across all phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration of one phase (zero if absent).
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Duration {
+        self.phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(Duration::ZERO, |(_, d)| *d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_phase() {
+        let mut t = PhaseTimer::new();
+        t.record("scan", Duration::from_millis(5));
+        t.record("scan", Duration::from_millis(7));
+        t.record("emit", Duration::from_millis(1));
+        assert_eq!(t.total("scan"), Duration::from_millis(12));
+        assert_eq!(t.total("emit"), Duration::from_millis(1));
+        assert_eq!(t.total("absent"), Duration::ZERO);
+    }
+
+    #[test]
+    fn report_preserves_first_seen_order() {
+        let mut t = PhaseTimer::new();
+        t.record("b", Duration::from_millis(1));
+        t.record("a", Duration::from_millis(2));
+        t.record("b", Duration::from_millis(3));
+        let names: Vec<&str> = t.report().phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+        assert_eq!(t.report().total(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn guard_records_on_drop() {
+        let mut t = PhaseTimer::new();
+        {
+            let _g = t.enter("work");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(t.total("work") >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn report_phase_lookup() {
+        let mut t = PhaseTimer::new();
+        t.record("x", Duration::from_secs(1));
+        let r = t.report();
+        assert_eq!(r.phase("x"), Duration::from_secs(1));
+        assert_eq!(r.phase("y"), Duration::ZERO);
+    }
+}

@@ -1,0 +1,60 @@
+//! Finding near-synonyms in a dictionary (`dicD`, §6.1).
+//!
+//! Columns are head words, rows are definition words; two head words whose
+//! definitions use nearly the same vocabulary (brother-in-law /
+//! sister-in-law in the paper) surface as similarity rules. Also contrasts
+//! DMC-sim with the Min-Hash baseline on the same task.
+//!
+//! ```text
+//! cargo run --release -p dmc-examples --bin dictionary_synonyms
+//! ```
+
+use dmc_baselines::minhash::{minhash_similarities, MinHashConfig};
+use dmc_core::{find_similarities, SimilarityConfig};
+use dmc_datagen::{dictionary, DictionaryConfig};
+use dmc_examples::section;
+use std::time::Instant;
+
+fn main() {
+    let mut config = DictionaryConfig::new(6_000, 3_500, 13);
+    config.synonym_pairs = 60;
+    let matrix = dictionary(&config);
+    println!(
+        "dictionary: {} head words, {} definition words, {} links",
+        matrix.n_cols(),
+        matrix.n_rows(),
+        matrix.nnz()
+    );
+
+    section("DMC-sim: exact synonym pairs at Jaccard >= 0.8");
+    let start = Instant::now();
+    let out = find_similarities(&matrix, &SimilarityConfig::new(0.8));
+    let dmc_time = start.elapsed();
+    println!(
+        "  {} pairs in {:.3}s",
+        out.rules.len(),
+        dmc_time.as_secs_f64()
+    );
+    for rule in out.rules.iter().take(8) {
+        println!(
+            "  headword{} ~ headword{}  (definitions share {} of {} words)",
+            rule.a,
+            rule.b,
+            rule.hits,
+            rule.union()
+        );
+    }
+
+    section("Min-Hash baseline on the same task (verified candidates)");
+    let start = Instant::now();
+    let mh = minhash_similarities(&matrix, 0.8, &MinHashConfig::new(96).with_banding(24, 4));
+    let mh_time = start.elapsed();
+    let missed = out.rules.iter().filter(|r| !mh.rules.contains(r)).count();
+    println!(
+        "  {} pairs in {:.3}s ({} candidates checked, {} false negatives vs DMC)",
+        mh.rules.len(),
+        mh_time.as_secs_f64(),
+        mh.candidates,
+        missed
+    );
+}

@@ -1,0 +1,70 @@
+//! Market-basket analysis: DMC pair rules next to full a-priori itemset
+//! mining on Quest-style synthetic baskets.
+//!
+//! Shows the trade the paper is about: a-priori finds multi-item rules but
+//! only above a support floor; DMC finds *every* high-confidence pair rule,
+//! including ones whose support would never clear an a-priori threshold.
+//!
+//! ```text
+//! cargo run --release -p dmc-examples --bin market_basket
+//! ```
+
+use dmc_baselines::apriori::{frequent_itemsets, rules_from_itemsets};
+use dmc_core::{find_implications, ImplicationConfig};
+use dmc_datagen::{basket, BasketConfig};
+use dmc_examples::section;
+use std::time::Instant;
+
+fn main() {
+    let config = BasketConfig::new(20_000, 1_000, 77);
+    let data = basket(&config);
+    println!(
+        "baskets: {} transactions x {} items, {} entries ({} planted patterns)",
+        data.matrix.n_rows(),
+        data.matrix.n_cols(),
+        data.matrix.nnz(),
+        data.patterns.len()
+    );
+
+    section("a-priori: frequent itemsets at 1% support, rules at 80%");
+    let min_support = (data.matrix.n_rows() / 100) as u32;
+    let start = Instant::now();
+    let itemsets = frequent_itemsets(&data.matrix, min_support, 4);
+    let itemset_rules = rules_from_itemsets(&itemsets, 0.8);
+    println!(
+        "  {} frequent itemsets, {} rules in {:.3}s",
+        itemsets.len(),
+        itemset_rules.len(),
+        start.elapsed().as_secs_f64()
+    );
+    for rule in itemset_rules
+        .iter()
+        .filter(|r| r.antecedent.len() >= 2)
+        .take(5)
+    {
+        let ante: Vec<String> = rule.antecedent.iter().map(|i| format!("item{i}")).collect();
+        let cons: Vec<String> = rule.consequent.iter().map(|i| format!("item{i}")).collect();
+        println!(
+            "  {{{}}} => {{{}}}  (conf {:.2}, support {})",
+            ante.join(", "),
+            cons.join(", "),
+            rule.confidence,
+            rule.support
+        );
+    }
+
+    section("DMC: all pair rules at 80% confidence, no support floor");
+    let start = Instant::now();
+    let dmc = find_implications(&data.matrix, &ImplicationConfig::new(0.8));
+    println!(
+        "  {} pair rules in {:.3}s (peak counter array {} entries)",
+        dmc.rules.len(),
+        start.elapsed().as_secs_f64(),
+        dmc.memory.peak_candidates()
+    );
+    let below_floor = dmc.rules.iter().filter(|r| r.hits < min_support).count();
+    println!(
+        "  {below_floor} of those rules live below a-priori's {min_support}-transaction \
+         support floor — invisible to support pruning"
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: mine implication and similarity rules from a small
+//! transaction matrix — the Figure 1 / Figure 2 walk of the paper.
+//!
+//! ```text
+//! cargo run -p dmc-examples --bin quickstart
+//! ```
+
+use dmc_core::{
+    find_implications, find_similarities, ImplicationConfig, SimilarityConfig, SparseMatrix,
+};
+use dmc_examples::section;
+
+fn main() {
+    // Rows are transactions (baskets), columns are items. This is the
+    // paper's Figure 2 matrix: six items, nine baskets.
+    let matrix = SparseMatrix::from_rows(
+        6,
+        vec![
+            vec![1, 5],
+            vec![2, 3, 4],
+            vec![2, 4],
+            vec![0, 1, 2, 5],
+            vec![0, 1, 2, 3, 4],
+            vec![0, 1, 3, 5],
+            vec![0, 2, 3, 4, 5],
+            vec![3, 5],
+            vec![0, 1, 4],
+        ],
+    );
+
+    section("implication rules at 80% confidence");
+    let out = find_implications(&matrix, &ImplicationConfig::new(0.8));
+    for rule in &out.rules {
+        println!("  {rule}");
+    }
+    println!(
+        "  ({} rules; phases: {:?})",
+        out.rules.len(),
+        out.phases.phases()
+    );
+
+    section("implication rules at 80% confidence, both directions");
+    let out = find_implications(&matrix, &ImplicationConfig::new(0.8).with_reverse(true));
+    for rule in &out.rules {
+        println!("  {rule}");
+    }
+
+    section("similarity rules at 60% Jaccard");
+    let out = find_similarities(&matrix, &SimilarityConfig::new(0.6));
+    for rule in &out.rules {
+        println!("  {rule}");
+    }
+    println!(
+        "  peak counter-array: {} candidate entries",
+        out.memory.peak_candidates()
+    );
+}

@@ -1,0 +1,15 @@
+//! Smoke test: the quickstart example runs and prints the paper's rules.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_prints_fig2_rules() {
+    let out = Command::new(env!("CARGO_BIN_EXE_quickstart"))
+        .output()
+        .expect("run quickstart");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("c0 => c1"), "{stdout}");
+    assert!(stdout.contains("c2 => c4"), "{stdout}");
+    assert!(stdout.contains("similarity rules"), "{stdout}");
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use dmc_matrix::{ColumnId, SparseMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random 0/1 matrix with independent entries.
+#[must_use]
+pub fn random_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> SparseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<Vec<ColumnId>> = (0..rows)
+        .map(|_| {
+            (0..cols as ColumnId)
+                .filter(|_| rng.gen::<f64>() < density)
+                .collect()
+        })
+        .collect();
+    SparseMatrix::from_rows(cols, data)
+}
+
+/// Proptest strategy: a small sparse matrix (up to `max_rows` × `max_cols`)
+/// with row sets drawn directly, so empty rows, empty columns, duplicate
+/// rows and identical columns all occur naturally.
+pub fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = SparseMatrix> {
+    (1..=max_cols).prop_flat_map(move |cols| {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..cols as ColumnId, 0..=cols.min(12)),
+            0..=max_rows,
+        )
+        .prop_map(move |rows| {
+            SparseMatrix::from_rows(
+                cols,
+                rows.into_iter()
+                    .map(|set| set.into_iter().collect())
+                    .collect(),
+            )
+        })
+    })
+}
+
+/// Thresholds that exercise boundaries: 1.0, just-below-1, common paper
+/// values, and low ones.
+pub fn threshold_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(1.0),
+        Just(0.99),
+        Just(0.9),
+        Just(0.85),
+        Just(0.75),
+        Just(0.5),
+        Just(0.34),
+        0.05f64..1.0,
+    ]
+}

@@ -1,0 +1,163 @@
+//! Baselines vs oracle and vs DMC: agreement where exact, bounded error
+//! where sketched.
+
+use dmc_baselines::apriori::{
+    apriori_implications, apriori_similarities, frequent_itemsets, rules_from_itemsets,
+    AprioriConfig,
+};
+use dmc_baselines::kmin::{kmin_implications, KMinConfig};
+use dmc_baselines::minhash::{minhash_similarities, MinHashConfig};
+use dmc_baselines::oracle;
+use dmc_core::{find_implications, find_similarities, ImplicationConfig, SimilarityConfig};
+use dmc_integration_tests::{matrix_strategy, random_matrix, threshold_strategy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn apriori_unpruned_matches_oracle(
+        m in matrix_strategy(24, 12),
+        thr in threshold_strategy(),
+    ) {
+        let cfg = AprioriConfig::new(1, u32::MAX);
+        prop_assert_eq!(
+            apriori_implications(&m, &cfg, thr).rules,
+            oracle::exact_implications(&m, thr, false)
+        );
+        prop_assert_eq!(
+            apriori_similarities(&m, &cfg, thr).rules,
+            oracle::exact_similarities(&m, thr)
+        );
+    }
+
+    #[test]
+    fn apriori_dhp_matches_plain(
+        m in matrix_strategy(20, 10),
+        thr in threshold_strategy(),
+        buckets in 1usize..64,
+    ) {
+        let plain = apriori_implications(&m, &AprioriConfig::new(2, u32::MAX), thr);
+        let dhp = apriori_implications(
+            &m,
+            &AprioriConfig::new(2, u32::MAX).with_dhp(buckets),
+            thr,
+        );
+        prop_assert_eq!(plain.rules, dhp.rules);
+    }
+
+    #[test]
+    fn support_pruned_apriori_is_a_subset_of_dmc(
+        m in matrix_strategy(24, 12),
+        thr in threshold_strategy(),
+        minsup in 1u32..6,
+    ) {
+        // A-priori with support pruning can only lose rules relative to
+        // DMC's confidence-only pruning — never invent them.
+        let ap = apriori_implications(&m, &AprioriConfig::new(minsup, u32::MAX), thr);
+        let dmc = find_implications(&m, &ImplicationConfig::new(thr));
+        for rule in &ap.rules {
+            prop_assert!(dmc.rules.contains(rule), "apriori invented {rule}");
+        }
+    }
+
+    #[test]
+    fn minhash_verified_has_no_false_positives(
+        m in matrix_strategy(24, 12),
+        thr in threshold_strategy(),
+    ) {
+        let out = minhash_similarities(&m, thr, &MinHashConfig::new(64));
+        let exact = oracle::exact_similarities(&m, thr);
+        for rule in &out.rules {
+            prop_assert!(exact.contains(rule), "minhash false positive {rule}");
+        }
+    }
+
+    #[test]
+    fn kmin_verified_has_no_false_positives(
+        m in matrix_strategy(24, 12),
+        thr in threshold_strategy(),
+    ) {
+        let out = kmin_implications(&m, thr, &KMinConfig::new(16));
+        let exact = oracle::exact_implications(&m, thr, false);
+        for rule in &out.rules {
+            prop_assert!(exact.contains(rule), "kmin false positive {rule}");
+        }
+    }
+
+    #[test]
+    fn itemset_pair_rules_agree_with_pair_miner(
+        m in matrix_strategy(16, 8),
+        minsup in 1u32..4,
+    ) {
+        let minconf = 0.6;
+        let sets = frequent_itemsets(&m, minsup, 2);
+        let rules = rules_from_itemsets(&sets, minconf);
+        let mut cfg = AprioriConfig::new(minsup, u32::MAX);
+        cfg.min_pair_support = minsup;
+        let pair_rules = apriori_implications(&m, &cfg, minconf);
+        // Every canonical pair rule of the pair miner appears among the
+        // itemset rules (as a 1 => 1 rule in some direction).
+        for rule in &pair_rules.rules {
+            let found = rules
+                .iter()
+                .any(|r| r.antecedent == [rule.lhs] && r.consequent == [rule.rhs]);
+            prop_assert!(found, "missing itemset rule for {rule}");
+        }
+    }
+}
+
+/// Recall of the sketches improves with sketch size (measured, not
+/// asserted tightly — only monotone-ish sanity bounds). Independent random
+/// matrices carry no high-confidence rules, so the rules are planted.
+#[test]
+fn sketch_recall_improves_with_size() {
+    let data =
+        dmc_datagen::planted_implications(&dmc_datagen::PlantedConfig::new(1500, 60, 20, 17));
+    let m = &data.matrix;
+    let exact = oracle::exact_implications(m, 0.85, false);
+    assert!(!exact.is_empty(), "need some rules to measure recall");
+    let recall = |k: usize| {
+        let out = kmin_implications(m, 0.85, &KMinConfig::new(k));
+        out.rules.iter().filter(|r| exact.contains(r)).count() as f64 / exact.len() as f64
+    };
+    let (small, large) = (recall(2), recall(256));
+    assert!(large >= small, "recall k=256 ({large}) < k=2 ({small})");
+    assert!(large > 0.9, "large sketch recall {large}");
+}
+
+/// The Fig 6(i) trade-off in miniature: K-Min misses rules that DMC finds.
+#[test]
+fn kmin_false_negatives_exist_with_small_sketches() {
+    let data = dmc_datagen::planted_implications(&dmc_datagen::PlantedConfig::new(2000, 80, 30, 3));
+    let m = &data.matrix;
+    let dmc = find_implications(m, &ImplicationConfig::new(0.8));
+    assert!(
+        dmc.rules.len() >= 20,
+        "{} planted rules qualify",
+        dmc.rules.len()
+    );
+    let mut cfg = KMinConfig::new(2);
+    cfg.candidate_slack = 0.0;
+    let km = kmin_implications(m, 0.8, &cfg);
+    let missed = dmc.rules.iter().filter(|r| !km.rules.contains(r)).count();
+    assert!(
+        missed > 0,
+        "a 2-element sketch with no slack should miss something ({} rules)",
+        dmc.rules.len()
+    );
+}
+
+/// Min-Hash with banding finds the same verified rules as all-pairs when
+/// bands are tight enough for the threshold.
+#[test]
+fn banding_matches_all_pairs_at_high_threshold() {
+    let m = random_matrix(300, 40, 0.2, 9);
+    let all = minhash_similarities(&m, 0.9, &MinHashConfig::new(128));
+    let banded = minhash_similarities(&m, 0.9, &MinHashConfig::new(128).with_banding(64, 2));
+    // Banding with r=2 at thr=0.9 has collision prob 0.81 per band over 64
+    // bands: essentially certain recall.
+    assert_eq!(all.rules, banded.rules);
+    let sims = find_similarities(&m, &SimilarityConfig::new(0.9));
+    assert_eq!(all.rules, sims.rules, "verified minhash equals DMC here");
+}

@@ -1,0 +1,113 @@
+//! Rule grouping (§6.3) on corpus-shaped data: topic clusters come out as
+//! connected components.
+
+use dmc_core::{
+    find_implications, find_similarities, rule_closure, rule_groups, ImplicationConfig,
+    SimilarityConfig,
+};
+use dmc_datagen::{news, NewsConfig};
+use dmc_matrix::transform::prune_min_support;
+
+#[test]
+fn news_topics_form_rule_groups() {
+    let mut cfg = NewsConfig::new(6000, 2500, 99);
+    cfg.synonym_pairs = 0; // keep the graph to pure topic clusters
+    let data = news(&cfg);
+    let pruned = prune_min_support(&data.matrix, 5);
+    let imps = find_implications(&pruned.matrix, &ImplicationConfig::new(0.85));
+    let groups = rule_groups(pruned.matrix.n_cols(), &imps.rules, &[]);
+
+    // Each planted topic's anchor must land in a group together with most
+    // of its theme words.
+    let to_pruned = |orig: u32| -> Option<u32> {
+        pruned
+            .original_ids
+            .iter()
+            .position(|&c| c == orig)
+            .map(|p| p as u32)
+    };
+    let mut matched_topics = 0;
+    for (t, &anchor) in data.anchors.iter().enumerate() {
+        let Some(anchor_p) = to_pruned(anchor) else {
+            continue;
+        };
+        let Some(group) = groups.iter().find(|g| g.contains(&anchor_p)) else {
+            continue;
+        };
+        let theme_in_group = data.themes[t]
+            .iter()
+            .filter_map(|&w| to_pruned(w))
+            .filter(|w| group.contains(w))
+            .count();
+        if theme_in_group >= 8 {
+            matched_topics += 1;
+        }
+    }
+    assert!(
+        matched_topics >= data.anchors.len() - 1,
+        "{matched_topics} of {} topics grouped",
+        data.anchors.len()
+    );
+}
+
+#[test]
+fn closure_from_anchor_stays_inside_its_topic() {
+    let mut cfg = NewsConfig::new(6000, 2500, 101);
+    cfg.synonym_pairs = 0;
+    let data = news(&cfg);
+    let pruned = prune_min_support(&data.matrix, 5);
+    let imps = find_implications(&pruned.matrix, &ImplicationConfig::new(0.85));
+
+    let anchor_p = pruned
+        .original_ids
+        .iter()
+        .position(|&c| c == data.anchors[0])
+        .expect("anchor survives") as u32;
+    let closure = rule_closure(&imps.rules, anchor_p);
+    assert!(closure.len() >= 10, "closure found {} rules", closure.len());
+    // The closure must cover most of topic 0's theme (very common
+    // background words may legitimately join — "polgar -> said" — but no
+    // other topic's vocabulary can).
+    let topic0: Vec<u32> = std::iter::once(data.anchors[0])
+        .chain(data.themes[0].iter().copied())
+        .collect();
+    let in_topic = closure
+        .iter()
+        .filter(|r| topic0.contains(&pruned.original_id(r.rhs)))
+        .count();
+    assert!(in_topic >= 10, "{in_topic} closure rules inside topic 0");
+    for rule in &closure {
+        let orig = pruned.original_id(rule.rhs);
+        let other_topic = data
+            .anchors
+            .iter()
+            .skip(1)
+            .zip(data.themes.iter().skip(1))
+            .any(|(&a, theme)| orig == a || theme.contains(&orig));
+        assert!(
+            !other_topic,
+            "closure crossed into another topic via c{orig}"
+        );
+    }
+}
+
+#[test]
+fn similarity_edges_join_groups() {
+    // Two rule chains bridged by one similar pair.
+    let m = dmc_core::SparseMatrix::from_rows(
+        4,
+        vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![2, 3],
+            vec![2, 3],
+            vec![1, 2],
+            vec![1, 2],
+        ],
+    );
+    let imps = find_implications(&m, &ImplicationConfig::new(0.9));
+    let sims = find_similarities(&m, &SimilarityConfig::new(0.3));
+    let merged = rule_groups(4, &imps.rules, &sims.rules);
+    assert_eq!(merged.len(), 1, "{merged:?}");
+    assert_eq!(merged[0], vec![0, 1, 2, 3]);
+}

@@ -1,0 +1,122 @@
+//! End-to-end pipelines across crates: IO round-trips into mining,
+//! transforms feeding the miners, metrics wiring, and cross-orientation
+//! identities.
+
+use dmc_baselines::oracle;
+use dmc_core::{
+    find_implications, find_similarities, ImplicationConfig, SimilarityConfig, SwitchPolicy,
+};
+use dmc_integration_tests::random_matrix;
+use dmc_matrix::io::{read_matrix, write_matrix};
+use dmc_matrix::order::RowOrder;
+use dmc_matrix::transform::{prune_min_support, transpose};
+
+#[test]
+fn io_roundtrip_preserves_mining_results() {
+    let m = random_matrix(150, 30, 0.15, 4);
+    let mut buf = Vec::new();
+    write_matrix(&m, &mut buf).unwrap();
+    let back = read_matrix(&buf[..]).unwrap();
+    assert_eq!(back, m);
+    assert_eq!(
+        find_implications(&m, &ImplicationConfig::new(0.8)).rules,
+        find_implications(&back, &ImplicationConfig::new(0.8)).rules
+    );
+}
+
+#[test]
+fn support_pruning_then_mining_matches_manual_filter() {
+    let m = random_matrix(200, 40, 0.1, 8);
+    let pruned = prune_min_support(&m, 5);
+    let pruned_rules = find_implications(&pruned.matrix, &ImplicationConfig::new(0.8)).rules;
+    // Same rules as mining the full matrix and keeping rules whose columns
+    // both meet the support bar (translated through the id mapping).
+    let ones = m.column_ones();
+    let full_rules = find_implications(&m, &ImplicationConfig::new(0.8)).rules;
+    let expected: Vec<(u32, u32, u32)> = full_rules
+        .iter()
+        .filter(|r| ones[r.lhs as usize] >= 5 && ones[r.rhs as usize] >= 5)
+        .map(|r| (r.lhs, r.rhs, r.hits))
+        .collect();
+    let translated: Vec<(u32, u32, u32)> = pruned_rules
+        .iter()
+        .map(|r| (pruned.original_id(r.lhs), pruned.original_id(r.rhs), r.hits))
+        .collect();
+    assert_eq!(translated, expected);
+}
+
+#[test]
+fn similarity_is_invariant_under_transpose_of_symmetric_data() {
+    // For any matrix, sim rules of M's columns relate to M; mining Mᵀ
+    // relates its rows. Double transpose is identity.
+    let m = random_matrix(80, 25, 0.2, 15);
+    assert_eq!(transpose(&transpose(&m)), m);
+    let direct = find_similarities(&m, &SimilarityConfig::new(0.6)).rules;
+    let via_double =
+        find_similarities(&transpose(&transpose(&m)), &SimilarityConfig::new(0.6)).rules;
+    assert_eq!(direct, via_double);
+}
+
+#[test]
+fn phase_report_covers_all_stages() {
+    let m = random_matrix(300, 40, 0.12, 23);
+    let cfg = ImplicationConfig::new(0.8).with_switch(SwitchPolicy::always_at(16));
+    let out = find_implications(&m, &cfg);
+    let names: Vec<&str> = out.phases.phases().iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        vec!["pre-scan", "100% rules", "<100% rules", "bitmap tail"],
+        "all four stages timed, in pipeline order"
+    );
+    assert!(out.bitmap_switch_at.is_some());
+}
+
+#[test]
+fn memory_peak_is_monotone_in_threshold_looseness() {
+    // Lower thresholds admit more candidates for longer: the peak counter
+    // array can only grow (on identical data/order).
+    let m = random_matrix(400, 60, 0.1, 42);
+    let peak = |thr: f64| {
+        find_implications(
+            &m,
+            &ImplicationConfig::new(thr).with_row_order(RowOrder::Original),
+        )
+        .memory
+        .peak_candidates()
+    };
+    let (p95, p75, p50) = (peak(0.95), peak(0.75), peak(0.5));
+    assert!(p95 <= p75, "peak(0.95)={p95} > peak(0.75)={p75}");
+    assert!(p75 <= p50, "peak(0.75)={p75} > peak(0.5)={p50}");
+}
+
+#[test]
+fn bucketed_order_never_loses_rules_on_heavy_tailed_data() {
+    // A crawler-style matrix: many sparse rows plus two dense rows.
+    let mut rows: Vec<Vec<u32>> = (0..200).map(|i| vec![i % 10, 10 + (i % 7)]).collect();
+    rows.push((0..17).collect());
+    rows.push((0..17).collect());
+    let m = dmc_core::SparseMatrix::from_rows(17, rows);
+    for thr in [1.0, 0.9, 0.7] {
+        let bucketed = find_implications(&m, &ImplicationConfig::new(thr));
+        assert_eq!(
+            bucketed.rules,
+            oracle::exact_implications(&m, thr, false),
+            "thr={thr}"
+        );
+    }
+}
+
+#[test]
+fn sim_and_imp_rule_sets_are_consistent() {
+    // Any similarity rule implies both directional confidences are at
+    // least the similarity (hits/union <= hits/ones for each side).
+    let m = random_matrix(250, 35, 0.15, 77);
+    let sims = find_similarities(&m, &SimilarityConfig::new(0.7)).rules;
+    let imps = find_implications(&m, &ImplicationConfig::new(0.7).with_reverse(true)).rules;
+    for s in &sims {
+        assert!(
+            imps.iter().any(|r| r.lhs == s.a && r.rhs == s.b),
+            "sim pair {s} lacks its forward implication"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Planted-rule recovery: the miners find exactly the pairs the generator
+//! planted (when they truly qualify), on data whose shape matches the
+//! paper's corpora.
+
+use dmc_core::{find_implications, find_similarities, ImplicationConfig, SimilarityConfig};
+use dmc_datagen::{
+    dictionary, link_graph, news, planted_implications, weblog, DictionaryConfig, LinkGraphConfig,
+    NewsConfig, PlantedConfig, WeblogConfig,
+};
+use dmc_matrix::transform::prune_min_support;
+
+#[test]
+fn planted_pairs_are_recovered_exactly() {
+    for seed in [1u64, 2, 3] {
+        let data = planted_implications(&PlantedConfig::new(4000, 40, 8, seed));
+        let minconf = 0.9;
+        let out = find_implications(&data.matrix, &ImplicationConfig::new(minconf));
+        for (i, &(lhs, rhs)) in data.planted.iter().enumerate() {
+            let qualifies = data.realized_confidence[i] >= minconf;
+            let found = out.rules.iter().any(|r| r.lhs == lhs && r.rhs == rhs);
+            assert_eq!(
+                found, qualifies,
+                "seed {seed} pair {i}: realized {:.3}",
+                data.realized_confidence[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn weblog_hub_chains_surface_as_rules() {
+    let mut cfg = WeblogConfig::new(4000, 300, 5);
+    cfg.crawlers = 2;
+    cfg.hub_chains = 6;
+    let m = weblog(&cfg);
+    let out = find_implications(&m, &ImplicationConfig::new(0.9));
+    // Each chain (2i -> 2i+1) was wired at 95% co-occurrence; most chains
+    // must surface (sampling noise may drop the odd one below 0.9).
+    let found = (0..6)
+        .filter(|&i| {
+            out.rules
+                .iter()
+                .any(|r| r.lhs == 2 * i && r.rhs == 2 * i + 1)
+        })
+        .count();
+    assert!(found >= 4, "only {found} of 6 chains surfaced");
+}
+
+#[test]
+fn link_mirrors_surface_as_similarity_rules() {
+    let mut cfg = LinkGraphConfig::new(1500, 8);
+    cfg.mirror_pairs = 12;
+    let g = link_graph(&cfg);
+    let out = find_similarities(&g.transposed, &SimilarityConfig::new(0.7));
+    let found = (0..12u32)
+        .filter(|&i| {
+            let (a, b) = (2 * i, 2 * i + 1);
+            out.rules
+                .iter()
+                .any(|r| (r.a == a && r.b == b) || (r.a == b && r.b == a))
+        })
+        .count();
+    assert!(found >= 8, "only {found} of 12 mirror pairs found");
+}
+
+#[test]
+fn news_topics_survive_support_pruning_of_the_background() {
+    let data = news(&NewsConfig::new(6000, 3000, 77));
+    let pruned = prune_min_support(&data.matrix, 5);
+    let out = find_implications(&pruned.matrix, &ImplicationConfig::new(0.85));
+    // The topic-0 anchor must imply most of its theme.
+    let anchor_pruned = pruned
+        .original_ids
+        .iter()
+        .position(|&c| c == data.anchors[0])
+        .expect("anchor survives pruning") as u32;
+    let theme_rules = out.rules.iter().filter(|r| r.lhs == anchor_pruned).count();
+    assert!(theme_rules >= 8, "anchor implies {theme_rules} theme words");
+}
+
+#[test]
+fn dictionary_synonyms_surface_as_similarity_rules() {
+    let mut cfg = DictionaryConfig::new(800, 500, 31);
+    cfg.synonym_pairs = 10;
+    let m = dictionary(&cfg);
+    let out = find_similarities(&m, &SimilarityConfig::new(0.6));
+    let found = (0..10u32)
+        .filter(|&i| {
+            let (a, b) = (2 * i, 2 * i + 1);
+            out.rules
+                .iter()
+                .any(|r| (r.a == a && r.b == b) || (r.a == b && r.b == a))
+        })
+        .count();
+    assert!(found >= 7, "only {found} of 10 synonym pairs found");
+}

@@ -1,0 +1,76 @@
+//! Serde round-trips for the feature-gated serializable types.
+//!
+//! `serde_json` is a dev-dependency used only here, to prove the `serde`
+//! features produce faithful encodings (see DESIGN.md's dependency note).
+
+use dmc_bitset::BitSet;
+use dmc_core::{
+    find_implications, ImplicationConfig, ImplicationRule, SimilarityRule, SwitchPolicy,
+};
+use dmc_integration_tests::random_matrix;
+use dmc_matrix::SparseMatrix;
+
+#[test]
+fn matrix_roundtrips_through_json() {
+    let m = random_matrix(40, 20, 0.2, 11);
+    let json = serde_json::to_string(&m).unwrap();
+    let back: SparseMatrix = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, m);
+    // And the mined rules agree, of course.
+    assert_eq!(
+        find_implications(&m, &ImplicationConfig::new(0.8)).rules,
+        find_implications(&back, &ImplicationConfig::new(0.8)).rules
+    );
+}
+
+#[test]
+fn rules_roundtrip_through_json() {
+    let imp = ImplicationRule {
+        lhs: 3,
+        rhs: 9,
+        hits: 17,
+        lhs_ones: 20,
+        rhs_ones: 31,
+    };
+    let json = serde_json::to_string(&imp).unwrap();
+    let back: ImplicationRule = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, imp);
+
+    let sim = SimilarityRule {
+        a: 1,
+        b: 2,
+        hits: 4,
+        a_ones: 5,
+        b_ones: 6,
+    };
+    let back: SimilarityRule = serde_json::from_str(&serde_json::to_string(&sim).unwrap()).unwrap();
+    assert_eq!(back, sim);
+}
+
+#[test]
+fn mined_rule_vectors_roundtrip() {
+    let m = random_matrix(60, 15, 0.25, 5);
+    let rules = find_implications(&m, &ImplicationConfig::new(0.7)).rules;
+    let json = serde_json::to_string(&rules).unwrap();
+    let back: Vec<ImplicationRule> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, rules);
+}
+
+#[test]
+fn bitset_roundtrips_through_json() {
+    let set = BitSet::from_indices(130, [0, 63, 64, 129]);
+    let json = serde_json::to_string(&set).unwrap();
+    let back: BitSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, set);
+    assert_eq!(back.ones().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+}
+
+#[test]
+fn configs_roundtrip_through_json() {
+    let cfg = ImplicationConfig::new(0.85).with_switch(SwitchPolicy::always_at(32));
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: ImplicationConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.minconf, cfg.minconf);
+    assert_eq!(back.switch, cfg.switch);
+    assert_eq!(back.row_order, cfg.row_order);
+}
