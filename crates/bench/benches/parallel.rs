@@ -1,0 +1,71 @@
+//! Scaling sweep for the parallel drivers: threads 1/2/4/8 over the
+//! same planted weblog data, in-memory and out-of-core.
+//!
+//! The streamed variants feed rows through the spill pipeline, so they
+//! also measure the single-decode batched fan-out against the
+//! sequential replay baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmc_bench::datasets::{self, Scale};
+use dmc_core::{
+    find_implications_parallel, find_implications_streamed_parallel, find_similarities_parallel,
+    ImplicationConfig, SimilarityConfig, SparseMatrix,
+};
+use std::convert::Infallible;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn rows_of(
+    m: &SparseMatrix,
+) -> impl Iterator<Item = Result<Vec<dmc_core::ColumnId>, Infallible>> + '_ {
+    (0..m.n_rows()).map(|r| Ok(m.row(r).to_vec()))
+}
+
+fn bench_imp_memory(c: &mut Criterion) {
+    let m = datasets::wlogp(Scale::Small);
+    let config = ImplicationConfig::new(0.9);
+    let mut group = c.benchmark_group("parallel/imp-memory");
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(find_implications_parallel(&m, &config, t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_memory(c: &mut Criterion) {
+    let m = datasets::wlogp(Scale::Small);
+    let config = SimilarityConfig::new(0.8);
+    let mut group = c.benchmark_group("parallel/sim-memory");
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(find_similarities_parallel(&m, &config, t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_imp_streamed(c: &mut Criterion) {
+    let m = datasets::wlogp(Scale::Small);
+    let config = ImplicationConfig::new(0.9);
+    let mut group = c.benchmark_group("parallel_streamed/imp");
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    find_implications_streamed_parallel(rows_of(&m), m.n_cols(), &config, t)
+                        .expect("streamed parallel run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_imp_memory,
+    bench_sim_memory,
+    bench_imp_streamed
+);
+criterion_main!(benches);

@@ -51,7 +51,7 @@ fn random_matrix(rng: &mut StdRng) -> SparseMatrix {
 fn random_threshold(rng: &mut StdRng) -> f64 {
     match rng.gen_range(0..4) {
         0 => 1.0,
-        1 => [0.99, 0.95, 0.9, 0.85, 0.8, 0.75][rng.gen_range(0..6)],
+        1 => [0.99, 0.95, 0.9, 0.85, 0.8, 0.75][rng.gen_range(0..6usize)],
         2 => rng.gen_range(0.3..1.0),
         _ => rng.gen_range(0.05..0.4),
     }

@@ -2,9 +2,10 @@
 
 use crate::args::{ArgError, Args};
 use dmc_core::{
-    find_implications, find_implications_parallel, find_implications_streamed, find_similarities,
-    find_similarities_streamed, rule_groups, ImplicationConfig, RowOrder, SimilarityConfig,
-    SwitchPolicy,
+    find_implications, find_implications_parallel, find_implications_streamed,
+    find_implications_streamed_parallel, find_similarities, find_similarities_parallel,
+    find_similarities_streamed, find_similarities_streamed_parallel, rule_groups,
+    ImplicationConfig, RowOrder, SimilarityConfig, SwitchPolicy,
 };
 use dmc_datagen::{
     dictionary, link_graph, news, weblog, DictionaryConfig, LinkGraphConfig, NewsConfig,
@@ -56,6 +57,7 @@ pub fn imp(args: &Args) -> CmdResult {
         .with_reverse(args.flag("reverse"));
     config.hundred_stage = !args.flag("no-hundred-stage");
 
+    let threads: usize = args.get_or("threads", 1)?;
     if args.flag("stream") {
         // Out-of-core: one pass over the file plus spill-file replays;
         // the matrix is never materialized. Needs the column count up
@@ -65,12 +67,15 @@ pub fn imp(args: &Args) -> CmdResult {
             .positional(0)
             .ok_or_else(|| ArgError::Required("<file>".into()))?;
         let reader = std::io::BufReader::new(File::open(path)?);
-        let out = find_implications_streamed(RowLines::new(reader), n_cols, &config)?;
+        let out = if threads > 1 {
+            find_implications_streamed_parallel(RowLines::new(reader), n_cols, &config, threads)?
+        } else {
+            find_implications_streamed(RowLines::new(reader), n_cols, &config)?
+        };
         return print_imp(args, &out, minconf, None);
     }
 
     let matrix = load(args)?;
-    let threads: usize = args.get_or("threads", 1)?;
     let out = if threads > 1 {
         find_implications_parallel(&matrix, &config, threads)
     } else {
@@ -113,7 +118,27 @@ fn print_imp(
     for (phase, time) in out.phases.phases() {
         eprintln!("  {phase:<12} {:.3}s", time.as_secs_f64());
     }
+    print_workers(&out.workers);
     Ok(())
+}
+
+/// Per-worker lines (parallel drivers only; sequential runs leave this empty).
+fn print_workers(workers: &[dmc_core::WorkerReport]) {
+    for w in workers {
+        let busy = w.phases.total().as_secs_f64();
+        match w.switch_at {
+            Some(at) => eprintln!(
+                "  worker {:<3} {busy:.3}s busy, peak counter array {} entries, bitmap switch at row {at}",
+                w.worker,
+                w.memory.peak_candidates()
+            ),
+            None => eprintln!(
+                "  worker {:<3} {busy:.3}s busy, peak counter array {} entries",
+                w.worker,
+                w.memory.peak_candidates()
+            ),
+        }
+    }
 }
 
 /// `dmc sim`: similarity rules.
@@ -125,16 +150,25 @@ pub fn sim(args: &Args) -> CmdResult {
         .with_max_hits_pruning(!args.flag("no-max-hits"));
     config.hundred_stage = !args.flag("no-hundred-stage");
 
+    let threads: usize = args.get_or("threads", 1)?;
     let out = if args.flag("stream") {
         let n_cols: usize = args.require("cols")?;
         let path = args
             .positional(0)
             .ok_or_else(|| ArgError::Required("<file>".into()))?;
         let reader = std::io::BufReader::new(File::open(path)?);
-        find_similarities_streamed(RowLines::new(reader), n_cols, &config)?
+        if threads > 1 {
+            find_similarities_streamed_parallel(RowLines::new(reader), n_cols, &config, threads)?
+        } else {
+            find_similarities_streamed(RowLines::new(reader), n_cols, &config)?
+        }
     } else {
         let matrix = load(args)?;
-        find_similarities(&matrix, &config)
+        if threads > 1 {
+            find_similarities_parallel(&matrix, &config, threads)
+        } else {
+            find_similarities(&matrix, &config)
+        }
     };
     if let Some(path) = args.get("output") {
         let mut file = BufWriter::new(File::create(path)?);
@@ -152,6 +186,7 @@ pub fn sim(args: &Args) -> CmdResult {
         out.rules.len(),
         out.memory.peak_candidates()
     );
+    print_workers(&out.workers);
     Ok(())
 }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! dmc imp <file> --minconf 0.9 [--order bucketed|sorted|original]
 //!                [--reverse] [--threads N] [--limit N] [--quiet]
-//! dmc sim <file> --minsim 0.8 [--order …] [--limit N] [--quiet]
+//! dmc sim <file> --minsim 0.8 [--order …] [--threads N] [--limit N] [--quiet]
 //! dmc groups <file> --minconf 0.9 --minsim 0.9
 //! dmc stats <file>
 //! dmc gen <weblog|linkgraph|news|dictionary> --rows N --cols N
@@ -26,8 +26,10 @@ commands:
       [--order bucketed|sorted|original] [--reverse] [--threads N]
       [--switch-rows N --switch-bytes N] [--limit N] [--quiet]
       [--stream --cols N]  out-of-core: spill to disk, never materialize
+                           (--threads N fans the replay out to N workers)
   sim <file> --minsim X    mine similarity rules
-      [--order ...] [--no-max-hits] [--limit N] [--quiet]
+      [--order ...] [--no-max-hits] [--threads N] [--limit N] [--quiet]
+      [--stream --cols N]
   groups <file> --minconf X --minsim X
                            cluster columns connected by rules
   verify <file> --rules R  re-check a rules file against the data

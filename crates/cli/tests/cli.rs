@@ -151,6 +151,65 @@ fn streamed_mode_matches_in_memory() {
 }
 
 #[test]
+fn streamed_parallel_matches_streamed_sequential() {
+    let dir = std::env::temp_dir().join("dmc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream-parallel-input.txt");
+    std::fs::write(
+        &path,
+        "# cols 5\n0 1 2\n0 1\n1 2 3\n0 1 2\n0 1 4\n2 3 4\n0 1\n",
+    )
+    .unwrap();
+    let p = path.to_str().unwrap();
+
+    let (seq, _, ok1) = run(
+        &["imp", p, "--minconf", "0.6", "--stream", "--cols", "5"],
+        None,
+    );
+    for threads in ["1", "2", "4"] {
+        let (par, stderr, ok2) = run(
+            &[
+                "imp",
+                p,
+                "--minconf",
+                "0.6",
+                "--stream",
+                "--cols",
+                "5",
+                "--threads",
+                threads,
+            ],
+            None,
+        );
+        assert!(ok1 && ok2, "{stderr}");
+        assert_eq!(seq, par, "threads={threads}");
+        if threads != "1" {
+            assert!(stderr.contains("worker"), "{stderr}");
+        }
+    }
+
+    let (sim_seq, _, _) = run(
+        &["sim", p, "--minsim", "0.4", "--stream", "--cols", "5"],
+        None,
+    );
+    let (sim_par, _, _) = run(
+        &[
+            "sim",
+            p,
+            "--minsim",
+            "0.4",
+            "--stream",
+            "--cols",
+            "5",
+            "--threads",
+            "3",
+        ],
+        None,
+    );
+    assert_eq!(sim_seq, sim_par);
+}
+
+#[test]
 fn streamed_mode_requires_cols() {
     let dir = std::env::temp_dir().join("dmc-cli-tests");
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,525 @@
+//! Batched single-decode row fan-out: the engine behind the parallel
+//! drivers.
+//!
+//! One **reader** thread produces the row stream exactly once per pass —
+//! decoding spill buckets for the out-of-core drivers, or traversing the
+//! in-memory matrix in scan order — and packs rows into [`RowBatch`]es of
+//! [`BATCH_ROWS`] rows. Each batch is reference-counted and broadcast over
+//! a bounded channel ([`CHANNEL_BATCHES`] batches deep) to every **worker**
+//! thread. Workers own disjoint round-robin LHS-column partitions
+//! (`set_lhs_mask`) of the same scan type, so the union of their rule sets
+//! is exactly the sequential rule set; a deterministic merge-and-sort in
+//! the drivers makes the output bit-identical to the sequential drivers.
+//!
+//! Each worker applies the §4.2 bitmap-switch policy to its *own* counter
+//! array at the global row position: once `should_switch` fires it stops
+//! counting, buffers the remaining rows of the stream as its tail, and
+//! finishes with bitmaps — mirroring the sequential
+//! `stream::replay_with_switch` exactly. Workers may therefore switch at
+//! different positions (their counter arrays are smaller and grow at
+//! different rates); switch-point invariance of the scans keeps the merged
+//! rules identical regardless.
+//!
+//! On a reader error (row source failure, spill IO) the reader drops the
+//! channels; workers drain and finish, their partial results are discarded,
+//! and the error propagates to the caller.
+
+use crate::base::BaseScan;
+use crate::config::{ImplicationConfig, SimilarityConfig, SwitchPolicy};
+use crate::hundred::{HundredMode, HundredScan};
+use crate::imp::ImplicationOutput;
+use crate::rules::ImplicationRule;
+use crate::sim::{SimScan, SimilarityOutput};
+use crate::stream::ReplayHandler;
+use crate::threshold::{conf_qualifies, only_exact_rules_conf, only_exact_rules_sim};
+use dmc_matrix::ColumnId;
+use dmc_metrics::{CounterMemory, PhaseTimer, WorkerReport};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Rows per broadcast batch: large enough to amortize channel traffic,
+/// small enough that the bounded queue holds only a few MB even for dense
+/// rows.
+pub(crate) const BATCH_ROWS: usize = 1024;
+
+/// Bound (in batches) of each worker's channel: caps reader run-ahead so a
+/// slow worker applies backpressure instead of queueing the whole stream.
+pub(crate) const CHANNEL_BATCHES: usize = 4;
+
+/// A contiguous run of decoded rows, shared read-only by all workers.
+pub(crate) struct RowBatch {
+    /// Global scan position of `rows[0]`.
+    pub start: usize,
+    pub rows: Vec<Vec<ColumnId>>,
+}
+
+/// The round-robin LHS partition of worker `w` among `threads` workers.
+pub(crate) fn round_robin_mask(n_cols: usize, threads: usize, w: usize) -> Vec<bool> {
+    (0..n_cols).map(|c| c % threads == w).collect()
+}
+
+/// Drains one worker's batch stream into its scan, applying the switch
+/// policy at global row positions, and finishes with the buffered tail.
+/// Returns the switch position (if any) and the worker's phase timings.
+fn run_worker<H: ReplayHandler>(
+    rx: &Receiver<Arc<RowBatch>>,
+    total_rows: usize,
+    switch: SwitchPolicy,
+    stage: &'static str,
+    handler: &mut H,
+) -> (Option<usize>, PhaseTimer) {
+    let mut timer = PhaseTimer::new();
+    let mut switch_at: Option<usize> = None;
+    let mut tail_rows: Vec<Vec<ColumnId>> = Vec::new();
+    while let Ok(batch) = rx.recv() {
+        let start = Instant::now();
+        for (i, row) in batch.rows.iter().enumerate() {
+            if switch_at.is_none() {
+                let remaining = total_rows - (batch.start + i);
+                if switch.should_switch(remaining, handler.counter_bytes()) {
+                    switch_at = Some(batch.start + i);
+                }
+            }
+            if switch_at.is_some() {
+                tail_rows.push(row.clone());
+            } else {
+                handler.row(row);
+            }
+        }
+        timer.record(stage, start.elapsed());
+    }
+    let start = Instant::now();
+    let tail: Vec<&[ColumnId]> = tail_rows.iter().map(Vec::as_slice).collect();
+    handler.tail(&tail);
+    timer.record("bitmap tail", start.elapsed());
+    (switch_at, timer)
+}
+
+fn send_batch(txs: &[SyncSender<Arc<RowBatch>>], start: usize, rows: Vec<Vec<ColumnId>>) -> usize {
+    let end = start + rows.len();
+    let batch = Arc::new(RowBatch { start, rows });
+    for tx in txs {
+        // A send only fails if the worker died (panic unwinding); the
+        // join below surfaces that.
+        let _ = tx.send(Arc::clone(&batch));
+    }
+    end
+}
+
+/// Runs one counting stage: a reader thread decodes `rows` once into
+/// batches broadcast to one worker per handler. Returns each handler with
+/// its switch position and phase timings, in handler order.
+pub(crate) fn fan_out<H, I, E>(
+    handlers: Vec<H>,
+    total_rows: usize,
+    switch: SwitchPolicy,
+    stage: &'static str,
+    rows: I,
+) -> Result<Vec<(H, Option<usize>, PhaseTimer)>, E>
+where
+    H: ReplayHandler + Send,
+    I: Iterator<Item = Result<Vec<ColumnId>, E>> + Send,
+    E: Send,
+{
+    assert!(!handlers.is_empty(), "need at least one worker");
+    std::thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(handlers.len());
+        let mut workers = Vec::with_capacity(handlers.len());
+        for mut handler in handlers {
+            let (tx, rx) = sync_channel::<Arc<RowBatch>>(CHANNEL_BATCHES);
+            txs.push(tx);
+            workers.push(scope.spawn(move || {
+                let (switch_at, timer) = run_worker(&rx, total_rows, switch, stage, &mut handler);
+                (handler, switch_at, timer)
+            }));
+        }
+        let reader = scope.spawn(move || -> Result<(), E> {
+            let mut next = 0usize;
+            let mut buf: Vec<Vec<ColumnId>> = Vec::with_capacity(BATCH_ROWS);
+            for row in rows {
+                buf.push(row?);
+                if buf.len() == BATCH_ROWS {
+                    let full = std::mem::replace(&mut buf, Vec::with_capacity(BATCH_ROWS));
+                    next = send_batch(&txs, next, full);
+                }
+            }
+            if !buf.is_empty() {
+                send_batch(&txs, next, buf);
+            }
+            Ok(())
+        });
+        let read = reader.join().expect("reader thread panicked");
+        let results: Vec<(H, Option<usize>, PhaseTimer)> = workers
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        read.map(|()| results)
+    })
+}
+
+/// Accumulates per-worker metrics across the stages of a staged pipeline.
+struct WorkerAccumulators {
+    timers: Vec<PhaseTimer>,
+    memories: Vec<CounterMemory>,
+    switches: Vec<Option<usize>>,
+}
+
+impl WorkerAccumulators {
+    fn new(threads: usize) -> Self {
+        Self {
+            timers: (0..threads).map(|_| PhaseTimer::new()).collect(),
+            memories: (0..threads).map(|_| CounterMemory::new()).collect(),
+            switches: vec![None; threads],
+        }
+    }
+
+    fn absorb_stage(&mut self, w: usize, timer: &PhaseTimer, mem: &CounterMemory) {
+        for &(name, d) in timer.report().phases() {
+            self.timers[w].record(name, d);
+        }
+        self.memories[w].absorb_peak(mem);
+    }
+
+    fn finish(self, memory: &mut CounterMemory) -> (Vec<WorkerReport>, Option<usize>) {
+        let Self {
+            timers,
+            memories,
+            switches,
+        } = self;
+        let threads = timers.len();
+        let mut reports = Vec::with_capacity(threads);
+        for (w, (timer, mem)) in timers.into_iter().zip(memories).enumerate() {
+            memory.absorb_peak(&mem);
+            reports.push(WorkerReport {
+                worker: w,
+                phases: timer.report(),
+                memory: mem,
+                switch_at: switches[w],
+            });
+        }
+        // With a single worker the run is sequential in all but plumbing:
+        // its switch position *is* the run's switch position. With more
+        // workers there is no single position.
+        let switch_at = if threads == 1 { switches[0] } else { None };
+        (reports, switch_at)
+    }
+}
+
+/// The staged parallel DMC-imp pipeline (Algorithm 4.2 over `threads`
+/// LHS partitions): 100%-rule stage, step-3 column removal, sub-100%
+/// stage, reverse emission, deterministic merge. `make_rows` is called
+/// once per stage and must yield the same row stream each time; the
+/// stream is decoded exactly once per stage.
+pub(crate) fn parallel_imp_pipeline<E, F, I>(
+    n_cols: usize,
+    ones: &[u32],
+    total_rows: usize,
+    config: &ImplicationConfig,
+    threads: usize,
+    mut timer: PhaseTimer,
+    mut make_rows: F,
+) -> Result<ImplicationOutput, E>
+where
+    F: FnMut() -> Result<I, E>,
+    I: Iterator<Item = Result<Vec<ColumnId>, E>> + Send,
+    E: Send,
+{
+    assert!(threads > 0, "need at least one worker");
+    let mut rules = Vec::new();
+    let mut acc = WorkerAccumulators::new(threads);
+
+    // Stage 1: exact rules through the simplified scan (§4.3).
+    if config.hundred_stage || config.minconf >= 1.0 {
+        let _g = timer.enter("100% rules");
+        let handlers: Vec<HundredScan> = (0..threads)
+            .map(|w| {
+                let mut scan = HundredScan::new(n_cols, HundredMode::Implication, ones.to_vec());
+                scan.set_lhs_mask(round_robin_mask(n_cols, threads, w));
+                scan
+            })
+            .collect();
+        let results = fan_out(
+            handlers,
+            total_rows,
+            config.switch,
+            "100% rules",
+            make_rows()?,
+        )?;
+        for (w, (scan, _, stage_timer)) in results.into_iter().enumerate() {
+            let (imp, _, mem) = scan.into_parts();
+            rules.extend(imp);
+            acc.absorb_stage(w, &stage_timer, &mem);
+        }
+    }
+
+    // Stage 2: sub-100% rules over columns that can tolerate misses
+    // (Algorithm 4.2 step 3 removes the rest).
+    if config.minconf < 1.0 {
+        let active: Option<Vec<bool>> = if config.hundred_stage {
+            Some(
+                ones.iter()
+                    .map(|&o| !only_exact_rules_conf(u64::from(o), config.minconf))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let _g = timer.enter("<100% rules");
+        let handlers: Vec<BaseScan> = (0..threads)
+            .map(|w| {
+                let mut scan = BaseScan::new(
+                    n_cols,
+                    config.minconf,
+                    ones.to_vec(),
+                    active.clone(),
+                    config.release_completed,
+                    false,
+                );
+                scan.set_lhs_mask(round_robin_mask(n_cols, threads, w));
+                scan
+            })
+            .collect();
+        let results = fan_out(
+            handlers,
+            total_rows,
+            config.switch,
+            "<100% rules",
+            make_rows()?,
+        )?;
+        for (w, (scan, switch_at, stage_timer)) in results.into_iter().enumerate() {
+            let (stage_rules, mem) = scan.into_parts();
+            if config.hundred_stage {
+                rules.extend(stage_rules.into_iter().filter(|r| r.misses() > 0));
+            } else {
+                rules.extend(stage_rules);
+            }
+            acc.switches[w] = switch_at;
+            acc.absorb_stage(w, &stage_timer, &mem);
+        }
+    }
+
+    if config.emit_reverse {
+        let reversed: Vec<ImplicationRule> = rules
+            .iter()
+            .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.rhs_ones), config.minconf))
+            .map(|r| r.reversed())
+            .collect();
+        rules.extend(reversed);
+    }
+    rules.sort_unstable();
+    rules.dedup();
+
+    let mut memory = CounterMemory::new();
+    let (workers, bitmap_switch_at) = acc.finish(&mut memory);
+    Ok(ImplicationOutput {
+        rules,
+        phases: timer.report(),
+        memory,
+        bitmap_switch_at,
+        workers,
+    })
+}
+
+/// The staged parallel DMC-sim pipeline (Algorithm 5.1 over `threads`
+/// partitions of the smaller-column pair side); see
+/// [`parallel_imp_pipeline`].
+pub(crate) fn parallel_sim_pipeline<E, F, I>(
+    n_cols: usize,
+    ones: &[u32],
+    total_rows: usize,
+    config: &SimilarityConfig,
+    threads: usize,
+    mut timer: PhaseTimer,
+    mut make_rows: F,
+) -> Result<SimilarityOutput, E>
+where
+    F: FnMut() -> Result<I, E>,
+    I: Iterator<Item = Result<Vec<ColumnId>, E>> + Send,
+    E: Send,
+{
+    assert!(threads > 0, "need at least one worker");
+    let mut rules = Vec::new();
+    let mut acc = WorkerAccumulators::new(threads);
+
+    // Stage 1: identical (100%-similar) columns.
+    if config.hundred_stage || config.minsim >= 1.0 {
+        let _g = timer.enter("100% rules");
+        let handlers: Vec<HundredScan> = (0..threads)
+            .map(|w| {
+                let mut scan = HundredScan::new(n_cols, HundredMode::Identical, ones.to_vec());
+                scan.set_lhs_mask(round_robin_mask(n_cols, threads, w));
+                scan
+            })
+            .collect();
+        let results = fan_out(
+            handlers,
+            total_rows,
+            config.switch,
+            "100% rules",
+            make_rows()?,
+        )?;
+        for (w, (scan, _, stage_timer)) in results.into_iter().enumerate() {
+            let (_, sims, mem) = scan.into_parts();
+            rules.extend(sims);
+            acc.absorb_stage(w, &stage_timer, &mem);
+        }
+    }
+
+    // Stage 2: sub-100% pairs over columns that can reach minsim with at
+    // least one disagreement.
+    if config.minsim < 1.0 {
+        let active: Option<Vec<bool>> = if config.hundred_stage {
+            Some(
+                ones.iter()
+                    .map(|&o| !only_exact_rules_sim(u64::from(o), config.minsim))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let _g = timer.enter("<100% rules");
+        let handlers: Vec<SimScan> = (0..threads)
+            .map(|w| {
+                let mut scan = SimScan::new(n_cols, config, ones.to_vec(), active.clone());
+                scan.set_lhs_mask(round_robin_mask(n_cols, threads, w));
+                scan
+            })
+            .collect();
+        let results = fan_out(
+            handlers,
+            total_rows,
+            config.switch,
+            "<100% rules",
+            make_rows()?,
+        )?;
+        for (w, (scan, switch_at, stage_timer)) in results.into_iter().enumerate() {
+            let (stage_rules, mem) = scan.into_parts();
+            if config.hundred_stage {
+                rules.extend(stage_rules.into_iter().filter(|r| r.hits < r.union()));
+            } else {
+                rules.extend(stage_rules);
+            }
+            acc.switches[w] = switch_at;
+            acc.absorb_stage(w, &stage_timer, &mem);
+        }
+    }
+
+    rules.sort_unstable();
+    rules.dedup();
+
+    let mut memory = CounterMemory::new();
+    let (workers, bitmap_switch_at) = acc.finish(&mut memory);
+    Ok(SimilarityOutput {
+        rules,
+        phases: timer.report(),
+        memory,
+        bitmap_switch_at,
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_masks_partition_all_columns() {
+        for threads in 1..=5 {
+            let masks: Vec<Vec<bool>> = (0..threads)
+                .map(|w| round_robin_mask(13, threads, w))
+                .collect();
+            for c in 0..13 {
+                let owners = masks.iter().filter(|m| m[c]).count();
+                assert_eq!(owners, 1, "column {c} must have exactly one owner");
+            }
+        }
+    }
+
+    /// A handler that records what it saw, to pin down fan-out mechanics
+    /// independent of the scans.
+    #[derive(Debug)]
+    struct Recorder {
+        rows: Vec<Vec<ColumnId>>,
+        tail: Vec<Vec<ColumnId>>,
+        bytes: usize,
+    }
+
+    impl ReplayHandler for Recorder {
+        fn counter_bytes(&self) -> usize {
+            self.bytes
+        }
+        fn row(&mut self, row: &[ColumnId]) {
+            self.rows.push(row.to_vec());
+        }
+        fn tail(&mut self, tail: &[&[ColumnId]]) {
+            self.tail = tail.iter().map(|r| r.to_vec()).collect();
+        }
+    }
+
+    #[test]
+    fn every_worker_sees_every_row_in_order() {
+        let rows: Vec<Vec<ColumnId>> = (0..3000u32).map(|i| vec![i % 7]).collect();
+        let source = rows.clone();
+        let handlers: Vec<Recorder> = (0..3)
+            .map(|_| Recorder {
+                rows: Vec::new(),
+                tail: Vec::new(),
+                bytes: 0,
+            })
+            .collect();
+        let results = fan_out::<_, _, std::convert::Infallible>(
+            handlers,
+            rows.len(),
+            SwitchPolicy::never(),
+            "test",
+            source.into_iter().map(Ok),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 3);
+        for (rec, switch_at, _) in results {
+            assert_eq!(rec.rows, rows);
+            assert!(rec.tail.is_empty());
+            assert_eq!(switch_at, None);
+        }
+    }
+
+    #[test]
+    fn switch_buffers_remaining_rows_as_tail() {
+        let rows: Vec<Vec<ColumnId>> = (0..100u32).map(|i| vec![i]).collect();
+        let handlers = vec![Recorder {
+            rows: Vec::new(),
+            tail: Vec::new(),
+            bytes: 1,
+        }];
+        let results = fan_out::<_, _, std::convert::Infallible>(
+            handlers,
+            rows.len(),
+            SwitchPolicy::always_at(40),
+            "test",
+            rows.clone().into_iter().map(Ok),
+        )
+        .unwrap();
+        let (rec, switch_at, timer) = &results[0];
+        assert_eq!(*switch_at, Some(60), "switch fires at 40 remaining");
+        assert_eq!(rec.rows, rows[..60].to_vec());
+        assert_eq!(rec.tail, rows[60..].to_vec());
+        assert!(timer.report().phase("bitmap tail") >= std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn reader_error_propagates() {
+        #[derive(Debug, PartialEq)]
+        struct Boom;
+        let rows: Vec<Result<Vec<ColumnId>, Boom>> =
+            vec![Ok(vec![0]), Ok(vec![1]), Err(Boom), Ok(vec![2])];
+        let handlers = vec![Recorder {
+            rows: Vec::new(),
+            tail: Vec::new(),
+            bytes: 0,
+        }];
+        let err =
+            fan_out(handlers, 4, SwitchPolicy::never(), "test", rows.into_iter()).unwrap_err();
+        assert_eq!(err, Boom);
+    }
+}

@@ -43,6 +43,9 @@ pub struct HundredScan {
     ones: Vec<u32>,
     cnt: Vec<u32>,
     lists: ColumnLists<ColumnId>,
+    /// Optional LHS restriction (columns outside it still pair as RHS) —
+    /// used by the parallel drivers to partition list ownership.
+    lhs_mask: Option<Vec<bool>>,
     done: Vec<bool>,
     imp_rules: Vec<ImplicationRule>,
     sim_rules: Vec<SimilarityRule>,
@@ -74,6 +77,7 @@ impl HundredScan {
             ones,
             cnt: vec![0; m],
             lists: ColumnLists::new(m),
+            lhs_mask: None,
             done: vec![false; m],
             imp_rules: Vec::new(),
             sim_rules: Vec::new(),
@@ -96,6 +100,23 @@ impl HundredScan {
         &self.mem
     }
 
+    /// Restricts which columns own candidate lists (they remain usable as
+    /// RHS). The parallel drivers partition columns across workers with
+    /// this; a masked-out column's rules come from the worker that owns it.
+    pub fn set_lhs_mask(&mut self, mask: Vec<bool>) {
+        assert_eq!(
+            mask.len(),
+            self.ones.len(),
+            "LHS mask must cover every column"
+        );
+        self.lhs_mask = Some(mask);
+    }
+
+    #[inline]
+    fn is_lhs(&self, j: ColumnId) -> bool {
+        !self.done[j as usize] && self.lhs_mask.as_ref().is_none_or(|m| m[j as usize])
+    }
+
     #[inline]
     fn admissible(&self, j: ColumnId, k: ColumnId) -> bool {
         if k == j {
@@ -111,7 +132,7 @@ impl HundredScan {
     /// Processes one row: create-on-first-1, otherwise intersect.
     pub fn process_row(&mut self, row: &[ColumnId]) {
         for &j in row {
-            if self.done[j as usize] {
+            if !self.is_lhs(j) {
                 continue;
             }
             if self.cnt[j as usize] == 0 {
@@ -126,7 +147,7 @@ impl HundredScan {
             }
         }
         for &j in row {
-            if self.done[j as usize] {
+            if !self.is_lhs(j) {
                 continue;
             }
             self.cnt[j as usize] += 1;
@@ -201,7 +222,7 @@ impl HundredScan {
         let bm = crate::bitmap::build_tail_bitmaps(tail, &all_active, &self.done);
         for j in 0..self.ones.len() as ColumnId {
             let ji = j as usize;
-            if self.done[ji] || self.ones[ji] == 0 {
+            if !self.is_lhs(j) || self.ones[ji] == 0 {
                 continue;
             }
             if self.cnt[ji] > 0 {
@@ -341,6 +362,55 @@ mod tests {
         // not meaningful rules and must not be emitted.
         let m = SparseMatrix::from_rows(4, vec![vec![0, 1], vec![0, 1]]);
         assert_eq!(run_ident(&m, m.n_rows()), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn lhs_partition_union_matches_unmasked() {
+        // Worker partitions must reproduce exactly the unmasked rule set,
+        // for both modes and at every switch point.
+        let m = SparseMatrix::from_rows(
+            5,
+            vec![vec![0, 1, 2, 4], vec![0, 2, 3], vec![1, 3, 4], vec![0, 2]],
+        );
+        for mode in [HundredMode::Implication, HundredMode::Identical] {
+            let full = {
+                let mut scan = HundredScan::new(m.n_cols(), mode, m.column_ones());
+                for row in m.rows() {
+                    scan.process_row(row);
+                }
+                scan.finish_with_bitmaps(&[]);
+                let (imp, sim, _) = scan.into_parts();
+                let mut pairs: Vec<(ColumnId, ColumnId)> = imp
+                    .iter()
+                    .map(|r| (r.lhs, r.rhs))
+                    .chain(sim.iter().map(|r| (r.a, r.b)))
+                    .collect();
+                pairs.sort_unstable();
+                pairs
+            };
+            for threads in 1..=4usize {
+                for head in 0..=m.n_rows() {
+                    let mut pairs = Vec::new();
+                    for w in 0..threads {
+                        let mut scan = HundredScan::new(m.n_cols(), mode, m.column_ones());
+                        scan.set_lhs_mask((0..m.n_cols()).map(|c| c % threads == w).collect());
+                        for r in 0..head {
+                            scan.process_row(m.row(r));
+                        }
+                        let tail: Vec<&[ColumnId]> = (head..m.n_rows()).map(|r| m.row(r)).collect();
+                        scan.finish_with_bitmaps(&tail);
+                        let (imp, sim, _) = scan.into_parts();
+                        pairs.extend(
+                            imp.iter()
+                                .map(|r| (r.lhs, r.rhs))
+                                .chain(sim.iter().map(|r| (r.a, r.b))),
+                        );
+                    }
+                    pairs.sort_unstable();
+                    assert_eq!(pairs, full, "mode={mode:?} threads={threads} head={head}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::hundred::{HundredMode, HundredScan};
 use crate::rules::ImplicationRule;
 use crate::threshold::{conf_qualifies, only_exact_rules_conf};
 use dmc_matrix::{ColumnId, RowId, SparseMatrix};
-use dmc_metrics::{CounterMemory, PhaseReport, PhaseTimer};
+use dmc_metrics::{CounterMemory, PhaseReport, PhaseTimer, WorkerReport};
 
 /// Result of [`find_implications`].
 #[derive(Debug)]
@@ -32,8 +32,13 @@ pub struct ImplicationOutput {
     /// Counter-array accounting across all stages (peak = max over stages).
     pub memory: CounterMemory,
     /// Whether the sub-100% stage switched to DMC-bitmap, and after how
-    /// many scanned rows.
+    /// many scanned rows. Parallel drivers report it only for
+    /// `threads == 1` (workers switch independently); see `workers`.
     pub bitmap_switch_at: Option<usize>,
+    /// Per-worker phase times, memory peaks and switch positions. Empty
+    /// for the sequential drivers; one entry per worker for the parallel
+    /// drivers.
+    pub workers: Vec<WorkerReport>,
 }
 
 impl ImplicationOutput {
@@ -164,6 +169,7 @@ pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> I
         phases: timer.report(),
         memory,
         bitmap_switch_at,
+        workers: Vec::new(),
     }
 }
 

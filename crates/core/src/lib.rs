@@ -54,6 +54,7 @@ mod base;
 mod bitmap;
 mod candidates;
 mod config;
+mod fanout;
 pub mod fxhash;
 pub mod groups;
 mod hundred;
@@ -63,6 +64,7 @@ mod rules;
 pub mod rules_io;
 mod sim;
 pub mod stream;
+mod stream_parallel;
 pub mod threshold;
 pub mod validate;
 
@@ -75,7 +77,11 @@ pub use rules::{ImplicationRule, SimilarityRule};
 pub use rules_io::{read_rules, write_rules, RuleParseError};
 pub use sim::{find_similarities, SimilarityOutput};
 pub use stream::{find_implications_streamed, find_similarities_streamed, StreamError};
+pub use stream_parallel::{
+    find_implications_streamed_parallel, find_similarities_streamed_parallel,
+};
 pub use validate::{verify_implications, verify_similarities, RuleCheck};
 
 // Re-exports so downstream users need only this crate for common flows.
 pub use dmc_matrix::{order::RowOrder, ColumnId, SparseMatrix};
+pub use dmc_metrics::WorkerReport;

@@ -1,33 +1,48 @@
-//! Parallel DMC-imp (the paper's §7 future-work item 2).
+//! Parallel DMC-imp / DMC-sim over an in-memory matrix (the paper's §7
+//! future-work item 2).
 //!
 //! The paper suggests a divide-and-conquer parallelization in the style of
 //! FDM. Miss counting decomposes cleanly by **LHS column**: the candidate
 //! list of `c_j` is touched only at rows containing `c_j`, and never reads
-//! another column's list. So each worker scans the whole row stream but owns
-//! a disjoint subset of LHS columns (round-robin, to balance the skewed
-//! column-density distributions of Fig 4); every column remains visible as
-//! an RHS candidate to every worker.
+//! another column's list. So each worker owns a disjoint subset of LHS
+//! columns (round-robin, to balance the skewed column-density
+//! distributions of Fig 4); every column remains visible as an RHS
+//! candidate to every worker.
 //!
-//! The result is bit-identical to the sequential scan: same rules, same
-//! counts. Workers use `crossbeam` scoped threads and return their rules
-//! for a deterministic merge-and-sort.
+//! Rows are fanned out by the shared batched engine (`crate::fanout`): one
+//! reader thread traverses the matrix in scan order exactly once per stage
+//! and broadcasts reference-counted row batches to the workers — the
+//! matrix is no longer walked `threads`× per pass. The drivers run the
+//! same staged pipeline as their sequential counterparts (100%-rule stage,
+//! Algorithm 4.2 step-3 column removal, sub-100% stage), so the merged,
+//! sorted output is bit-identical to [`crate::find_implications`] /
+//! [`crate::find_similarities`].
+//!
+//! Per-worker phase times, counter-array peaks and bitmap-switch positions
+//! are reported in the output's `workers` field.
 
-use crate::base::BaseScan;
-use crate::bitmap::finish_with_bitmaps;
 use crate::config::{ImplicationConfig, SimilarityConfig};
+use crate::fanout::{parallel_imp_pipeline, parallel_sim_pipeline};
 use crate::imp::ImplicationOutput;
-use crate::rules::{ImplicationRule, SimilarityRule};
-use crate::sim::{SimScan, SimilarityOutput};
-use crate::threshold::conf_qualifies;
-use dmc_matrix::{ColumnId, SparseMatrix};
-use dmc_metrics::{CounterMemory, PhaseTimer};
+use crate::sim::SimilarityOutput;
+use dmc_matrix::{RowId, SparseMatrix};
+use dmc_metrics::PhaseTimer;
+use std::convert::Infallible;
+
+fn unwrap_infallible<T>(result: Result<T, Infallible>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(never) => match never {},
+    }
+}
 
 /// Mines implication rules with `threads` workers; output is identical to
-/// [`crate::find_implications`].
+/// [`crate::find_implications`] (same staged pipeline, same rules).
 ///
-/// `bitmap_switch_at` is reported as `None`: each worker applies the switch
-/// policy to its own (smaller) counter array, so there is no single switch
-/// position for the run.
+/// `bitmap_switch_at` is the run's switch position when `threads == 1`;
+/// with more workers each applies the switch policy to its own (smaller)
+/// counter array, so there is no single position — see the per-worker
+/// `workers[w].switch_at` instead.
 ///
 /// # Panics
 ///
@@ -40,100 +55,25 @@ pub fn find_implications_parallel(
 ) -> ImplicationOutput {
     assert!(threads > 0, "need at least one worker");
     let mut timer = PhaseTimer::new();
-
     let (ones, order) = {
         let _g = timer.enter("pre-scan");
         (matrix.column_ones(), config.row_order.permutation(matrix))
     };
-
-    // Workers mine *all* rules (including exact ones) for their LHS
-    // partition in a single pass, so neither the separate 100% stage nor
-    // the Algorithm 4.2 step-3 column removal applies here; every column
-    // stays active. The sequential driver remains the reference
-    // implementation of the staged pipeline.
-    let active: Vec<bool> = vec![true; matrix.n_cols()];
-
-    let scan_guard = timer.enter("<100% rules");
-    let worker_results: Vec<(Vec<ImplicationRule>, CounterMemory)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let ones = ones.clone();
-                    let active = active.clone();
-                    let order = &order;
-                    scope.spawn(move |_| {
-                        let mut scan = BaseScan::new(
-                            matrix.n_cols(),
-                            config.minconf,
-                            ones,
-                            Some(active),
-                            config.release_completed,
-                            false,
-                        );
-                        let lhs: Vec<bool> =
-                            (0..matrix.n_cols()).map(|c| c % threads == w).collect();
-                        scan.set_lhs_mask(lhs);
-                        let mut switched = false;
-                        for (pos, &r) in order.iter().enumerate() {
-                            let remaining = order.len() - pos;
-                            if config
-                                .switch
-                                .should_switch(remaining, scan.memory().current_bytes())
-                            {
-                                let tail: Vec<&[ColumnId]> = order[pos..]
-                                    .iter()
-                                    .map(|&r| matrix.row(r as usize))
-                                    .collect();
-                                finish_with_bitmaps(&mut scan, &tail);
-                                switched = true;
-                                break;
-                            }
-                            scan.process_row(matrix.row(r as usize));
-                        }
-                        if !switched {
-                            finish_with_bitmaps(&mut scan, &[]);
-                        }
-                        scan.into_parts()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed");
-    drop(scan_guard);
-
-    let mut rules = Vec::new();
-    let mut memory = CounterMemory::new();
-    for (worker_rules, mem) in worker_results {
-        rules.extend(worker_rules);
-        memory.absorb_peak(&mem);
-    }
-
-    if config.emit_reverse {
-        let reversed: Vec<ImplicationRule> = rules
-            .iter()
-            .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.rhs_ones), config.minconf))
-            .map(|r| r.reversed())
-            .collect();
-        rules.extend(reversed);
-    }
-    rules.sort_unstable();
-    rules.dedup();
-    ImplicationOutput {
-        rules,
-        phases: timer.report(),
-        memory,
-        bitmap_switch_at: None,
-    }
+    unwrap_infallible(parallel_imp_pipeline(
+        matrix.n_cols(),
+        &ones,
+        order.len(),
+        config,
+        threads,
+        timer,
+        || Ok(matrix_rows(matrix, &order)),
+    ))
 }
 
 /// Mines similarity rules with `threads` workers; output is identical to
 /// [`crate::find_similarities`]. Workers partition the smaller-column side
-/// of each pair round-robin; `cnt` counters (which the §5.2 bound reads for
-/// both sides) advance in every worker.
+/// of each pair round-robin; `cnt` counters (which the §5.2 bound reads
+/// for both sides) advance in every worker.
 ///
 /// # Panics
 ///
@@ -146,72 +86,34 @@ pub fn find_similarities_parallel(
 ) -> SimilarityOutput {
     assert!(threads > 0, "need at least one worker");
     let mut timer = PhaseTimer::new();
-
     let (ones, order) = {
         let _g = timer.enter("pre-scan");
         (matrix.column_ones(), config.row_order.permutation(matrix))
     };
+    unwrap_infallible(parallel_sim_pipeline(
+        matrix.n_cols(),
+        &ones,
+        order.len(),
+        config,
+        threads,
+        timer,
+        || Ok(matrix_rows(matrix, &order)),
+    ))
+}
 
-    let scan_guard = timer.enter("<100% rules");
-    let worker_results: Vec<(Vec<SimilarityRule>, CounterMemory)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let ones = ones.clone();
-                    let order = &order;
-                    scope.spawn(move |_| {
-                        let mut scan = SimScan::new(matrix.n_cols(), config, ones, None);
-                        let lhs: Vec<bool> =
-                            (0..matrix.n_cols()).map(|c| c % threads == w).collect();
-                        scan.set_lhs_mask(lhs);
-                        let mut switched = false;
-                        for (pos, &r) in order.iter().enumerate() {
-                            let remaining = order.len() - pos;
-                            if config.switch.should_switch(remaining, scan.memory_bytes()) {
-                                let tail: Vec<&[ColumnId]> = order[pos..]
-                                    .iter()
-                                    .map(|&r| matrix.row(r as usize))
-                                    .collect();
-                                scan.finish_with_bitmaps(&tail);
-                                switched = true;
-                                break;
-                            }
-                            scan.process_row(matrix.row(r as usize));
-                        }
-                        if !switched {
-                            scan.finish_with_bitmaps(&[]);
-                        }
-                        scan.into_parts()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed");
-    drop(scan_guard);
-
-    let mut rules = Vec::new();
-    let mut memory = CounterMemory::new();
-    for (worker_rules, mem) in worker_results {
-        rules.extend(worker_rules);
-        memory.absorb_peak(&mem);
-    }
-    rules.sort_unstable();
-    rules.dedup();
-    SimilarityOutput {
-        rules,
-        phases: timer.report(),
-        memory,
-        bitmap_switch_at: None,
-    }
+/// The matrix's rows in scan order as an infallible fan-out source; each
+/// row is copied out exactly once per pass.
+fn matrix_rows<'a>(
+    matrix: &'a SparseMatrix,
+    order: &'a [RowId],
+) -> impl Iterator<Item = Result<Vec<dmc_matrix::ColumnId>, Infallible>> + Send + 'a {
+    order.iter().map(|&r| Ok(matrix.row(r as usize).to_vec()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SwitchPolicy;
     use crate::{find_implications, find_similarities};
     use dmc_matrix::SparseMatrix;
 
@@ -241,6 +143,70 @@ mod tests {
             for threads in [1, 2, 3, 8] {
                 let par = find_implications_parallel(&m, &cfg, threads);
                 assert_eq!(par.rules, seq.rules, "minconf={minconf} threads={threads}");
+                assert_eq!(par.workers.len(), threads);
+            }
+        }
+    }
+
+    #[test]
+    fn staged_pipeline_matches_sequential_with_exact_only_columns() {
+        // Column 5 appears once: at minconf 0.9 its maxmis is 0, so the
+        // staged pipeline must remove it from the sub-100% stage
+        // (Algorithm 4.2 step 3) yet still report its exact rules from the
+        // 100% stage. Regression for the old all-columns-active driver.
+        let m = SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1, 2, 5],
+                vec![0, 1],
+                vec![0, 1, 3],
+                vec![1, 3, 4],
+                vec![0, 2, 4],
+                vec![0, 1, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2],
+                vec![0, 1, 3],
+            ],
+        );
+        for &minconf in &[0.9, 0.75, 0.6] {
+            let cfg = ImplicationConfig::new(minconf);
+            let seq = find_implications(&m, &cfg);
+            assert!(
+                !seq.rules.is_empty(),
+                "test needs a non-trivial rule set at {minconf}"
+            );
+            for threads in 1..=4 {
+                let par = find_implications_parallel(&m, &cfg, threads);
+                assert_eq!(par.rules, seq.rules, "minconf={minconf} threads={threads}");
+            }
+        }
+        // The exact-only column's 100% rules survive the staged pipeline.
+        let par = find_implications_parallel(&m, &ImplicationConfig::new(0.9), 3);
+        assert!(
+            par.rules.iter().any(|r| r.lhs == 5),
+            "column 5's exact rule must come from the 100% stage"
+        );
+    }
+
+    #[test]
+    fn per_worker_switch_positions_are_reported() {
+        let m = fig2();
+        let cfg = ImplicationConfig::new(0.8).with_switch(SwitchPolicy::always_at(3));
+        for threads in [1, 2, 4] {
+            let par = find_implications_parallel(&m, &cfg, threads);
+            assert_eq!(par.workers.len(), threads);
+            for w in &par.workers {
+                assert!(
+                    w.switch_at.is_some(),
+                    "always_at(3) must switch every worker (threads={threads})"
+                );
+            }
+            if threads == 1 {
+                let seq = find_implications(&m, &cfg);
+                assert_eq!(par.bitmap_switch_at, seq.bitmap_switch_at);
+            } else {
+                assert_eq!(par.bitmap_switch_at, None);
             }
         }
     }
@@ -270,6 +236,7 @@ mod tests {
             for threads in [1, 2, 3, 8] {
                 let par = find_similarities_parallel(&m, &cfg, threads);
                 assert_eq!(par.rules, seq.rules, "minsim={minsim} threads={threads}");
+                assert_eq!(par.workers.len(), threads);
             }
         }
     }
@@ -281,5 +248,17 @@ mod tests {
         let seq = find_similarities(&m, &cfg);
         let par = find_similarities_parallel(&m, &cfg, 3);
         assert_eq!(par.rules, seq.rules);
+    }
+
+    #[test]
+    fn worker_phase_times_cover_the_stages() {
+        let m = fig2();
+        let par = find_implications_parallel(&m, &ImplicationConfig::new(0.8), 2);
+        for w in &par.workers {
+            let names: Vec<&str> = w.phases.phases().iter().map(|(n, _)| *n).collect();
+            assert!(names.contains(&"100% rules"), "phases: {names:?}");
+            assert!(names.contains(&"<100% rules"), "phases: {names:?}");
+            assert!(names.contains(&"bitmap tail"), "phases: {names:?}");
+        }
     }
 }

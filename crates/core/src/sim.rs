@@ -29,7 +29,7 @@ use crate::rules::SimilarityRule;
 use crate::threshold::{max_misses_sim, only_exact_rules_sim, sim_qualifies};
 use dmc_bitset::BitMatrix;
 use dmc_matrix::{canonical_less, ColumnId, RowId, SparseMatrix};
-use dmc_metrics::{CounterMemory, PhaseReport, PhaseTimer};
+use dmc_metrics::{CounterMemory, PhaseReport, PhaseTimer, WorkerReport};
 
 /// Result of [`find_similarities`].
 #[derive(Debug)]
@@ -42,8 +42,13 @@ pub struct SimilarityOutput {
     /// Counter-array accounting across all stages.
     pub memory: CounterMemory,
     /// Whether the sub-100% stage switched to DMC-bitmap, and after how
-    /// many scanned rows.
+    /// many scanned rows. Parallel drivers report it only for
+    /// `threads == 1` (workers switch independently); see `workers`.
     pub bitmap_switch_at: Option<usize>,
+    /// Per-worker phase times, memory peaks and switch positions. Empty
+    /// for the sequential drivers; one entry per worker for the parallel
+    /// drivers.
+    pub workers: Vec<WorkerReport>,
 }
 
 impl SimilarityOutput {
@@ -168,6 +173,7 @@ pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> Si
         phases: timer.report(),
         memory,
         bitmap_switch_at,
+        workers: Vec::new(),
     }
 }
 

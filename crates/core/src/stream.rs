@@ -67,7 +67,10 @@ impl<E> From<io::Error> for StreamError<E> {
 }
 
 /// Pass 1: count column 1s and spill normalized rows into density buckets.
-fn prescan<I, E>(rows: I, n_cols: usize) -> Result<(Vec<u32>, BucketSpill), StreamError<E>>
+pub(crate) fn prescan<I, E>(
+    rows: I,
+    n_cols: usize,
+) -> Result<(Vec<u32>, BucketSpill), StreamError<E>>
 where
     I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
 {
@@ -91,8 +94,10 @@ where
 }
 
 /// One scan's hooks for the spill replay: the switch policy reads the
-/// counter footprint, rows feed the scan, and the tail finishes it.
-trait ReplayHandler {
+/// counter footprint, rows feed the scan, and the tail finishes it. Shared
+/// by the sequential replay below and the parallel fan-out
+/// (`crate::fanout`).
+pub(crate) trait ReplayHandler {
     fn counter_bytes(&self) -> usize;
     fn row(&mut self, row: &[ColumnId]);
     fn tail(&mut self, tail: &[&[ColumnId]]);
@@ -253,6 +258,7 @@ where
         phases: timer.report(),
         memory,
         bitmap_switch_at,
+        workers: Vec::new(),
     })
 }
 
@@ -322,6 +328,7 @@ where
         phases: timer.report(),
         memory,
         bitmap_switch_at,
+        workers: Vec::new(),
     })
 }
 

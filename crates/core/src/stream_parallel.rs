@@ -1,0 +1,189 @@
+//! Parallel out-of-core mining: the §4.1 spill replay fanned out to
+//! LHS-partitioned workers.
+//!
+//! Pass 1 is the same prescan as the sequential streamed drivers
+//! (normalize rows, count per-column 1s, spill into density buckets). The
+//! spill is then sealed into a [`dmc_matrix::spill::SharedSpill`] and each
+//! counting stage replays it on a dedicated reader thread that **decodes
+//! every row exactly once**, batching rows for broadcast to the workers
+//! (`crate::fanout`). Workers own round-robin LHS-column partitions and
+//! apply the §4.2 bitmap-switch policy to their own counter arrays; the
+//! deterministic merge keeps the output bit-identical to
+//! [`crate::find_implications_streamed`] /
+//! [`crate::find_similarities_streamed`] for any thread count.
+//!
+//! Memory stays `O(columns + candidates)` per worker plus the bounded
+//! batch queues — independent of the row count, as in the sequential
+//! streamed drivers.
+
+use crate::config::{ImplicationConfig, SimilarityConfig};
+use crate::fanout::{parallel_imp_pipeline, parallel_sim_pipeline};
+use crate::imp::ImplicationOutput;
+use crate::sim::SimilarityOutput;
+use crate::stream::{prescan, StreamError};
+use dmc_matrix::ColumnId;
+use dmc_metrics::PhaseTimer;
+
+/// Streaming DMC-imp over a fallible row iterator with `threads` workers.
+///
+/// Output is identical to [`crate::find_implications_streamed`] (and, by
+/// extension, to the in-memory drivers under bucketed sparsest-first
+/// order).
+///
+/// # Errors
+///
+/// Fails on source errors, spill IO errors, or out-of-range column ids.
+/// Spill files are cleaned up on every path.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn find_implications_streamed_parallel<I, E>(
+    rows: I,
+    n_cols: usize,
+    config: &ImplicationConfig,
+    threads: usize,
+) -> Result<ImplicationOutput, StreamError<E>>
+where
+    I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
+    E: Send,
+{
+    assert!(threads > 0, "need at least one worker");
+    let mut timer = PhaseTimer::new();
+    let (ones, spill) = {
+        let _g = timer.enter("pre-scan");
+        prescan(rows, n_cols)?
+    };
+    let total_rows = spill.rows();
+    let shared = spill.share()?;
+    parallel_imp_pipeline(n_cols, &ones, total_rows, config, threads, timer, || {
+        Ok(shared.replay().map(|r| r.map_err(StreamError::Io)))
+    })
+}
+
+/// Streaming DMC-sim over a fallible row iterator with `threads` workers
+/// (see [`find_implications_streamed_parallel`]).
+///
+/// # Errors
+///
+/// Fails on source errors, spill IO errors, or out-of-range column ids.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn find_similarities_streamed_parallel<I, E>(
+    rows: I,
+    n_cols: usize,
+    config: &SimilarityConfig,
+    threads: usize,
+) -> Result<SimilarityOutput, StreamError<E>>
+where
+    I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
+    E: Send,
+{
+    assert!(threads > 0, "need at least one worker");
+    let mut timer = PhaseTimer::new();
+    let (ones, spill) = {
+        let _g = timer.enter("pre-scan");
+        prescan(rows, n_cols)?
+    };
+    let total_rows = spill.rows();
+    let shared = spill.share()?;
+    parallel_sim_pipeline(n_cols, &ones, total_rows, config, threads, timer, || {
+        Ok(shared.replay().map(|r| r.map_err(StreamError::Io)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{find_implications_streamed, find_similarities_streamed};
+    use crate::{SparseMatrix, SwitchPolicy};
+    use std::convert::Infallible;
+
+    fn fig2() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![1, 5],
+                vec![2, 3, 4],
+                vec![2, 4],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 3, 5],
+                vec![0, 2, 3, 4, 5],
+                vec![3, 5],
+                vec![0, 1, 4],
+            ],
+        )
+    }
+
+    fn rows_of(m: &SparseMatrix) -> Vec<Result<Vec<ColumnId>, Infallible>> {
+        m.rows().map(|r| Ok(r.to_vec())).collect()
+    }
+
+    #[test]
+    fn matches_sequential_streamed_imp() {
+        let m = fig2();
+        for &minconf in &[1.0, 0.8, 0.5] {
+            let cfg = ImplicationConfig::new(minconf);
+            let seq = find_implications_streamed(rows_of(&m), m.n_cols(), &cfg).unwrap();
+            for threads in [1, 2, 3, 8] {
+                let par =
+                    find_implications_streamed_parallel(rows_of(&m), m.n_cols(), &cfg, threads)
+                        .unwrap();
+                assert_eq!(par.rules, seq.rules, "minconf={minconf} threads={threads}");
+                assert_eq!(par.workers.len(), threads);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_streamed_sim() {
+        let m = fig2();
+        for &minsim in &[1.0, 0.75, 0.4] {
+            let cfg = SimilarityConfig::new(minsim);
+            let seq = find_similarities_streamed(rows_of(&m), m.n_cols(), &cfg).unwrap();
+            for threads in [1, 2, 3, 8] {
+                let par =
+                    find_similarities_streamed_parallel(rows_of(&m), m.n_cols(), &cfg, threads)
+                        .unwrap();
+                assert_eq!(par.rules, seq.rules, "minsim={minsim} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_switch_matches_and_reports_positions() {
+        let m = fig2();
+        let cfg = ImplicationConfig::new(0.8).with_switch(SwitchPolicy::always_at(3));
+        let seq = find_implications_streamed(rows_of(&m), m.n_cols(), &cfg).unwrap();
+        for threads in [1, 2, 4] {
+            let par = find_implications_streamed_parallel(rows_of(&m), m.n_cols(), &cfg, threads)
+                .unwrap();
+            assert_eq!(par.rules, seq.rules, "threads={threads}");
+            assert!(par.workers.iter().all(|w| w.switch_at.is_some()));
+            if threads == 1 {
+                assert_eq!(par.bitmap_switch_at, seq.bitmap_switch_at);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let rows: Vec<Result<Vec<ColumnId>, Infallible>> = vec![Ok(vec![0, 9])];
+        let err = find_implications_streamed_parallel(rows, 3, &ImplicationConfig::new(1.0), 2)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::ColumnOutOfRange { row: 0, id: 9 }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let rows: Vec<Result<Vec<ColumnId>, Infallible>> = vec![Ok(vec![0])];
+        let _ = find_implications_streamed_parallel(rows, 1, &ImplicationConfig::new(1.0), 0);
+    }
+}

@@ -9,7 +9,23 @@
 //!
 //! Rows are stored in a simple length-prefixed little-endian binary format
 //! (`u32` count, then `u32` ids). Files live in a caller-supplied or
-//! temporary directory and are removed on drop.
+//! temporary directory.
+//!
+//! # Cleanup
+//!
+//! Every handle that can read the files — the [`BucketSpill`] itself, each
+//! [`SharedSpill`] clone, and each live [`SpillReplay`] — shares ownership
+//! of an internal guard; the bucket files are unlinked when the **last**
+//! handle drops. An early error return (or a spill dropped mid-replay)
+//! therefore never strands files on disk, and a replay in flight keeps its
+//! files alive even if the spill that created it is gone.
+//!
+//! # Sharing
+//!
+//! [`BucketSpill::share`] seals the spill (no more writes) into a
+//! [`SharedSpill`], which is `Clone + Send + Sync`: the parallel streamed
+//! drivers hand clones to reader threads that replay the same files
+//! concurrently.
 
 use crate::order::density_bucket;
 use crate::ColumnId;
@@ -17,8 +33,32 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 static SPILL_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Owns the on-disk bucket files; unlinks them on drop. Shared (via `Arc`)
+/// by the spill, its [`SharedSpill`] handles, and live replays, so the
+/// files survive exactly as long as something can still read them.
+#[derive(Default)]
+struct SpillFiles {
+    paths: Mutex<Vec<Option<PathBuf>>>,
+}
+
+impl Drop for SpillFiles {
+    fn drop(&mut self) {
+        let paths = self.paths.get_mut().expect("spill path lock poisoned");
+        for path in paths.iter().flatten() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl SpillFiles {
+    fn snapshot(&self) -> Vec<Option<PathBuf>> {
+        self.paths.lock().expect("spill path lock poisoned").clone()
+    }
+}
 
 /// Writes rows into per-density bucket files and replays them sparsest
 /// bucket first.
@@ -27,6 +67,7 @@ pub struct BucketSpill {
     prefix: String,
     /// Lazily opened writers, one per bucket.
     writers: Vec<Option<BufWriter<File>>>,
+    files: Arc<SpillFiles>,
     rows: usize,
 }
 
@@ -52,6 +93,9 @@ impl BucketSpill {
             dir,
             prefix,
             writers,
+            files: Arc::new(SpillFiles {
+                paths: Mutex::new(vec![None; buckets]),
+            }),
             rows: 0,
         })
     }
@@ -83,12 +127,14 @@ impl BucketSpill {
     pub fn push_row(&mut self, row: &[ColumnId]) -> io::Result<()> {
         let bucket = density_bucket(row.len()).min(self.writers.len() - 1);
         if self.writers[bucket].is_none() {
+            let path = self.bucket_path(bucket);
             let file = OpenOptions::new()
                 .create(true)
                 .truncate(true)
                 .write(true)
-                .open(self.bucket_path(bucket))?;
+                .open(&path)?;
             self.writers[bucket] = Some(BufWriter::new(file));
+            self.files.paths.lock().expect("spill path lock poisoned")[bucket] = Some(path);
         }
         let writer = self.writers[bucket].as_mut().expect("just opened");
         writer.write_all(&(row.len() as u32).to_le_bytes())?;
@@ -99,38 +145,65 @@ impl BucketSpill {
         Ok(())
     }
 
+    fn flush(&mut self) -> io::Result<()> {
+        for writer in self.writers.iter_mut().flatten() {
+            writer.flush()?;
+        }
+        Ok(())
+    }
+
     /// Flushes writers and returns an iterator over all rows, sparsest
     /// bucket first (original order within a bucket). Can be called
-    /// repeatedly.
+    /// repeatedly. The replay keeps the bucket files alive even if the
+    /// spill is dropped before the replay finishes.
     ///
     /// # Errors
     ///
     /// Propagates flush failures.
     pub fn replay(&mut self) -> io::Result<SpillReplay> {
-        for writer in self.writers.iter_mut().flatten() {
-            writer.flush()?;
-        }
-        let paths: Vec<Option<PathBuf>> = self
-            .writers
-            .iter()
-            .enumerate()
-            .map(|(b, w)| w.as_ref().map(|_| self.bucket_path(b)))
-            .collect();
-        Ok(SpillReplay {
-            paths,
-            next_bucket: 0,
-            current: None,
+        self.flush()?;
+        Ok(SpillReplay::over(Arc::clone(&self.files)))
+    }
+
+    /// Seals the spill for reading and returns a cloneable, thread-safe
+    /// handle over the same bucket files. No further rows can be pushed;
+    /// the files are removed when the last handle (and last live replay)
+    /// drops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures (the files are still cleaned up).
+    pub fn share(mut self) -> io::Result<SharedSpill> {
+        self.flush()?;
+        // Close the write handles; SharedSpill re-opens per replay.
+        self.writers.clear();
+        Ok(SharedSpill {
+            files: Arc::clone(&self.files),
+            rows: self.rows,
         })
     }
 }
 
-impl Drop for BucketSpill {
-    fn drop(&mut self) {
-        for bucket in 0..self.writers.len() {
-            if self.writers[bucket].is_some() {
-                let _ = std::fs::remove_file(self.bucket_path(bucket));
-            }
-        }
+/// A sealed, read-only view of a [`BucketSpill`]'s files, safe to clone
+/// across threads. Created by [`BucketSpill::share`].
+#[derive(Clone)]
+pub struct SharedSpill {
+    files: Arc<SpillFiles>,
+    rows: usize,
+}
+
+impl SharedSpill {
+    /// Rows in the spill.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// A fresh sparsest-bucket-first row iterator. Independent replays
+    /// (including concurrent ones from clones) do not interfere.
+    #[must_use]
+    pub fn replay(&self) -> SpillReplay {
+        SpillReplay::over(Arc::clone(&self.files))
     }
 }
 
@@ -139,9 +212,20 @@ pub struct SpillReplay {
     paths: Vec<Option<PathBuf>>,
     next_bucket: usize,
     current: Option<BufReader<File>>,
+    /// Keeps the bucket files on disk while this replay is alive.
+    _files: Arc<SpillFiles>,
 }
 
 impl SpillReplay {
+    fn over(files: Arc<SpillFiles>) -> Self {
+        Self {
+            paths: files.snapshot(),
+            next_bucket: 0,
+            current: None,
+            _files: files,
+        }
+    }
+
     fn read_row(reader: &mut BufReader<File>) -> io::Result<Option<Vec<ColumnId>>> {
         let mut len_buf = [0u8; 4];
         match reader.read_exact(&mut len_buf) {
@@ -255,6 +339,46 @@ mod tests {
             assert!(path.exists());
         }
         assert!(!path.exists(), "bucket file removed on drop");
+    }
+
+    #[test]
+    fn live_replay_keeps_files_after_spill_drop() {
+        let dir = temp_dir();
+        let mut spill = BucketSpill::new(&dir, 10).unwrap();
+        spill.push_row(&[1]).unwrap();
+        spill.push_row(&[2]).unwrap();
+        let path = spill.bucket_path(0);
+        let mut replay = spill.replay().unwrap();
+        assert_eq!(replay.next().unwrap().unwrap(), vec![1]);
+        drop(spill);
+        assert!(path.exists(), "replay in flight keeps the file");
+        assert_eq!(replay.next().unwrap().unwrap(), vec![2]);
+        drop(replay);
+        assert!(!path.exists(), "last handle removes the file");
+    }
+
+    #[test]
+    fn shared_spill_replays_from_clones_and_cleans_up_last() {
+        let dir = temp_dir();
+        let mut spill = BucketSpill::new(&dir, 10).unwrap();
+        spill.push_row(&[0, 1]).unwrap();
+        spill.push_row(&[2]).unwrap();
+        let path = spill.bucket_path(0);
+        let shared = spill.share().unwrap();
+        assert_eq!(shared.rows(), 2);
+
+        let clone = shared.clone();
+        let rows: Vec<Vec<ColumnId>> =
+            std::thread::spawn(move || clone.replay().map(Result::unwrap).collect())
+                .join()
+                .unwrap();
+        assert_eq!(rows, vec![vec![2], vec![0, 1]]);
+        assert!(path.exists(), "original handle still alive");
+
+        let again: Vec<Vec<ColumnId>> = shared.replay().map(Result::unwrap).collect();
+        assert_eq!(again, rows);
+        drop(shared);
+        assert!(!path.exists(), "last shared handle removes the files");
     }
 
     #[test]

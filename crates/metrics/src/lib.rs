@@ -9,10 +9,14 @@
 //!
 //! [`PhaseTimer`] provides the first, [`CounterMemory`] the second. Both are
 //! plain single-threaded accumulators the algorithms update inline; the
-//! experiments harness then renders them into the paper's tables.
+//! experiments harness then renders them into the paper's tables. Parallel
+//! drivers keep one of each per worker and surface them via
+//! [`WorkerReport`].
 
 mod memory;
 mod timer;
+mod worker;
 
 pub use memory::{CounterMemory, MemorySample, COL_OVERHEAD_BYTES, ENTRY_BYTES};
 pub use timer::{PhaseReport, PhaseTimer};
+pub use worker::WorkerReport;

@@ -1,0 +1,54 @@
+//! Per-worker instrumentation for the parallel drivers.
+//!
+//! The parallel pipelines fan rows out to workers that each own an LHS
+//! column partition. Aggregate numbers (one peak, one phase table) hide
+//! load imbalance — a single dense partition can dominate wall-clock time
+//! while the merged peak looks modest. [`WorkerReport`] keeps the per-worker
+//! breakdown: its phase times, its counter-array peak, and where (if
+//! anywhere) its scan switched to the bitmap tail. Drivers collect one per
+//! worker into their output structs.
+
+use crate::{CounterMemory, PhaseReport};
+
+/// One worker's share of a parallel run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerReport {
+    /// Worker index in `0..threads`; the worker owns LHS columns `c` with
+    /// `c % threads == worker`.
+    pub worker: usize,
+    /// Time this worker spent per stage (counting stages plus its own
+    /// `bitmap tail`).
+    pub phases: PhaseReport,
+    /// Counter-array accounting for this worker's partition (peak = max
+    /// over the stages it ran).
+    pub memory: CounterMemory,
+    /// Row position where this worker's sub-100% scan switched to the
+    /// bitmap tail, if it did. Workers switch independently: each applies
+    /// the policy to its own (smaller) counter array.
+    pub switch_at: Option<usize>,
+}
+
+impl WorkerReport {
+    /// An empty report for worker `worker`.
+    #[must_use]
+    pub fn new(worker: usize) -> Self {
+        Self {
+            worker,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_report_is_empty() {
+        let r = WorkerReport::new(3);
+        assert_eq!(r.worker, 3);
+        assert!(r.phases.phases().is_empty());
+        assert_eq!(r.memory.peak_candidates(), 0);
+        assert_eq!(r.switch_at, None);
+    }
+}

@@ -1,0 +1,128 @@
+//! The parallel out-of-core drivers are bit-identical to the
+//! sequential in-memory and streamed drivers: same rules, same order,
+//! for every thread count, reverse mode and switch policy.
+
+use dmc_core::{
+    find_implications, find_implications_streamed, find_implications_streamed_parallel,
+    find_similarities, find_similarities_streamed, find_similarities_streamed_parallel,
+    ImplicationConfig, SimilarityConfig, SwitchPolicy,
+};
+use dmc_datagen::{planted_implications, PlantedConfig};
+use dmc_integration_tests::matrix_strategy;
+use dmc_matrix::{ColumnId, SparseMatrix};
+use proptest::prelude::*;
+use std::convert::Infallible;
+
+fn rows_of(m: &SparseMatrix) -> impl Iterator<Item = Result<Vec<ColumnId>, Infallible>> + '_ {
+    (0..m.n_rows()).map(|r| Ok(m.row(r).to_vec()))
+}
+
+fn switch_policies() -> [SwitchPolicy; 3] {
+    [
+        SwitchPolicy::never(),
+        SwitchPolicy::always_at(7),
+        SwitchPolicy::paper(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn imp_streamed_parallel_matches_in_memory(
+        m in matrix_strategy(24, 12),
+        minconf in prop_oneof![Just(1.0), Just(0.9), Just(0.6), Just(0.34)],
+        threads in 1usize..=8,
+        reverse in any::<bool>(),
+        policy in 0usize..3,
+    ) {
+        let config = ImplicationConfig::new(minconf)
+            .with_reverse(reverse)
+            .with_switch(switch_policies()[policy]);
+        let expected = find_implications(&m, &config);
+        let out = find_implications_streamed_parallel(
+            rows_of(&m), m.n_cols(), &config, threads,
+        ).expect("streamed parallel");
+        prop_assert_eq!(out.rules, expected.rules);
+        prop_assert_eq!(out.workers.len(), threads);
+    }
+
+    #[test]
+    fn sim_streamed_parallel_matches_in_memory(
+        m in matrix_strategy(24, 12),
+        minsim in prop_oneof![Just(1.0), Just(0.8), Just(0.5), Just(0.25)],
+        threads in 1usize..=8,
+        policy in 0usize..3,
+    ) {
+        let config = SimilarityConfig::new(minsim)
+            .with_switch(switch_policies()[policy]);
+        let expected = find_similarities(&m, &config);
+        let out = find_similarities_streamed_parallel(
+            rows_of(&m), m.n_cols(), &config, threads,
+        ).expect("streamed parallel");
+        prop_assert_eq!(out.rules, expected.rules);
+        prop_assert_eq!(out.workers.len(), threads);
+    }
+}
+
+/// The acceptance sweep: on planted data the parallel streamed drivers
+/// reproduce the sequential streamed output byte-for-byte (rendered
+/// rule strings, not just the structs) for threads 1, 2, 4, 8.
+#[test]
+fn planted_thread_sweep_is_byte_identical_to_sequential_streamed() {
+    let data = planted_implications(&PlantedConfig::new(2000, 30, 6, 42));
+    let m = &data.matrix;
+
+    for minconf in [1.0, 0.9, 0.7] {
+        let config = ImplicationConfig::new(minconf);
+        let seq = find_implications_streamed(rows_of(m), m.n_cols(), &config).expect("sequential");
+        let seq_text: Vec<String> = seq.rules.iter().map(ToString::to_string).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = find_implications_streamed_parallel(rows_of(m), m.n_cols(), &config, threads)
+                .expect("parallel");
+            let par_text: Vec<String> = par.rules.iter().map(ToString::to_string).collect();
+            assert_eq!(par_text, seq_text, "minconf={minconf} threads={threads}");
+            assert_eq!(par.workers.len(), threads);
+        }
+    }
+
+    for minsim in [0.9, 0.6] {
+        let config = SimilarityConfig::new(minsim);
+        let seq = find_similarities_streamed(rows_of(m), m.n_cols(), &config).expect("sequential");
+        let seq_text: Vec<String> = seq.rules.iter().map(ToString::to_string).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = find_similarities_streamed_parallel(rows_of(m), m.n_cols(), &config, threads)
+                .expect("parallel");
+            let par_text: Vec<String> = par.rules.iter().map(ToString::to_string).collect();
+            assert_eq!(par_text, seq_text, "minsim={minsim} threads={threads}");
+            assert_eq!(par.workers.len(), threads);
+        }
+    }
+}
+
+/// Forced early switches exercise the per-worker bitmap tails; the
+/// merged rules must still match, and with one worker the reported
+/// switch position must equal the sequential one.
+#[test]
+fn forced_switch_sweep_matches_and_single_worker_reports_position() {
+    let data = planted_implications(&PlantedConfig::new(600, 20, 4, 7));
+    let m = &data.matrix;
+    let config = ImplicationConfig::new(0.85).with_switch(SwitchPolicy::always_at(100));
+
+    let seq = find_implications_streamed(rows_of(m), m.n_cols(), &config).expect("sequential");
+    assert!(seq.bitmap_switch_at.is_some(), "switch must trigger");
+    for threads in [1, 2, 4, 8] {
+        let par = find_implications_streamed_parallel(rows_of(m), m.n_cols(), &config, threads)
+            .expect("parallel");
+        assert_eq!(par.rules, seq.rules, "threads={threads}");
+        if threads == 1 {
+            assert_eq!(par.bitmap_switch_at, seq.bitmap_switch_at);
+            assert_eq!(par.workers[0].switch_at, seq.bitmap_switch_at);
+        } else {
+            assert_eq!(par.bitmap_switch_at, None);
+            for w in &par.workers {
+                assert_eq!(w.switch_at, seq.bitmap_switch_at, "worker {}", w.worker);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the real `proptest` cannot
+//! be fetched. This crate implements the subset the workspace's property
+//! tests use: the `proptest!` macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), `Strategy` with
+//! `prop_map` / `prop_flat_map` / `boxed`, range and `Just` strategies,
+//! tuple strategies, `collection::{vec, btree_set}`, `any`, `prop_oneof!`,
+//! and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from upstream: no shrinking (a failing case prints its inputs
+//! and panics as-is), and value streams are deterministic per test + case
+//! index rather than globally random. `PROPTEST_CASES` overrides the case
+//! count, as upstream does.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert inside a `proptest!` body. Upstream returns a `TestCaseError`; here
+/// a plain panic is equivalent because the runner reports inputs on unwind.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Choose uniformly between heterogeneous strategies with a common value
+/// type. Upstream supports `weight => strategy` arms; the workspace only
+/// uses the unweighted form.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0..10usize, m in matrix_strategy(24, 14)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let cases = $crate::test_runner::case_count(config.cases);
+            for case in 0..cases {
+                let mut runner_rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &$strategy,
+                        &mut runner_rng,
+                    );
+                )+
+                let inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {case}/{cases} with inputs:\n{inputs}",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,13 @@
+//! Offline placeholder for the `serde` crate.
+//!
+//! The workspace's `serde` integrations are optional features that stay OFF
+//! in this network-less build container; this placeholder only exists so the
+//! optional dependency edges resolve without registry access. It provides no
+//! derive macros or traits — restore the real `serde` (and `serde_json`)
+//! before enabling any `serde` feature.
+
+compile_error!(
+    "the vendored `serde` placeholder was compiled: a `serde` feature was \
+     enabled, but offline builds cannot provide the real crate. Disable the \
+     feature or restore network access and the upstream dependency."
+);
