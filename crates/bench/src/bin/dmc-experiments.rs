@@ -4,7 +4,7 @@
 //! dmc-experiments <experiment> [scale]
 //!   experiment: table1 | fig2 | fig3 | fig4 | fig6a | fig6b | fig6cd |
 //!               fig6ef | fig6gh | fig6ij | fig7 | speedups | ablation |
-//!               verify | all
+//!               reports | verify | all
 //!   scale:      small | medium (default) | large
 //! ```
 
@@ -16,7 +16,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: dmc-experiments <experiment> [scale]\n\
          experiments: table1 fig2 fig3 fig4 fig6a fig6b fig6cd fig6ef \
-         fig6gh fig6ij fig7 speedups ablation verify all\n\
+         fig6gh fig6ij fig7 speedups ablation reports verify all\n\
          scales: small medium large (default medium)"
     );
     ExitCode::from(2)
@@ -50,6 +50,7 @@ fn main() -> ExitCode {
             "fig7" => exp::fig7(scale),
             "speedups" => exp::speedups(scale),
             "ablation" => exp::ablation(scale),
+            "reports" => exp::reports(scale),
             "verify" => exp::verify(scale),
             _ => return None,
         })
@@ -58,7 +59,7 @@ fn main() -> ExitCode {
     if which == "all" {
         for name in [
             "table1", "fig2", "fig3", "fig4", "fig6a", "fig6b", "fig6cd", "fig6ef", "fig6gh",
-            "fig6ij", "fig7", "speedups", "ablation", "verify",
+            "fig6ij", "fig7", "speedups", "ablation", "reports", "verify",
         ] {
             println!("==== {name} ====");
             println!("{}", run_one(name).expect("known experiment"));

@@ -13,7 +13,7 @@ use dmc_baselines::kmin::{kmin_implications, KMinConfig};
 use dmc_baselines::minhash::{minhash_similarities, MinHashConfig};
 use dmc_baselines::oracle;
 use dmc_core::{
-    find_implications, find_similarities, ImplicationConfig, RowOrder, SimilarityConfig,
+    find_implications, find_similarities, ImplicationConfig, Miner, RowOrder, SimilarityConfig,
     SparseMatrix,
 };
 use dmc_matrix::stats::{column_density_histogram, matrix_stats};
@@ -632,6 +632,68 @@ pub fn ablation(scale: Scale) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Structured run reports across the thread sweep: mines NewsP at 85%
+/// once per thread count (1/2/4/8, in-memory and streamed), checks each
+/// report's counters reconcile, writes the JSON array to
+/// `BENCH_reports.json`, and returns a counter summary table.
+///
+/// # Panics
+///
+/// Panics if any run report fails its reconciliation invariants.
+#[must_use]
+pub fn reports(scale: Scale) -> String {
+    let m = datasets::newsp(scale);
+    let thr = 0.85;
+    let mut entries = Vec::new();
+    let mut t = Table::new(vec![
+        "run",
+        "rules",
+        "rows scanned",
+        "admitted",
+        "deleted",
+        "misses",
+        "peak cands",
+    ]);
+    let mut record = |label: String, r: &dmc_core::RunReport| {
+        assert!(r.reconciles(), "run report must reconcile ({label})");
+        t.row(vec![
+            label,
+            r.rules.to_string(),
+            r.counters.rows_scanned.to_string(),
+            r.counters.candidates_admitted.to_string(),
+            r.counters.candidates_deleted.to_string(),
+            r.counters.misses_counted.to_string(),
+            r.peak_candidates.to_string(),
+        ]);
+        entries.push(r.to_json());
+    };
+    for threads in [1usize, 2, 4, 8] {
+        let out = Miner::implications(thr).threads(threads).run(&m);
+        record(format!("imp t={threads}"), &out.report);
+    }
+    let rows: Vec<Result<Vec<dmc_core::ColumnId>, std::convert::Infallible>> =
+        m.rows().map(|r| Ok(r.to_vec())).collect();
+    let streamed = Miner::implications(thr)
+        .threads(4)
+        .run_streamed(rows, m.n_cols())
+        .expect("in-memory rows cannot fail");
+    record("imp t=4 streamed".into(), &streamed.report);
+    let sim = Miner::similarities(thr).threads(4).run(&m);
+    record("sim t=4".into(), &sim.report);
+
+    let path = "BENCH_reports.json";
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    let note = match std::fs::write(path, json) {
+        Ok(()) => format!("JSON written to {path}"),
+        Err(e) => format!("could not write {path}: {e}"),
+    };
+    format!(
+        "Run reports (NewsP @ 0.85, schema {}), {note}\n{}",
+        dmc_core::RUN_REPORT_SCHEMA,
+        t.render()
+    )
 }
 
 /// Sanity experiment: DMC against the exact oracle on a small slice (used

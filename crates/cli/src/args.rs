@@ -53,6 +53,7 @@ const VALUED: &[&str] = &[
     "limit",
     "scale",
     "rules",
+    "metrics",
 ];
 
 impl Args {

@@ -2,10 +2,8 @@
 
 use crate::args::{ArgError, Args};
 use dmc_core::{
-    find_implications, find_implications_parallel, find_implications_streamed,
-    find_implications_streamed_parallel, find_similarities, find_similarities_parallel,
-    find_similarities_streamed, find_similarities_streamed_parallel, rule_groups,
-    ImplicationConfig, RowOrder, SimilarityConfig, SwitchPolicy,
+    find_implications, find_similarities, rule_groups, ImplicationConfig, Miner, RowOrder,
+    RunReport, SimilarityConfig, SwitchPolicy,
 };
 use dmc_datagen::{
     dictionary, link_graph, news, weblog, DictionaryConfig, LinkGraphConfig, NewsConfig,
@@ -48,16 +46,32 @@ fn switch_policy(args: &Args) -> Result<SwitchPolicy, Box<dyn Error>> {
     Ok(policy)
 }
 
+/// Writes the run report JSON to the `--metrics` destination (`-` is
+/// stdout). No-op when the option is absent.
+fn write_metrics(args: &Args, report: &RunReport) -> CmdResult {
+    let Some(dest) = args.get("metrics") else {
+        return Ok(());
+    };
+    let json = report.to_json();
+    if dest == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(dest, format!("{json}\n"))?;
+        eprintln!("run report written to {dest}");
+    }
+    Ok(())
+}
+
 /// `dmc imp`: implication rules.
 pub fn imp(args: &Args) -> CmdResult {
     let minconf: f64 = args.require("minconf")?;
-    let mut config = ImplicationConfig::new(minconf)
-        .with_row_order(row_order(args)?)
-        .with_switch(switch_policy(args)?)
-        .with_reverse(args.flag("reverse"));
-    config.hundred_stage = !args.flag("no-hundred-stage");
+    let miner = Miner::implications(minconf)
+        .order(row_order(args)?)
+        .switch(switch_policy(args)?)
+        .reverse(args.flag("reverse"))
+        .hundred_stage(!args.flag("no-hundred-stage"))
+        .threads(args.get_or("threads", 1)?);
 
-    let threads: usize = args.get_or("threads", 1)?;
     if args.flag("stream") {
         // Out-of-core: one pass over the file plus spill-file replays;
         // the matrix is never materialized. Needs the column count up
@@ -67,20 +81,12 @@ pub fn imp(args: &Args) -> CmdResult {
             .positional(0)
             .ok_or_else(|| ArgError::Required("<file>".into()))?;
         let reader = std::io::BufReader::new(File::open(path)?);
-        let out = if threads > 1 {
-            find_implications_streamed_parallel(RowLines::new(reader), n_cols, &config, threads)?
-        } else {
-            find_implications_streamed(RowLines::new(reader), n_cols, &config)?
-        };
+        let out = miner.run_streamed(RowLines::new(reader), n_cols)?;
         return print_imp(args, &out, minconf, None);
     }
 
     let matrix = load(args)?;
-    let out = if threads > 1 {
-        find_implications_parallel(&matrix, &config, threads)
-    } else {
-        find_implications(&matrix, &config)
-    };
+    let out = miner.run(&matrix);
     print_imp(args, &out, minconf, Some(&matrix))
 }
 
@@ -119,7 +125,7 @@ fn print_imp(
         eprintln!("  {phase:<12} {:.3}s", time.as_secs_f64());
     }
     print_workers(&out.workers);
-    Ok(())
+    write_metrics(args, &out.report)
 }
 
 /// Per-worker lines (parallel drivers only; sequential runs leave this empty).
@@ -144,31 +150,23 @@ fn print_workers(workers: &[dmc_core::WorkerReport]) {
 /// `dmc sim`: similarity rules.
 pub fn sim(args: &Args) -> CmdResult {
     let minsim: f64 = args.require("minsim")?;
-    let mut config = SimilarityConfig::new(minsim)
-        .with_row_order(row_order(args)?)
-        .with_switch(switch_policy(args)?)
-        .with_max_hits_pruning(!args.flag("no-max-hits"));
-    config.hundred_stage = !args.flag("no-hundred-stage");
+    let miner = Miner::similarities(minsim)
+        .order(row_order(args)?)
+        .switch(switch_policy(args)?)
+        .max_hits_pruning(!args.flag("no-max-hits"))
+        .hundred_stage(!args.flag("no-hundred-stage"))
+        .threads(args.get_or("threads", 1)?);
 
-    let threads: usize = args.get_or("threads", 1)?;
     let out = if args.flag("stream") {
         let n_cols: usize = args.require("cols")?;
         let path = args
             .positional(0)
             .ok_or_else(|| ArgError::Required("<file>".into()))?;
         let reader = std::io::BufReader::new(File::open(path)?);
-        if threads > 1 {
-            find_similarities_streamed_parallel(RowLines::new(reader), n_cols, &config, threads)?
-        } else {
-            find_similarities_streamed(RowLines::new(reader), n_cols, &config)?
-        }
+        miner.run_streamed(RowLines::new(reader), n_cols)?
     } else {
         let matrix = load(args)?;
-        if threads > 1 {
-            find_similarities_parallel(&matrix, &config, threads)
-        } else {
-            find_similarities(&matrix, &config)
-        }
+        miner.run(&matrix)
     };
     if let Some(path) = args.get("output") {
         let mut file = BufWriter::new(File::create(path)?);
@@ -187,7 +185,7 @@ pub fn sim(args: &Args) -> CmdResult {
         out.memory.peak_candidates()
     );
     print_workers(&out.workers);
-    Ok(())
+    write_metrics(args, &out.report)
 }
 
 /// `dmc groups`: rule-graph clusters (§6.3).

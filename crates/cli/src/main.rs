@@ -25,11 +25,12 @@ commands:
   imp <file> --minconf X   mine implication rules (file '-' = stdin)
       [--order bucketed|sorted|original] [--reverse] [--threads N]
       [--switch-rows N --switch-bytes N] [--limit N] [--quiet]
+      [--metrics FILE|-]   write the JSON run report ('-' = stdout)
       [--stream --cols N]  out-of-core: spill to disk, never materialize
                            (--threads N fans the replay out to N workers)
   sim <file> --minsim X    mine similarity rules
       [--order ...] [--no-max-hits] [--threads N] [--limit N] [--quiet]
-      [--stream --cols N]
+      [--metrics FILE|-] [--stream --cols N]
   groups <file> --minconf X --minsim X
                            cluster columns connected by rules
   verify <file> --rules R  re-check a rules file against the data

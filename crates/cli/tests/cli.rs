@@ -230,6 +230,74 @@ fn streamed_mode_requires_cols() {
 }
 
 #[test]
+fn metrics_to_stdout_emits_reconciling_json() {
+    let input = "# cols 4\n0 1 2\n0 1\n1 2 3\n0 1 2\n0 1\n";
+    let (stdout, stderr, ok) = run(
+        &["imp", "-", "--minconf", "0.6", "--quiet", "--metrics", "-"],
+        Some(input),
+    );
+    assert!(ok, "{stderr}");
+    let json = dmc_metrics::json::JsonValue::parse(&stdout).expect("stdout is one JSON report");
+    assert_eq!(
+        json.get("schema").and_then(|v| v.as_str()),
+        Some(dmc_metrics::RUN_REPORT_SCHEMA)
+    );
+    assert_eq!(
+        json.get("algorithm").and_then(|v| v.as_str()),
+        Some("implication")
+    );
+    let counters = json.get("counters").expect("counters object");
+    let c = |k: &str| counters.get(k).and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(
+        c("candidates_admitted"),
+        c("candidates_deleted") + c("rules_emitted"),
+        "counters reconcile"
+    );
+}
+
+#[test]
+fn metrics_file_written_for_streamed_parallel_sim() {
+    let dir = std::env::temp_dir().join("dmc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("metrics-input.txt");
+    std::fs::write(&data, "# cols 4\n0 1 2\n0 1\n1 2 3\n0 1 2\n0 1\n").unwrap();
+    let metrics = dir.join("metrics-report.json");
+    let (_, stderr, ok) = run(
+        &[
+            "sim",
+            data.to_str().unwrap(),
+            "--minsim",
+            "0.4",
+            "--stream",
+            "--cols",
+            "4",
+            "--threads",
+            "4",
+            "--quiet",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("run report written"), "{stderr}");
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let json = dmc_metrics::json::JsonValue::parse(&text).expect("file is valid JSON");
+    assert_eq!(
+        json.get("algorithm").and_then(|v| v.as_str()),
+        Some("similarity")
+    );
+    assert_eq!(json.get("mode").and_then(|v| v.as_str()), Some("streamed"));
+    assert_eq!(json.get("threads").and_then(|v| v.as_u64()), Some(4));
+    let workers = json.get("workers").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(workers.len(), 4);
+    assert!(
+        json.get("spill_bytes").and_then(|v| v.as_u64()).unwrap() > 0,
+        "streamed runs record spill bytes"
+    );
+}
+
+#[test]
 fn verify_roundtrip_through_rules_file() {
     let dir = std::env::temp_dir().join("dmc-cli-tests");
     std::fs::create_dir_all(&dir).unwrap();

@@ -25,7 +25,7 @@ use crate::candidates::{ColumnLists, ImpCandidate};
 use crate::rules::ImplicationRule;
 use crate::threshold::max_misses_conf;
 use dmc_matrix::{canonical_less, ColumnId};
-use dmc_metrics::CounterMemory;
+use dmc_metrics::{CounterMemory, ScanTally};
 
 /// What a [`BaseScan`] did with a processed row.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +51,7 @@ pub struct BaseScan {
     release_completed: bool,
     pub(crate) rules: Vec<ImplicationRule>,
     pub(crate) mem: CounterMemory,
+    pub(crate) tally: ScanTally,
     scratch: Vec<ImpCandidate>,
 }
 
@@ -93,6 +94,7 @@ impl BaseScan {
             } else {
                 CounterMemory::new()
             },
+            tally: ScanTally::new(),
             scratch: Vec::new(),
         }
     }
@@ -107,6 +109,12 @@ impl BaseScan {
     #[must_use]
     pub fn memory(&self) -> &CounterMemory {
         &self.mem
+    }
+
+    /// Event counters of this scan so far.
+    #[must_use]
+    pub fn tally(&self) -> ScanTally {
+        self.tally
     }
 
     /// Rules emitted so far.
@@ -156,6 +164,7 @@ impl BaseScan {
 
     /// Processes one row (Algorithm 3.1 step 3).
     pub fn process_row(&mut self, row: &[ColumnId]) -> BaseOutcome {
+        self.tally.row();
         // Step 3(a): update candidate lists of every active column in the
         // row. Per-column updates are independent because `cnt` is only
         // advanced in step 3(b).
@@ -197,6 +206,7 @@ impl BaseScan {
             .filter(|&&k| self.admissible(j, k))
             .map(|&k| ImpCandidate { col: k, miss: 0 })
             .collect();
+        self.tally.admit(list.len());
         self.lists.install(j, list, &mut self.mem);
     }
 
@@ -230,16 +240,22 @@ impl BaseScan {
                     // List-only: a miss.
                     let mut c = list[li];
                     c.miss += 1;
+                    self.tally.miss(1);
                     if c.miss <= maxmis_j {
                         self.scratch.push(c);
+                    } else {
+                        self.tally.delete(1);
                     }
                     li += 1;
                 }
                 (Some(_), None) => {
                     let mut c = list[li];
                     c.miss += 1;
+                    self.tally.miss(1);
                     if c.miss <= maxmis_j {
                         self.scratch.push(c);
+                    } else {
+                        self.tally.delete(1);
                     }
                     li += 1;
                 }
@@ -247,6 +263,7 @@ impl BaseScan {
                     // Row-only: admit with the misses already accumulated
                     // before this column's list could know about it.
                     if self.admissible(j, rc) {
+                        self.tally.admit(1);
                         self.scratch.push(ImpCandidate {
                             col: rc,
                             miss: cnt_j,
@@ -279,6 +296,7 @@ impl BaseScan {
         if additions.is_empty() {
             return;
         }
+        self.tally.admit(additions.len());
         self.mem.add_candidates(additions.len());
         let list = self.lists.get_mut(j).expect("list was just installed");
         list.extend(additions);
@@ -300,7 +318,9 @@ impl BaseScan {
             let hit = ri < row.len() && row[ri] == c.col;
             if !hit {
                 c.miss += 1;
+                self.tally.miss(1);
                 if c.miss > maxmis_j {
+                    self.tally.delete(1);
                     continue; // deleted
                 }
             }
@@ -340,6 +360,7 @@ impl BaseScan {
     ) {
         for c in list {
             debug_assert!(c.miss <= self.maxmis[j as usize]);
+            self.tally.emit(1);
             self.rules.push(ImplicationRule {
                 lhs: j,
                 rhs: c.col,

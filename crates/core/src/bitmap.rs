@@ -76,6 +76,7 @@ fn phase1_closed(scan: &mut BaseScan, bm: &BitMatrix, j: ColumnId) {
     for cand in list {
         let total_miss = cand.miss + bm.miss_count(j, cand.col) as u32;
         if total_miss <= maxmis_j {
+            scan.tally.emit(1);
             scan.rules.push(ImplicationRule {
                 lhs: j,
                 rhs: cand.col,
@@ -83,6 +84,8 @@ fn phase1_closed(scan: &mut BaseScan, bm: &BitMatrix, j: ColumnId) {
                 lhs_ones: ones_j,
                 rhs_ones: scan.ones[cand.col as usize],
             });
+        } else {
+            scan.tally.delete(1);
         }
     }
 }
@@ -95,7 +98,9 @@ fn phase2_open(scan: &mut BaseScan, bm: &BitMatrix, tail: &[&[ColumnId]], j: Col
     let cnt_j = scan.cnt[ji];
 
     let mut hits: FxHashMap<ColumnId, u32> = FxHashMap::default();
+    let mut from_list = 0;
     if let Some(list) = scan.lists.release(j, &mut scan.mem) {
+        from_list = list.len();
         for cand in list {
             hits.insert(cand.col, cnt_j - cand.miss);
         }
@@ -109,8 +114,12 @@ fn phase2_open(scan: &mut BaseScan, bm: &BitMatrix, tail: &[&[ColumnId]], j: Col
             }
         }
     }
+    // Tail-only partners entered the hit table without ever being list
+    // candidates; count them as admissions so the tally reconciles.
+    scan.tally.admit(hits.len() - from_list);
     for (k, h) in hits {
         if h >= min_hits && canonical_less(j, ones_j, k, scan.ones[k as usize]) {
+            scan.tally.emit(1);
             scan.rules.push(ImplicationRule {
                 lhs: j,
                 rhs: k,
@@ -118,6 +127,8 @@ fn phase2_open(scan: &mut BaseScan, bm: &BitMatrix, tail: &[&[ColumnId]], j: Col
                 lhs_ones: ones_j,
                 rhs_ones: scan.ones[k as usize],
             });
+        } else {
+            scan.tally.delete(1);
         }
     }
 }

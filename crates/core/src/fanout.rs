@@ -33,7 +33,9 @@ use crate::sim::{SimScan, SimilarityOutput};
 use crate::stream::ReplayHandler;
 use crate::threshold::{conf_qualifies, only_exact_rules_conf, only_exact_rules_sim};
 use dmc_matrix::ColumnId;
-use dmc_metrics::{CounterMemory, PhaseTimer, WorkerReport};
+use dmc_metrics::{
+    CounterMemory, PhaseTimer, ReportBuilder, ScanTally, StageReport, WorkerReport, WorkerSummary,
+};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
@@ -162,6 +164,7 @@ where
 struct WorkerAccumulators {
     timers: Vec<PhaseTimer>,
     memories: Vec<CounterMemory>,
+    tallies: Vec<ScanTally>,
     switches: Vec<Option<usize>>,
 }
 
@@ -170,21 +173,30 @@ impl WorkerAccumulators {
         Self {
             timers: (0..threads).map(|_| PhaseTimer::new()).collect(),
             memories: (0..threads).map(|_| CounterMemory::new()).collect(),
+            tallies: vec![ScanTally::new(); threads],
             switches: vec![None; threads],
         }
     }
 
-    fn absorb_stage(&mut self, w: usize, timer: &PhaseTimer, mem: &CounterMemory) {
+    fn absorb_stage(
+        &mut self,
+        w: usize,
+        timer: &PhaseTimer,
+        mem: &CounterMemory,
+        tally: ScanTally,
+    ) {
         for &(name, d) in timer.report().phases() {
             self.timers[w].record(name, d);
         }
         self.memories[w].absorb_peak(mem);
+        self.tallies[w].merge(&tally);
     }
 
     fn finish(self, memory: &mut CounterMemory) -> (Vec<WorkerReport>, Option<usize>) {
         let Self {
             timers,
             memories,
+            tallies,
             switches,
         } = self;
         let threads = timers.len();
@@ -195,6 +207,7 @@ impl WorkerAccumulators {
                 worker: w,
                 phases: timer.report(),
                 memory: mem,
+                tally: tallies[w],
                 switch_at: switches[w],
             });
         }
@@ -206,17 +219,28 @@ impl WorkerAccumulators {
     }
 }
 
-/// The staged parallel DMC-imp pipeline (Algorithm 4.2 over `threads`
-/// LHS partitions): 100%-rule stage, step-3 column removal, sub-100%
-/// stage, reverse emission, deterministic merge. `make_rows` is called
-/// once per stage and must yield the same row stream each time; the
-/// stream is decoded exactly once per stage.
+/// Run-level facts a pipeline cannot observe itself: how many workers to
+/// fan out to, how the rows reached it, and what it cost to stage them.
+/// They flow straight into the [`RunReport`].
+pub(crate) struct RunContext {
+    pub threads: usize,
+    /// `"in-memory"` or `"streamed"` — the report's `mode` field.
+    pub mode: &'static str,
+    /// Encoded spill size in bytes; zero for in-memory runs.
+    pub spill_bytes: u64,
+}
+
+/// The staged parallel DMC-imp pipeline (Algorithm 4.2 over
+/// `ctx.threads` LHS partitions): 100%-rule stage, step-3 column
+/// removal, sub-100% stage, reverse emission, deterministic merge.
+/// `make_rows` is called once per stage and must yield the same row
+/// stream each time; the stream is decoded exactly once per stage.
 pub(crate) fn parallel_imp_pipeline<E, F, I>(
     n_cols: usize,
     ones: &[u32],
     total_rows: usize,
     config: &ImplicationConfig,
-    threads: usize,
+    ctx: RunContext,
     mut timer: PhaseTimer,
     mut make_rows: F,
 ) -> Result<ImplicationOutput, E>
@@ -225,9 +249,16 @@ where
     I: Iterator<Item = Result<Vec<ColumnId>, E>> + Send,
     E: Send,
 {
+    let RunContext {
+        threads,
+        mode,
+        spill_bytes,
+    } = ctx;
     assert!(threads > 0, "need at least one worker");
     let mut rules = Vec::new();
     let mut acc = WorkerAccumulators::new(threads);
+    let mut report = ReportBuilder::new("implication", mode, threads, config.minconf);
+    report.dims(total_rows, n_cols).spill_bytes(spill_bytes);
 
     // Stage 1: exact rules through the simplified scan (§4.3).
     if config.hundred_stage || config.minconf >= 1.0 {
@@ -246,11 +277,22 @@ where
             "100% rules",
             make_rows()?,
         )?;
+        let mut stage_tally = ScanTally::new();
+        let mut stage_peak = 0;
+        let before = rules.len();
         for (w, (scan, _, stage_timer)) in results.into_iter().enumerate() {
+            let tally = scan.tally();
             let (imp, _, mem) = scan.into_parts();
             rules.extend(imp);
-            acc.absorb_stage(w, &stage_timer, &mem);
+            stage_tally.merge(&tally);
+            stage_peak = stage_peak.max(mem.peak_candidates());
+            acc.absorb_stage(w, &stage_timer, &mem, tally);
         }
+        report.hundred_stage(StageReport::new(
+            stage_tally,
+            (rules.len() - before) as u64,
+            stage_peak,
+        ));
     }
 
     // Stage 2: sub-100% rules over columns that can tolerate misses
@@ -287,16 +329,27 @@ where
             "<100% rules",
             make_rows()?,
         )?;
+        let mut stage_tally = ScanTally::new();
+        let mut stage_peak = 0;
+        let before = rules.len();
         for (w, (scan, switch_at, stage_timer)) in results.into_iter().enumerate() {
+            let tally = scan.tally();
             let (stage_rules, mem) = scan.into_parts();
             if config.hundred_stage {
                 rules.extend(stage_rules.into_iter().filter(|r| r.misses() > 0));
             } else {
                 rules.extend(stage_rules);
             }
+            stage_tally.merge(&tally);
+            stage_peak = stage_peak.max(mem.peak_candidates());
             acc.switches[w] = switch_at;
-            acc.absorb_stage(w, &stage_timer, &mem);
+            acc.absorb_stage(w, &stage_timer, &mem, tally);
         }
+        report.sub_stage(StageReport::new(
+            stage_tally,
+            (rules.len() - before) as u64,
+            stage_peak,
+        ));
     }
 
     if config.emit_reverse {
@@ -305,6 +358,7 @@ where
             .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.rhs_ones), config.minconf))
             .map(|r| r.reversed())
             .collect();
+        report.reverse_rules(reversed.len() as u64);
         rules.extend(reversed);
     }
     rules.sort_unstable();
@@ -312,24 +366,30 @@ where
 
     let mut memory = CounterMemory::new();
     let (workers, bitmap_switch_at) = acc.finish(&mut memory);
+    for worker in &workers {
+        report.push_worker(WorkerSummary::from(worker));
+    }
+    let phases = timer.report();
+    let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(ImplicationOutput {
         rules,
-        phases: timer.report(),
+        phases,
         memory,
         bitmap_switch_at,
         workers,
+        report,
     })
 }
 
-/// The staged parallel DMC-sim pipeline (Algorithm 5.1 over `threads`
-/// partitions of the smaller-column pair side); see
+/// The staged parallel DMC-sim pipeline (Algorithm 5.1 over
+/// `ctx.threads` partitions of the smaller-column pair side); see
 /// [`parallel_imp_pipeline`].
 pub(crate) fn parallel_sim_pipeline<E, F, I>(
     n_cols: usize,
     ones: &[u32],
     total_rows: usize,
     config: &SimilarityConfig,
-    threads: usize,
+    ctx: RunContext,
     mut timer: PhaseTimer,
     mut make_rows: F,
 ) -> Result<SimilarityOutput, E>
@@ -338,9 +398,16 @@ where
     I: Iterator<Item = Result<Vec<ColumnId>, E>> + Send,
     E: Send,
 {
+    let RunContext {
+        threads,
+        mode,
+        spill_bytes,
+    } = ctx;
     assert!(threads > 0, "need at least one worker");
     let mut rules = Vec::new();
     let mut acc = WorkerAccumulators::new(threads);
+    let mut report = ReportBuilder::new("similarity", mode, threads, config.minsim);
+    report.dims(total_rows, n_cols).spill_bytes(spill_bytes);
 
     // Stage 1: identical (100%-similar) columns.
     if config.hundred_stage || config.minsim >= 1.0 {
@@ -359,11 +426,22 @@ where
             "100% rules",
             make_rows()?,
         )?;
+        let mut stage_tally = ScanTally::new();
+        let mut stage_peak = 0;
+        let before = rules.len();
         for (w, (scan, _, stage_timer)) in results.into_iter().enumerate() {
+            let tally = scan.tally();
             let (_, sims, mem) = scan.into_parts();
             rules.extend(sims);
-            acc.absorb_stage(w, &stage_timer, &mem);
+            stage_tally.merge(&tally);
+            stage_peak = stage_peak.max(mem.peak_candidates());
+            acc.absorb_stage(w, &stage_timer, &mem, tally);
         }
+        report.hundred_stage(StageReport::new(
+            stage_tally,
+            (rules.len() - before) as u64,
+            stage_peak,
+        ));
     }
 
     // Stage 2: sub-100% pairs over columns that can reach minsim with at
@@ -393,16 +471,27 @@ where
             "<100% rules",
             make_rows()?,
         )?;
+        let mut stage_tally = ScanTally::new();
+        let mut stage_peak = 0;
+        let before = rules.len();
         for (w, (scan, switch_at, stage_timer)) in results.into_iter().enumerate() {
+            let tally = scan.tally();
             let (stage_rules, mem) = scan.into_parts();
             if config.hundred_stage {
                 rules.extend(stage_rules.into_iter().filter(|r| r.hits < r.union()));
             } else {
                 rules.extend(stage_rules);
             }
+            stage_tally.merge(&tally);
+            stage_peak = stage_peak.max(mem.peak_candidates());
             acc.switches[w] = switch_at;
-            acc.absorb_stage(w, &stage_timer, &mem);
+            acc.absorb_stage(w, &stage_timer, &mem, tally);
         }
+        report.sub_stage(StageReport::new(
+            stage_tally,
+            (rules.len() - before) as u64,
+            stage_peak,
+        ));
     }
 
     rules.sort_unstable();
@@ -410,12 +499,18 @@ where
 
     let mut memory = CounterMemory::new();
     let (workers, bitmap_switch_at) = acc.finish(&mut memory);
+    for worker in &workers {
+        report.push_worker(WorkerSummary::from(worker));
+    }
+    let phases = timer.report();
+    let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(SimilarityOutput {
         rules,
-        phases: timer.report(),
+        phases,
         memory,
         bitmap_switch_at,
         workers,
+        report,
     })
 }
 

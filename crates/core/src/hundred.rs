@@ -26,7 +26,7 @@ use crate::fxhash::FxHashMap;
 use crate::rules::{ImplicationRule, SimilarityRule};
 use dmc_bitset::BitMatrix;
 use dmc_matrix::{canonical_less, ColumnId};
-use dmc_metrics::CounterMemory;
+use dmc_metrics::{CounterMemory, ScanTally};
 
 /// Which kind of exact rule a [`HundredScan`] extracts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +50,7 @@ pub struct HundredScan {
     imp_rules: Vec<ImplicationRule>,
     sim_rules: Vec<SimilarityRule>,
     mem: CounterMemory,
+    tally: ScanTally,
 }
 
 impl HundredScan {
@@ -86,7 +87,14 @@ impl HundredScan {
             } else {
                 CounterMemory::new()
             },
+            tally: ScanTally::new(),
         }
+    }
+
+    /// Event counters of this scan so far.
+    #[must_use]
+    pub fn tally(&self) -> ScanTally {
+        self.tally
     }
 
     /// Records a history sample after `rows_scanned` rows.
@@ -131,6 +139,7 @@ impl HundredScan {
 
     /// Processes one row: create-on-first-1, otherwise intersect.
     pub fn process_row(&mut self, row: &[ColumnId]) {
+        self.tally.row();
         for &j in row {
             if !self.is_lhs(j) {
                 continue;
@@ -141,6 +150,7 @@ impl HundredScan {
                     .copied()
                     .filter(|&k| self.admissible(j, k))
                     .collect();
+                self.tally.admit(list.len());
                 self.lists.install(j, list, &mut self.mem);
             } else {
                 self.intersect(j, row);
@@ -176,6 +186,8 @@ impl HundredScan {
             }
         }
         list.truncate(write);
+        self.tally.miss(before - write);
+        self.tally.delete(before - write);
         self.mem.remove_candidates(before - write);
         if list.is_empty() {
             self.mem.remove_list();
@@ -196,6 +208,7 @@ impl HundredScan {
     }
 
     fn emit(&mut self, j: ColumnId, k: ColumnId, ones_j: u32) {
+        self.tally.emit(1);
         let ones_k = self.ones[k as usize];
         match self.mode {
             HundredMode::Implication => self.imp_rules.push(ImplicationRule {
@@ -232,6 +245,8 @@ impl HundredScan {
                     for k in list {
                         if bm.miss_count(j, k) == 0 {
                             self.emit(j, k, ones_j);
+                        } else {
+                            self.tally.delete(1);
                         }
                     }
                 }
@@ -255,9 +270,13 @@ impl HundredScan {
                 }
             }
         }
+        // Tail-only partners count as admissions so the tally reconciles.
+        self.tally.admit(hits.len());
         for (k, h) in hits {
             if h == ones_j && self.admissible(j, k) {
                 self.emit(j, k, ones_j);
+            } else {
+                self.tally.delete(1);
             }
         }
     }

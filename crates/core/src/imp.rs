@@ -19,7 +19,9 @@ use crate::hundred::{HundredMode, HundredScan};
 use crate::rules::ImplicationRule;
 use crate::threshold::{conf_qualifies, only_exact_rules_conf};
 use dmc_matrix::{ColumnId, RowId, SparseMatrix};
-use dmc_metrics::{CounterMemory, PhaseReport, PhaseTimer, WorkerReport};
+use dmc_metrics::{
+    CounterMemory, PhaseReport, PhaseTimer, ReportBuilder, RunReport, StageReport, WorkerReport,
+};
 
 /// Result of [`find_implications`].
 #[derive(Debug)]
@@ -39,6 +41,8 @@ pub struct ImplicationOutput {
     /// for the sequential drivers; one entry per worker for the parallel
     /// drivers.
     pub workers: Vec<WorkerReport>,
+    /// The machine-readable run report (same schema across all drivers).
+    pub report: RunReport,
 }
 
 impl ImplicationOutput {
@@ -50,18 +54,13 @@ impl ImplicationOutput {
 
     /// The `k` rules with the highest confidence (ties by more hits, then
     /// canonical order).
+    ///
+    /// Thin wrapper kept for backward compatibility; prefer
+    /// [`MinedOutput::top`](crate::MinedOutput::top), which works across
+    /// both output types.
     #[must_use]
     pub fn top_by_confidence(&self, k: usize) -> Vec<&ImplicationRule> {
-        let mut refs: Vec<&ImplicationRule> = self.rules.iter().collect();
-        refs.sort_by(|a, b| {
-            b.confidence()
-                .partial_cmp(&a.confidence())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.hits.cmp(&a.hits))
-                .then(a.cmp(b))
-        });
-        refs.truncate(k);
-        refs
+        crate::MinedOutput::top(self, k)
     }
 
     /// All rules whose LHS is `col`, in canonical order.
@@ -77,6 +76,10 @@ impl ImplicationOutput {
 /// paper's canonical direction (`|S_i| < |S_j|`, ties by id), plus reverse
 /// directions when [`ImplicationConfig::emit_reverse`] is set. Exact — no
 /// false positives or negatives.
+///
+/// New code should prefer the [`crate::Miner`] facade
+/// (`Miner::implications(minconf).run(&matrix)`); this free function
+/// remains for backward compatibility.
 #[must_use]
 pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> ImplicationOutput {
     let mut timer = PhaseTimer::new();
@@ -94,6 +97,8 @@ pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> I
 
     let mut rules = Vec::new();
     let mut bitmap_switch_at = None;
+    let mut report = ReportBuilder::new("implication", "in-memory", 0, config.minconf);
+    report.dims(matrix.n_rows(), matrix.n_cols());
 
     // Step 2: exact rules through the simplified scan.
     if config.hundred_stage || config.minconf >= 1.0 {
@@ -105,7 +110,13 @@ pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> I
             ones.clone(),
             config.record_memory_history,
         );
+        let tally = hundred.tally();
         let (imp, _, mem) = hundred.into_parts();
+        report.hundred_stage(StageReport::new(
+            tally,
+            imp.len() as u64,
+            mem.peak_candidates(),
+        ));
         rules.extend(imp);
         memory.absorb_peak(&mem);
     }
@@ -141,15 +152,22 @@ pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> I
                 .collect();
             finish_with_bitmaps(&mut scan, &tail);
         }
+        let tally = scan.tally();
         let (stage_rules, mem) = scan.into_parts();
         // The exact stage already emitted every 0-miss rule (over all
         // columns); keep only rules with at least one miss to avoid
         // duplicates. Without the exact stage this scan is the sole source.
+        let before = rules.len();
         if config.hundred_stage {
             rules.extend(stage_rules.into_iter().filter(|r| r.misses() > 0));
         } else {
             rules.extend(stage_rules);
         }
+        report.sub_stage(StageReport::new(
+            tally,
+            (rules.len() - before) as u64,
+            mem.peak_candidates(),
+        ));
         memory.absorb_peak(&mem);
     }
 
@@ -159,17 +177,21 @@ pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> I
             .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.rhs_ones), config.minconf))
             .map(|r| r.reversed())
             .collect();
+        report.reverse_rules(reversed.len() as u64);
         rules.extend(reversed);
     }
 
     rules.sort_unstable();
     rules.dedup();
+    let phases = timer.report();
+    let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     ImplicationOutput {
         rules,
-        phases: timer.report(),
+        phases,
         memory,
         bitmap_switch_at,
         workers: Vec::new(),
+        report,
     }
 }
 

@@ -21,25 +21,44 @@
 //!
 //! # Entry points
 //!
-//! * [`find_implications`] — DMC-imp (Algorithm 4.2): two scans, 100%-rule
-//!   fast path, bucketed sparsest-first row order, automatic switch to the
-//!   low-memory DMC-bitmap tail phase.
-//! * [`find_similarities`] — DMC-sim (Algorithm 5.1): adds column-density
-//!   and maximum-hits pruning.
+//! The [`Miner`] facade is the front door: pick implications or
+//! similarities, set the knobs builder-style, then `run` (in-memory) or
+//! `run_streamed` (out-of-core); a thread count above one dispatches to
+//! the parallel drivers.
 //!
 //! ```
-//! use dmc_core::{find_implications, ImplicationConfig};
-//! use dmc_matrix::SparseMatrix;
+//! use dmc_core::{Miner, SparseMatrix};
 //!
 //! // Figure 1 of the paper.
 //! let m = SparseMatrix::from_rows(3, vec![
 //!     vec![1, 2], vec![0, 1, 2], vec![0], vec![1],
 //! ]);
-//! let out = find_implications(&m, &ImplicationConfig::new(1.0));
+//! let out = Miner::implications(1.0).run(&m);
 //! let rules: Vec<String> = out.rules.iter().map(ToString::to_string).collect();
 //! // Only c3 => c2 survives at 100% confidence (0-indexed: 2 => 1).
 //! assert_eq!(rules, vec!["c2 => c1 (conf 2/2 = 1.000)"]);
 //! ```
+//!
+//! The underlying free functions remain available:
+//!
+//! * [`find_implications`] — DMC-imp (Algorithm 4.2): two scans, 100%-rule
+//!   fast path, bucketed sparsest-first row order, automatic switch to the
+//!   low-memory DMC-bitmap tail phase.
+//! * [`find_similarities`] — DMC-sim (Algorithm 5.1): adds column-density
+//!   and maximum-hits pruning.
+//! * `find_*_parallel`, `find_*_streamed`, `find_*_streamed_parallel` —
+//!   the same mines over worker fan-out and/or disk-spilled row streams.
+//!
+//! # Observability
+//!
+//! Every driver attaches a [`RunReport`] to its output: typed scan
+//! counters (rows scanned, candidates admitted/deleted, misses counted,
+//! rules emitted), per-stage breakdowns, phase timings, memory peaks, the
+//! bitmap-switch position and spill bytes, all in one schema
+//! (`dmc.run_report.v1`) across the eight drivers. `RunReport::to_json`
+//! serializes it; the `dmc` CLI exposes that as `--metrics`. The
+//! [`MinedOutput`] trait gives generic code one surface over both output
+//! types.
 //!
 //! # Fidelity notes
 //!
@@ -59,6 +78,8 @@ pub mod fxhash;
 pub mod groups;
 mod hundred;
 mod imp;
+mod miner;
+mod output;
 mod parallel;
 mod rules;
 pub mod rules_io;
@@ -72,6 +93,8 @@ pub use base::{BaseOutcome, BaseScan};
 pub use config::{ImplicationConfig, SimilarityConfig, SwitchPolicy};
 pub use groups::{rule_closure, rule_groups, DisjointSets};
 pub use imp::{find_implications, ImplicationOutput};
+pub use miner::{ImplicationMiner, Miner, SimilarityMiner};
+pub use output::MinedOutput;
 pub use parallel::{find_implications_parallel, find_similarities_parallel};
 pub use rules::{ImplicationRule, SimilarityRule};
 pub use rules_io::{read_rules, write_rules, RuleParseError};
@@ -84,4 +107,6 @@ pub use validate::{verify_implications, verify_similarities, RuleCheck};
 
 // Re-exports so downstream users need only this crate for common flows.
 pub use dmc_matrix::{order::RowOrder, ColumnId, SparseMatrix};
-pub use dmc_metrics::WorkerReport;
+pub use dmc_metrics::{
+    RunReport, ScanTally, StageReport, WorkerReport, WorkerSummary, RUN_REPORT_SCHEMA,
+};

@@ -1,0 +1,384 @@
+//! The [`Miner`] facade: one builder-style entry point over the eight
+//! `find_*` drivers.
+//!
+//! The crate grew four implication drivers and four similarity drivers
+//! (in-memory/streamed × sequential/parallel), each a free function with
+//! its own signature. [`Miner`] folds that choice into configuration: the
+//! *what* (implications vs similarities, threshold, knobs) is set on the
+//! builder, and the *how* (in-memory vs streamed, sequential vs parallel)
+//! falls out of which `run` method is called and the configured thread
+//! count.
+//!
+//! ```
+//! use dmc_core::{Miner, SparseMatrix};
+//!
+//! let m = SparseMatrix::from_rows(3, vec![
+//!     vec![1, 2], vec![0, 1, 2], vec![0], vec![1],
+//! ]);
+//! let out = Miner::implications(1.0).run(&m);
+//! assert_eq!(out.pairs(), vec![(2, 1)]);
+//!
+//! // Same mine, four workers over a row stream:
+//! let rows: Vec<Result<Vec<u32>, std::convert::Infallible>> =
+//!     vec![Ok(vec![1, 2]), Ok(vec![0, 1, 2]), Ok(vec![0]), Ok(vec![1])];
+//! let streamed = Miner::implications(1.0).threads(4).run_streamed(rows, 3).unwrap();
+//! assert_eq!(streamed.pairs(), vec![(2, 1)]);
+//! ```
+//!
+//! Every driver produces the same rules for the same input (the parallel
+//! and streamed drivers are bit-identical to the sequential in-memory one
+//! under bucketed sparsest-first order), so switching execution strategy
+//! is purely an operational decision. The free `find_*` functions remain
+//! for backward compatibility; new code should prefer the facade.
+
+use crate::config::{ImplicationConfig, SimilarityConfig, SwitchPolicy};
+use crate::imp::{find_implications, ImplicationOutput};
+use crate::parallel::{find_implications_parallel, find_similarities_parallel};
+use crate::sim::{find_similarities, SimilarityOutput};
+use crate::stream::{find_implications_streamed, find_similarities_streamed, StreamError};
+use crate::stream_parallel::{
+    find_implications_streamed_parallel, find_similarities_streamed_parallel,
+};
+use dmc_matrix::order::RowOrder;
+use dmc_matrix::{ColumnId, SparseMatrix};
+
+/// Entry point of the facade; see the [module docs](self).
+pub struct Miner;
+
+impl Miner {
+    /// Starts configuring an implication mine at `minconf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < minconf <= 1`.
+    #[must_use]
+    pub fn implications(minconf: f64) -> ImplicationMiner {
+        ImplicationMiner {
+            config: ImplicationConfig::new(minconf),
+            threads: 1,
+        }
+    }
+
+    /// Starts configuring a similarity mine at `minsim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < minsim <= 1`.
+    #[must_use]
+    pub fn similarities(minsim: f64) -> SimilarityMiner {
+        SimilarityMiner {
+            config: SimilarityConfig::new(minsim),
+            threads: 1,
+        }
+    }
+}
+
+/// A configured implication mine, created by [`Miner::implications`].
+#[derive(Clone, Debug)]
+pub struct ImplicationMiner {
+    config: ImplicationConfig,
+    threads: usize,
+}
+
+impl ImplicationMiner {
+    /// Worker count: `0` or `1` run the sequential drivers, more fan out
+    /// to the LHS-partitioned parallel drivers.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Row scan order for the counting pass (§4.1). In-memory runs only;
+    /// streamed runs always replay in bucketed sparsest-first order.
+    #[must_use]
+    pub fn order(mut self, order: RowOrder) -> Self {
+        self.config.row_order = order;
+        self
+    }
+
+    /// DMC-bitmap switch policy (§4.2).
+    #[must_use]
+    pub fn switch(mut self, policy: SwitchPolicy) -> Self {
+        self.config.switch = policy;
+        self
+    }
+
+    /// Toggle the dedicated 100%-rule stage (§4.3).
+    #[must_use]
+    pub fn hundred_stage(mut self, on: bool) -> Self {
+        self.config.hundred_stage = on;
+        self
+    }
+
+    /// Also emit qualifying reverse directions `c_j ⇒ c_i`.
+    #[must_use]
+    pub fn reverse(mut self, on: bool) -> Self {
+        self.config.emit_reverse = on;
+        self
+    }
+
+    /// Record the per-row candidate-count history (the Fig-3 curve).
+    #[must_use]
+    pub fn memory_history(mut self, on: bool) -> Self {
+        self.config.record_memory_history = on;
+        self
+    }
+
+    /// The underlying [`ImplicationConfig`].
+    #[must_use]
+    pub fn config(&self) -> &ImplicationConfig {
+        &self.config
+    }
+
+    /// Mines an in-memory matrix.
+    #[must_use]
+    pub fn run(&self, matrix: &SparseMatrix) -> ImplicationOutput {
+        if self.threads <= 1 {
+            find_implications(matrix, &self.config)
+        } else {
+            find_implications_parallel(matrix, &self.config, self.threads)
+        }
+    }
+
+    /// Mines a fallible row stream out-of-core (two passes, §4.1 density
+    /// buckets on disk).
+    ///
+    /// # Errors
+    ///
+    /// Fails on source errors, spill IO errors, or out-of-range column
+    /// ids.
+    pub fn run_streamed<I, E>(
+        &self,
+        rows: I,
+        n_cols: usize,
+    ) -> Result<ImplicationOutput, StreamError<E>>
+    where
+        I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
+        E: Send,
+    {
+        if self.threads <= 1 {
+            find_implications_streamed(rows, n_cols, &self.config)
+        } else {
+            find_implications_streamed_parallel(rows, n_cols, &self.config, self.threads)
+        }
+    }
+}
+
+/// A configured similarity mine, created by [`Miner::similarities`].
+#[derive(Clone, Debug)]
+pub struct SimilarityMiner {
+    config: SimilarityConfig,
+    threads: usize,
+}
+
+impl SimilarityMiner {
+    /// Worker count: `0` or `1` run the sequential drivers, more fan out
+    /// to the partitioned parallel drivers.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Row scan order for the counting pass (§4.1). In-memory runs only;
+    /// streamed runs always replay in bucketed sparsest-first order.
+    #[must_use]
+    pub fn order(mut self, order: RowOrder) -> Self {
+        self.config.row_order = order;
+        self
+    }
+
+    /// DMC-bitmap switch policy (§4.2).
+    #[must_use]
+    pub fn switch(mut self, policy: SwitchPolicy) -> Self {
+        self.config.switch = policy;
+        self
+    }
+
+    /// Toggle the dedicated identical-column stage (Algorithm 5.1).
+    #[must_use]
+    pub fn hundred_stage(mut self, on: bool) -> Self {
+        self.config.hundred_stage = on;
+        self
+    }
+
+    /// Toggle maximum-hits pruning (§5.2).
+    #[must_use]
+    pub fn max_hits_pruning(mut self, on: bool) -> Self {
+        self.config.max_hits_pruning = on;
+        self
+    }
+
+    /// Record the per-row candidate-count history.
+    #[must_use]
+    pub fn memory_history(mut self, on: bool) -> Self {
+        self.config.record_memory_history = on;
+        self
+    }
+
+    /// The underlying [`SimilarityConfig`].
+    #[must_use]
+    pub fn config(&self) -> &SimilarityConfig {
+        &self.config
+    }
+
+    /// Mines an in-memory matrix.
+    #[must_use]
+    pub fn run(&self, matrix: &SparseMatrix) -> SimilarityOutput {
+        if self.threads <= 1 {
+            find_similarities(matrix, &self.config)
+        } else {
+            find_similarities_parallel(matrix, &self.config, self.threads)
+        }
+    }
+
+    /// Mines a fallible row stream out-of-core (see
+    /// [`ImplicationMiner::run_streamed`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on source errors, spill IO errors, or out-of-range column
+    /// ids.
+    pub fn run_streamed<I, E>(
+        &self,
+        rows: I,
+        n_cols: usize,
+    ) -> Result<SimilarityOutput, StreamError<E>>
+    where
+        I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
+        E: Send,
+    {
+        if self.threads <= 1 {
+            find_similarities_streamed(rows, n_cols, &self.config)
+        } else {
+            find_similarities_streamed_parallel(rows, n_cols, &self.config, self.threads)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn fig2() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![1, 5],
+                vec![2, 3, 4],
+                vec![2, 4],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 3, 5],
+                vec![0, 2, 3, 4, 5],
+                vec![3, 5],
+                vec![0, 1, 4],
+            ],
+        )
+    }
+
+    fn rows_of(m: &SparseMatrix) -> Vec<Result<Vec<ColumnId>, Infallible>> {
+        m.rows().map(|r| Ok(r.to_vec())).collect()
+    }
+
+    #[test]
+    fn facade_matches_free_functions_across_all_strategies() {
+        let m = fig2();
+        let expected = find_implications(&m, &ImplicationConfig::new(0.8));
+
+        let seq = Miner::implications(0.8).run(&m);
+        assert_eq!(seq.rules, expected.rules);
+        assert!(
+            seq.workers.is_empty(),
+            "threads<=1 is the sequential driver"
+        );
+
+        let par = Miner::implications(0.8).threads(4).run(&m);
+        assert_eq!(par.rules, expected.rules);
+        assert_eq!(par.workers.len(), 4);
+
+        let streamed = Miner::implications(0.8)
+            .run_streamed(rows_of(&m), m.n_cols())
+            .unwrap();
+        assert_eq!(streamed.rules, expected.rules);
+
+        let streamed_par = Miner::implications(0.8)
+            .threads(3)
+            .run_streamed(rows_of(&m), m.n_cols())
+            .unwrap();
+        assert_eq!(streamed_par.rules, expected.rules);
+        assert_eq!(streamed_par.workers.len(), 3);
+    }
+
+    #[test]
+    fn sim_facade_matches_free_functions() {
+        let m = fig2();
+        let expected = find_similarities(&m, &SimilarityConfig::new(0.4));
+
+        assert_eq!(Miner::similarities(0.4).run(&m).rules, expected.rules);
+        assert_eq!(
+            Miner::similarities(0.4).threads(2).run(&m).rules,
+            expected.rules
+        );
+        assert_eq!(
+            Miner::similarities(0.4)
+                .run_streamed(rows_of(&m), m.n_cols())
+                .unwrap()
+                .rules,
+            expected.rules
+        );
+        assert_eq!(
+            Miner::similarities(0.4)
+                .threads(2)
+                .run_streamed(rows_of(&m), m.n_cols())
+                .unwrap()
+                .rules,
+            expected.rules
+        );
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_config() {
+        let m = fig2();
+        let imp = Miner::implications(0.8)
+            .order(RowOrder::Original)
+            .switch(SwitchPolicy::always_at(3))
+            .hundred_stage(false)
+            .reverse(true)
+            .memory_history(true);
+        let cfg = imp.config();
+        assert_eq!(cfg.row_order, RowOrder::Original);
+        assert!(!cfg.hundred_stage);
+        assert!(cfg.emit_reverse);
+        assert!(cfg.record_memory_history);
+        let out = imp.run(&m);
+        let expected = find_implications(&m, cfg);
+        assert_eq!(out.rules, expected.rules);
+        assert!(
+            !out.memory.history().is_empty(),
+            "memory_history(true) records the Fig-3 curve"
+        );
+
+        let sim = Miner::similarities(0.6).max_hits_pruning(false);
+        assert!(!sim.config().max_hits_pruning);
+        assert_eq!(
+            sim.run(&m).rules,
+            find_similarities(&m, &SimilarityConfig::new(0.6).with_max_hits_pruning(false)).rules
+        );
+    }
+
+    #[test]
+    fn zero_threads_means_sequential() {
+        let m = fig2();
+        let out = Miner::implications(0.8).threads(0).run(&m);
+        assert!(out.workers.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "minconf must be in (0, 1]")]
+    fn facade_validates_threshold() {
+        let _ = Miner::implications(0.0);
+    }
+}

@@ -22,7 +22,7 @@
 //! are reported in the output's `workers` field.
 
 use crate::config::{ImplicationConfig, SimilarityConfig};
-use crate::fanout::{parallel_imp_pipeline, parallel_sim_pipeline};
+use crate::fanout::{parallel_imp_pipeline, parallel_sim_pipeline, RunContext};
 use crate::imp::ImplicationOutput;
 use crate::sim::SimilarityOutput;
 use dmc_matrix::{RowId, SparseMatrix};
@@ -44,6 +44,9 @@ fn unwrap_infallible<T>(result: Result<T, Infallible>) -> T {
 /// counter array, so there is no single position — see the per-worker
 /// `workers[w].switch_at` instead.
 ///
+/// New code should prefer the [`crate::Miner`] facade
+/// (`Miner::implications(minconf).threads(n).run(&matrix)`).
+///
 /// # Panics
 ///
 /// Panics if `threads == 0`.
@@ -64,7 +67,11 @@ pub fn find_implications_parallel(
         &ones,
         order.len(),
         config,
-        threads,
+        RunContext {
+            threads,
+            mode: "in-memory",
+            spill_bytes: 0,
+        },
         timer,
         || Ok(matrix_rows(matrix, &order)),
     ))
@@ -74,6 +81,9 @@ pub fn find_implications_parallel(
 /// [`crate::find_similarities`]. Workers partition the smaller-column side
 /// of each pair round-robin; `cnt` counters (which the §5.2 bound reads
 /// for both sides) advance in every worker.
+///
+/// New code should prefer the [`crate::Miner`] facade
+/// (`Miner::similarities(minsim).threads(n).run(&matrix)`).
 ///
 /// # Panics
 ///
@@ -95,7 +105,11 @@ pub fn find_similarities_parallel(
         &ones,
         order.len(),
         config,
-        threads,
+        RunContext {
+            threads,
+            mode: "in-memory",
+            spill_bytes: 0,
+        },
         timer,
         || Ok(matrix_rows(matrix, &order)),
     ))

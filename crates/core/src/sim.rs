@@ -29,7 +29,10 @@ use crate::rules::SimilarityRule;
 use crate::threshold::{max_misses_sim, only_exact_rules_sim, sim_qualifies};
 use dmc_bitset::BitMatrix;
 use dmc_matrix::{canonical_less, ColumnId, RowId, SparseMatrix};
-use dmc_metrics::{CounterMemory, PhaseReport, PhaseTimer, WorkerReport};
+use dmc_metrics::{
+    CounterMemory, PhaseReport, PhaseTimer, ReportBuilder, RunReport, ScanTally, StageReport,
+    WorkerReport,
+};
 
 /// Result of [`find_similarities`].
 #[derive(Debug)]
@@ -49,6 +52,8 @@ pub struct SimilarityOutput {
     /// for the sequential drivers; one entry per worker for the parallel
     /// drivers.
     pub workers: Vec<WorkerReport>,
+    /// The machine-readable run report (same schema across all drivers).
+    pub report: RunReport,
 }
 
 impl SimilarityOutput {
@@ -60,32 +65,31 @@ impl SimilarityOutput {
 
     /// The `k` pairs with the highest similarity (ties by more hits, then
     /// canonical order).
+    ///
+    /// Thin wrapper kept for backward compatibility; prefer
+    /// [`MinedOutput::top`](crate::MinedOutput::top), which works across
+    /// both output types.
     #[must_use]
     pub fn top_by_similarity(&self, k: usize) -> Vec<&SimilarityRule> {
-        let mut refs: Vec<&SimilarityRule> = self.rules.iter().collect();
-        refs.sort_by(|a, b| {
-            b.similarity()
-                .partial_cmp(&a.similarity())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.hits.cmp(&a.hits))
-                .then(a.cmp(b))
-        });
-        refs.truncate(k);
-        refs
+        crate::MinedOutput::top(self, k)
     }
 
     /// All pairs involving `col` (either side).
+    ///
+    /// Thin wrapper kept for backward compatibility; prefer
+    /// [`MinedOutput::involving`](crate::MinedOutput::involving).
     #[must_use]
     pub fn involving(&self, col: ColumnId) -> Vec<&SimilarityRule> {
-        self.rules
-            .iter()
-            .filter(|r| r.a == col || r.b == col)
-            .collect()
+        crate::MinedOutput::involving(self, col)
     }
 }
 
 /// Mines all similarity rules of `matrix` at `config.minsim`. Exact — no
 /// false positives or negatives.
+///
+/// New code should prefer the [`crate::Miner`] facade
+/// (`Miner::similarities(minsim).run(&matrix)`); this free function
+/// remains for backward compatibility.
 #[must_use]
 pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> SimilarityOutput {
     let mut timer = PhaseTimer::new();
@@ -102,6 +106,8 @@ pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> Si
 
     let mut rules = Vec::new();
     let mut bitmap_switch_at = None;
+    let mut report = ReportBuilder::new("similarity", "in-memory", 0, config.minsim);
+    report.dims(matrix.n_rows(), matrix.n_cols());
 
     // Step 2: identical (100%-similar) columns.
     if config.hundred_stage || config.minsim >= 1.0 {
@@ -127,7 +133,13 @@ pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> Si
         if !switched {
             scan.finish_with_bitmaps(&[]);
         }
+        let tally = scan.tally();
         let (_, sims, mem) = scan.into_parts();
+        report.hundred_stage(StageReport::new(
+            tally,
+            sims.len() as u64,
+            mem.peak_candidates(),
+        ));
         rules.extend(sims);
         memory.absorb_peak(&mem);
     }
@@ -157,23 +169,33 @@ pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> Si
                 .collect();
             scan.finish_with_bitmaps(&tail);
         }
+        let tally = scan.tally();
         let (stage_rules, mem) = scan.into_parts();
+        let before = rules.len();
         if config.hundred_stage {
             rules.extend(stage_rules.into_iter().filter(|r| r.hits < r.union()));
         } else {
             rules.extend(stage_rules);
         }
+        report.sub_stage(StageReport::new(
+            tally,
+            (rules.len() - before) as u64,
+            mem.peak_candidates(),
+        ));
         memory.absorb_peak(&mem);
     }
 
     rules.sort_unstable();
     rules.dedup();
+    let phases = timer.report();
+    let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     SimilarityOutput {
         rules,
-        phases: timer.report(),
+        phases,
         memory,
         bitmap_switch_at,
         workers: Vec::new(),
+        report,
     }
 }
 
@@ -212,7 +234,8 @@ pub(crate) struct SimScan {
     lhs_mask: Option<Vec<bool>>,
     done: Vec<bool>,
     rules: Vec<SimilarityRule>,
-    mem: CounterMemory,
+    pub(crate) mem: CounterMemory,
+    pub(crate) tally: ScanTally,
     scratch: Vec<SimCandidate>,
 }
 
@@ -250,12 +273,18 @@ impl SimScan {
             } else {
                 CounterMemory::new()
             },
+            tally: ScanTally::new(),
             scratch: Vec::new(),
         }
     }
 
     pub(crate) fn into_parts(self) -> (Vec<SimilarityRule>, CounterMemory) {
         (self.rules, self.mem)
+    }
+
+    /// Event counters of this scan so far.
+    pub(crate) fn tally(&self) -> ScanTally {
+        self.tally
     }
 
     /// Modeled counter-array footprint (for switch policies).
@@ -310,6 +339,7 @@ impl SimScan {
     }
 
     pub(crate) fn process_row(&mut self, row: &[ColumnId]) {
+        self.tally.row();
         for &j in row {
             let ji = j as usize;
             if !self.is_lhs(j) || self.ones[ji] == 0 {
@@ -350,6 +380,7 @@ impl SimScan {
                 })
             })
             .collect();
+        self.tally.admit(list.len());
         self.lists.install(j, list, &mut self.mem);
     }
 
@@ -373,6 +404,8 @@ impl SimScan {
                     let c = list[li];
                     if self.max_hits_viable(j, c.col, c.miss) {
                         self.scratch.push(c);
+                    } else {
+                        self.tally.delete(1);
                     }
                     li += 1;
                     ri += 1;
@@ -394,6 +427,7 @@ impl SimScan {
                                 budget,
                             };
                             if self.max_hits_viable(j, rc, cnt_j) {
+                                self.tally.admit(1);
                                 self.scratch.push(cand);
                             }
                         }
@@ -419,8 +453,11 @@ impl SimScan {
     fn miss_candidate(&mut self, j: ColumnId, mut c: SimCandidate) {
         let miss_old = c.miss;
         c.miss += 1;
+        self.tally.miss(1);
         if c.miss <= c.budget && self.max_hits_viable(j, c.col, miss_old) {
             self.scratch.push(c);
+        } else {
+            self.tally.delete(1);
         }
     }
 
@@ -440,11 +477,14 @@ impl SimScan {
             let miss_old = c.miss;
             if !hit {
                 c.miss += 1;
+                self.tally.miss(1);
                 if c.miss > c.budget {
+                    self.tally.delete(1);
                     continue;
                 }
             }
             if !self.max_hits_viable(j, c.col, miss_old) {
+                self.tally.delete(1);
                 continue;
             }
             list[write] = c;
@@ -479,6 +519,7 @@ impl SimScan {
 
     fn emit(&mut self, j: ColumnId, ones_j: u32, c: &SimCandidate) {
         debug_assert!(c.miss <= c.budget);
+        self.tally.emit(1);
         self.rules.push(SimilarityRule {
             a: j,
             b: c.col,
@@ -513,6 +554,7 @@ impl SimScan {
         for c in list {
             let total_miss = c.miss + bm.miss_count(j, c.col) as u32;
             if total_miss <= c.budget {
+                self.tally.emit(1);
                 self.rules.push(SimilarityRule {
                     a: j,
                     b: c.col,
@@ -520,6 +562,8 @@ impl SimScan {
                     a_ones: ones_j,
                     b_ones: self.ones[c.col as usize],
                 });
+            } else {
+                self.tally.delete(1);
             }
         }
     }
@@ -529,7 +573,9 @@ impl SimScan {
         let ones_j = self.ones[ji];
         let cnt_j = self.cnt[ji];
         let mut hits: FxHashMap<ColumnId, u32> = FxHashMap::default();
+        let mut from_list = 0;
         if let Some(list) = self.lists.release(j, &mut self.mem) {
+            from_list = list.len();
             for c in list {
                 hits.insert(c.col, cnt_j - c.miss);
             }
@@ -543,11 +589,14 @@ impl SimScan {
                 }
             }
         }
+        // Tail-only partners are admissions the counting scan never saw.
+        self.tally.admit(hits.len() - from_list);
         for (k, h) in hits {
             let ok = self.ones[k as usize];
             if canonical_less(j, ones_j, k, ok)
                 && sim_qualifies(u64::from(h), u64::from(ones_j), u64::from(ok), self.minsim)
             {
+                self.tally.emit(1);
                 self.rules.push(SimilarityRule {
                     a: j,
                     b: k,
@@ -555,6 +604,8 @@ impl SimScan {
                     a_ones: ones_j,
                     b_ones: ok,
                 });
+            } else {
+                self.tally.delete(1);
             }
         }
     }

@@ -24,7 +24,7 @@ use crate::sim::{SimScan, SimilarityOutput};
 use crate::threshold::{conf_qualifies, only_exact_rules_conf, only_exact_rules_sim};
 use dmc_matrix::spill::BucketSpill;
 use dmc_matrix::ColumnId;
-use dmc_metrics::{CounterMemory, PhaseTimer};
+use dmc_metrics::{CounterMemory, PhaseTimer, ReportBuilder, StageReport};
 use std::io;
 
 /// Errors from the streaming drivers.
@@ -180,6 +180,9 @@ impl ReplayHandler for SimScan {
 /// `RowOrder::BucketedSparsestFirst` (the config's `row_order` is ignored —
 /// the spill files *are* the bucket order).
 ///
+/// New code should prefer the [`crate::Miner`] facade
+/// (`Miner::implications(minconf).run_streamed(rows, n_cols)`).
+///
 /// # Errors
 ///
 /// Fails on source errors, spill IO errors, or out-of-range column ids.
@@ -197,6 +200,9 @@ where
         prescan(rows, n_cols)?
     };
     let total_rows = spill.rows();
+    let mut report = ReportBuilder::new("implication", "streamed", 0, config.minconf);
+    report.dims(total_rows, n_cols);
+    report.spill_bytes(spill.bytes());
 
     let mut rules = Vec::new();
     let mut memory = CounterMemory::new();
@@ -206,7 +212,13 @@ where
         let _g = timer.enter("100% rules");
         let mut scan = HundredScan::new(n_cols, HundredMode::Implication, ones.clone());
         replay_with_switch(&mut spill, total_rows, config.switch, &mut scan)?;
+        let tally = scan.tally();
         let (imp, _, mem) = scan.into_parts();
+        report.hundred_stage(StageReport::new(
+            tally,
+            imp.len() as u64,
+            mem.peak_candidates(),
+        ));
         rules.extend(imp);
         memory.absorb_peak(&mem);
     }
@@ -234,12 +246,19 @@ where
             bitmap_switch_at =
                 replay_with_switch(&mut spill, total_rows, config.switch, &mut scan)?;
         }
+        let tally = scan.tally();
         let (stage_rules, mem) = scan.into_parts();
+        let before = rules.len();
         if config.hundred_stage {
             rules.extend(stage_rules.into_iter().filter(|r| r.misses() > 0));
         } else {
             rules.extend(stage_rules);
         }
+        report.sub_stage(StageReport::new(
+            tally,
+            (rules.len() - before) as u64,
+            mem.peak_candidates(),
+        ));
         memory.absorb_peak(&mem);
     }
 
@@ -249,21 +268,28 @@ where
             .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.rhs_ones), config.minconf))
             .map(|r| r.reversed())
             .collect();
+        report.reverse_rules(reversed.len() as u64);
         rules.extend(reversed);
     }
     rules.sort_unstable();
     rules.dedup();
+    let phases = timer.report();
+    let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(ImplicationOutput {
         rules,
-        phases: timer.report(),
+        phases,
         memory,
         bitmap_switch_at,
         workers: Vec::new(),
+        report,
     })
 }
 
 /// Streaming DMC-sim over a fallible row iterator (see
 /// [`find_implications_streamed`]).
+///
+/// New code should prefer the [`crate::Miner`] facade
+/// (`Miner::similarities(minsim).run_streamed(rows, n_cols)`).
 ///
 /// # Errors
 ///
@@ -282,6 +308,9 @@ where
         prescan(rows, n_cols)?
     };
     let total_rows = spill.rows();
+    let mut report = ReportBuilder::new("similarity", "streamed", 0, config.minsim);
+    report.dims(total_rows, n_cols);
+    report.spill_bytes(spill.bytes());
 
     let mut rules = Vec::new();
     let mut memory = CounterMemory::new();
@@ -291,7 +320,13 @@ where
         let _g = timer.enter("100% rules");
         let mut scan = HundredScan::new(n_cols, HundredMode::Identical, ones.clone());
         replay_with_switch(&mut spill, total_rows, config.switch, &mut scan)?;
+        let tally = scan.tally();
         let (_, sims, mem) = scan.into_parts();
+        report.hundred_stage(StageReport::new(
+            tally,
+            sims.len() as u64,
+            mem.peak_candidates(),
+        ));
         rules.extend(sims);
         memory.absorb_peak(&mem);
     }
@@ -312,23 +347,33 @@ where
             bitmap_switch_at =
                 replay_with_switch(&mut spill, total_rows, config.switch, &mut scan)?;
         }
+        let tally = scan.tally();
         let (stage_rules, mem) = scan.into_parts();
+        let before = rules.len();
         if config.hundred_stage {
             rules.extend(stage_rules.into_iter().filter(|r| r.hits < r.union()));
         } else {
             rules.extend(stage_rules);
         }
+        report.sub_stage(StageReport::new(
+            tally,
+            (rules.len() - before) as u64,
+            mem.peak_candidates(),
+        ));
         memory.absorb_peak(&mem);
     }
 
     rules.sort_unstable();
     rules.dedup();
+    let phases = timer.report();
+    let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(SimilarityOutput {
         rules,
-        phases: timer.report(),
+        phases,
         memory,
         bitmap_switch_at,
         workers: Vec::new(),
+        report,
     })
 }
 

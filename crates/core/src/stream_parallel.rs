@@ -17,7 +17,7 @@
 //! streamed drivers.
 
 use crate::config::{ImplicationConfig, SimilarityConfig};
-use crate::fanout::{parallel_imp_pipeline, parallel_sim_pipeline};
+use crate::fanout::{parallel_imp_pipeline, parallel_sim_pipeline, RunContext};
 use crate::imp::ImplicationOutput;
 use crate::sim::SimilarityOutput;
 use crate::stream::{prescan, StreamError};
@@ -29,6 +29,9 @@ use dmc_metrics::PhaseTimer;
 /// Output is identical to [`crate::find_implications_streamed`] (and, by
 /// extension, to the in-memory drivers under bucketed sparsest-first
 /// order).
+///
+/// New code should prefer the [`crate::Miner`] facade
+/// (`Miner::implications(minconf).threads(n).run_streamed(rows, n_cols)`).
 ///
 /// # Errors
 ///
@@ -56,13 +59,26 @@ where
     };
     let total_rows = spill.rows();
     let shared = spill.share()?;
-    parallel_imp_pipeline(n_cols, &ones, total_rows, config, threads, timer, || {
-        Ok(shared.replay().map(|r| r.map_err(StreamError::Io)))
-    })
+    parallel_imp_pipeline(
+        n_cols,
+        &ones,
+        total_rows,
+        config,
+        RunContext {
+            threads,
+            mode: "streamed",
+            spill_bytes: shared.bytes(),
+        },
+        timer,
+        || Ok(shared.replay().map(|r| r.map_err(StreamError::Io))),
+    )
 }
 
 /// Streaming DMC-sim over a fallible row iterator with `threads` workers
 /// (see [`find_implications_streamed_parallel`]).
+///
+/// New code should prefer the [`crate::Miner`] facade
+/// (`Miner::similarities(minsim).threads(n).run_streamed(rows, n_cols)`).
 ///
 /// # Errors
 ///
@@ -89,9 +105,19 @@ where
     };
     let total_rows = spill.rows();
     let shared = spill.share()?;
-    parallel_sim_pipeline(n_cols, &ones, total_rows, config, threads, timer, || {
-        Ok(shared.replay().map(|r| r.map_err(StreamError::Io)))
-    })
+    parallel_sim_pipeline(
+        n_cols,
+        &ones,
+        total_rows,
+        config,
+        RunContext {
+            threads,
+            mode: "streamed",
+            spill_bytes: shared.bytes(),
+        },
+        timer,
+        || Ok(shared.replay().map(|r| r.map_err(StreamError::Io))),
+    )
 }
 
 #[cfg(test)]

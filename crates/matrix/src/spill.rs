@@ -69,6 +69,7 @@ pub struct BucketSpill {
     writers: Vec<Option<BufWriter<File>>>,
     files: Arc<SpillFiles>,
     rows: usize,
+    bytes: u64,
 }
 
 impl BucketSpill {
@@ -97,6 +98,7 @@ impl BucketSpill {
                 paths: Mutex::new(vec![None; buckets]),
             }),
             rows: 0,
+            bytes: 0,
         })
     }
 
@@ -117,6 +119,12 @@ impl BucketSpill {
     #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Bytes written to the bucket files so far (length prefixes included).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Appends a sorted row to its density bucket.
@@ -142,6 +150,7 @@ impl BucketSpill {
             writer.write_all(&c.to_le_bytes())?;
         }
         self.rows += 1;
+        self.bytes += 4 + 4 * row.len() as u64;
         Ok(())
     }
 
@@ -180,6 +189,7 @@ impl BucketSpill {
         Ok(SharedSpill {
             files: Arc::clone(&self.files),
             rows: self.rows,
+            bytes: self.bytes,
         })
     }
 }
@@ -190,6 +200,7 @@ impl BucketSpill {
 pub struct SharedSpill {
     files: Arc<SpillFiles>,
     rows: usize,
+    bytes: u64,
 }
 
 impl SharedSpill {
@@ -197,6 +208,12 @@ impl SharedSpill {
     #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Bytes in the spill's bucket files (length prefixes included).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// A fresh sparsest-bucket-first row iterator. Independent replays
@@ -310,6 +327,17 @@ mod tests {
         let second: Vec<Vec<ColumnId>> = spill.replay().unwrap().map(Result::unwrap).collect();
         assert_eq!(first, second);
         assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn byte_count_tracks_encoded_size() {
+        let mut spill = BucketSpill::new(temp_dir(), 10).unwrap();
+        assert_eq!(spill.bytes(), 0);
+        spill.push_row(&[0, 1, 2]).unwrap(); // 4 + 3*4
+        spill.push_row(&[]).unwrap(); // 4
+        assert_eq!(spill.bytes(), 20);
+        let shared = spill.share().unwrap();
+        assert_eq!(shared.bytes(), 20);
     }
 
     #[test]

@@ -12,11 +12,24 @@
 //! experiments harness then renders them into the paper's tables. Parallel
 //! drivers keep one of each per worker and surface them via
 //! [`WorkerReport`].
+//!
+//! On top of those accumulators sits the structured observability layer:
+//! [`ScanTally`] counts scan events (rows, candidate admissions/deletions,
+//! misses, emitted rules), and [`RunReport`] rolls phase times, tallies,
+//! stage outcomes, worker aggregates, the bitmap-switch position and spill
+//! volume into one machine-readable value ([`RunReport::to_json`]) that
+//! every driver attaches to its output. The [`json`] module provides the
+//! dependency-free writer/parser pair behind it.
 
+pub mod json;
 mod memory;
+mod report;
+mod tally;
 mod timer;
 mod worker;
 
 pub use memory::{CounterMemory, MemorySample, COL_OVERHEAD_BYTES, ENTRY_BYTES};
+pub use report::{ReportBuilder, RunReport, StageReport, WorkerSummary, RUN_REPORT_SCHEMA};
+pub use tally::ScanTally;
 pub use timer::{PhaseReport, PhaseTimer};
 pub use worker::WorkerReport;

@@ -1,0 +1,433 @@
+//! The machine-readable run report.
+//!
+//! A [`RunReport`] rolls one mining run's trajectory — phase timings,
+//! typed event counters, per-stage outcomes, worker aggregates, the
+//! DMC-bitmap switch position and spill volume — into a single value that
+//! is attached to the driver output and can be rendered as JSON with
+//! [`RunReport::to_json`]. All eight drivers (implication/similarity ×
+//! in-memory/streamed × sequential/parallel) populate the same schema,
+//! identified by [`RUN_REPORT_SCHEMA`].
+//!
+//! The report is self-checking: [`RunReport::reconciles`] verifies the
+//! §6-style accounting identities (admitted = deleted + emitted per stage,
+//! stage sums = run totals, kept rules = rendered rules, switch position
+//! within the scanned row range), which the proptest suite exercises on
+//! random matrices and CI re-checks on the emitted JSON.
+
+use crate::json::JsonWriter;
+use crate::memory::CounterMemory;
+use crate::tally::ScanTally;
+use crate::timer::PhaseReport;
+use crate::worker::WorkerReport;
+
+/// Schema identifier embedded in every JSON report.
+pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v1";
+
+/// Outcome of one driver stage (the 100%-rule stage or the sub-100% stage).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageReport {
+    /// Event counters summed over the stage's scans (all workers).
+    pub tally: ScanTally,
+    /// Rules from this stage that survived driver-level filtering.
+    pub rules_kept: u64,
+    /// Largest candidate count observed in any single counter array.
+    pub peak_candidates: usize,
+}
+
+impl StageReport {
+    /// A stage report from a finished scan's tally.
+    #[must_use]
+    pub fn new(tally: ScanTally, rules_kept: u64, peak_candidates: usize) -> Self {
+        Self {
+            tally,
+            rules_kept,
+            peak_candidates,
+        }
+    }
+}
+
+/// Per-worker aggregate for parallel drivers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerSummary {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Total busy time across the worker's phases, in seconds.
+    pub busy_seconds: f64,
+    /// Event counters summed over the worker's stages.
+    pub tally: ScanTally,
+    /// Peak candidate count in the worker's counter arrays.
+    pub peak_candidates: usize,
+    /// Row position where this worker switched to the bitmap tail.
+    pub switch_at: Option<usize>,
+}
+
+impl From<&WorkerReport> for WorkerSummary {
+    fn from(r: &WorkerReport) -> Self {
+        Self {
+            worker: r.worker,
+            busy_seconds: r.phases.total().as_secs_f64(),
+            tally: r.tally,
+            peak_candidates: r.memory.peak_candidates(),
+            switch_at: r.switch_at,
+        }
+    }
+}
+
+/// The full trajectory of one mining run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// `"implication"` or `"similarity"`.
+    pub algorithm: &'static str,
+    /// `"in-memory"` or `"streamed"`.
+    pub mode: &'static str,
+    /// Worker threads used (0 for the sequential drivers).
+    pub threads: usize,
+    /// Rows in the input (after the pre-scan, for streamed runs).
+    pub rows: usize,
+    /// Columns in the input.
+    pub cols: usize,
+    /// The confidence / similarity threshold mined at.
+    pub threshold: f64,
+    /// Rules in the final output.
+    pub rules: usize,
+    /// Event counters summed over every stage and worker.
+    pub counters: ScanTally,
+    /// The 100%-rule stage, when the driver ran it.
+    pub hundred: Option<StageReport>,
+    /// The sub-100% counting stage, when the driver ran it.
+    pub sub: Option<StageReport>,
+    /// Reversed implication rules appended by `emit_reverse`.
+    pub reverse_rules: u64,
+    /// Wall-clock phase timings `(name, seconds)`, first-seen order.
+    pub phases: Vec<(&'static str, f64)>,
+    /// Peak candidate count across all counter arrays.
+    pub peak_candidates: usize,
+    /// Peak counter-array footprint in bytes (paper's memory model).
+    pub peak_counter_bytes: usize,
+    /// Global row position of the DMC-bitmap switch, if it happened
+    /// (per-worker positions live in [`RunReport::workers`]).
+    pub bitmap_switch_at: Option<usize>,
+    /// Bytes written to the out-of-core spill (streamed runs).
+    pub spill_bytes: u64,
+    /// Per-worker aggregates (empty for sequential runs).
+    pub workers: Vec<WorkerSummary>,
+}
+
+impl RunReport {
+    /// Renders the report as pretty-printed JSON with a fixed key order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.object();
+        w.string("schema", RUN_REPORT_SCHEMA);
+        w.string("algorithm", self.algorithm);
+        w.string("mode", self.mode);
+        w.uint("threads", self.threads as u64);
+        w.uint("rows", self.rows as u64);
+        w.uint("cols", self.cols as u64);
+        w.float("threshold", self.threshold);
+        w.uint("rules", self.rules as u64);
+        write_tally(&mut w, "counters", &self.counters);
+        match &self.hundred {
+            Some(stage) => write_stage(&mut w, "hundred_stage", stage),
+            None => w.null("hundred_stage"),
+        }
+        match &self.sub {
+            Some(stage) => write_stage(&mut w, "sub_stage", stage),
+            None => w.null("sub_stage"),
+        }
+        w.uint("reverse_rules", self.reverse_rules);
+        w.array_key("phases");
+        for (name, seconds) in &self.phases {
+            w.object();
+            w.string("phase", name);
+            w.float("seconds", *seconds);
+            w.end_object();
+        }
+        w.end_array();
+        w.uint("peak_candidates", self.peak_candidates as u64);
+        w.uint("peak_counter_bytes", self.peak_counter_bytes as u64);
+        w.opt_uint("bitmap_switch_at", self.bitmap_switch_at.map(|v| v as u64));
+        w.uint("spill_bytes", self.spill_bytes);
+        w.array_key("workers");
+        for worker in &self.workers {
+            w.object();
+            w.uint("worker", worker.worker as u64);
+            w.float("busy_seconds", worker.busy_seconds);
+            write_tally(&mut w, "counters", &worker.tally);
+            w.uint("peak_candidates", worker.peak_candidates as u64);
+            w.opt_uint("switch_at", worker.switch_at.map(|v| v as u64));
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Checks the report's accounting identities.
+    ///
+    /// * each stage tally reconciles (admitted = deleted + emitted),
+    /// * run counters equal the sum of the stage tallies,
+    /// * rendered rules equal kept 100%-stage rules + kept sub-stage rules
+    ///   + reversed rules,
+    /// * worker tallies (when present) sum to the run counters,
+    /// * the switch position and per-stage rows stay within the scanned
+    ///   row range.
+    #[must_use]
+    pub fn reconciles(&self) -> bool {
+        let mut stage_sum = ScanTally::new();
+        let mut kept = self.reverse_rules;
+        for stage in self.hundred.iter().chain(self.sub.iter()) {
+            if !stage.tally.reconciles() {
+                return false;
+            }
+            stage_sum.merge(&stage.tally);
+            kept += stage.rules_kept;
+        }
+        if stage_sum != self.counters || kept != self.rules as u64 {
+            return false;
+        }
+        if !self.workers.is_empty() {
+            let mut worker_sum = ScanTally::new();
+            for worker in &self.workers {
+                worker_sum.merge(&worker.tally);
+                if worker.switch_at.is_some_and(|at| at > self.rows) {
+                    return false;
+                }
+            }
+            if worker_sum != self.counters {
+                return false;
+            }
+        }
+        if self.bitmap_switch_at.is_some_and(|at| at > self.rows) {
+            return false;
+        }
+        // Each stage scans every row once per participating worker.
+        let scans = self.threads.max(1) as u64;
+        let per_stage_cap = self.rows as u64 * scans;
+        self.hundred
+            .iter()
+            .chain(self.sub.iter())
+            .all(|stage| stage.tally.rows_scanned <= per_stage_cap)
+    }
+}
+
+fn write_tally(w: &mut JsonWriter, key: &str, tally: &ScanTally) {
+    w.object_key(key);
+    w.uint("rows_scanned", tally.rows_scanned);
+    w.uint("candidates_admitted", tally.candidates_admitted);
+    w.uint("candidates_deleted", tally.candidates_deleted);
+    w.uint("misses_counted", tally.misses_counted);
+    w.uint("rules_emitted", tally.rules_emitted);
+    w.end_object();
+}
+
+fn write_stage(w: &mut JsonWriter, key: &str, stage: &StageReport) {
+    w.object_key(key);
+    write_tally(w, "counters", &stage.tally);
+    w.uint("rules_kept", stage.rules_kept);
+    w.uint("peak_candidates", stage.peak_candidates as u64);
+    w.end_object();
+}
+
+/// Assembles a [`RunReport`] as a driver run progresses.
+#[derive(Debug)]
+pub struct ReportBuilder {
+    report: RunReport,
+}
+
+impl ReportBuilder {
+    /// Starts a report for one driver invocation.
+    #[must_use]
+    pub fn new(
+        algorithm: &'static str,
+        mode: &'static str,
+        threads: usize,
+        threshold: f64,
+    ) -> Self {
+        Self {
+            report: RunReport {
+                algorithm,
+                mode,
+                threads,
+                threshold,
+                ..RunReport::default()
+            },
+        }
+    }
+
+    /// Records the input dimensions.
+    pub fn dims(&mut self, rows: usize, cols: usize) -> &mut Self {
+        self.report.rows = rows;
+        self.report.cols = cols;
+        self
+    }
+
+    /// Records the 100%-rule stage outcome.
+    pub fn hundred_stage(&mut self, stage: StageReport) -> &mut Self {
+        self.report.hundred = Some(stage);
+        self
+    }
+
+    /// Records the sub-100% counting stage outcome.
+    pub fn sub_stage(&mut self, stage: StageReport) -> &mut Self {
+        self.report.sub = Some(stage);
+        self
+    }
+
+    /// Records how many reversed rules the driver appended.
+    pub fn reverse_rules(&mut self, n: u64) -> &mut Self {
+        self.report.reverse_rules = n;
+        self
+    }
+
+    /// Records bytes written to the out-of-core spill.
+    pub fn spill_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.report.spill_bytes = bytes;
+        self
+    }
+
+    /// Adds one worker's aggregate.
+    pub fn push_worker(&mut self, worker: WorkerSummary) -> &mut Self {
+        self.report.workers.push(worker);
+        self
+    }
+
+    /// Finalizes the report from the run-level aggregates.
+    #[must_use]
+    pub fn finish(
+        mut self,
+        rules: usize,
+        phases: &PhaseReport,
+        memory: &CounterMemory,
+        bitmap_switch_at: Option<usize>,
+    ) -> RunReport {
+        self.report.rules = rules;
+        self.report.phases = phases
+            .phases()
+            .iter()
+            .map(|(name, d)| (*name, d.as_secs_f64()))
+            .collect();
+        self.report.peak_candidates = memory.peak_candidates();
+        self.report.peak_counter_bytes = memory.peak_bytes();
+        self.report.bitmap_switch_at = bitmap_switch_at;
+        let mut counters = ScanTally::new();
+        for stage in self.report.hundred.iter().chain(self.report.sub.iter()) {
+            counters.merge(&stage.tally);
+        }
+        self.report.counters = counters;
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use std::time::Duration;
+
+    fn sample_tally(admit: u64, delete: u64, emit: u64) -> ScanTally {
+        ScanTally {
+            rows_scanned: 10,
+            candidates_admitted: admit,
+            candidates_deleted: delete,
+            misses_counted: 4,
+            rules_emitted: emit,
+        }
+    }
+
+    fn sample_report() -> RunReport {
+        let mut timer = crate::timer::PhaseTimer::new();
+        timer.record("pre-scan", Duration::from_millis(2));
+        timer.record("<100% rules", Duration::from_millis(5));
+        let phases = timer.report();
+        let mut memory = CounterMemory::new();
+        memory.add_list();
+        memory.add_candidates(7);
+
+        let mut builder = ReportBuilder::new("implication", "in-memory", 0, 0.9);
+        builder
+            .dims(10, 5)
+            .hundred_stage(StageReport::new(sample_tally(3, 1, 2), 2, 3))
+            .sub_stage(StageReport::new(sample_tally(6, 2, 4), 3, 7))
+            .reverse_rules(1);
+        builder.finish(6, &phases, &memory, Some(8))
+    }
+
+    #[test]
+    fn builder_sums_stage_counters() {
+        let report = sample_report();
+        assert_eq!(report.counters.candidates_admitted, 9);
+        assert_eq!(report.counters.rules_emitted, 6);
+        assert_eq!(report.peak_candidates, 7);
+        assert_eq!(report.phases.len(), 2);
+        assert!(report.reconciles());
+    }
+
+    #[test]
+    fn reconcile_catches_rule_mismatch() {
+        let mut report = sample_report();
+        report.rules += 1;
+        assert!(!report.reconciles());
+    }
+
+    #[test]
+    fn reconcile_catches_switch_past_rows() {
+        let mut report = sample_report();
+        report.bitmap_switch_at = Some(report.rows + 1);
+        assert!(!report.reconciles());
+    }
+
+    #[test]
+    fn reconcile_catches_worker_sum_mismatch() {
+        let mut report = sample_report();
+        report.workers.push(WorkerSummary {
+            worker: 0,
+            busy_seconds: 0.1,
+            tally: sample_tally(1, 0, 1),
+            peak_candidates: 2,
+            switch_at: None,
+        });
+        assert!(!report.reconciles());
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let report = sample_report();
+        let text = report.to_json();
+        let v = JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            v.get("schema").and_then(JsonValue::as_str),
+            Some(RUN_REPORT_SCHEMA)
+        );
+        assert_eq!(
+            v.get("algorithm").and_then(JsonValue::as_str),
+            Some("implication")
+        );
+        assert_eq!(v.get("rules").and_then(JsonValue::as_u64), Some(6));
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("candidates_admitted"))
+                .and_then(JsonValue::as_u64),
+            Some(9)
+        );
+        assert_eq!(
+            v.get("hundred_stage")
+                .and_then(|s| s.get("rules_kept"))
+                .and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("bitmap_switch_at").and_then(JsonValue::as_u64),
+            Some(8)
+        );
+        let phases = v.get("phases").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(
+            v.get("workers")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+}

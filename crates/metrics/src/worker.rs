@@ -8,7 +8,7 @@
 //! anywhere) its scan switched to the bitmap tail. Drivers collect one per
 //! worker into their output structs.
 
-use crate::{CounterMemory, PhaseReport};
+use crate::{CounterMemory, PhaseReport, ScanTally};
 
 /// One worker's share of a parallel run.
 #[derive(Clone, Debug, Default)]
@@ -22,6 +22,8 @@ pub struct WorkerReport {
     /// Counter-array accounting for this worker's partition (peak = max
     /// over the stages it ran).
     pub memory: CounterMemory,
+    /// Event counters summed over the stages this worker ran.
+    pub tally: ScanTally,
     /// Row position where this worker's sub-100% scan switched to the
     /// bitmap tail, if it did. Workers switch independently: each applies
     /// the policy to its own (smaller) counter array.
@@ -49,6 +51,7 @@ mod tests {
         assert_eq!(r.worker, 3);
         assert!(r.phases.phases().is_empty());
         assert_eq!(r.memory.peak_candidates(), 0);
+        assert_eq!(r.tally, ScanTally::default());
         assert_eq!(r.switch_at, None);
     }
 }

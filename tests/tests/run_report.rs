@@ -1,0 +1,235 @@
+//! The run-report observability layer: schema stability across all eight
+//! drivers, JSON well-formedness, and the counter reconciliation
+//! invariants on random inputs.
+
+use dmc_core::{ImplicationConfig, MinedOutput, Miner, RunReport, SimilarityConfig, SparseMatrix};
+use dmc_integration_tests::{matrix_strategy, threshold_strategy};
+use dmc_metrics::json::JsonValue;
+use proptest::prelude::*;
+use std::convert::Infallible;
+
+fn fig2() -> SparseMatrix {
+    SparseMatrix::from_rows(
+        6,
+        vec![
+            vec![1, 5],
+            vec![2, 3, 4],
+            vec![2, 4],
+            vec![0, 1, 2, 5],
+            vec![0, 1, 2, 3, 4],
+            vec![0, 1, 3, 5],
+            vec![0, 2, 3, 4, 5],
+            vec![3, 5],
+            vec![0, 1, 4],
+        ],
+    )
+}
+
+fn rows_of(m: &SparseMatrix) -> Vec<Result<Vec<u32>, Infallible>> {
+    m.rows().map(|r| Ok(r.to_vec())).collect()
+}
+
+/// Every report from every driver for `m`, labeled.
+fn all_reports(m: &SparseMatrix, threshold: f64) -> Vec<(String, RunReport)> {
+    let mut out = Vec::new();
+    for threads in [1usize, 3] {
+        let imp = Miner::implications(threshold).threads(threads).run(m);
+        out.push((format!("imp mem t={threads}"), imp.report));
+        let imp_s = Miner::implications(threshold)
+            .threads(threads)
+            .run_streamed(rows_of(m), m.n_cols())
+            .unwrap();
+        out.push((format!("imp stream t={threads}"), imp_s.report));
+        let sim = Miner::similarities(threshold).threads(threads).run(m);
+        out.push((format!("sim mem t={threads}"), sim.report));
+        let sim_s = Miner::similarities(threshold)
+            .threads(threads)
+            .run_streamed(rows_of(m), m.n_cols())
+            .unwrap();
+        out.push((format!("sim stream t={threads}"), sim_s.report));
+    }
+    out
+}
+
+/// The golden top-level key set of `dmc.run_report.v1`, in serialization
+/// order. A failure here means the schema changed: bump the version.
+const GOLDEN_KEYS: &[&str] = &[
+    "schema",
+    "algorithm",
+    "mode",
+    "threads",
+    "rows",
+    "cols",
+    "threshold",
+    "rules",
+    "counters",
+    "hundred_stage",
+    "sub_stage",
+    "reverse_rules",
+    "phases",
+    "peak_candidates",
+    "peak_counter_bytes",
+    "bitmap_switch_at",
+    "spill_bytes",
+    "workers",
+];
+
+const GOLDEN_COUNTER_KEYS: &[&str] = &[
+    "rows_scanned",
+    "candidates_admitted",
+    "candidates_deleted",
+    "misses_counted",
+    "rules_emitted",
+];
+
+#[test]
+fn all_eight_drivers_emit_the_same_schema() {
+    let m = fig2();
+    for (label, report) in all_reports(&m, 0.8) {
+        let json = JsonValue::parse(&report.to_json())
+            .unwrap_or_else(|e| panic!("{label}: invalid JSON: {e}"));
+        assert_eq!(json.keys(), GOLDEN_KEYS, "{label}: top-level keys");
+        assert_eq!(
+            json.get("schema").and_then(JsonValue::as_str),
+            Some(dmc_core::RUN_REPORT_SCHEMA),
+            "{label}"
+        );
+        assert_eq!(
+            json.get("counters").unwrap().keys(),
+            GOLDEN_COUNTER_KEYS,
+            "{label}: counter keys"
+        );
+        // Both stages ran at 0.8 with the hundred stage on.
+        for stage in ["hundred_stage", "sub_stage"] {
+            let s = json.get(stage).unwrap();
+            assert_eq!(
+                s.get("counters").unwrap().keys(),
+                GOLDEN_COUNTER_KEYS,
+                "{label}: {stage} counter keys"
+            );
+        }
+        assert!(report.reconciles(), "{label}: reconciliation");
+    }
+}
+
+#[test]
+fn golden_report_values_fig2() {
+    let m = fig2();
+    let out = Miner::implications(0.8).run(&m);
+    let json = JsonValue::parse(&out.report.to_json()).unwrap();
+    let u = |k: &str| json.get(k).and_then(JsonValue::as_u64).unwrap();
+    assert_eq!(
+        json.get("algorithm").and_then(JsonValue::as_str),
+        Some("implication")
+    );
+    assert_eq!(
+        json.get("mode").and_then(JsonValue::as_str),
+        Some("in-memory")
+    );
+    assert_eq!(u("rows"), 9);
+    assert_eq!(u("cols"), 6);
+    assert_eq!(u("rules"), 2);
+    assert_eq!(json.get("threshold").and_then(JsonValue::as_f64), Some(0.8));
+    let counters = json.get("counters").unwrap();
+    let c = |k: &str| counters.get(k).and_then(JsonValue::as_u64).unwrap();
+    assert_eq!(
+        c("candidates_admitted"),
+        c("candidates_deleted") + c("rules_emitted")
+    );
+    assert!(c("rows_scanned") >= 9, "both stages scan all rows");
+    // Sequential in-memory run: no workers, no spill.
+    assert_eq!(u("spill_bytes"), 0);
+    assert_eq!(
+        json.get("workers")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .len(),
+        0
+    );
+}
+
+#[test]
+fn streamed_reports_carry_spill_bytes() {
+    let m = fig2();
+    // Encoded spill size: 4 bytes per row length prefix + 4 per id.
+    let expected = (4 * m.n_rows() + 4 * m.nnz()) as u64;
+    for threads in [1usize, 4] {
+        let out = Miner::implications(0.8)
+            .threads(threads)
+            .run_streamed(rows_of(&m), m.n_cols())
+            .unwrap();
+        assert_eq!(out.report.spill_bytes, expected, "threads={threads}");
+        assert_eq!(out.report.mode, "streamed");
+    }
+}
+
+#[test]
+fn parallel_reports_sum_workers_to_run_counters() {
+    let m = fig2();
+    let out = Miner::similarities(0.4).threads(4).run(&m);
+    let r = &out.report;
+    assert_eq!(r.workers.len(), 4);
+    let admitted: u64 = r.workers.iter().map(|w| w.tally.candidates_admitted).sum();
+    assert_eq!(admitted, r.counters.candidates_admitted);
+    assert!(r.reconciles());
+}
+
+#[test]
+fn report_accessible_through_the_output_trait() {
+    let m = fig2();
+    let imp = Miner::implications(0.8).run(&m);
+    let sim = Miner::similarities(0.4).run(&m);
+    assert_eq!(MinedOutput::report(&imp).algorithm, "implication");
+    assert_eq!(MinedOutput::report(&sim).algorithm, "similarity");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Counters reconcile and the switch position stays in range on random
+    /// matrices, across every driver, at boundary-heavy thresholds.
+    #[test]
+    fn reports_reconcile_on_random_matrices(
+        m in matrix_strategy(24, 10),
+        threshold in threshold_strategy(),
+    ) {
+        for (label, report) in all_reports(&m, threshold) {
+            prop_assert!(report.reconciles(), "{}: {:?}", label, report);
+            if let Some(at) = report.bitmap_switch_at {
+                prop_assert!(at <= m.n_rows(), "{label}: switch at {at}");
+            }
+            prop_assert_eq!(report.rows, m.n_rows());
+            prop_assert_eq!(report.cols, m.n_cols());
+            let json = report.to_json();
+            let parsed = JsonValue::parse(&json);
+            prop_assert!(parsed.is_ok(), "{}: {:?}", label, parsed.err());
+        }
+    }
+
+    /// The forced bitmap switch records a position never past the row
+    /// count, and the rules stay identical to the unswitched run.
+    #[test]
+    fn forced_switch_positions_stay_in_range(
+        m in matrix_strategy(20, 8),
+        at in 0usize..12,
+    ) {
+        let cfg = ImplicationConfig::new(0.8)
+            .with_switch(dmc_core::SwitchPolicy::always_at(at));
+        let out = dmc_core::find_implications(&m, &cfg);
+        if let Some(pos) = out.report.bitmap_switch_at {
+            prop_assert!(pos <= m.n_rows());
+        }
+        prop_assert!(out.report.reconciles());
+        let plain = dmc_core::find_implications(
+            &m,
+            &ImplicationConfig::new(0.8).with_switch(dmc_core::SwitchPolicy::never()),
+        );
+        prop_assert_eq!(out.rules, plain.rules);
+
+        let sim = dmc_core::find_similarities(
+            &m,
+            &SimilarityConfig::new(0.75).with_switch(dmc_core::SwitchPolicy::always_at(at)),
+        );
+        prop_assert!(sim.report.reconciles());
+    }
+}

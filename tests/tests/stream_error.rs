@@ -1,0 +1,69 @@
+//! `StreamError` as a std error: `?`-composition into `Box<dyn Error>`,
+//! source chains, and Display formatting.
+
+use dmc_core::{find_implications_streamed, ImplicationConfig, StreamError};
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+#[derive(Debug)]
+struct SourceFailure(&'static str);
+
+impl fmt::Display for SourceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "source failure: {}", self.0)
+    }
+}
+
+impl Error for SourceFailure {}
+
+/// A streaming mine inside a `?`-composing function: `StreamError<E>`
+/// must convert into `Box<dyn Error>` like any std error.
+fn mine_with_question_mark(
+    rows: Vec<Result<Vec<u32>, SourceFailure>>,
+) -> Result<usize, Box<dyn Error>> {
+    let out = find_implications_streamed(rows, 4, &ImplicationConfig::new(1.0))?;
+    Ok(out.rules.len())
+}
+
+#[test]
+fn question_mark_composes_into_boxed_error() {
+    let ok = mine_with_question_mark(vec![Ok(vec![0, 1]), Ok(vec![0, 1])]).unwrap();
+    assert_eq!(ok, 1, "0 and 1 are identical columns");
+
+    let err =
+        mine_with_question_mark(vec![Ok(vec![0]), Err(SourceFailure("disk gone"))]).unwrap_err();
+    assert!(err.to_string().contains("disk gone"), "{err}");
+}
+
+#[test]
+fn source_chain_reaches_the_underlying_error() {
+    let rows: Vec<Result<Vec<u32>, SourceFailure>> = vec![Err(SourceFailure("why"))];
+    let err = find_implications_streamed(rows, 2, &ImplicationConfig::new(1.0)).unwrap_err();
+    let source = err.source().expect("Source wraps the caller's error");
+    assert_eq!(source.to_string(), "source failure: why");
+    assert!(source.downcast_ref::<SourceFailure>().is_some());
+}
+
+#[test]
+fn io_variant_chains_and_converts() {
+    // From<io::Error> powers `?` on spill IO inside the drivers.
+    let err: StreamError<SourceFailure> = io::Error::other("spill io broke").into();
+    assert!(matches!(err, StreamError::Io(_)));
+    assert!(err.to_string().contains("spill io broke"));
+    let source = err.source().expect("Io wraps the io::Error");
+    assert!(source.downcast_ref::<io::Error>().is_some());
+}
+
+#[test]
+fn column_out_of_range_has_no_source_and_names_the_row() {
+    let rows: Vec<Result<Vec<u32>, SourceFailure>> = vec![Ok(vec![0]), Ok(vec![7])];
+    let err = find_implications_streamed(rows, 3, &ImplicationConfig::new(1.0)).unwrap_err();
+    assert!(matches!(
+        err,
+        StreamError::ColumnOutOfRange { row: 1, id: 7 }
+    ));
+    assert!(err.source().is_none(), "terminal variant has no cause");
+    let text = err.to_string();
+    assert!(text.contains("row 1") && text.contains('7'), "{text}");
+}
