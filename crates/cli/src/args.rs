@@ -50,6 +50,7 @@ const VALUED: &[&str] = &[
     "max-support",
     "switch-rows",
     "switch-bytes",
+    "spill-retries",
     "limit",
     "scale",
     "rules",

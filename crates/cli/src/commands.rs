@@ -70,6 +70,7 @@ pub fn imp(args: &Args) -> CmdResult {
         .switch(switch_policy(args)?)
         .reverse(args.flag("reverse"))
         .hundred_stage(!args.flag("no-hundred-stage"))
+        .spill_retries(args.get_or("spill-retries", 3)?)
         .threads(args.get_or("threads", 1)?);
 
     if args.flag("stream") {
@@ -155,6 +156,7 @@ pub fn sim(args: &Args) -> CmdResult {
         .switch(switch_policy(args)?)
         .max_hits_pruning(!args.flag("no-max-hits"))
         .hundred_stage(!args.flag("no-hundred-stage"))
+        .spill_retries(args.get_or("spill-retries", 3)?)
         .threads(args.get_or("threads", 1)?);
 
     let out = if args.flag("stream") {

@@ -28,9 +28,10 @@ commands:
       [--metrics FILE|-]   write the JSON run report ('-' = stdout)
       [--stream --cols N]  out-of-core: spill to disk, never materialize
                            (--threads N fans the replay out to N workers)
+      [--spill-retries N]  transient spill-fault retry cap (default 3)
   sim <file> --minsim X    mine similarity rules
       [--order ...] [--no-max-hits] [--threads N] [--limit N] [--quiet]
-      [--metrics FILE|-] [--stream --cols N]
+      [--metrics FILE|-] [--stream --cols N] [--spill-retries N]
   groups <file> --minconf X --minsim X
                            cluster columns connected by rules
   verify <file> --rules R  re-check a rules file against the data

@@ -1,6 +1,7 @@
 //! Run configuration for the DMC drivers.
 
 use dmc_matrix::order::RowOrder;
+use dmc_matrix::spill_io::{RetryPolicy, SpillSettings};
 
 /// When to abandon DMC-base counting and finish with the low-memory
 /// DMC-bitmap tail phase (§4.2 "memory-explosion elimination").
@@ -90,6 +91,10 @@ pub struct ImplicationConfig {
     /// Record the per-row candidate-count history (the Fig-3 curve) in the
     /// output's memory tracker.
     pub record_memory_history: bool,
+    /// Spill I/O settings for the streamed drivers (backend, retry policy,
+    /// directory). Ignored by the in-memory drivers.
+    #[cfg_attr(feature = "serde", serde(skip, default))]
+    pub spill: SpillSettings,
 }
 
 impl ImplicationConfig {
@@ -112,6 +117,7 @@ impl ImplicationConfig {
             release_completed: true,
             emit_reverse: false,
             record_memory_history: false,
+            spill: SpillSettings::default(),
         }
     }
 
@@ -142,6 +148,23 @@ impl ImplicationConfig {
         self.emit_reverse = on;
         self
     }
+
+    /// Builder-style: set the spill I/O settings (streamed drivers).
+    #[must_use]
+    pub fn with_spill(mut self, spill: SpillSettings) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// Builder-style: cap transient spill-fault retries (streamed drivers).
+    #[must_use]
+    pub fn with_spill_retries(mut self, max_retries: u32) -> Self {
+        self.spill.retry = RetryPolicy {
+            max_retries,
+            ..self.spill.retry
+        };
+        self
+    }
 }
 
 /// Configuration for [`crate::find_similarities`] (DMC-sim).
@@ -164,6 +187,10 @@ pub struct SimilarityConfig {
     pub release_completed: bool,
     /// Record the per-row candidate-count history.
     pub record_memory_history: bool,
+    /// Spill I/O settings for the streamed drivers (backend, retry policy,
+    /// directory). Ignored by the in-memory drivers.
+    #[cfg_attr(feature = "serde", serde(skip, default))]
+    pub spill: SpillSettings,
 }
 
 impl SimilarityConfig {
@@ -186,6 +213,7 @@ impl SimilarityConfig {
             max_hits_pruning: true,
             release_completed: true,
             record_memory_history: false,
+            spill: SpillSettings::default(),
         }
     }
 
@@ -214,6 +242,23 @@ impl SimilarityConfig {
     #[must_use]
     pub fn with_hundred_stage(mut self, on: bool) -> Self {
         self.hundred_stage = on;
+        self
+    }
+
+    /// Builder-style: set the spill I/O settings (streamed drivers).
+    #[must_use]
+    pub fn with_spill(mut self, spill: SpillSettings) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// Builder-style: cap transient spill-fault retries (streamed drivers).
+    #[must_use]
+    pub fn with_spill_retries(mut self, max_retries: u32) -> Self {
+        self.spill.retry = RetryPolicy {
+            max_retries,
+            ..self.spill.retry
+        };
         self
     }
 }

@@ -30,8 +30,9 @@ use crate::hundred::{HundredMode, HundredScan};
 use crate::imp::ImplicationOutput;
 use crate::rules::ImplicationRule;
 use crate::sim::{SimScan, SimilarityOutput};
-use crate::stream::ReplayHandler;
+use crate::stream::{io_report, ReplayHandler};
 use crate::threshold::{conf_qualifies, only_exact_rules_conf, only_exact_rules_sim};
+use dmc_matrix::spill_io::SpillIoStats;
 use dmc_matrix::ColumnId;
 use dmc_metrics::{
     CounterMemory, PhaseTimer, ReportBuilder, ScanTally, StageReport, WorkerReport, WorkerSummary,
@@ -228,6 +229,9 @@ pub(crate) struct RunContext {
     pub mode: &'static str,
     /// Encoded spill size in bytes; zero for in-memory runs.
     pub spill_bytes: u64,
+    /// Spill I/O counters to snapshot into the report's `io` section
+    /// once the pipeline finishes; `None` for in-memory runs.
+    pub stats: Option<Arc<SpillIoStats>>,
 }
 
 /// The staged parallel DMC-imp pipeline (Algorithm 4.2 over
@@ -253,6 +257,7 @@ where
         threads,
         mode,
         spill_bytes,
+        stats,
     } = ctx;
     assert!(threads > 0, "need at least one worker");
     let mut rules = Vec::new();
@@ -370,6 +375,9 @@ where
         report.push_worker(WorkerSummary::from(worker));
     }
     let phases = timer.report();
+    if let Some(stats) = &stats {
+        report.io_counters(io_report(stats.snapshot()));
+    }
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(ImplicationOutput {
         rules,
@@ -402,6 +410,7 @@ where
         threads,
         mode,
         spill_bytes,
+        stats,
     } = ctx;
     assert!(threads > 0, "need at least one worker");
     let mut rules = Vec::new();
@@ -503,6 +512,9 @@ where
         report.push_worker(WorkerSummary::from(worker));
     }
     let phases = timer.report();
+    if let Some(stats) = &stats {
+        report.io_counters(io_report(stats.snapshot()));
+    }
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(SimilarityOutput {
         rules,

@@ -106,7 +106,8 @@ pub use stream_parallel::{
 pub use validate::{verify_implications, verify_similarities, RuleCheck};
 
 // Re-exports so downstream users need only this crate for common flows.
+pub use dmc_matrix::spill_io::{RetryPolicy, SpillSettings};
 pub use dmc_matrix::{order::RowOrder, ColumnId, SparseMatrix};
 pub use dmc_metrics::{
-    RunReport, ScanTally, StageReport, WorkerReport, WorkerSummary, RUN_REPORT_SCHEMA,
+    IoReport, RunReport, ScanTally, StageReport, WorkerReport, WorkerSummary, RUN_REPORT_SCHEMA,
 };

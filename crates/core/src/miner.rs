@@ -40,6 +40,7 @@ use crate::stream_parallel::{
     find_implications_streamed_parallel, find_similarities_streamed_parallel,
 };
 use dmc_matrix::order::RowOrder;
+use dmc_matrix::spill_io::SpillSettings;
 use dmc_matrix::{ColumnId, SparseMatrix};
 
 /// Entry point of the facade; see the [module docs](self).
@@ -122,6 +123,21 @@ impl ImplicationMiner {
     #[must_use]
     pub fn memory_history(mut self, on: bool) -> Self {
         self.config.record_memory_history = on;
+        self
+    }
+
+    /// Spill I/O settings for streamed runs (backend, retry policy,
+    /// directory). Ignored by `run`.
+    #[must_use]
+    pub fn spill(mut self, spill: SpillSettings) -> Self {
+        self.config.spill = spill;
+        self
+    }
+
+    /// Cap on transient spill-fault retries for streamed runs.
+    #[must_use]
+    pub fn spill_retries(mut self, max_retries: u32) -> Self {
+        self.config = self.config.with_spill_retries(max_retries);
         self
     }
 
@@ -214,6 +230,21 @@ impl SimilarityMiner {
     #[must_use]
     pub fn memory_history(mut self, on: bool) -> Self {
         self.config.record_memory_history = on;
+        self
+    }
+
+    /// Spill I/O settings for streamed runs (backend, retry policy,
+    /// directory). Ignored by `run`.
+    #[must_use]
+    pub fn spill(mut self, spill: SpillSettings) -> Self {
+        self.config.spill = spill;
+        self
+    }
+
+    /// Cap on transient spill-fault retries for streamed runs.
+    #[must_use]
+    pub fn spill_retries(mut self, max_retries: u32) -> Self {
+        self.config = self.config.with_spill_retries(max_retries);
         self
     }
 

@@ -71,6 +71,7 @@ pub fn find_implications_parallel(
             threads,
             mode: "in-memory",
             spill_bytes: 0,
+            stats: None,
         },
         timer,
         || Ok(matrix_rows(matrix, &order)),
@@ -109,6 +110,7 @@ pub fn find_similarities_parallel(
             threads,
             mode: "in-memory",
             spill_bytes: 0,
+            stats: None,
         },
         timer,
         || Ok(matrix_rows(matrix, &order)),

@@ -22,9 +22,10 @@ use crate::hundred::{HundredMode, HundredScan};
 use crate::imp::ImplicationOutput;
 use crate::sim::{SimScan, SimilarityOutput};
 use crate::threshold::{conf_qualifies, only_exact_rules_conf, only_exact_rules_sim};
-use dmc_matrix::spill::BucketSpill;
+use dmc_matrix::spill::{BucketSpill, SpillReadError};
+use dmc_matrix::spill_io::{SpillIoSnapshot, SpillSettings};
 use dmc_matrix::ColumnId;
-use dmc_metrics::{CounterMemory, PhaseTimer, ReportBuilder, StageReport};
+use dmc_metrics::{CounterMemory, IoReport, PhaseTimer, ReportBuilder, StageReport};
 use std::io;
 
 /// Errors from the streaming drivers.
@@ -32,17 +33,49 @@ use std::io;
 pub enum StreamError<E> {
     /// The caller's row source failed.
     Source(E),
-    /// Spill-file IO failed.
-    Io(io::Error),
+    /// Spill-file IO failed (after any transient-fault retries). The
+    /// original [`io::ErrorKind`] and the spill operation that hit it are
+    /// both preserved, so callers can classify the failure.
+    Io {
+        /// What the spill was doing ("spill io", "open spill bucket",
+        /// "read spill frame").
+        context: &'static str,
+        /// The underlying error, kind intact.
+        error: io::Error,
+    },
+    /// A spill frame failed its integrity checks (torn write, truncation,
+    /// bit rot): the run aborts rather than decode garbage rows.
+    CorruptSpill {
+        /// 0-based index of the offending frame in replay order.
+        frame: u64,
+        /// Which guard tripped (e.g. "checksum mismatch").
+        reason: &'static str,
+    },
     /// A row contained an id `>= n_cols`; payload is (row index, id).
     ColumnOutOfRange { row: usize, id: ColumnId },
+}
+
+impl<E> StreamError<E> {
+    /// The underlying [`io::ErrorKind`], for I/O failures.
+    #[must_use]
+    pub fn io_kind(&self) -> Option<io::ErrorKind> {
+        match self {
+            StreamError::Io { error, .. } => Some(error.kind()),
+            _ => None,
+        }
+    }
 }
 
 impl<E: std::fmt::Display> std::fmt::Display for StreamError<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StreamError::Source(e) => write!(f, "row source error: {e}"),
-            StreamError::Io(e) => write!(f, "spill io error: {e}"),
+            StreamError::Io { context, error } => {
+                write!(f, "spill io error ({context}): {error}")
+            }
+            StreamError::CorruptSpill { frame, reason } => {
+                write!(f, "corrupt spill frame {frame}: {reason}")
+            }
             StreamError::ColumnOutOfRange { row, id } => {
                 write!(f, "row {row}: column id {id} out of range")
             }
@@ -54,15 +87,41 @@ impl<E: std::error::Error + 'static> std::error::Error for StreamError<E> {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StreamError::Source(e) => Some(e),
-            StreamError::Io(e) => Some(e),
-            StreamError::ColumnOutOfRange { .. } => None,
+            StreamError::Io { error, .. } => Some(error),
+            StreamError::CorruptSpill { .. } | StreamError::ColumnOutOfRange { .. } => None,
         }
     }
 }
 
 impl<E> From<io::Error> for StreamError<E> {
-    fn from(e: io::Error) -> Self {
-        StreamError::Io(e)
+    fn from(error: io::Error) -> Self {
+        StreamError::Io {
+            context: "spill io",
+            error,
+        }
+    }
+}
+
+impl<E> From<SpillReadError> for StreamError<E> {
+    fn from(e: SpillReadError) -> Self {
+        match e {
+            SpillReadError::Io { context, error } => StreamError::Io { context, error },
+            SpillReadError::Corrupt { frame, reason } => {
+                StreamError::CorruptSpill { frame, reason }
+            }
+        }
+    }
+}
+
+/// Converts a spill stats snapshot into the report's `io` section.
+pub(crate) fn io_report(snap: SpillIoSnapshot) -> IoReport {
+    IoReport {
+        frames_written: snap.frames_written,
+        frames_read: snap.frames_read,
+        replays: snap.replays,
+        write_retries: snap.write_retries,
+        read_retries: snap.read_retries,
+        corrupt_frames: snap.corrupt_frames,
     }
 }
 
@@ -70,11 +129,12 @@ impl<E> From<io::Error> for StreamError<E> {
 pub(crate) fn prescan<I, E>(
     rows: I,
     n_cols: usize,
+    settings: &SpillSettings,
 ) -> Result<(Vec<u32>, BucketSpill), StreamError<E>>
 where
     I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
 {
-    let mut spill = BucketSpill::in_temp(n_cols)?;
+    let mut spill = BucketSpill::with_settings(n_cols, settings.clone())?;
     let mut ones = vec![0u32; n_cols];
     for (idx, row) in rows.into_iter().enumerate() {
         let mut row = row.map_err(StreamError::Source)?;
@@ -197,7 +257,7 @@ where
     let mut timer = PhaseTimer::new();
     let (ones, mut spill) = {
         let _g = timer.enter("pre-scan");
-        prescan(rows, n_cols)?
+        prescan(rows, n_cols, &config.spill)?
     };
     let total_rows = spill.rows();
     let mut report = ReportBuilder::new("implication", "streamed", 0, config.minconf);
@@ -274,6 +334,7 @@ where
     rules.sort_unstable();
     rules.dedup();
     let phases = timer.report();
+    report.io_counters(io_report(spill.stats().snapshot()));
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(ImplicationOutput {
         rules,
@@ -305,7 +366,7 @@ where
     let mut timer = PhaseTimer::new();
     let (ones, mut spill) = {
         let _g = timer.enter("pre-scan");
-        prescan(rows, n_cols)?
+        prescan(rows, n_cols, &config.spill)?
     };
     let total_rows = spill.rows();
     let mut report = ReportBuilder::new("similarity", "streamed", 0, config.minsim);
@@ -366,6 +427,7 @@ where
     rules.sort_unstable();
     rules.dedup();
     let phases = timer.report();
+    report.io_counters(io_report(spill.stats().snapshot()));
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(SimilarityOutput {
         rules,

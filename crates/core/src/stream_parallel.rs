@@ -55,7 +55,7 @@ where
     let mut timer = PhaseTimer::new();
     let (ones, spill) = {
         let _g = timer.enter("pre-scan");
-        prescan(rows, n_cols)?
+        prescan(rows, n_cols, &config.spill)?
     };
     let total_rows = spill.rows();
     let shared = spill.share()?;
@@ -68,9 +68,10 @@ where
             threads,
             mode: "streamed",
             spill_bytes: shared.bytes(),
+            stats: Some(shared.stats()),
         },
         timer,
-        || Ok(shared.replay().map(|r| r.map_err(StreamError::Io))),
+        || Ok(shared.replay().map(|r| r.map_err(StreamError::from))),
     )
 }
 
@@ -101,7 +102,7 @@ where
     let mut timer = PhaseTimer::new();
     let (ones, spill) = {
         let _g = timer.enter("pre-scan");
-        prescan(rows, n_cols)?
+        prescan(rows, n_cols, &config.spill)?
     };
     let total_rows = spill.rows();
     let shared = spill.share()?;
@@ -114,9 +115,10 @@ where
             threads,
             mode: "streamed",
             spill_bytes: shared.bytes(),
+            stats: Some(shared.stats()),
         },
         timer,
-        || Ok(shared.replay().map(|r| r.map_err(StreamError::Io))),
+        || Ok(shared.replay().map(|r| r.map_err(StreamError::from))),
     )
 }
 

@@ -91,8 +91,9 @@ pub fn decode_matrix(mut data: &[u8]) -> Result<SparseMatrix, BinaryError> {
     let n_cols = data.get_u64_le() as usize;
     let n_rows = data.get_u64_le() as usize;
     let nnz = data.get_u64_le() as usize;
-    let need = (n_rows + 1)
-        .checked_mul(8)
+    let need = n_rows
+        .checked_add(1)
+        .and_then(|r| r.checked_mul(8))
         .and_then(|o| o.checked_add(nnz.checked_mul(4)?))
         .ok_or(BinaryError::Corrupt("size overflow"))?;
     if data.remaining() < need {

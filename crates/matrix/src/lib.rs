@@ -24,7 +24,10 @@
 //!   row reader for out-of-core pipelines; [`io_binary`] is the compact
 //!   binary sibling for repeated reloads.
 //! * [`spill`] — disk-backed density buckets (the paper's out-of-core row
-//!   re-ordering).
+//!   re-ordering), with checksummed frames and retry-aware I/O.
+//! * [`spill_io`] — the pluggable spill I/O surface: the real filesystem
+//!   backend, a deterministic fault-injecting backend for tests, retry
+//!   policy, and shared I/O counters.
 
 mod builder;
 mod colorder;
@@ -33,6 +36,7 @@ pub mod io_binary;
 mod matrix;
 pub mod order;
 pub mod spill;
+pub mod spill_io;
 pub mod stats;
 pub mod transform;
 

@@ -29,7 +29,9 @@ mod timer;
 mod worker;
 
 pub use memory::{CounterMemory, MemorySample, COL_OVERHEAD_BYTES, ENTRY_BYTES};
-pub use report::{ReportBuilder, RunReport, StageReport, WorkerSummary, RUN_REPORT_SCHEMA};
+pub use report::{
+    IoReport, ReportBuilder, RunReport, StageReport, WorkerSummary, RUN_REPORT_SCHEMA,
+};
 pub use tally::ScanTally;
 pub use timer::{PhaseReport, PhaseTimer};
 pub use worker::WorkerReport;

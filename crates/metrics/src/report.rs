@@ -20,8 +20,29 @@ use crate::tally::ScanTally;
 use crate::timer::PhaseReport;
 use crate::worker::WorkerReport;
 
-/// Schema identifier embedded in every JSON report.
-pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v1";
+/// Schema identifier embedded in every JSON report. v2 added the `io`
+/// section (spill frame/retry/corruption counters).
+pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v2";
+
+/// Spill I/O counters for one out-of-core run: how many frames crossed
+/// the disk boundary, how often transient faults were retried, and how
+/// many frames the integrity checks rejected. `None` in the run report
+/// for in-memory runs (no spill).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoReport {
+    /// Row frames written to the spill during the pre-scan.
+    pub frames_written: u64,
+    /// Row frames decoded across all replays.
+    pub frames_read: u64,
+    /// Full spill replays (one per counting stage).
+    pub replays: u64,
+    /// Write calls retried after a transient failure.
+    pub write_retries: u64,
+    /// Read calls retried after a transient failure.
+    pub read_retries: u64,
+    /// Frames rejected by the checksum/framing guards.
+    pub corrupt_frames: u64,
+}
 
 /// Outcome of one driver stage (the 100%-rule stage or the sub-100% stage).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -109,6 +130,8 @@ pub struct RunReport {
     pub bitmap_switch_at: Option<usize>,
     /// Bytes written to the out-of-core spill (streamed runs).
     pub spill_bytes: u64,
+    /// Spill I/O counters (streamed runs; `None` in-memory).
+    pub io: Option<IoReport>,
     /// Per-worker aggregates (empty for sequential runs).
     pub workers: Vec<WorkerSummary>,
 }
@@ -149,6 +172,19 @@ impl RunReport {
         w.uint("peak_counter_bytes", self.peak_counter_bytes as u64);
         w.opt_uint("bitmap_switch_at", self.bitmap_switch_at.map(|v| v as u64));
         w.uint("spill_bytes", self.spill_bytes);
+        match &self.io {
+            Some(io) => {
+                w.object_key("io");
+                w.uint("frames_written", io.frames_written);
+                w.uint("frames_read", io.frames_read);
+                w.uint("replays", io.replays);
+                w.uint("write_retries", io.write_retries);
+                w.uint("read_retries", io.read_retries);
+                w.uint("corrupt_frames", io.corrupt_frames);
+                w.end_object();
+            }
+            None => w.null("io"),
+        }
         w.array_key("workers");
         for worker in &self.workers {
             w.object();
@@ -201,6 +237,18 @@ impl RunReport {
         }
         if self.bitmap_switch_at.is_some_and(|at| at > self.rows) {
             return false;
+        }
+        // The io section (streamed runs) has its own identities: every row
+        // became exactly one spilled frame, every replay decoded every
+        // frame, and a report from a *successful* run carries no corrupt
+        // frames (corruption aborts the run before a report exists).
+        if let Some(io) = &self.io {
+            if io.frames_written != self.rows as u64
+                || io.frames_read != io.frames_written * io.replays
+                || io.corrupt_frames != 0
+            {
+                return false;
+            }
         }
         // Each stage scans every row once per participating worker.
         let scans = self.threads.max(1) as u64;
@@ -284,6 +332,12 @@ impl ReportBuilder {
     /// Records bytes written to the out-of-core spill.
     pub fn spill_bytes(&mut self, bytes: u64) -> &mut Self {
         self.report.spill_bytes = bytes;
+        self
+    }
+
+    /// Records the spill I/O counters (streamed runs).
+    pub fn io_counters(&mut self, io: IoReport) -> &mut Self {
+        self.report.io = Some(io);
         self
     }
 
@@ -376,6 +430,74 @@ mod tests {
         let mut report = sample_report();
         report.bitmap_switch_at = Some(report.rows + 1);
         assert!(!report.reconciles());
+    }
+
+    fn with_io(mut report: RunReport, io: IoReport) -> RunReport {
+        report.io = Some(io);
+        report
+    }
+
+    fn good_io(rows: u64) -> IoReport {
+        IoReport {
+            frames_written: rows,
+            frames_read: rows * 2,
+            replays: 2,
+            write_retries: 1,
+            read_retries: 3,
+            corrupt_frames: 0,
+        }
+    }
+
+    #[test]
+    fn reconcile_accepts_consistent_io_section() {
+        let report = sample_report();
+        let rows = report.rows as u64;
+        assert!(with_io(report, good_io(rows)).reconciles());
+    }
+
+    #[test]
+    fn reconcile_catches_io_frame_mismatch() {
+        let report = sample_report();
+        let rows = report.rows as u64;
+        let mut io = good_io(rows);
+        io.frames_written += 1;
+        assert!(!with_io(report.clone(), io).reconciles());
+
+        let mut io = good_io(rows);
+        io.frames_read += 1;
+        assert!(!with_io(report.clone(), io).reconciles());
+
+        let mut io = good_io(rows);
+        io.corrupt_frames = 1;
+        assert!(
+            !with_io(report, io).reconciles(),
+            "a successful run never reports corrupt frames"
+        );
+    }
+
+    #[test]
+    fn io_section_renders_and_defaults_to_null() {
+        let report = sample_report();
+        let text = report.to_json();
+        let v = JsonValue::parse(&text).expect("report JSON parses");
+        assert!(
+            matches!(v.get("io"), Some(JsonValue::Null)),
+            "in-memory runs carry io: null"
+        );
+
+        let rows = report.rows as u64;
+        let with = with_io(report, good_io(rows));
+        let v = JsonValue::parse(&with.to_json()).expect("report JSON parses");
+        let io = v.get("io").expect("io object present");
+        assert_eq!(
+            io.get("frames_written").and_then(JsonValue::as_u64),
+            Some(rows)
+        );
+        assert_eq!(io.get("replays").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(
+            io.get("corrupt_frames").and_then(JsonValue::as_u64),
+            Some(0)
+        );
     }
 
     #[test]

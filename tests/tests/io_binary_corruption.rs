@@ -1,0 +1,137 @@
+//! Truncation and structural-corruption coverage for the binary matrix
+//! format: every section boundary, every specific `Corrupt` message.
+//!
+//! Layout under test (little-endian): `"DMCMAT01"` (8) | `n_cols` u64 |
+//! `n_rows` u64 | `nnz` u64 | offsets `(n_rows+1)×u64` | ids `nnz×u32`.
+
+use dmc_matrix::io_binary::{decode_matrix, encode_matrix, BinaryError};
+use dmc_matrix::SparseMatrix;
+
+const HEADER_BYTES: usize = 8 + 24;
+
+fn sample() -> SparseMatrix {
+    SparseMatrix::from_rows(7, vec![vec![0, 3, 6], vec![], vec![2], vec![1, 2, 3, 4, 5]])
+}
+
+/// Patches 8 bytes at `at` with a little-endian u64.
+fn put_u64(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[test]
+fn every_header_truncation_is_a_truncated_header() {
+    let bytes = encode_matrix(&sample());
+    for len in 0..HEADER_BYTES {
+        assert!(
+            matches!(
+                decode_matrix(&bytes[..len]),
+                Err(BinaryError::Corrupt("truncated header"))
+            ),
+            "prefix of {len} bytes"
+        );
+    }
+}
+
+#[test]
+fn every_body_truncation_is_a_truncated_body() {
+    let bytes = encode_matrix(&sample());
+    for len in HEADER_BYTES..bytes.len() {
+        assert!(
+            matches!(
+                decode_matrix(&bytes[..len]),
+                Err(BinaryError::Corrupt("truncated body"))
+            ),
+            "prefix of {len} bytes"
+        );
+    }
+    // The exact boundary: the full encoding decodes.
+    assert!(decode_matrix(&bytes).is_ok());
+}
+
+#[test]
+fn huge_counts_are_a_size_overflow_not_a_huge_allocation() {
+    let mut bytes = encode_matrix(&sample());
+    put_u64(&mut bytes, 16, u64::MAX); // n_rows
+    assert!(matches!(
+        decode_matrix(&bytes),
+        Err(BinaryError::Corrupt("size overflow"))
+    ));
+    let mut bytes = encode_matrix(&sample());
+    put_u64(&mut bytes, 24, u64::MAX / 2); // nnz
+    assert!(matches!(
+        decode_matrix(&bytes),
+        Err(BinaryError::Corrupt("size overflow"))
+    ));
+}
+
+#[test]
+fn bad_first_offset_is_an_endpoint_error() {
+    let mut bytes = encode_matrix(&sample());
+    put_u64(&mut bytes, HEADER_BYTES, 1); // offsets[0] must be 0
+    assert!(matches!(
+        decode_matrix(&bytes),
+        Err(BinaryError::Corrupt("offset endpoints"))
+    ));
+}
+
+#[test]
+fn bad_last_offset_is_an_endpoint_error() {
+    let m = sample();
+    let mut bytes = encode_matrix(&m);
+    let last_offset_at = HEADER_BYTES + m.n_rows() * 8;
+    put_u64(&mut bytes, last_offset_at, (m.nnz() + 1) as u64);
+    assert!(matches!(
+        decode_matrix(&bytes),
+        Err(BinaryError::Corrupt("offset endpoints"))
+    ));
+}
+
+#[test]
+fn decreasing_offsets_are_not_monotone() {
+    let m = sample();
+    let mut bytes = encode_matrix(&m);
+    // Raise an interior offset above its successor while keeping the
+    // endpoints legal. sample row 0 has 3 ids, so offsets are
+    // [0, 3, 3, 4, 9]; set offsets[1] to 4 > offsets[2] = 3.
+    put_u64(&mut bytes, HEADER_BYTES + 8, 4);
+    assert!(matches!(
+        decode_matrix(&bytes),
+        Err(BinaryError::Corrupt("offsets not monotone"))
+    ));
+}
+
+#[test]
+fn oversized_column_id_is_out_of_range() {
+    let m = sample();
+    let mut bytes = encode_matrix(&m);
+    let last_id_at = bytes.len() - 4;
+    bytes[last_id_at..].copy_from_slice(&(m.n_cols() as u32).to_le_bytes());
+    assert!(matches!(
+        decode_matrix(&bytes),
+        Err(BinaryError::Corrupt("column id out of range"))
+    ));
+}
+
+#[test]
+fn duplicate_id_in_a_row_is_not_strictly_increasing() {
+    let m = SparseMatrix::from_rows(5, vec![vec![1, 3]]);
+    let mut bytes = encode_matrix(&m);
+    // Overwrite the second id (3) with a copy of the first (1).
+    let second_id_at = bytes.len() - 4;
+    bytes[second_id_at..].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        decode_matrix(&bytes),
+        Err(BinaryError::Corrupt("row not strictly increasing"))
+    ));
+}
+
+#[test]
+fn corruption_errors_render_their_reason() {
+    let bytes = encode_matrix(&sample());
+    let err = decode_matrix(&bytes[..4]).unwrap_err();
+    let text = err.to_string();
+    assert!(
+        text.contains("corrupt") && text.contains("truncated header"),
+        "{text}"
+    );
+}

@@ -51,7 +51,7 @@ fn all_reports(m: &SparseMatrix, threshold: f64) -> Vec<(String, RunReport)> {
     out
 }
 
-/// The golden top-level key set of `dmc.run_report.v1`, in serialization
+/// The golden top-level key set of `dmc.run_report.v2`, in serialization
 /// order. A failure here means the schema changed: bump the version.
 const GOLDEN_KEYS: &[&str] = &[
     "schema",
@@ -71,7 +71,17 @@ const GOLDEN_KEYS: &[&str] = &[
     "peak_counter_bytes",
     "bitmap_switch_at",
     "spill_bytes",
+    "io",
     "workers",
+];
+
+const GOLDEN_IO_KEYS: &[&str] = &[
+    "frames_written",
+    "frames_read",
+    "replays",
+    "write_retries",
+    "read_retries",
+    "corrupt_frames",
 ];
 
 const GOLDEN_COUNTER_KEYS: &[&str] = &[
@@ -107,6 +117,14 @@ fn all_eight_drivers_emit_the_same_schema() {
                 GOLDEN_COUNTER_KEYS,
                 "{label}: {stage} counter keys"
             );
+        }
+        // Streamed runs carry the spill-io counter section; in-memory
+        // runs serialize it as null.
+        let io = json.get("io").unwrap();
+        if label.contains("stream") {
+            assert_eq!(io.keys(), GOLDEN_IO_KEYS, "{label}: io keys");
+        } else {
+            assert!(matches!(io, JsonValue::Null), "{label}: io must be null");
         }
         assert!(report.reconciles(), "{label}: reconciliation");
     }
@@ -151,8 +169,9 @@ fn golden_report_values_fig2() {
 #[test]
 fn streamed_reports_carry_spill_bytes() {
     let m = fig2();
-    // Encoded spill size: 4 bytes per row length prefix + 4 per id.
-    let expected = (4 * m.n_rows() + 4 * m.nnz()) as u64;
+    // Encoded spill size: 12-byte frame header (len, ~len guard, crc32)
+    // per row + 4 bytes per id.
+    let expected = (12 * m.n_rows() + 4 * m.nnz()) as u64;
     for threads in [1usize, 4] {
         let out = Miner::implications(0.8)
             .threads(threads)
@@ -160,6 +179,19 @@ fn streamed_reports_carry_spill_bytes() {
             .unwrap();
         assert_eq!(out.report.spill_bytes, expected, "threads={threads}");
         assert_eq!(out.report.mode, "streamed");
+        // The io section mirrors what the run actually did: one frame
+        // per row written, every frame read back once per replay, and
+        // no corruption on a healthy filesystem.
+        let io = out.report.io.expect("streamed runs report io counters");
+        assert_eq!(io.frames_written, m.n_rows() as u64, "threads={threads}");
+        assert!(io.replays >= 1, "threads={threads}");
+        assert_eq!(
+            io.frames_read,
+            io.frames_written * io.replays,
+            "threads={threads}"
+        );
+        assert_eq!(io.corrupt_frames, 0, "threads={threads}");
+        assert_eq!(io.write_retries + io.read_retries, 0, "threads={threads}");
     }
 }
 

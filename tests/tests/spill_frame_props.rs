@@ -1,0 +1,135 @@
+//! Property tests for the checksummed spill-frame codec.
+//!
+//! Two guarantees back the out-of-core drivers' exactness claim:
+//!
+//! * **round trip** — any batch of normalized rows spilled through
+//!   `BucketSpill` replays to exactly the same rows, and
+//! * **corruption detection** — flipping any single byte of any bucket
+//!   file (header length, complement guard, CRC, or payload) makes the
+//!   replay surface a typed `SpillReadError::Corrupt` instead of decoding
+//!   garbage.
+//!
+//! Run with `PROPTEST_CASES=N` to scale the case count (CI's fault sweep
+//! raises it well past the local default).
+
+use dmc_matrix::spill::{BucketSpill, SpillReadError};
+use dmc_matrix::spill_io::SpillSettings;
+use dmc_matrix::ColumnId;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone case counter so concurrent proptest cases in this binary
+/// never share a spill directory.
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dmc-frame-props-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// 1–24 normalized (sorted, deduplicated) rows over 64 columns, with
+/// empty rows and duplicate rows arising naturally.
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<ColumnId>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0u32..64, 0..=16)
+            .prop_map(|set| set.into_iter().collect::<Vec<ColumnId>>()),
+        1..24,
+    )
+}
+
+/// Spills `rows` into a fresh directory and returns the spill.
+fn spill_rows(rows: &[Vec<ColumnId>], dir: &Path) -> BucketSpill {
+    let settings = SpillSettings {
+        dir: Some(dir.to_path_buf()),
+        ..SpillSettings::default()
+    };
+    let mut spill = BucketSpill::with_settings(64, settings).expect("create spill");
+    for row in rows {
+        spill.push_row(row).expect("push row");
+    }
+    spill
+}
+
+/// The spill's bucket files, in a stable order.
+fn bucket_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read spill dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    files.sort();
+    files
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frames_round_trip(rows in rows_strategy()) {
+        let dir = fresh_dir();
+        let mut spill = spill_rows(&rows, &dir);
+        let replayed: Result<Vec<Vec<ColumnId>>, SpillReadError> =
+            spill.replay().expect("start replay").collect();
+        let mut replayed = replayed.expect("clean replay");
+        prop_assert_eq!(replayed.len(), rows.len());
+        // Replay order is sparsest-bucket-first, so compare as multisets.
+        let mut expected = rows.clone();
+        replayed.sort();
+        expected.sort();
+        prop_assert_eq!(replayed, expected);
+        drop(spill);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn any_single_flipped_byte_is_detected(
+        rows in rows_strategy(),
+        pos in 0u64..u64::MAX,
+        xor_sel in 0u8..255,
+    ) {
+        let xor = xor_sel.wrapping_add(1); // 1..=255: always a real flip
+        let dir = fresh_dir();
+        let mut spill = spill_rows(&rows, &dir);
+        // First replay flushes the writers and proves the file is clean.
+        let clean: Result<Vec<Vec<ColumnId>>, SpillReadError> =
+            spill.replay().expect("start replay").collect();
+        prop_assert!(clean.is_ok(), "pre-flip replay failed: {:?}", clean.err());
+
+        // Flip one byte at a uniformly chosen offset across all buckets.
+        let files = bucket_files(&dir);
+        let total: u64 = files
+            .iter()
+            .map(|p| std::fs::metadata(p).expect("stat bucket").len())
+            .sum();
+        prop_assert!(total > 0, "at least one frame on disk");
+        let mut target = pos % total;
+        for file in &files {
+            let len = std::fs::metadata(file).expect("stat bucket").len();
+            if target < len {
+                let mut data = std::fs::read(file).expect("read bucket");
+                data[target as usize] ^= xor;
+                std::fs::write(file, data).expect("write damaged bucket");
+                break;
+            }
+            target -= len;
+        }
+
+        // The replay must reject the damage, never decode garbage.
+        let outcome: Vec<Result<Vec<ColumnId>, SpillReadError>> =
+            spill.replay().expect("start replay").collect();
+        let last = outcome.last().expect("replay yields something");
+        prop_assert!(
+            matches!(last, Err(SpillReadError::Corrupt { .. })),
+            "flip at byte {} of {} (xor {:#04x}) undetected: {:?}",
+            pos % total,
+            total,
+            xor,
+            last
+        );
+        drop(spill);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

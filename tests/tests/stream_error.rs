@@ -47,12 +47,30 @@ fn source_chain_reaches_the_underlying_error() {
 
 #[test]
 fn io_variant_chains_and_converts() {
-    // From<io::Error> powers `?` on spill IO inside the drivers.
-    let err: StreamError<SourceFailure> = io::Error::other("spill io broke").into();
-    assert!(matches!(err, StreamError::Io(_)));
+    // From<io::Error> powers `?` on spill IO inside the drivers. The
+    // conversion must keep the original ErrorKind visible.
+    let err: StreamError<SourceFailure> =
+        io::Error::new(io::ErrorKind::NotFound, "spill io broke").into();
+    assert!(matches!(err, StreamError::Io { .. }));
+    assert_eq!(err.io_kind(), Some(io::ErrorKind::NotFound));
     assert!(err.to_string().contains("spill io broke"));
     let source = err.source().expect("Io wraps the io::Error");
     assert!(source.downcast_ref::<io::Error>().is_some());
+}
+
+#[test]
+fn corrupt_spill_variant_formats_and_has_no_source() {
+    let err: StreamError<SourceFailure> = StreamError::CorruptSpill {
+        frame: 7,
+        reason: "checksum mismatch",
+    };
+    assert!(err.source().is_none(), "corruption has no io cause");
+    assert_eq!(err.io_kind(), None);
+    let text = err.to_string();
+    assert!(
+        text.contains("frame 7") && text.contains("checksum mismatch"),
+        "{text}"
+    );
 }
 
 #[test]
