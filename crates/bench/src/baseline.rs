@@ -1,0 +1,310 @@
+//! Serialization of [`BenchSuite`] records under the `dmc.bench.v1`
+//! schema, through the shared hand-rolled writer/parser in
+//! [`dmc_metrics::json`] — the same machinery that serializes run
+//! reports, so there is exactly one JSON dialect in the tree.
+//!
+//! The committed `BENCH_baseline.json` at the repo root is a record in
+//! this format; CI's bench gate compares a fresh `--quick` run against it
+//! with [`compare`](crate::compare).
+
+use crate::suite::{BenchCell, BenchSuite, CounterFingerprint};
+use dmc_metrics::json::{JsonValue, JsonWriter};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Schema identifier written into (and required of) every bench record.
+pub const BENCH_SCHEMA: &str = "dmc.bench.v1";
+
+/// Why a bench record failed to load or parse.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The bytes were not the JSON this writer emits.
+    Json(String),
+    /// A required key was missing or had the wrong type.
+    Shape(String),
+    /// The record declares a schema other than [`BENCH_SCHEMA`].
+    SchemaMismatch { found: String },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Io(e) => write!(f, "cannot read bench record: {e}"),
+            BaselineError::Json(e) => write!(f, "invalid JSON: {e}"),
+            BaselineError::Shape(e) => write!(f, "malformed bench record: {e}"),
+            BaselineError::SchemaMismatch { found } => {
+                write!(f, "schema mismatch: found {found:?}, need {BENCH_SCHEMA:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<std::io::Error> for BaselineError {
+    fn from(e: std::io::Error) -> Self {
+        BaselineError::Io(e)
+    }
+}
+
+/// Renders a suite as `dmc.bench.v1` JSON (pretty, deterministic key
+/// order).
+#[must_use]
+pub fn to_json(suite: &BenchSuite) -> String {
+    let mut w = JsonWriter::new();
+    w.object();
+    w.string("schema", &suite.schema);
+    w.string("name", &suite.name);
+    w.array_key("scales");
+    for s in &suite.scales {
+        w.item_string(s);
+    }
+    w.end_array();
+    w.array_key("threads");
+    for t in &suite.threads {
+        w.item_uint(*t);
+    }
+    w.end_array();
+    w.uint("warmup", suite.warmup);
+    w.uint("repeats", suite.repeats);
+    w.array_key("cells");
+    for cell in &suite.cells {
+        w.object();
+        w.string("id", &cell.id);
+        w.string("algorithm", &cell.algorithm);
+        w.string("mode", &cell.mode);
+        w.uint("threads", cell.threads);
+        w.string("scale", &cell.scale);
+        w.uint("rows", cell.rows);
+        w.uint("cols", cell.cols);
+        w.float("threshold", cell.threshold);
+        w.uint("rules", cell.rules);
+        w.array_key("seconds");
+        for s in &cell.seconds {
+            w.item_float(*s);
+        }
+        w.end_array();
+        w.float("median_seconds", cell.median_seconds);
+        w.float("mad_seconds", cell.mad_seconds);
+        w.float("rows_per_sec", cell.rows_per_sec);
+        w.float("deletions_per_sec", cell.deletions_per_sec);
+        w.float("spill_bytes_per_sec", cell.spill_bytes_per_sec);
+        w.object_key("counters");
+        w.uint("rows_scanned", cell.counters.rows_scanned);
+        w.uint("candidates_admitted", cell.counters.candidates_admitted);
+        w.uint("candidates_deleted", cell.counters.candidates_deleted);
+        w.uint("misses_counted", cell.counters.misses_counted);
+        w.uint("rules_emitted", cell.counters.rules_emitted);
+        w.uint("spill_bytes", cell.counters.spill_bytes);
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn need<'a>(v: &'a JsonValue, key: &str, ctx: &str) -> Result<&'a JsonValue, BaselineError> {
+    v.get(key)
+        .ok_or_else(|| BaselineError::Shape(format!("{ctx}: missing key {key:?}")))
+}
+
+fn need_str(v: &JsonValue, key: &str, ctx: &str) -> Result<String, BaselineError> {
+    need(v, key, ctx)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| BaselineError::Shape(format!("{ctx}: {key:?} is not a string")))
+}
+
+fn need_u64(v: &JsonValue, key: &str, ctx: &str) -> Result<u64, BaselineError> {
+    need(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| BaselineError::Shape(format!("{ctx}: {key:?} is not an unsigned integer")))
+}
+
+fn need_f64(v: &JsonValue, key: &str, ctx: &str) -> Result<f64, BaselineError> {
+    need(v, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| BaselineError::Shape(format!("{ctx}: {key:?} is not a number")))
+}
+
+fn need_array<'a>(
+    v: &'a JsonValue,
+    key: &str,
+    ctx: &str,
+) -> Result<&'a [JsonValue], BaselineError> {
+    need(v, key, ctx)?
+        .as_array()
+        .ok_or_else(|| BaselineError::Shape(format!("{ctx}: {key:?} is not an array")))
+}
+
+/// Parses a `dmc.bench.v1` record, rejecting other schemas.
+pub fn parse(text: &str) -> Result<BenchSuite, BaselineError> {
+    let root = JsonValue::parse(text).map_err(|e| BaselineError::Json(e.to_string()))?;
+    let schema = need_str(&root, "schema", "record")?;
+    if schema != BENCH_SCHEMA {
+        return Err(BaselineError::SchemaMismatch { found: schema });
+    }
+    let mut scales = Vec::new();
+    for s in need_array(&root, "scales", "record")? {
+        scales.push(
+            s.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| BaselineError::Shape("scales: non-string entry".into()))?,
+        );
+    }
+    let mut threads = Vec::new();
+    for t in need_array(&root, "threads", "record")? {
+        threads.push(
+            t.as_u64()
+                .ok_or_else(|| BaselineError::Shape("threads: non-integer entry".into()))?,
+        );
+    }
+    let mut cells = Vec::new();
+    for (i, c) in need_array(&root, "cells", "record")?.iter().enumerate() {
+        let ctx = format!("cells[{i}]");
+        let mut seconds = Vec::new();
+        for s in need_array(c, "seconds", &ctx)? {
+            seconds.push(
+                s.as_f64()
+                    .ok_or_else(|| BaselineError::Shape(format!("{ctx}: non-number timing")))?,
+            );
+        }
+        let counters = need(c, "counters", &ctx)?;
+        let cctx = format!("{ctx}.counters");
+        cells.push(BenchCell {
+            id: need_str(c, "id", &ctx)?,
+            algorithm: need_str(c, "algorithm", &ctx)?,
+            mode: need_str(c, "mode", &ctx)?,
+            threads: need_u64(c, "threads", &ctx)?,
+            scale: need_str(c, "scale", &ctx)?,
+            rows: need_u64(c, "rows", &ctx)?,
+            cols: need_u64(c, "cols", &ctx)?,
+            threshold: need_f64(c, "threshold", &ctx)?,
+            rules: need_u64(c, "rules", &ctx)?,
+            seconds,
+            median_seconds: need_f64(c, "median_seconds", &ctx)?,
+            mad_seconds: need_f64(c, "mad_seconds", &ctx)?,
+            rows_per_sec: need_f64(c, "rows_per_sec", &ctx)?,
+            deletions_per_sec: need_f64(c, "deletions_per_sec", &ctx)?,
+            spill_bytes_per_sec: need_f64(c, "spill_bytes_per_sec", &ctx)?,
+            counters: CounterFingerprint {
+                rows_scanned: need_u64(counters, "rows_scanned", &cctx)?,
+                candidates_admitted: need_u64(counters, "candidates_admitted", &cctx)?,
+                candidates_deleted: need_u64(counters, "candidates_deleted", &cctx)?,
+                misses_counted: need_u64(counters, "misses_counted", &cctx)?,
+                rules_emitted: need_u64(counters, "rules_emitted", &cctx)?,
+                spill_bytes: need_u64(counters, "spill_bytes", &cctx)?,
+            },
+        });
+    }
+    Ok(BenchSuite {
+        schema,
+        name: need_str(&root, "name", "record")?,
+        scales,
+        threads,
+        warmup: need_u64(&root, "warmup", "record")?,
+        repeats: need_u64(&root, "repeats", "record")?,
+        cells,
+    })
+}
+
+/// Loads and parses a record from disk.
+pub fn load(path: &Path) -> Result<BenchSuite, BaselineError> {
+    parse(&fs::read_to_string(path)?)
+}
+
+/// Writes a record to disk (trailing newline included).
+pub fn save(suite: &BenchSuite, path: &Path) -> Result<(), BaselineError> {
+    let mut text = to_json(suite);
+    text.push('\n');
+    fs::write(path, text)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_cell(id: &str, median: f64, mad: f64) -> BenchCell {
+        let seconds = vec![median - mad, median, median + mad];
+        BenchCell {
+            id: id.into(),
+            algorithm: "imp".into(),
+            mode: "mem".into(),
+            threads: 1,
+            scale: "small".into(),
+            rows: 100,
+            cols: 20,
+            threshold: 0.9,
+            rules: 7,
+            median_seconds: median,
+            mad_seconds: mad,
+            rows_per_sec: 200.0 / median,
+            deletions_per_sec: 50.0 / median,
+            spill_bytes_per_sec: 0.0,
+            seconds,
+            counters: CounterFingerprint {
+                rows_scanned: 200,
+                candidates_admitted: 57,
+                candidates_deleted: 50,
+                misses_counted: 90,
+                rules_emitted: 7,
+                spill_bytes: 0,
+            },
+        }
+    }
+
+    pub(crate) fn sample_suite() -> BenchSuite {
+        BenchSuite {
+            schema: BENCH_SCHEMA.into(),
+            name: "sample".into(),
+            scales: vec!["small".into()],
+            threads: vec![1, 4],
+            warmup: 1,
+            repeats: 3,
+            cells: vec![
+                sample_cell("imp/mem/t1/small", 0.10, 0.004),
+                sample_cell("imp/mem/t4/small", 0.04, 0.002),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let suite = sample_suite();
+        let text = to_json(&suite);
+        let back = parse(&text).expect("round trip parses");
+        assert_eq!(back, suite);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let text = to_json(&sample_suite()).replace(BENCH_SCHEMA, "dmc.bench.v0");
+        match parse(&text) {
+            Err(BaselineError::SchemaMismatch { found }) => assert_eq!(found, "dmc.bench.v0"),
+            other => panic!("expected schema mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_keys_and_bad_json() {
+        let text = to_json(&sample_suite()).replace("\"median_seconds\"", "\"median_sec\"");
+        assert!(matches!(parse(&text), Err(BaselineError::Shape(_))));
+        assert!(matches!(parse("{nope"), Err(BaselineError::Json(_))));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let suite = sample_suite();
+        let dir = std::env::temp_dir().join(format!("dmc-bench-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        save(&suite, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), suite);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

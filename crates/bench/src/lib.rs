@@ -5,7 +5,15 @@
 //! §6 (run them via the `dmc-experiments` binary); [`table`] renders the
 //! results as aligned text tables, which `EXPERIMENTS.md` records next to
 //! the paper's numbers.
+//!
+//! [`suite`], [`baseline`], and [`compare`] form the machine-readable
+//! benchmark suite behind the `dmc-benchsuite` binary: a fixed workload
+//! matrix measured via each run's own `RunReport`, serialized as
+//! `dmc.bench.v1`, and diffed with a noise-aware regression gate.
 
+pub mod baseline;
+pub mod compare;
 pub mod datasets;
 pub mod experiments;
+pub mod suite;
 pub mod table;

@@ -1,0 +1,491 @@
+//! The `dmc-benchsuite` workload matrix and runner.
+//!
+//! A suite run mines a fixed matrix of cells — execution mode (in-memory
+//! vs streamed) × algorithm (implication vs similarity) × worker count ×
+//! dataset scale — on planted-rule datasets whose qualifying rule set is
+//! known by construction. Every cell runs `warmup` discarded passes plus
+//! `repeats` measured passes; the wall time of each pass is taken from the
+//! driver's own [`RunReport::wall_seconds`] (not re-measured outside), so
+//! the record and the observability layer cannot drift apart.
+//!
+//! The counters double as a correctness cross-check: every repeat's report
+//! must satisfy [`RunReport::reconciles`], repeats of a cell must produce
+//! identical counter fingerprints, and the work counters (admissions,
+//! deletions, misses, emitted rules — everything except `rows_scanned`,
+//! which grows with the worker count because every worker scans every row)
+//! must be invariant across thread counts of the same
+//! (algorithm, mode, scale) group. A timing record whose work counters
+//! moved is measuring a different computation, not a faster one.
+//!
+//! [`baseline`](crate::baseline) serializes the result under the
+//! `dmc.bench.v1` schema and [`compare`](crate::compare) diffs two such
+//! records with a noise-aware gate.
+
+use crate::datasets::Scale;
+use dmc_core::{Miner, RunReport, SparseMatrix};
+use dmc_datagen::{planted_implications, PlantedConfig};
+use dmc_metrics::ScanTally;
+use std::convert::Infallible;
+
+/// Which rule family a cell mines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// DMC-imp at the suite's `minconf`.
+    Implication,
+    /// DMC-sim at the suite's `minsim`.
+    Similarity,
+}
+
+impl Algorithm {
+    /// Short id segment (`imp` / `sim`).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Algorithm::Implication => "imp",
+            Algorithm::Similarity => "sim",
+        }
+    }
+}
+
+/// How a cell's rows reach the driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The whole matrix is resident; single counting pass per stage.
+    InMemory,
+    /// Rows stream through the two-pass out-of-core spill drivers.
+    Streamed,
+}
+
+impl Mode {
+    /// Short id segment (`mem` / `stream`).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mode::InMemory => "mem",
+            Mode::Streamed => "stream",
+        }
+    }
+}
+
+/// Scale's lowercase name for ids and JSON.
+#[must_use]
+pub fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Large => "large",
+    }
+}
+
+/// Configuration of one suite run.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Record name (lands in the JSON `name` field).
+    pub name: String,
+    /// Dataset scales to cover.
+    pub scales: Vec<Scale>,
+    /// Worker counts to cover (1 runs the sequential drivers).
+    pub threads: Vec<usize>,
+    /// Discarded warm-up passes per cell.
+    pub warmup: usize,
+    /// Measured passes per cell.
+    pub repeats: usize,
+    /// Implication confidence threshold.
+    pub minconf: f64,
+    /// Similarity threshold.
+    pub minsim: f64,
+}
+
+impl SuiteConfig {
+    /// The full matrix: small + medium planted data, threads 1/2/4/8,
+    /// 1 warm-up + 5 measured repeats per cell (32 cells).
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            name: "full".into(),
+            scales: vec![Scale::Small, Scale::Medium],
+            threads: vec![1, 2, 4, 8],
+            warmup: 1,
+            repeats: 5,
+            minconf: 0.9,
+            minsim: 0.75,
+        }
+    }
+
+    /// The CI gate matrix: small planted data only, threads 1/4,
+    /// 1 warm-up + 5 measured repeats per cell (8 cells). The extra
+    /// repeats over the minimum of 3 cost well under a second and buy a
+    /// noticeably steadier median on shared runners.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            name: "quick".into(),
+            scales: vec![Scale::Small],
+            threads: vec![1, 4],
+            warmup: 1,
+            repeats: 5,
+            minconf: 0.9,
+            minsim: 0.75,
+        }
+    }
+}
+
+/// The planted-rule dataset a scale maps to: strongly planted implication
+/// pairs over light background noise (see `dmc_datagen::planted`), sized
+/// so a full suite stays in seconds per cell.
+#[must_use]
+pub fn planted_matrix(scale: Scale) -> SparseMatrix {
+    let (rows, cols, pairs) = match scale {
+        Scale::Small => (6000, 400, 40),
+        Scale::Medium => (24000, 800, 80),
+        Scale::Large => (96000, 1600, 160),
+    };
+    planted_implications(&PlantedConfig::new(
+        rows,
+        cols,
+        pairs,
+        0xBE7C + scale_tag(scale).len() as u64,
+    ))
+    .matrix
+}
+
+/// The counter fingerprint of a cell: every [`ScanTally`] field that must
+/// be identical across repeats, plus `spill_bytes` (deterministic for a
+/// fixed dataset). `rows_scanned` is kept for the record but excluded from
+/// the thread-invariance comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterFingerprint {
+    pub rows_scanned: u64,
+    pub candidates_admitted: u64,
+    pub candidates_deleted: u64,
+    pub misses_counted: u64,
+    pub rules_emitted: u64,
+    pub spill_bytes: u64,
+}
+
+impl CounterFingerprint {
+    fn of(report: &RunReport) -> Self {
+        let ScanTally {
+            rows_scanned,
+            candidates_admitted,
+            candidates_deleted,
+            misses_counted,
+            rules_emitted,
+        } = report.counters;
+        Self {
+            rows_scanned,
+            candidates_admitted,
+            candidates_deleted,
+            misses_counted,
+            rules_emitted,
+            spill_bytes: report.spill_bytes,
+        }
+    }
+
+    /// The fingerprint with the thread- and mode-dependent fields zeroed:
+    /// `rows_scanned` scales with the worker count and `spill_bytes` with
+    /// the mode, while the work counters must not move.
+    #[must_use]
+    pub fn work_counters(&self) -> Self {
+        Self {
+            rows_scanned: 0,
+            spill_bytes: 0,
+            ..*self
+        }
+    }
+}
+
+/// One measured cell of the suite.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchCell {
+    /// Stable id, e.g. `imp/stream/t4/small`.
+    pub id: String,
+    /// `imp` or `sim`.
+    pub algorithm: String,
+    /// `mem` or `stream`.
+    pub mode: String,
+    /// Worker count the cell ran with.
+    pub threads: u64,
+    /// Dataset scale tag.
+    pub scale: String,
+    /// Dataset rows.
+    pub rows: u64,
+    /// Dataset columns.
+    pub cols: u64,
+    /// Threshold mined at.
+    pub threshold: f64,
+    /// Rules found (identical on every repeat).
+    pub rules: u64,
+    /// Measured wall times, in repeat order (seconds).
+    pub seconds: Vec<f64>,
+    /// Median of `seconds`.
+    pub median_seconds: f64,
+    /// Median absolute deviation of `seconds`.
+    pub mad_seconds: f64,
+    /// `counters.rows_scanned / median_seconds`.
+    pub rows_per_sec: f64,
+    /// `counters.candidates_deleted / median_seconds`.
+    pub deletions_per_sec: f64,
+    /// `spill_bytes / median_seconds` (zero for in-memory cells).
+    pub spill_bytes_per_sec: f64,
+    /// Counter fingerprint (identical on every repeat).
+    pub counters: CounterFingerprint,
+}
+
+/// A complete suite record (serialized as `dmc.bench.v1`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSuite {
+    /// Schema identifier; [`crate::baseline::BENCH_SCHEMA`] when produced
+    /// by [`run_suite`].
+    pub schema: String,
+    /// Record name from the config.
+    pub name: String,
+    /// Scale tags covered.
+    pub scales: Vec<String>,
+    /// Worker counts covered.
+    pub threads: Vec<u64>,
+    /// Warm-up passes per cell.
+    pub warmup: u64,
+    /// Measured passes per cell.
+    pub repeats: u64,
+    /// All cells, in matrix order.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchSuite {
+    /// The cell with the given id, if present.
+    #[must_use]
+    pub fn cell(&self, id: &str) -> Option<&BenchCell> {
+        self.cells.iter().find(|c| c.id == id)
+    }
+}
+
+/// Median of `values` (which need not be sorted). Zero for an empty slice.
+#[must_use]
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation around [`median`].
+#[must_use]
+pub fn mad(values: &[f64]) -> f64 {
+    let m = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Runs one pass of a cell and returns its run report.
+///
+/// # Panics
+///
+/// Panics if the report fails its reconciliation identities — a timing
+/// measured against unreconciled counters is not evidence.
+fn run_cell_once(
+    matrix: &SparseMatrix,
+    algorithm: Algorithm,
+    mode: Mode,
+    threads: usize,
+    config: &SuiteConfig,
+    id: &str,
+) -> RunReport {
+    let rows =
+        || -> Vec<Result<Vec<u32>, Infallible>> { matrix.rows().map(|r| Ok(r.to_vec())).collect() };
+    let report = match (algorithm, mode) {
+        (Algorithm::Implication, Mode::InMemory) => {
+            Miner::implications(config.minconf)
+                .threads(threads)
+                .run(matrix)
+                .report
+        }
+        (Algorithm::Implication, Mode::Streamed) => {
+            Miner::implications(config.minconf)
+                .threads(threads)
+                .run_streamed(rows(), matrix.n_cols())
+                .expect("in-memory row replay cannot fail")
+                .report
+        }
+        (Algorithm::Similarity, Mode::InMemory) => {
+            Miner::similarities(config.minsim)
+                .threads(threads)
+                .run(matrix)
+                .report
+        }
+        (Algorithm::Similarity, Mode::Streamed) => {
+            Miner::similarities(config.minsim)
+                .threads(threads)
+                .run_streamed(rows(), matrix.n_cols())
+                .expect("in-memory row replay cannot fail")
+                .report
+        }
+    };
+    assert!(
+        report.reconciles(),
+        "{id}: run report failed reconciliation"
+    );
+    report
+}
+
+/// Runs the whole matrix and assembles the suite record.
+///
+/// `progress` receives one line per finished cell (pass `|_| {}` to run
+/// silently).
+///
+/// # Panics
+///
+/// Panics when a correctness cross-check fails: a repeat's report does not
+/// reconcile, repeats of a cell disagree on counters or rules, or work
+/// counters drift across thread counts of the same (algorithm, mode,
+/// scale) group.
+#[must_use]
+pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchSuite {
+    assert!(config.repeats >= 1, "need at least one measured repeat");
+    let mut cells = Vec::new();
+    for &scale in &config.scales {
+        let matrix = planted_matrix(scale);
+        // (algorithm, mode) -> work-counter fingerprint of threads[0],
+        // checked against every other thread count.
+        let mut invariants: Vec<(Algorithm, Mode, CounterFingerprint)> = Vec::new();
+        for mode in [Mode::InMemory, Mode::Streamed] {
+            for algorithm in [Algorithm::Implication, Algorithm::Similarity] {
+                for &threads in &config.threads {
+                    let id = format!(
+                        "{}/{}/t{}/{}",
+                        algorithm.tag(),
+                        mode.tag(),
+                        threads,
+                        scale_tag(scale)
+                    );
+                    for _ in 0..config.warmup {
+                        let _ = run_cell_once(&matrix, algorithm, mode, threads, config, &id);
+                    }
+                    let mut seconds = Vec::with_capacity(config.repeats);
+                    let mut first: Option<(CounterFingerprint, u64, f64)> = None;
+                    for repeat in 0..config.repeats {
+                        let report = run_cell_once(&matrix, algorithm, mode, threads, config, &id);
+                        let fp = CounterFingerprint::of(&report);
+                        let rules = report.rules as u64;
+                        match &first {
+                            None => first = Some((fp, rules, report.threshold)),
+                            Some((fp0, rules0, _)) => {
+                                assert_eq!(
+                                    fp, *fp0,
+                                    "{id}: counters drifted between repeats 0 and {repeat}"
+                                );
+                                assert_eq!(
+                                    rules, *rules0,
+                                    "{id}: rule count drifted between repeats"
+                                );
+                            }
+                        }
+                        seconds.push(report.wall_seconds);
+                    }
+                    let (fp, rules, threshold) = first.expect("repeats >= 1");
+                    match invariants
+                        .iter()
+                        .find(|(a, m, _)| *a == algorithm && *m == mode)
+                    {
+                        None => invariants.push((algorithm, mode, fp.work_counters())),
+                        Some((_, _, expected)) => assert_eq!(
+                            fp.work_counters(),
+                            *expected,
+                            "{id}: work counters are not thread-invariant"
+                        ),
+                    }
+                    let median_seconds = median(&seconds);
+                    let mad_seconds = mad(&seconds);
+                    let rate = |work: u64| {
+                        if median_seconds > 0.0 {
+                            work as f64 / median_seconds
+                        } else {
+                            0.0
+                        }
+                    };
+                    let cell = BenchCell {
+                        id: id.clone(),
+                        algorithm: algorithm.tag().into(),
+                        mode: mode.tag().into(),
+                        threads: threads as u64,
+                        scale: scale_tag(scale).into(),
+                        rows: matrix.n_rows() as u64,
+                        cols: matrix.n_cols() as u64,
+                        threshold,
+                        rules,
+                        median_seconds,
+                        mad_seconds,
+                        rows_per_sec: rate(fp.rows_scanned),
+                        deletions_per_sec: rate(fp.candidates_deleted),
+                        spill_bytes_per_sec: rate(fp.spill_bytes),
+                        seconds,
+                        counters: fp,
+                    };
+                    progress(&format!(
+                        "{id}: median {:.4}s mad {:.4}s ({} rules)",
+                        cell.median_seconds, cell.mad_seconds, cell.rules
+                    ));
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+    BenchSuite {
+        schema: crate::baseline::BENCH_SCHEMA.into(),
+        name: config.name.clone(),
+        scales: config.scales.iter().map(|s| scale_tag(*s).into()).collect(),
+        threads: config.threads.iter().map(|t| *t as u64).collect(),
+        warmup: config.warmup as u64,
+        repeats: config.repeats as u64,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(mad(&[1.0, 1.0, 1.0]), 0.0);
+        // median 3, deviations {2,1,0,1,2} -> mad 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn fingerprint_work_counters_ignore_rows_and_spill() {
+        let a = CounterFingerprint {
+            rows_scanned: 10,
+            candidates_admitted: 5,
+            candidates_deleted: 3,
+            misses_counted: 7,
+            rules_emitted: 2,
+            spill_bytes: 100,
+        };
+        let b = CounterFingerprint {
+            rows_scanned: 40,
+            spill_bytes: 0,
+            ..a
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.work_counters(), b.work_counters());
+    }
+
+    #[test]
+    fn cell_ids_are_stable() {
+        assert_eq!(Algorithm::Implication.tag(), "imp");
+        assert_eq!(Mode::Streamed.tag(), "stream");
+        assert_eq!(scale_tag(Scale::Medium), "medium");
+    }
+}

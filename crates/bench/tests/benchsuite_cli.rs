@@ -1,0 +1,191 @@
+//! The `dmc-benchsuite` binary's compare gate, end to end: exit codes,
+//! verdict rendering, and error reporting on malformed records — the
+//! exact contract CI's bench-gate job relies on.
+
+use dmc_bench::baseline::{self, BENCH_SCHEMA};
+use dmc_bench::suite::{BenchCell, BenchSuite, CounterFingerprint};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cell(id: &str, median: f64) -> BenchCell {
+    BenchCell {
+        id: id.into(),
+        algorithm: "imp".into(),
+        mode: "mem".into(),
+        threads: 1,
+        scale: "small".into(),
+        rows: 100,
+        cols: 20,
+        threshold: 0.9,
+        rules: 5,
+        median_seconds: median,
+        mad_seconds: median * 0.01,
+        rows_per_sec: 100.0 / median,
+        deletions_per_sec: 10.0 / median,
+        spill_bytes_per_sec: 0.0,
+        seconds: vec![median * 0.99, median, median * 1.01],
+        counters: CounterFingerprint {
+            rows_scanned: 100,
+            candidates_admitted: 15,
+            candidates_deleted: 10,
+            misses_counted: 30,
+            rules_emitted: 5,
+            spill_bytes: 0,
+        },
+    }
+}
+
+fn record(medians: &[(&str, f64)]) -> BenchSuite {
+    BenchSuite {
+        schema: BENCH_SCHEMA.into(),
+        name: "cli-test".into(),
+        scales: vec!["small".into()],
+        threads: vec![1],
+        warmup: 0,
+        repeats: 3,
+        cells: medians.iter().map(|(id, m)| cell(id, *m)).collect(),
+    }
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("dmc-benchsuite-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn write(&self, name: &str, suite: &BenchSuite) -> PathBuf {
+        let path = self.0.join(name);
+        baseline::save(suite, &path).unwrap();
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn benchsuite(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dmc-benchsuite"))
+        .args(args)
+        .output()
+        .expect("spawn dmc-benchsuite")
+}
+
+#[test]
+fn gate_passes_on_identical_records() {
+    let dir = TempDir::new("pass");
+    let base = dir.write("base.json", &record(&[("a", 1.0), ("b", 2.0)]));
+    let out = benchsuite(&[
+        "compare",
+        base.to_str().unwrap(),
+        base.to_str().unwrap(),
+        "--gate",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("gate: PASS"), "stdout: {stdout}");
+    assert!(stdout.contains("unchanged"), "stdout: {stdout}");
+}
+
+#[test]
+fn gate_fails_on_a_slowed_cell() {
+    let dir = TempDir::new("fail");
+    let base = dir.write("base.json", &record(&[("a", 1.0), ("b", 2.0)]));
+    let cur = dir.write("cur.json", &record(&[("a", 1.0), ("b", 4.0)]));
+    let out = benchsuite(&[
+        "compare",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--gate",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("REGRESSED"), "stdout: {stdout}");
+    assert!(stdout.contains("gate: FAIL"), "stdout: {stdout}");
+
+    // Without --gate the same regression is advisory: exit 0.
+    let advisory = benchsuite(&["compare", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert!(advisory.status.success());
+    assert!(String::from_utf8_lossy(&advisory.stdout).contains("REGRESSED"));
+}
+
+#[test]
+fn tolerance_flags_reach_the_comparator() {
+    let dir = TempDir::new("tol");
+    let base = dir.write("base.json", &record(&[("a", 1.0)]));
+    // +20%: regression at the default 5% floor, absorbed at 30%.
+    let cur = dir.write("cur.json", &record(&[("a", 1.2)]));
+    let strict = benchsuite(&[
+        "compare",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--gate",
+    ]);
+    assert_eq!(strict.status.code(), Some(1));
+    let loose = benchsuite(&[
+        "compare",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--gate",
+        "--rel-floor",
+        "0.3",
+    ]);
+    let stdout = String::from_utf8_lossy(&loose.stdout);
+    assert!(loose.status.success(), "stdout: {stdout}");
+}
+
+#[test]
+fn schema_and_shape_errors_exit_nonzero_with_context() {
+    let dir = TempDir::new("schema");
+    let good = dir.write("good.json", &record(&[("a", 1.0)]));
+    let bad = dir.0.join("bad.json");
+    std::fs::write(
+        &bad,
+        baseline::to_json(&record(&[("a", 1.0)])).replace(BENCH_SCHEMA, "dmc.bench.v0"),
+    )
+    .unwrap();
+    let out = benchsuite(&[
+        "compare",
+        good.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--gate",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("schema mismatch"), "stderr: {stderr}");
+
+    let missing = dir.0.join("nope.json");
+    let out = benchsuite(&["compare", good.to_str().unwrap(), missing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // A record with a cell the baseline lacks is a hard error, not a
+    // silently shorter table.
+    let extra = dir.write("extra.json", &record(&[("a", 1.0), ("z", 1.0)]));
+    let out = benchsuite(&["compare", good.to_str().unwrap(), extra.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    assert_eq!(benchsuite(&[]).status.code(), Some(2));
+    assert_eq!(benchsuite(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(
+        benchsuite(&["compare", "only-one.json"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(benchsuite(&["run", "--bogus"]).status.code(), Some(2));
+    assert_eq!(
+        benchsuite(&["compare", "a", "b", "--mad-k", "minus"])
+            .status
+            .code(),
+        Some(2)
+    );
+}

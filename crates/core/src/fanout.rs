@@ -232,6 +232,10 @@ pub(crate) struct RunContext {
     /// Spill I/O counters to snapshot into the report's `io` section
     /// once the pipeline finishes; `None` for in-memory runs.
     pub stats: Option<Arc<SpillIoStats>>,
+    /// When the driver entry point started, so the report's
+    /// `wall_seconds` covers the pre-scan the caller ran before handing
+    /// over to the pipeline.
+    pub started: std::time::Instant,
 }
 
 /// The staged parallel DMC-imp pipeline (Algorithm 4.2 over
@@ -258,6 +262,7 @@ where
         mode,
         spill_bytes,
         stats,
+        started,
     } = ctx;
     assert!(threads > 0, "need at least one worker");
     let mut rules = Vec::new();
@@ -378,6 +383,7 @@ where
     if let Some(stats) = &stats {
         report.io_counters(io_report(stats.snapshot()));
     }
+    report.wall(started.elapsed());
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(ImplicationOutput {
         rules,
@@ -411,6 +417,7 @@ where
         mode,
         spill_bytes,
         stats,
+        started,
     } = ctx;
     assert!(threads > 0, "need at least one worker");
     let mut rules = Vec::new();
@@ -515,6 +522,7 @@ where
     if let Some(stats) = &stats {
         report.io_counters(io_report(stats.snapshot()));
     }
+    report.wall(started.elapsed());
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(SimilarityOutput {
         rules,

@@ -82,6 +82,7 @@ impl ImplicationOutput {
 /// remains for backward compatibility.
 #[must_use]
 pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> ImplicationOutput {
+    let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let mut memory = if config.record_memory_history {
         CounterMemory::with_history(4096)
@@ -184,6 +185,7 @@ pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> I
     rules.sort_unstable();
     rules.dedup();
     let phases = timer.report();
+    report.wall(started.elapsed());
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     ImplicationOutput {
         rules,

@@ -57,6 +57,7 @@ pub fn find_implications_parallel(
     threads: usize,
 ) -> ImplicationOutput {
     assert!(threads > 0, "need at least one worker");
+    let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let (ones, order) = {
         let _g = timer.enter("pre-scan");
@@ -72,6 +73,7 @@ pub fn find_implications_parallel(
             mode: "in-memory",
             spill_bytes: 0,
             stats: None,
+            started,
         },
         timer,
         || Ok(matrix_rows(matrix, &order)),
@@ -96,6 +98,7 @@ pub fn find_similarities_parallel(
     threads: usize,
 ) -> SimilarityOutput {
     assert!(threads > 0, "need at least one worker");
+    let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let (ones, order) = {
         let _g = timer.enter("pre-scan");
@@ -111,6 +114,7 @@ pub fn find_similarities_parallel(
             mode: "in-memory",
             spill_bytes: 0,
             stats: None,
+            started,
         },
         timer,
         || Ok(matrix_rows(matrix, &order)),

@@ -92,6 +92,7 @@ impl SimilarityOutput {
 /// remains for backward compatibility.
 #[must_use]
 pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> SimilarityOutput {
+    let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let mut memory = if config.record_memory_history {
         CounterMemory::with_history(4096)
@@ -188,6 +189,7 @@ pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> Si
     rules.sort_unstable();
     rules.dedup();
     let phases = timer.report();
+    report.wall(started.elapsed());
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     SimilarityOutput {
         rules,

@@ -254,6 +254,7 @@ pub fn find_implications_streamed<I, E>(
 where
     I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
 {
+    let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let (ones, mut spill) = {
         let _g = timer.enter("pre-scan");
@@ -335,6 +336,7 @@ where
     rules.dedup();
     let phases = timer.report();
     report.io_counters(io_report(spill.stats().snapshot()));
+    report.wall(started.elapsed());
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(ImplicationOutput {
         rules,
@@ -363,6 +365,7 @@ pub fn find_similarities_streamed<I, E>(
 where
     I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
 {
+    let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let (ones, mut spill) = {
         let _g = timer.enter("pre-scan");
@@ -428,6 +431,7 @@ where
     rules.dedup();
     let phases = timer.report();
     report.io_counters(io_report(spill.stats().snapshot()));
+    report.wall(started.elapsed());
     let report = report.finish(rules.len(), &phases, &memory, bitmap_switch_at);
     Ok(SimilarityOutput {
         rules,

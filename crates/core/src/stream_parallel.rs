@@ -52,6 +52,7 @@ where
     E: Send,
 {
     assert!(threads > 0, "need at least one worker");
+    let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let (ones, spill) = {
         let _g = timer.enter("pre-scan");
@@ -69,6 +70,7 @@ where
             mode: "streamed",
             spill_bytes: shared.bytes(),
             stats: Some(shared.stats()),
+            started,
         },
         timer,
         || Ok(shared.replay().map(|r| r.map_err(StreamError::from))),
@@ -99,6 +101,7 @@ where
     E: Send,
 {
     assert!(threads > 0, "need at least one worker");
+    let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let (ones, spill) = {
         let _g = timer.enter("pre-scan");
@@ -116,6 +119,7 @@ where
             mode: "streamed",
             spill_bytes: shared.bytes(),
             stats: Some(shared.stats()),
+            started,
         },
         timer,
         || Ok(shared.replay().map(|r| r.map_err(StreamError::from))),

@@ -1,14 +1,21 @@
-//! Minimal JSON support for run reports.
+//! Minimal JSON support shared by the workspace's machine-readable
+//! artifacts.
 //!
 //! The workspace vendors its dependencies and `serde` is only available as
-//! a placeholder, so the run report is rendered and parsed with a small
+//! a placeholder, so structured output is rendered and parsed with a small
 //! hand-rolled implementation: a [`JsonWriter`] that produces
 //! deterministic, pretty-printed output (fixed key order, two-space
 //! indent), and a [`JsonValue`] recursive-descent parser used by the test
 //! suite, the bench harness and CI to validate what the writer produced.
 //!
-//! The writer only emits the subset of JSON the report needs: objects,
-//! arrays, strings, booleans, `null`, and finite numbers.
+//! This is the *single* writer/parser pair of the workspace: the run
+//! reports here in `dmc-metrics` (`dmc.run_report.*`) and the benchmark
+//! suite records in `dmc-bench` (`dmc.bench.*`) both serialize through it
+//! rather than keeping per-crate copies.
+//!
+//! The writer only emits the subset of JSON those schemas need: objects,
+//! arrays (of objects or scalars), strings, booleans, `null`, and finite
+//! numbers.
 
 use std::fmt::Write as _;
 
@@ -155,6 +162,36 @@ impl JsonWriter {
         }
     }
 
+    /// Writes `key: true` or `key: false`.
+    pub fn bool(&mut self, key: &str, value: bool) {
+        self.begin_item();
+        escape_into(&mut self.out, key);
+        let _ = write!(self.out, ": {value}");
+    }
+
+    /// Writes a bare string as the next array element.
+    pub fn item_string(&mut self, value: &str) {
+        self.begin_item();
+        escape_into(&mut self.out, value);
+    }
+
+    /// Writes a bare unsigned integer as the next array element.
+    pub fn item_uint(&mut self, value: u64) {
+        self.begin_item();
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a bare finite float as the next array element (falls back
+    /// to `null`).
+    pub fn item_float(&mut self, value: f64) {
+        self.begin_item();
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
     /// Writes `key: null`.
     pub fn null(&mut self, key: &str) {
         self.begin_item();
@@ -230,6 +267,15 @@ impl JsonValue {
             JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
                 Some(*n as u64)
             }
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -514,6 +560,43 @@ mod tests {
                 .and_then(JsonValue::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn scalar_array_items_and_bools_round_trip() {
+        let mut w = JsonWriter::new();
+        w.object();
+        w.bool("gate", true);
+        w.bool("quick", false);
+        w.array_key("threads");
+        for t in [1u64, 2, 4, 8] {
+            w.item_uint(t);
+        }
+        w.end_array();
+        w.array_key("scales");
+        w.item_string("small");
+        w.item_string("medium");
+        w.end_array();
+        w.end_object();
+        let v = JsonValue::parse(&w.finish()).expect("round trip");
+        assert_eq!(v.get("gate").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(v.get("quick").and_then(JsonValue::as_bool), Some(false));
+        let threads: Vec<u64> = v
+            .get("threads")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .iter()
+            .map(|t| t.as_u64().unwrap())
+            .collect();
+        assert_eq!(threads, vec![1, 2, 4, 8]);
+        let scales: Vec<&str> = v
+            .get("scales")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .iter()
+            .map(|s| s.as_str().unwrap())
+            .collect();
+        assert_eq!(scales, vec!["small", "medium"]);
     }
 
     #[test]

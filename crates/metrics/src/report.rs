@@ -21,8 +21,9 @@ use crate::timer::PhaseReport;
 use crate::worker::WorkerReport;
 
 /// Schema identifier embedded in every JSON report. v2 added the `io`
-/// section (spill frame/retry/corruption counters).
-pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v2";
+/// section (spill frame/retry/corruption counters); v3 added
+/// `wall_seconds` (driver-measured end-to-end wall clock).
+pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v3";
 
 /// Spill I/O counters for one out-of-core run: how many frames crossed
 /// the disk boundary, how often transient faults were retried, and how
@@ -121,6 +122,12 @@ pub struct RunReport {
     pub reverse_rules: u64,
     /// Wall-clock phase timings `(name, seconds)`, first-seen order.
     pub phases: Vec<(&'static str, f64)>,
+    /// End-to-end wall clock of the driver invocation in seconds, measured
+    /// by the driver itself (entry to exit). Covers the gaps between named
+    /// phases, so `wall_seconds >=` the phase sum up to timer resolution;
+    /// benchmark harnesses should read this instead of re-measuring around
+    /// the call.
+    pub wall_seconds: f64,
     /// Peak candidate count across all counter arrays.
     pub peak_candidates: usize,
     /// Peak counter-array footprint in bytes (paper's memory model).
@@ -137,6 +144,22 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Sum of the named phase timings in seconds (a lower bound on
+    /// [`RunReport::wall_seconds`]).
+    #[must_use]
+    pub fn phase_total_seconds(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Seconds spent in the named phase (zero if the phase never ran).
+    #[must_use]
+    pub fn phase_seconds(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, s)| *s)
+    }
+
     /// Renders the report as pretty-printed JSON with a fixed key order.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -168,6 +191,7 @@ impl RunReport {
             w.end_object();
         }
         w.end_array();
+        w.float("wall_seconds", self.wall_seconds);
         w.uint("peak_candidates", self.peak_candidates as u64);
         w.uint("peak_counter_bytes", self.peak_counter_bytes as u64);
         w.opt_uint("bitmap_switch_at", self.bitmap_switch_at.map(|v| v as u64));
@@ -341,6 +365,13 @@ impl ReportBuilder {
         self
     }
 
+    /// Records the driver's end-to-end wall clock. When never called,
+    /// [`ReportBuilder::finish`] falls back to the sum of the named phases.
+    pub fn wall(&mut self, elapsed: std::time::Duration) -> &mut Self {
+        self.report.wall_seconds = elapsed.as_secs_f64();
+        self
+    }
+
     /// Adds one worker's aggregate.
     pub fn push_worker(&mut self, worker: WorkerSummary) -> &mut Self {
         self.report.workers.push(worker);
@@ -362,6 +393,9 @@ impl ReportBuilder {
             .iter()
             .map(|(name, d)| (*name, d.as_secs_f64()))
             .collect();
+        if self.report.wall_seconds == 0.0 {
+            self.report.wall_seconds = phases.total().as_secs_f64();
+        }
         self.report.peak_candidates = memory.peak_candidates();
         self.report.peak_counter_bytes = memory.peak_bytes();
         self.report.bitmap_switch_at = bitmap_switch_at;
@@ -416,6 +450,28 @@ mod tests {
         assert_eq!(report.peak_candidates, 7);
         assert_eq!(report.phases.len(), 2);
         assert!(report.reconciles());
+    }
+
+    #[test]
+    fn wall_seconds_defaults_to_phase_total_and_accepts_override() {
+        let report = sample_report();
+        assert!((report.wall_seconds - 0.007).abs() < 1e-9);
+        assert!((report.phase_total_seconds() - 0.007).abs() < 1e-9);
+        assert!((report.phase_seconds("pre-scan") - 0.002).abs() < 1e-9);
+        assert_eq!(report.phase_seconds("absent"), 0.0);
+
+        let mut timer = crate::timer::PhaseTimer::new();
+        timer.record("pre-scan", Duration::from_millis(2));
+        let mut builder = ReportBuilder::new("implication", "in-memory", 0, 0.9);
+        builder.wall(Duration::from_millis(10));
+        let report = builder.finish(0, &timer.report(), &CounterMemory::new(), None);
+        assert!((report.wall_seconds - 0.010).abs() < 1e-9);
+
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            v.get("wall_seconds").and_then(JsonValue::as_f64),
+            Some(0.01)
+        );
     }
 
     #[test]

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a `dmc.run_report.v3` JSON run report.
+
+Usage: validate_run_report.py PATH ALGORITHM MODE WORKERS
+
+    PATH       report file written by `dmc ... --metrics PATH`
+    ALGORITHM  expected `algorithm` field (implication | similarity)
+    MODE       expected `mode` field (in-memory | streamed)
+    WORKERS    expected number of worker summaries (0 for sequential)
+
+Checks the schema name, the required keys, and the counter
+reconciliation identities the observability layer guarantees:
+admitted = deleted + emitted (per stage and for the run), stage
+counters sum to the run counters, worker admissions sum to the run,
+kept rules across stages equal the emitted rule count, and the
+driver-measured `wall_seconds` covers at least the named phases.
+
+Exits 0 on a valid report, 1 with a diagnostic otherwise. CI runs this
+against freshly mined reports; `tests/tests/validator_script.rs` runs
+it in the repo test suite so the script cannot drift from the schema.
+"""
+
+import json
+import sys
+
+SCHEMA = "dmc.run_report.v3"
+
+REQUIRED_KEYS = (
+    "schema", "algorithm", "mode", "threads", "rows", "cols", "threshold",
+    "rules", "counters", "hundred_stage", "sub_stage", "reverse_rules",
+    "phases", "wall_seconds", "peak_candidates", "peak_counter_bytes",
+    "bitmap_switch_at", "spill_bytes", "io", "workers",
+)
+
+
+def check(path, algorithm, mode, workers):
+    with open(path) as f:
+        r = json.load(f)
+    assert r["schema"] == SCHEMA, (r["schema"], SCHEMA)
+    assert r["algorithm"] == algorithm, (r["algorithm"], algorithm)
+    assert r["mode"] == mode, (r["mode"], mode)
+    for key in REQUIRED_KEYS:
+        assert key in r, f"{path}: missing {key}"
+
+    if mode == "streamed":
+        io = r["io"]
+        assert io is not None, f"{path}: streamed run missing io"
+        assert io["frames_written"] == r["rows"], (path, io)
+        assert io["frames_read"] == \
+            io["frames_written"] * io["replays"], (path, io)
+        assert io["corrupt_frames"] == 0, (path, io)
+    else:
+        assert r["io"] is None, (path, r["io"])
+
+    c = r["counters"]
+    assert c["candidates_admitted"] == \
+        c["candidates_deleted"] + c["rules_emitted"], (path, c)
+    stage_sum = {k: 0 for k in c}
+    kept = r["reverse_rules"]
+    for stage in (r["hundred_stage"], r["sub_stage"]):
+        if stage is None:
+            continue
+        sc = stage["counters"]
+        assert sc["candidates_admitted"] == \
+            sc["candidates_deleted"] + sc["rules_emitted"], (path, sc)
+        for k in stage_sum:
+            stage_sum[k] += sc[k]
+        kept += stage["rules_kept"]
+    assert stage_sum == c, (path, stage_sum, c)
+    assert kept == r["rules"], (path, kept, r["rules"])
+
+    assert len(r["workers"]) == workers, (path, r["workers"])
+    if workers:
+        admitted = sum(w["counters"]["candidates_admitted"]
+                       for w in r["workers"])
+        assert admitted == c["candidates_admitted"], path
+
+    if r["bitmap_switch_at"] is not None:
+        assert 0 <= r["bitmap_switch_at"] <= r["rows"], path
+
+    wall = r["wall_seconds"]
+    assert isinstance(wall, (int, float)), (path, wall)
+    phase_sum = sum(p["seconds"] for p in r["phases"])
+    assert wall + 1e-6 >= phase_sum, (path, wall, phase_sum)
+
+    print(f"{path}: ok ({r['rules']} rules, "
+          f"{c['candidates_admitted']} admitted, {wall:.4f}s)")
+
+
+def main(argv):
+    if len(argv) != 5:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    path, algorithm, mode, workers = argv[1:]
+    try:
+        check(path, algorithm, mode, int(workers))
+    except AssertionError as e:
+        print(f"{path}: INVALID: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,105 @@
+//! The benchmark suite as a correctness instrument: a real (tiny) suite
+//! run must emit a valid `dmc.bench.v1` record whose counters reconcile,
+//! and the comparator must pass a record against itself and fail a
+//! synthetically slowed cell.
+
+use dmc_bench::baseline::{self, BENCH_SCHEMA};
+use dmc_bench::compare::{compare, Tolerance, Verdict};
+use dmc_bench::datasets::Scale;
+use dmc_bench::suite::{run_suite, BenchSuite, SuiteConfig};
+
+/// The smallest honest suite: one scale, two thread counts (so the
+/// thread-invariance cross-check actually fires), three repeats.
+fn tiny_config() -> SuiteConfig {
+    let mut config = SuiteConfig::quick();
+    config.name = "test".into();
+    config.scales = vec![Scale::Small];
+    config.threads = vec![1, 2];
+    config.warmup = 0;
+    config.repeats = 3;
+    config
+}
+
+fn run_tiny() -> BenchSuite {
+    run_suite(&tiny_config(), |_| {})
+}
+
+#[test]
+fn suite_run_emits_a_valid_reconciled_record() {
+    let suite = run_tiny();
+    assert_eq!(suite.schema, BENCH_SCHEMA);
+    // 1 scale x 2 modes x 2 algorithms x 2 thread counts.
+    assert_eq!(suite.cells.len(), 8);
+    for cell in &suite.cells {
+        assert_eq!(cell.seconds.len(), 3, "{}", cell.id);
+        assert!(cell.median_seconds > 0.0, "{}", cell.id);
+        assert!(cell.mad_seconds >= 0.0, "{}", cell.id);
+        // The miss-counting identity, straight from the recorded
+        // fingerprint: every admitted candidate was deleted or emitted.
+        assert_eq!(
+            cell.counters.candidates_admitted,
+            cell.counters.candidates_deleted + cell.counters.rules_emitted,
+            "{}",
+            cell.id
+        );
+        assert!(cell.rules > 0, "{}: planted rules must be found", cell.id);
+        assert!(cell.rows_per_sec > 0.0, "{}", cell.id);
+        let streamed = cell.mode == "stream";
+        assert_eq!(
+            cell.counters.spill_bytes > 0,
+            streamed,
+            "{}: spill bytes iff streamed",
+            cell.id
+        );
+        assert_eq!(cell.spill_bytes_per_sec > 0.0, streamed, "{}", cell.id);
+        let expected_id = format!(
+            "{}/{}/t{}/{}",
+            cell.algorithm, cell.mode, cell.threads, cell.scale
+        );
+        assert_eq!(cell.id, expected_id);
+    }
+    // Work counters are thread-invariant within an (algorithm, mode)
+    // group; run_suite asserts this internally, but check one pair here
+    // so the property is visible in a test, not only in a panic message.
+    let t1 = suite.cell("imp/mem/t1/small").unwrap();
+    let t2 = suite.cell("imp/mem/t2/small").unwrap();
+    assert_eq!(t1.counters.work_counters(), t2.counters.work_counters());
+    assert_eq!(t1.rules, t2.rules);
+}
+
+#[test]
+fn suite_record_round_trips_and_self_compares_clean() {
+    let suite = run_tiny();
+    let text = baseline::to_json(&suite);
+    let back = baseline::parse(&text).expect("emitted record parses");
+    assert_eq!(back, suite);
+
+    let cmp = compare(&suite, &back, Tolerance::default()).unwrap();
+    assert!(cmp.passes());
+    assert!(cmp.cells.iter().all(|c| c.verdict == Verdict::Unchanged));
+    assert!(cmp.cells.iter().all(|c| !c.counters_diverged));
+}
+
+#[test]
+fn synthetically_slowed_cell_trips_the_gate() {
+    let baseline = run_tiny();
+    let mut slowed = baseline.clone();
+    {
+        let cell = &mut slowed.cells[0];
+        // Well past any plausible noise band: 10x the median plus a
+        // fat absolute offset.
+        cell.median_seconds = cell.median_seconds * 10.0 + 1.0;
+        for s in &mut cell.seconds {
+            *s = *s * 10.0 + 1.0;
+        }
+    }
+    let cmp = compare(&baseline, &slowed, Tolerance::default()).unwrap();
+    assert!(!cmp.passes());
+    let regressions = cmp.regressions();
+    assert_eq!(regressions.len(), 1);
+    assert_eq!(regressions[0].id, baseline.cells[0].id);
+    // Every other cell is untouched and stays unchanged.
+    assert!(cmp.cells[1..]
+        .iter()
+        .all(|c| c.verdict == Verdict::Unchanged));
+}

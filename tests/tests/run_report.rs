@@ -51,7 +51,7 @@ fn all_reports(m: &SparseMatrix, threshold: f64) -> Vec<(String, RunReport)> {
     out
 }
 
-/// The golden top-level key set of `dmc.run_report.v2`, in serialization
+/// The golden top-level key set of `dmc.run_report.v3`, in serialization
 /// order. A failure here means the schema changed: bump the version.
 const GOLDEN_KEYS: &[&str] = &[
     "schema",
@@ -67,6 +67,7 @@ const GOLDEN_KEYS: &[&str] = &[
     "sub_stage",
     "reverse_rules",
     "phases",
+    "wall_seconds",
     "peak_candidates",
     "peak_counter_bytes",
     "bitmap_switch_at",
@@ -126,6 +127,17 @@ fn all_eight_drivers_emit_the_same_schema() {
         } else {
             assert!(matches!(io, JsonValue::Null), "{label}: io must be null");
         }
+        // The driver's own end-to-end wall clock covers at least the
+        // named phases (the bench suite reads it instead of re-timing).
+        let wall = json
+            .get("wall_seconds")
+            .and_then(JsonValue::as_f64)
+            .expect("wall_seconds is a number");
+        assert!(
+            wall + 1e-6 >= report.phase_total_seconds(),
+            "{label}: wall {wall} < phase sum {}",
+            report.phase_total_seconds()
+        );
         assert!(report.reconciles(), "{label}: reconciliation");
     }
 }

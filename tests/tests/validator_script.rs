@@ -1,0 +1,129 @@
+//! `scripts/validate_run_report.py` against freshly mined reports: the
+//! CI validator must accept every driver's real output and reject a
+//! tampered report, so the script cannot silently drift from the
+//! `dmc.run_report.v3` schema it gates.
+
+use dmc_core::{Miner, SparseMatrix};
+use dmc_datagen::{planted_implications, PlantedConfig};
+use std::convert::Infallible;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn script() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../scripts/validate_run_report.py")
+}
+
+fn matrix() -> SparseMatrix {
+    planted_implications(&PlantedConfig::new(400, 60, 6, 11)).matrix
+}
+
+fn rows_of(m: &SparseMatrix) -> Vec<Result<Vec<u32>, Infallible>> {
+    m.rows().map(|r| Ok(r.to_vec())).collect()
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let dir = std::env::temp_dir().join(format!("dmc-validator-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs the validator; returns (exit code, stdout, stderr).
+fn validate(report: &Path, algorithm: &str, mode: &str, workers: usize) -> (i32, String, String) {
+    let out = Command::new("python3")
+        .arg(script())
+        .arg(report)
+        .arg(algorithm)
+        .arg(mode)
+        .arg(workers.to_string())
+        .output()
+        .expect("python3 must be available (CI and dev images ship it)");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn accepts_reports_from_real_drivers() {
+    let dir = TempDir::new();
+    let m = matrix();
+    let cases: Vec<(&str, String, &str, &str, usize)> = vec![
+        (
+            "imp-mem.json",
+            Miner::implications(0.9).run(&m).report.to_json(),
+            "implication",
+            "in-memory",
+            0,
+        ),
+        (
+            "sim-stream-t4.json",
+            Miner::similarities(0.7)
+                .threads(4)
+                .run_streamed(rows_of(&m), m.n_cols())
+                .unwrap()
+                .report
+                .to_json(),
+            "similarity",
+            "streamed",
+            4,
+        ),
+        (
+            "imp-mem-t2.json",
+            Miner::implications(0.9).threads(2).run(&m).report.to_json(),
+            "implication",
+            "in-memory",
+            2,
+        ),
+    ];
+    for (name, json, algorithm, mode, workers) in cases {
+        let path = dir.0.join(name);
+        std::fs::write(&path, json).unwrap();
+        let (code, stdout, stderr) = validate(&path, algorithm, mode, workers);
+        assert_eq!(code, 0, "{name}: stdout {stdout:?} stderr {stderr:?}");
+        assert!(stdout.contains("ok"), "{name}: {stdout:?}");
+    }
+}
+
+#[test]
+fn rejects_tampered_and_mismatched_reports() {
+    let dir = TempDir::new();
+    let m = matrix();
+    let good = Miner::implications(0.9).run(&m).report.to_json();
+
+    // Wrong expectations against a valid report.
+    let path = dir.0.join("good.json");
+    std::fs::write(&path, &good).unwrap();
+    let (code, _, stderr) = validate(&path, "similarity", "in-memory", 0);
+    assert_eq!(code, 1, "wrong algorithm must fail: {stderr}");
+
+    // A tampered counter breaks the reconciliation identity.
+    let rigged = good.replacen("\"candidates_admitted\": ", "\"candidates_admitted\": 9", 1);
+    assert_ne!(rigged, good, "tamper target must exist");
+    let path = dir.0.join("rigged.json");
+    std::fs::write(&path, rigged).unwrap();
+    let (code, _, stderr) = validate(&path, "implication", "in-memory", 0);
+    assert_eq!(code, 1, "tampered counters must fail: {stderr}");
+    assert!(stderr.contains("INVALID"), "{stderr}");
+
+    // An old schema version is rejected outright.
+    let old = good.replace("dmc.run_report.v3", "dmc.run_report.v2");
+    let path = dir.0.join("old.json");
+    std::fs::write(&path, old).unwrap();
+    let (code, _, _) = validate(&path, "implication", "in-memory", 0);
+    assert_eq!(code, 1, "old schema must fail");
+
+    // Usage errors exit 2.
+    let out = Command::new("python3").arg(script()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
