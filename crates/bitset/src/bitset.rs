@@ -279,6 +279,19 @@ impl BitSet {
         Ones::new(&self.words)
     }
 
+    /// Index of the lowest set bit, or `None` when no bit is set.
+    ///
+    /// Word-batched: scans whole `u64` words and finishes with a single
+    /// `trailing_zeros`, so it is O(words) rather than O(bits).
+    #[inline]
+    #[must_use]
+    pub fn first_one(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| i * WORD_BITS + self.words[i].trailing_zeros() as usize)
+    }
+
     /// Raw storage words (low bit of word 0 is bit 0).
     #[must_use]
     pub fn as_words(&self) -> &[u64] {
@@ -405,6 +418,15 @@ mod tests {
         let empty: BitSet = std::iter::empty::<usize>().collect();
         assert_eq!(empty.len(), 0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn first_one_finds_lowest_bit() {
+        assert_eq!(BitSet::new(200).first_one(), None);
+        assert_eq!(BitSet::from_indices(200, [199]).first_one(), Some(199));
+        assert_eq!(BitSet::from_indices(200, [64, 65]).first_one(), Some(64));
+        assert_eq!(BitSet::from_indices(200, [0, 150]).first_one(), Some(0));
+        assert_eq!(BitSet::new(0).first_one(), None);
     }
 
     #[test]

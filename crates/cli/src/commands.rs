@@ -39,6 +39,17 @@ fn row_order(args: &Args) -> Result<RowOrder, Box<dyn Error>> {
     })
 }
 
+/// `--threads N` with `N >= 1`; zero is a usage error, not a silent
+/// clamp — the library clamps, but someone typing `--threads 0` asked
+/// for something that does not exist.
+fn worker_threads(args: &Args) -> Result<usize, Box<dyn Error>> {
+    let threads: usize = args.get_or("threads", 1)?;
+    if threads == 0 {
+        return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
+    }
+    Ok(threads)
+}
+
 fn switch_policy(args: &Args) -> Result<SwitchPolicy, Box<dyn Error>> {
     let mut policy = SwitchPolicy::paper();
     policy.max_tail_rows = args.get_or("switch-rows", policy.max_tail_rows)?;
@@ -71,7 +82,7 @@ pub fn imp(args: &Args) -> CmdResult {
         .reverse(args.flag("reverse"))
         .hundred_stage(!args.flag("no-hundred-stage"))
         .spill_retries(args.get_or("spill-retries", 3)?)
-        .threads(args.get_or("threads", 1)?);
+        .threads(worker_threads(args)?);
 
     if args.flag("stream") {
         // Out-of-core: one pass over the file plus spill-file replays;
@@ -133,18 +144,10 @@ fn print_imp(
 fn print_workers(workers: &[dmc_core::WorkerReport]) {
     for w in workers {
         let busy = w.phases.total().as_secs_f64();
-        match w.switch_at {
-            Some(at) => eprintln!(
-                "  worker {:<3} {busy:.3}s busy, peak counter array {} entries, bitmap switch at row {at}",
-                w.worker,
-                w.memory.peak_candidates()
-            ),
-            None => eprintln!(
-                "  worker {:<3} {busy:.3}s busy, peak counter array {} entries",
-                w.worker,
-                w.memory.peak_candidates()
-            ),
-        }
+        eprintln!(
+            "  worker {:<3} {busy:.3}s busy, {} blocks claimed ({} stolen)",
+            w.worker, w.blocks_processed, w.blocks_stolen
+        );
     }
 }
 
@@ -157,7 +160,7 @@ pub fn sim(args: &Args) -> CmdResult {
         .max_hits_pruning(!args.flag("no-max-hits"))
         .hundred_stage(!args.flag("no-hundred-stage"))
         .spill_retries(args.get_or("spill-retries", 3)?)
-        .threads(args.get_or("threads", 1)?);
+        .threads(worker_threads(args)?);
 
     let out = if args.flag("stream") {
         let n_cols: usize = args.require("cols")?;

@@ -68,6 +68,12 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        // Usage errors (bad or missing arguments) exit 2 with the usage
+        // text; runtime failures (IO, bad data) exit 1.
+        Err(e) if e.is::<args::ArgError>() => {
+            eprintln!("dmc: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("dmc: {e}");
             ExitCode::FAILURE

@@ -7,6 +7,9 @@ const BIN: &str = env!("CARGO_BIN_EXE_dmc");
 
 fn run(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
     let mut cmd = Command::new(BIN);
+    // Lift the host-core cap on worker resolution so `--threads N` spawns
+    // exactly N workers in these tests even on a single-core CI box.
+    cmd.env("DMC_SCHED_OVERSUBSCRIBE", "1");
     cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
     if stdin.is_some() {
         cmd.stdin(Stdio::piped());
@@ -207,6 +210,39 @@ fn streamed_parallel_matches_streamed_sequential() {
         None,
     );
     assert_eq!(sim_seq, sim_par);
+}
+
+/// Like [`run`], but returns the raw exit code (usage errors exit 2,
+/// runtime failures exit 1).
+fn run_code(args: &[&str], stdin: Option<&str>) -> (String, Option<i32>) {
+    let mut cmd = Command::new(BIN);
+    cmd.env("DMC_SCHED_OVERSUBSCRIBE", "1");
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    }
+    let mut child = cmd.spawn().expect("spawn dmc");
+    if let Some(input) = stdin {
+        let _ = child.stdin.as_mut().unwrap().write_all(input.as_bytes());
+    }
+    let out = child.wait_with_output().expect("wait dmc");
+    (
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn zero_threads_is_a_usage_error() {
+    for cmd in [
+        vec!["imp", "-", "--minconf", "0.9", "--threads", "0"],
+        vec!["sim", "-", "--minsim", "0.8", "--threads", "0"],
+    ] {
+        let (stderr, code) = run_code(&cmd, Some(FIG1));
+        assert_eq!(code, Some(2), "usage error exit code: {stderr}");
+        assert!(stderr.contains("threads"), "{stderr}");
+        assert!(stderr.contains("usage:"), "usage text shown: {stderr}");
+    }
 }
 
 #[test]

@@ -64,6 +64,14 @@ impl Default for SwitchPolicy {
     }
 }
 
+/// Default row-block size for the parallel block scheduler.
+pub const DEFAULT_BLOCK_ROWS: usize = 512;
+
+#[cfg(feature = "serde")]
+fn default_block_rows() -> usize {
+    DEFAULT_BLOCK_ROWS
+}
+
 /// Configuration for [`crate::find_implications`] (DMC-imp).
 #[derive(Clone, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -91,6 +99,12 @@ pub struct ImplicationConfig {
     /// Record the per-row candidate-count history (the Fig-3 curve) in the
     /// output's memory tracker.
     pub record_memory_history: bool,
+    /// Rows per block for the parallel block scheduler. Values below 1 are
+    /// treated as 1. Ignored by the sequential drivers. The
+    /// `DMC_BLOCK_ROWS` environment variable, when set and parseable,
+    /// overrides this at run time (useful for stress testing).
+    #[cfg_attr(feature = "serde", serde(default = "default_block_rows"))]
+    pub block_rows: usize,
     /// Spill I/O settings for the streamed drivers (backend, retry policy,
     /// directory). Ignored by the in-memory drivers.
     #[cfg_attr(feature = "serde", serde(skip, default))]
@@ -117,6 +131,7 @@ impl ImplicationConfig {
             release_completed: true,
             emit_reverse: false,
             record_memory_history: false,
+            block_rows: DEFAULT_BLOCK_ROWS,
             spill: SpillSettings::default(),
         }
     }
@@ -146,6 +161,13 @@ impl ImplicationConfig {
     #[must_use]
     pub fn with_reverse(mut self, on: bool) -> Self {
         self.emit_reverse = on;
+        self
+    }
+
+    /// Builder-style: set the parallel scheduler's rows-per-block.
+    #[must_use]
+    pub fn with_block_rows(mut self, block_rows: usize) -> Self {
+        self.block_rows = block_rows;
         self
     }
 
@@ -187,6 +209,10 @@ pub struct SimilarityConfig {
     pub release_completed: bool,
     /// Record the per-row candidate-count history.
     pub record_memory_history: bool,
+    /// Rows per block for the parallel block scheduler (see
+    /// [`ImplicationConfig::block_rows`]).
+    #[cfg_attr(feature = "serde", serde(default = "default_block_rows"))]
+    pub block_rows: usize,
     /// Spill I/O settings for the streamed drivers (backend, retry policy,
     /// directory). Ignored by the in-memory drivers.
     #[cfg_attr(feature = "serde", serde(skip, default))]
@@ -213,6 +239,7 @@ impl SimilarityConfig {
             max_hits_pruning: true,
             release_completed: true,
             record_memory_history: false,
+            block_rows: DEFAULT_BLOCK_ROWS,
             spill: SpillSettings::default(),
         }
     }
@@ -242,6 +269,13 @@ impl SimilarityConfig {
     #[must_use]
     pub fn with_hundred_stage(mut self, on: bool) -> Self {
         self.hundred_stage = on;
+        self
+    }
+
+    /// Builder-style: set the parallel scheduler's rows-per-block.
+    #[must_use]
+    pub fn with_block_rows(mut self, block_rows: usize) -> Self {
+        self.block_rows = block_rows;
         self
     }
 
@@ -316,5 +350,13 @@ mod tests {
 
         let s = SimilarityConfig::new(0.8).with_max_hits_pruning(false);
         assert!(!s.max_hits_pruning);
+    }
+
+    #[test]
+    fn block_rows_defaults_and_builds() {
+        assert_eq!(ImplicationConfig::new(0.9).block_rows, DEFAULT_BLOCK_ROWS);
+        assert_eq!(SimilarityConfig::new(0.9).block_rows, DEFAULT_BLOCK_ROWS);
+        assert_eq!(ImplicationConfig::new(0.9).with_block_rows(7).block_rows, 7);
+        assert_eq!(SimilarityConfig::new(0.9).with_block_rows(3).block_rows, 3);
     }
 }

@@ -1,28 +1,64 @@
-//! Batched single-decode row fan-out: the engine behind the parallel
-//! drivers.
+//! Work-assisting block scheduler: the engine behind the parallel drivers.
 //!
-//! One **reader** thread produces the row stream exactly once per pass —
-//! decoding spill buckets for the out-of-core drivers, or traversing the
-//! in-memory matrix in scan order — and packs rows into [`RowBatch`]es of
-//! [`BATCH_ROWS`] rows. Each batch is reference-counted and broadcast over
-//! a bounded channel ([`CHANNEL_BATCHES`] batches deep) to every **worker**
-//! thread. Workers own disjoint round-robin LHS-column partitions
-//! (`set_lhs_mask`) of the same scan type, so the union of their rule sets
-//! is exactly the sequential rule set; a deterministic merge-and-sort in
-//! the drivers makes the output bit-identical to the sequential drivers.
+//! The previous engine broadcast every row to every worker, each running
+//! its own scan over a round-robin LHS-column partition — the counting
+//! work was done `threads`× and the channel fan-out dominated small runs,
+//! making 4 threads *slower* than 1. This engine inverts the design:
+//! there is **one scan per stage**, and what is parallelized is block
+//! *aggregation*.
 //!
-//! Each worker applies the §4.2 bitmap-switch policy to its *own* counter
-//! array at the global row position: once `should_switch` fires it stops
-//! counting, buffers the remaining rows of the stream as its tail, and
-//! finishes with bitmaps — mirroring the sequential
-//! `stream::replay_with_switch` exactly. Workers may therefore switch at
-//! different positions (their counter arrays are smaller and grow at
-//! different rates); switch-point invariance of the scans keeps the merged
-//! rules identical regardless.
+//! One **reader** (the calling thread) produces the row stream exactly
+//! once per stage — decoding spill buckets for the out-of-core drivers, or
+//! traversing the in-memory matrix in scan order — and chops it into
+//! fixed-size blocks of `block_rows` rows (config `block_rows`, overridden
+//! by the `DMC_BLOCK_ROWS` environment variable), placed into a bounded
+//! ring of slots. Each slot carries an atomic per-block state machine:
 //!
-//! On a reader error (row source failure, spill IO) the reader drops the
-//! channels; workers drain and finish, their partial results are discarded,
-//! and the error propagates to the caller.
+//! ```text
+//! EMPTY ─reader→ READY ─worker→ CLAIMED ─worker→ AGGREGATED ─fold→ EMPTY
+//! ```
+//!
+//! **Workers** claim blocks from a shared cursor (no static partition: an
+//! idle worker simply takes the next block, "stealing" it from the worker
+//! that would have owned it round-robin — reported as `blocks_stolen`). A
+//! claimed block is *aggregated*: the worker builds a per-block
+//! [`BitMatrix`] (one bitmap per column over the block's rows) without
+//! touching the scan. Aggregated blocks are then *folded* into the shared
+//! scan strictly in global block order by whichever worker gets the fold
+//! mutex (`try_lock`: work assisting, not a dedicated thread):
+//! [`ReplayHandler::apply_block`] replays the rows for columns whose
+//! candidate lists are still forming and folds everything else with
+//! word-batched `popcount(lhs & !rhs)` over the block bitmaps. Because
+//! blocks fold in order, the scan passes through exactly the sequential
+//! scan's state at every block boundary — the rule set is byte-identical
+//! to the sequential drivers at any thread count and any claim order (see
+//! DESIGN.md §11 for the full argument).
+//!
+//! The §4.2 bitmap-switch policy is evaluated at block boundaries inside
+//! the fold, so the switch position is a multiple of `block_rows`,
+//! identical at every thread count, and reported as the run's
+//! `bitmap_switch_at` (workers no longer switch independently). Once the
+//! switch fires, remaining blocks are buffered as the tail and the stage
+//! finishes with bitmaps, mirroring `stream::replay_with_switch`.
+//!
+//! Per-block tally deltas are credited to the claiming worker and the
+//! tail/finish delta to the folding worker, so worker tallies still sum
+//! to the run counters.
+//!
+//! On a reader error (row source failure, spill IO) the scheduler is
+//! marked failed; workers drain out, partial results are discarded, and
+//! the error propagates to the caller.
+//!
+//! Because the rules are identical at any worker count, the worker count
+//! itself is purely an execution decision — [`Miner`](crate::Miner)
+//! resolves requested thread counts through [`effective_workers`], which
+//! caps them at the host's available parallelism (workers beyond that
+//! cannot overlap and only add overhead; on a single-core host a parallel
+//! request degrades all the way to the sequential drivers). Setting
+//! `DMC_SCHED_OVERSUBSCRIBE` to a non-empty value lifts the cap, which
+//! the scheduler-stress CI job uses to force threads > cores. The free
+//! `find_*_parallel` functions bypass the resolver and spawn exactly what
+//! they are told.
 
 use crate::base::BaseScan;
 use crate::config::{ImplicationConfig, SimilarityConfig, SwitchPolicy};
@@ -32,197 +68,532 @@ use crate::rules::ImplicationRule;
 use crate::sim::{SimScan, SimilarityOutput};
 use crate::stream::{io_report, ReplayHandler};
 use crate::threshold::{conf_qualifies, only_exact_rules_conf, only_exact_rules_sim};
+use dmc_bitset::BitMatrix;
 use dmc_matrix::spill_io::SpillIoStats;
 use dmc_matrix::ColumnId;
 use dmc_metrics::{
     CounterMemory, PhaseTimer, ReportBuilder, ScanTally, StageReport, WorkerReport, WorkerSummary,
 };
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// Rows per broadcast batch: large enough to amortize channel traffic,
-/// small enough that the bounded queue holds only a few MB even for dense
-/// rows.
-pub(crate) const BATCH_ROWS: usize = 1024;
+/// Slot states of the per-block state machine.
+const SLOT_EMPTY: u8 = 0;
+const SLOT_READY: u8 = 1;
+const SLOT_CLAIMED: u8 = 2;
+const SLOT_AGGREGATED: u8 = 3;
 
-/// Bound (in batches) of each worker's channel: caps reader run-ahead so a
-/// slow worker applies backpressure instead of queueing the whole stream.
-pub(crate) const CHANNEL_BATCHES: usize = 4;
+/// Bound on condvar waits: the claim and slot-recycle paths also make
+/// opportunistic progress (assisting the fold), so they wake periodically
+/// instead of relying solely on notifications.
+const WAIT_TICK: Duration = Duration::from_millis(1);
 
-/// A contiguous run of decoded rows, shared read-only by all workers.
-pub(crate) struct RowBatch {
-    /// Global scan position of `rows[0]`.
-    pub start: usize,
-    pub rows: Vec<Vec<ColumnId>>,
+/// Resolves the effective block size from an optional `DMC_BLOCK_ROWS`
+/// value and the configured fallback, clamping to at least 1.
+fn block_rows_from(env: Option<&str>, configured: usize) -> usize {
+    env.and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(configured)
+        .max(1)
 }
 
-/// The round-robin LHS partition of worker `w` among `threads` workers.
-pub(crate) fn round_robin_mask(n_cols: usize, threads: usize, w: usize) -> Vec<bool> {
-    (0..n_cols).map(|c| c % threads == w).collect()
+/// The effective block size: the `DMC_BLOCK_ROWS` environment variable
+/// when set to a positive integer, else the config's `block_rows`.
+pub(crate) fn effective_block_rows(configured: usize) -> usize {
+    let env = std::env::var("DMC_BLOCK_ROWS").ok();
+    block_rows_from(env.as_deref(), configured)
 }
 
-/// Drains one worker's batch stream into its scan, applying the switch
-/// policy at global row positions, and finishes with the buffered tail.
-/// Returns the switch position (if any) and the worker's phase timings.
-fn run_worker<H: ReplayHandler>(
-    rx: &Receiver<Arc<RowBatch>>,
+/// Resolves the worker count from the requested thread count, the host
+/// core count, and an optional `DMC_SCHED_OVERSUBSCRIBE` value (any
+/// non-empty value lifts the core cap).
+fn workers_from(oversubscribe: Option<&str>, requested: usize, cores: usize) -> usize {
+    let requested = requested.max(1);
+    match oversubscribe {
+        Some(v) if !v.is_empty() => requested,
+        _ => requested.min(cores.max(1)),
+    }
+}
+
+/// The worker count [`Miner`](crate::Miner) actually spawns for a
+/// requested thread count: `requested` capped at the host's available
+/// parallelism. Workers in excess of cores cannot overlap, so they only
+/// add scheduling overhead — and since the emitted rules are bit-identical
+/// at any worker count, the cap is purely an execution decision. When the
+/// cap resolves to 1, the miner runs the sequential drivers outright.
+///
+/// Setting the `DMC_SCHED_OVERSUBSCRIBE` environment variable to any
+/// non-empty value lifts the cap; the scheduler-stress CI job uses this to
+/// force threads > cores. The free `find_*_parallel` driver functions do
+/// not consult this resolver: they spawn exactly the worker count they are
+/// given.
+#[must_use]
+pub fn effective_workers(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let env = std::env::var("DMC_SCHED_OVERSUBSCRIBE").ok();
+    workers_from(env.as_deref(), requested, cores)
+}
+
+/// What one slot of the block ring currently holds.
+enum SlotData {
+    Empty,
+    /// Decoded rows, ready to aggregate.
+    Rows(Vec<Vec<ColumnId>>),
+    /// Aggregated block waiting for its in-order fold.
+    Agg {
+        rows: Vec<Vec<ColumnId>>,
+        bm: BitMatrix,
+        claimer: usize,
+    },
+}
+
+struct Slot {
+    state: AtomicU8,
+    data: Mutex<SlotData>,
+}
+
+/// Reader/claim coordination (guarded by `Scheduler::cursor`).
+struct Cursor {
+    /// Blocks made READY so far; block `b` lives in slot `b % slots`.
+    filled: usize,
+    /// Next block index a worker will claim.
+    next_claim: usize,
+    /// The reader has published the last block (`filled` is final).
+    done_reading: bool,
+    /// The reader failed; workers bail out and results are discarded.
+    failed: bool,
+}
+
+/// The in-order fold over aggregated blocks (guarded by `Scheduler::fold`).
+struct FoldState<H> {
+    handler: H,
+    /// Next block index to fold; blocks fold strictly in this order.
+    next_fold: usize,
+    /// Global row position of the fold frontier (= rows folded so far).
+    row_pos: usize,
+    /// Block-aligned §4.2 switch position, once the policy fires.
+    switch_at: Option<usize>,
+    /// Rows buffered after the switch, finished via `ReplayHandler::tail`.
+    tail: Vec<Vec<ColumnId>>,
+    /// Per-worker tally credit: each block's delta goes to its claimer.
+    credits: Vec<ScanTally>,
+    finished: bool,
+}
+
+struct Scheduler<H> {
+    slots: Vec<Slot>,
+    cursor: Mutex<Cursor>,
+    /// Workers wait here for READY blocks / end of stream.
+    work_ready: Condvar,
+    /// The reader waits here for a slot to recycle.
+    slot_free: Condvar,
+    fold: Mutex<FoldState<H>>,
     total_rows: usize,
     switch: SwitchPolicy,
-    stage: &'static str,
-    handler: &mut H,
-) -> (Option<usize>, PhaseTimer) {
-    let mut timer = PhaseTimer::new();
-    let mut switch_at: Option<usize> = None;
-    let mut tail_rows: Vec<Vec<ColumnId>> = Vec::new();
-    while let Ok(batch) = rx.recv() {
-        let start = Instant::now();
-        for (i, row) in batch.rows.iter().enumerate() {
-            if switch_at.is_none() {
-                let remaining = total_rows - (batch.start + i);
-                if switch.should_switch(remaining, handler.counter_bytes()) {
-                    switch_at = Some(batch.start + i);
+    threads: usize,
+}
+
+/// Field-wise difference of two tally snapshots (`after` minus `before`).
+fn tally_delta(before: &ScanTally, after: &ScanTally) -> ScanTally {
+    ScanTally {
+        rows_scanned: after.rows_scanned - before.rows_scanned,
+        candidates_admitted: after.candidates_admitted - before.candidates_admitted,
+        candidates_deleted: after.candidates_deleted - before.candidates_deleted,
+        misses_counted: after.misses_counted - before.misses_counted,
+        rules_emitted: after.rules_emitted - before.rules_emitted,
+    }
+}
+
+impl<H: ReplayHandler> Scheduler<H> {
+    fn new(handler: H, threads: usize, total_rows: usize, switch: SwitchPolicy) -> Self {
+        let n_slots = threads * 2 + 2;
+        Self {
+            slots: (0..n_slots)
+                .map(|_| Slot {
+                    state: AtomicU8::new(SLOT_EMPTY),
+                    data: Mutex::new(SlotData::Empty),
+                })
+                .collect(),
+            cursor: Mutex::new(Cursor {
+                filled: 0,
+                next_claim: 0,
+                done_reading: false,
+                failed: false,
+            }),
+            work_ready: Condvar::new(),
+            slot_free: Condvar::new(),
+            fold: Mutex::new(FoldState {
+                handler,
+                next_fold: 0,
+                row_pos: 0,
+                switch_at: None,
+                tail: Vec::new(),
+                credits: vec![ScanTally::new(); threads],
+                finished: false,
+            }),
+            total_rows,
+            switch,
+            threads,
+        }
+    }
+
+    /// Publishes one block of rows: waits for its ring slot to recycle,
+    /// stores the rows, and marks the slot READY.
+    fn publish_block(&self, rows: Vec<Vec<ColumnId>>) {
+        let mut cur = self.cursor.lock().expect("scheduler lock poisoned");
+        let slot = &self.slots[cur.filled % self.slots.len()];
+        while slot.state.load(Ordering::Acquire) != SLOT_EMPTY {
+            // Timed wait: the fold notifies on recycle, but not under this
+            // lock, so a notification can race past the check above.
+            let (c, _) = self
+                .slot_free
+                .wait_timeout(cur, WAIT_TICK)
+                .expect("scheduler lock poisoned");
+            cur = c;
+        }
+        *slot.data.lock().expect("slot lock poisoned") = SlotData::Rows(rows);
+        slot.state.store(SLOT_READY, Ordering::Release);
+        cur.filled += 1;
+        self.work_ready.notify_all();
+    }
+
+    /// Marks the end of the row stream (or a reader failure) and wakes
+    /// everyone.
+    fn finish_reading(&self, failed: bool) {
+        let mut cur = self.cursor.lock().expect("scheduler lock poisoned");
+        cur.done_reading = true;
+        cur.failed |= failed;
+        self.work_ready.notify_all();
+    }
+
+    /// Claims the next unclaimed block, assisting the fold while the ring
+    /// has nothing to claim. Returns `None` when the stage is over (or
+    /// the reader failed).
+    fn claim(&self, me: usize, timer: &mut PhaseTimer, stage: &'static str) -> Option<usize> {
+        loop {
+            {
+                let mut cur = self.cursor.lock().expect("scheduler lock poisoned");
+                loop {
+                    if cur.failed {
+                        return None;
+                    }
+                    if cur.next_claim < cur.filled {
+                        let b = cur.next_claim;
+                        cur.next_claim += 1;
+                        return Some(b);
+                    }
+                    if cur.done_reading {
+                        return None;
+                    }
+                    let (c, timeout) = self
+                        .work_ready
+                        .wait_timeout(cur, WAIT_TICK)
+                        .expect("scheduler lock poisoned");
+                    cur = c;
+                    if timeout.timed_out() {
+                        break;
+                    }
                 }
             }
-            if switch_at.is_some() {
-                tail_rows.push(row.clone());
-            } else {
-                handler.row(row);
+            // Nothing to claim right now: assist the fold so aggregated
+            // blocks keep recycling even while every worker is idle.
+            self.assist(me, timer, stage);
+        }
+    }
+
+    /// Opportunistic fold pass: drain if the fold is free, and keep
+    /// re-checking the frontier after releasing. A worker whose block
+    /// aggregated while we held the lock got a failed `try_lock`; without
+    /// the re-check that block would sit until a timed tick fires.
+    fn assist(&self, me: usize, timer: &mut PhaseTimer, stage: &'static str) {
+        loop {
+            let Ok(mut fold) = self.fold.try_lock() else {
+                return;
+            };
+            self.drain(&mut fold, me, timer, stage);
+            if fold.finished {
+                return;
+            }
+            let frontier = &self.slots[fold.next_fold % self.slots.len()];
+            drop(fold);
+            if frontier.state.load(Ordering::Acquire) != SLOT_AGGREGATED {
+                return;
             }
         }
+    }
+
+    /// Folds every consecutive aggregated block at the fold frontier into
+    /// the scan, then finishes the stage (tail + bitmaps) once all blocks
+    /// are published. The caller holds the fold mutex.
+    fn drain(&self, fold: &mut FoldState<H>, me: usize, timer: &mut PhaseTimer, stage: &'static str) {
+        if fold.finished {
+            return;
+        }
+        let start = Instant::now();
+        loop {
+            let slot = &self.slots[fold.next_fold % self.slots.len()];
+            if slot.state.load(Ordering::Acquire) != SLOT_AGGREGATED {
+                break;
+            }
+            let data = std::mem::replace(
+                &mut *slot.data.lock().expect("slot lock poisoned"),
+                SlotData::Empty,
+            );
+            slot.state.store(SLOT_EMPTY, Ordering::Release);
+            // Notify under the cursor lock: the reader checks slot state
+            // while holding it, so an unlocked notify could slip between
+            // its check and its wait and cost a full timed tick.
+            drop(self.cursor.lock().expect("scheduler lock poisoned"));
+            self.slot_free.notify_all();
+            let SlotData::Agg { rows, bm, claimer } = data else {
+                unreachable!("aggregated slot must hold an aggregate")
+            };
+            if fold.switch_at.is_none()
+                && self.switch.should_switch(
+                    self.total_rows - fold.row_pos,
+                    fold.handler.counter_bytes(),
+                )
+            {
+                fold.switch_at = Some(fold.row_pos);
+            }
+            fold.row_pos += rows.len();
+            if fold.switch_at.is_some() {
+                fold.tail.extend(rows);
+            } else {
+                let before = fold.handler.tally();
+                fold.handler.apply_block(&rows, &bm);
+                let delta = tally_delta(&before, &fold.handler.tally());
+                fold.credits[claimer].merge(&delta);
+            }
+            fold.next_fold += 1;
+        }
         timer.record(stage, start.elapsed());
+        // All blocks published? Then whoever holds the fold finishes the
+        // stage: an empty tail when the switch never fired, the buffered
+        // rows when it did.
+        let all_published = {
+            let cur = self.cursor.lock().expect("scheduler lock poisoned");
+            cur.done_reading && !cur.failed && fold.next_fold == cur.filled
+        };
+        if all_published {
+            let start = Instant::now();
+            let before = fold.handler.tally();
+            let tail: Vec<&[ColumnId]> = fold.tail.iter().map(Vec::as_slice).collect();
+            fold.handler.tail(&tail);
+            let delta = tally_delta(&before, &fold.handler.tally());
+            fold.credits[me].merge(&delta);
+            fold.finished = true;
+            timer.record("bitmap tail", start.elapsed());
+        }
     }
-    let start = Instant::now();
-    let tail: Vec<&[ColumnId]> = tail_rows.iter().map(Vec::as_slice).collect();
-    handler.tail(&tail);
-    timer.record("bitmap tail", start.elapsed());
-    (switch_at, timer)
 }
 
-fn send_batch(txs: &[SyncSender<Arc<RowBatch>>], start: usize, rows: Vec<Vec<ColumnId>>) -> usize {
-    let end = start + rows.len();
-    let batch = Arc::new(RowBatch { start, rows });
-    for tx in txs {
-        // A send only fails if the worker died (panic unwinding); the
-        // join below surfaces that.
-        let _ = tx.send(Arc::clone(&batch));
-    }
-    end
+/// One worker's scheduling outcome for one stage.
+struct WorkerStats {
+    timer: PhaseTimer,
+    blocks_processed: u64,
+    blocks_stolen: u64,
 }
 
-/// Runs one counting stage: a reader thread decodes `rows` once into
-/// batches broadcast to one worker per handler. Returns each handler with
-/// its switch position and phase timings, in handler order.
-pub(crate) fn fan_out<H, I, E>(
-    handlers: Vec<H>,
+/// The worker loop: claim → aggregate → publish → assist the fold.
+fn run_worker<H: ReplayHandler>(
+    sched: &Scheduler<H>,
+    me: usize,
+    stage: &'static str,
+) -> WorkerStats {
+    let mut timer = PhaseTimer::new();
+    let mut blocks_processed = 0u64;
+    let mut blocks_stolen = 0u64;
+    while let Some(b) = sched.claim(me, &mut timer, stage) {
+        let start = Instant::now();
+        let slot = &sched.slots[b % sched.slots.len()];
+        let rows = match std::mem::replace(
+            &mut *slot.data.lock().expect("slot lock poisoned"),
+            SlotData::Empty,
+        ) {
+            SlotData::Rows(rows) => rows,
+            _ => unreachable!("claimed slot must hold rows"),
+        };
+        slot.state.store(SLOT_CLAIMED, Ordering::Release);
+        let mut bm = BitMatrix::new(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            for &c in row {
+                bm.set(c, i);
+            }
+        }
+        *slot.data.lock().expect("slot lock poisoned") = SlotData::Agg {
+            rows,
+            bm,
+            claimer: me,
+        };
+        slot.state.store(SLOT_AGGREGATED, Ordering::Release);
+        blocks_processed += 1;
+        if b % sched.threads != me {
+            blocks_stolen += 1;
+        }
+        timer.record(stage, start.elapsed());
+        sched.assist(me, &mut timer, stage);
+    }
+    // Final drain: the last block's claimer may have lost the fold race
+    // mid-stream; a blocking pass here guarantees the fold completes (and
+    // covers the zero-block stage, where it just runs the empty tail).
+    {
+        let mut fold = sched.fold.lock().expect("fold lock poisoned");
+        sched.drain(&mut fold, me, &mut timer, stage);
+    }
+    // Every worker reports the stage phase, even if it claimed no blocks.
+    timer.record(stage, Duration::ZERO);
+    WorkerStats {
+        timer,
+        blocks_processed,
+        blocks_stolen,
+    }
+}
+
+/// One stage's outcome: the finished scan, the (block-aligned) switch
+/// position, and per-worker scheduling stats in worker order.
+pub(crate) struct StageRun<H> {
+    pub handler: H,
+    pub switch_at: Option<usize>,
+    pub workers: Vec<StageWorker>,
+}
+
+pub(crate) struct StageWorker {
+    pub timer: PhaseTimer,
+    pub tally: ScanTally,
+    pub blocks_processed: u64,
+    pub blocks_stolen: u64,
+}
+
+/// Runs one counting stage through the block scheduler: the calling
+/// thread reads and blocks the row stream while `threads` workers
+/// aggregate and fold. `threads` and `block_rows` are clamped to 1.
+pub(crate) fn run_stage<H, I, E>(
+    handler: H,
+    threads: usize,
+    block_rows: usize,
     total_rows: usize,
     switch: SwitchPolicy,
     stage: &'static str,
     rows: I,
-) -> Result<Vec<(H, Option<usize>, PhaseTimer)>, E>
+) -> Result<StageRun<H>, E>
 where
     H: ReplayHandler + Send,
     I: Iterator<Item = Result<Vec<ColumnId>, E>> + Send,
     E: Send,
 {
-    assert!(!handlers.is_empty(), "need at least one worker");
-    std::thread::scope(|scope| {
-        let mut txs = Vec::with_capacity(handlers.len());
-        let mut workers = Vec::with_capacity(handlers.len());
-        for mut handler in handlers {
-            let (tx, rx) = sync_channel::<Arc<RowBatch>>(CHANNEL_BATCHES);
-            txs.push(tx);
-            workers.push(scope.spawn(move || {
-                let (switch_at, timer) = run_worker(&rx, total_rows, switch, stage, &mut handler);
-                (handler, switch_at, timer)
-            }));
-        }
-        let reader = scope.spawn(move || -> Result<(), E> {
-            let mut next = 0usize;
-            let mut buf: Vec<Vec<ColumnId>> = Vec::with_capacity(BATCH_ROWS);
+    let threads = threads.max(1);
+    let block_rows = block_rows.max(1);
+    let sched = Scheduler::new(handler, threads, total_rows, switch);
+    let stats = std::thread::scope(|scope| {
+        let sched = &sched;
+        let workers: Vec<_> = (0..threads)
+            .map(|me| scope.spawn(move || run_worker(sched, me, stage)))
+            .collect();
+        let read = (|| -> Result<(), E> {
+            let mut buf: Vec<Vec<ColumnId>> = Vec::with_capacity(block_rows);
             for row in rows {
-                buf.push(row?);
-                if buf.len() == BATCH_ROWS {
-                    let full = std::mem::replace(&mut buf, Vec::with_capacity(BATCH_ROWS));
-                    next = send_batch(&txs, next, full);
+                match row {
+                    Ok(row) => buf.push(row),
+                    Err(e) => {
+                        sched.finish_reading(true);
+                        return Err(e);
+                    }
+                }
+                if buf.len() == block_rows {
+                    let full = std::mem::replace(&mut buf, Vec::with_capacity(block_rows));
+                    sched.publish_block(full);
                 }
             }
             if !buf.is_empty() {
-                send_batch(&txs, next, buf);
+                sched.publish_block(buf);
             }
+            sched.finish_reading(false);
             Ok(())
-        });
-        let read = reader.join().expect("reader thread panicked");
-        let results: Vec<(H, Option<usize>, PhaseTimer)> = workers
+        })();
+        let stats: Vec<WorkerStats> = workers
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|w| w.join().expect("worker thread panicked"))
             .collect();
-        read.map(|()| results)
+        read.map(|()| stats)
+    })?;
+    let fold = sched.fold.into_inner().expect("fold lock poisoned");
+    debug_assert!(fold.finished, "stage fold must complete");
+    let workers = stats
+        .into_iter()
+        .zip(fold.credits)
+        .map(|(s, tally)| StageWorker {
+            timer: s.timer,
+            tally,
+            blocks_processed: s.blocks_processed,
+            blocks_stolen: s.blocks_stolen,
+        })
+        .collect();
+    Ok(StageRun {
+        handler: fold.handler,
+        switch_at: fold.switch_at,
+        workers,
     })
 }
 
 /// Accumulates per-worker metrics across the stages of a staged pipeline.
 struct WorkerAccumulators {
     timers: Vec<PhaseTimer>,
-    memories: Vec<CounterMemory>,
     tallies: Vec<ScanTally>,
-    switches: Vec<Option<usize>>,
+    blocks_processed: Vec<u64>,
+    blocks_stolen: Vec<u64>,
 }
 
 impl WorkerAccumulators {
     fn new(threads: usize) -> Self {
         Self {
             timers: (0..threads).map(|_| PhaseTimer::new()).collect(),
-            memories: (0..threads).map(|_| CounterMemory::new()).collect(),
             tallies: vec![ScanTally::new(); threads],
-            switches: vec![None; threads],
+            blocks_processed: vec![0; threads],
+            blocks_stolen: vec![0; threads],
         }
     }
 
-    fn absorb_stage(
-        &mut self,
-        w: usize,
-        timer: &PhaseTimer,
-        mem: &CounterMemory,
-        tally: ScanTally,
-    ) {
-        for &(name, d) in timer.report().phases() {
-            self.timers[w].record(name, d);
+    fn absorb_stage(&mut self, workers: &[StageWorker]) {
+        for (w, stage) in workers.iter().enumerate() {
+            for &(name, d) in stage.timer.report().phases() {
+                self.timers[w].record(name, d);
+            }
+            self.tallies[w].merge(&stage.tally);
+            self.blocks_processed[w] += stage.blocks_processed;
+            self.blocks_stolen[w] += stage.blocks_stolen;
         }
-        self.memories[w].absorb_peak(mem);
-        self.tallies[w].merge(&tally);
     }
 
-    fn finish(self, memory: &mut CounterMemory) -> (Vec<WorkerReport>, Option<usize>) {
+    fn finish(self) -> Vec<WorkerReport> {
         let Self {
             timers,
-            memories,
             tallies,
-            switches,
+            blocks_processed,
+            blocks_stolen,
         } = self;
-        let threads = timers.len();
-        let mut reports = Vec::with_capacity(threads);
-        for (w, (timer, mem)) in timers.into_iter().zip(memories).enumerate() {
-            memory.absorb_peak(&mem);
-            reports.push(WorkerReport {
+        timers
+            .into_iter()
+            .enumerate()
+            .map(|(w, timer)| WorkerReport {
                 worker: w,
                 phases: timer.report(),
-                memory: mem,
+                // The scheduler shares one counter array across workers;
+                // its peak is reported at the run level.
+                memory: CounterMemory::new(),
                 tally: tallies[w],
-                switch_at: switches[w],
-            });
-        }
-        // With a single worker the run is sequential in all but plumbing:
-        // its switch position *is* the run's switch position. With more
-        // workers there is no single position.
-        let switch_at = if threads == 1 { switches[0] } else { None };
-        (reports, switch_at)
+                switch_at: None,
+                blocks_processed: blocks_processed[w],
+                blocks_stolen: blocks_stolen[w],
+            })
+            .collect()
     }
 }
 
 /// Run-level facts a pipeline cannot observe itself: how many workers to
 /// fan out to, how the rows reached it, and what it cost to stage them.
-/// They flow straight into the [`RunReport`].
+/// They flow straight into the `RunReport`.
 pub(crate) struct RunContext {
     pub threads: usize,
     /// `"in-memory"` or `"streamed"` — the report's `mode` field.
@@ -238,11 +609,11 @@ pub(crate) struct RunContext {
     pub started: std::time::Instant,
 }
 
-/// The staged parallel DMC-imp pipeline (Algorithm 4.2 over
-/// `ctx.threads` LHS partitions): 100%-rule stage, step-3 column
-/// removal, sub-100% stage, reverse emission, deterministic merge.
-/// `make_rows` is called once per stage and must yield the same row
-/// stream each time; the stream is decoded exactly once per stage.
+/// The staged parallel DMC-imp pipeline over the block scheduler:
+/// 100%-rule stage, step-3 column removal, sub-100% stage, reverse
+/// emission, deterministic sort. `make_rows` is called once per stage and
+/// must yield the same row stream each time; the stream is decoded
+/// exactly once per stage. `ctx.threads` is clamped to 1.
 pub(crate) fn parallel_imp_pipeline<E, F, I>(
     n_cols: usize,
     ones: &[u32],
@@ -264,45 +635,38 @@ where
         stats,
         started,
     } = ctx;
-    assert!(threads > 0, "need at least one worker");
+    let threads = threads.max(1);
+    let block_rows = effective_block_rows(config.block_rows);
     let mut rules = Vec::new();
     let mut acc = WorkerAccumulators::new(threads);
+    let mut memory = CounterMemory::new();
+    let mut bitmap_switch_at = None;
     let mut report = ReportBuilder::new("implication", mode, threads, config.minconf);
     report.dims(total_rows, n_cols).spill_bytes(spill_bytes);
 
     // Stage 1: exact rules through the simplified scan (§4.3).
     if config.hundred_stage || config.minconf >= 1.0 {
         let _g = timer.enter("100% rules");
-        let handlers: Vec<HundredScan> = (0..threads)
-            .map(|w| {
-                let mut scan = HundredScan::new(n_cols, HundredMode::Implication, ones.to_vec());
-                scan.set_lhs_mask(round_robin_mask(n_cols, threads, w));
-                scan
-            })
-            .collect();
-        let results = fan_out(
-            handlers,
+        let scan = HundredScan::new(n_cols, HundredMode::Implication, ones.to_vec());
+        let run = run_stage(
+            scan,
+            threads,
+            block_rows,
             total_rows,
             config.switch,
             "100% rules",
             make_rows()?,
         )?;
-        let mut stage_tally = ScanTally::new();
-        let mut stage_peak = 0;
-        let before = rules.len();
-        for (w, (scan, _, stage_timer)) in results.into_iter().enumerate() {
-            let tally = scan.tally();
-            let (imp, _, mem) = scan.into_parts();
-            rules.extend(imp);
-            stage_tally.merge(&tally);
-            stage_peak = stage_peak.max(mem.peak_candidates());
-            acc.absorb_stage(w, &stage_timer, &mem, tally);
-        }
+        acc.absorb_stage(&run.workers);
+        let tally = run.handler.tally();
+        let (imp, _, mem) = run.handler.into_parts();
         report.hundred_stage(StageReport::new(
-            stage_tally,
-            (rules.len() - before) as u64,
-            stage_peak,
+            tally,
+            imp.len() as u64,
+            mem.peak_candidates(),
         ));
+        rules.extend(imp);
+        memory.absorb_peak(&mem);
     }
 
     // Stage 2: sub-100% rules over columns that can tolerate misses
@@ -318,48 +682,39 @@ where
             None
         };
         let _g = timer.enter("<100% rules");
-        let handlers: Vec<BaseScan> = (0..threads)
-            .map(|w| {
-                let mut scan = BaseScan::new(
-                    n_cols,
-                    config.minconf,
-                    ones.to_vec(),
-                    active.clone(),
-                    config.release_completed,
-                    false,
-                );
-                scan.set_lhs_mask(round_robin_mask(n_cols, threads, w));
-                scan
-            })
-            .collect();
-        let results = fan_out(
-            handlers,
+        let scan = BaseScan::new(
+            n_cols,
+            config.minconf,
+            ones.to_vec(),
+            active,
+            config.release_completed,
+            false,
+        );
+        let run = run_stage(
+            scan,
+            threads,
+            block_rows,
             total_rows,
             config.switch,
             "<100% rules",
             make_rows()?,
         )?;
-        let mut stage_tally = ScanTally::new();
-        let mut stage_peak = 0;
+        acc.absorb_stage(&run.workers);
+        bitmap_switch_at = run.switch_at;
+        let tally = run.handler.tally();
+        let (stage_rules, mem) = run.handler.into_parts();
         let before = rules.len();
-        for (w, (scan, switch_at, stage_timer)) in results.into_iter().enumerate() {
-            let tally = scan.tally();
-            let (stage_rules, mem) = scan.into_parts();
-            if config.hundred_stage {
-                rules.extend(stage_rules.into_iter().filter(|r| r.misses() > 0));
-            } else {
-                rules.extend(stage_rules);
-            }
-            stage_tally.merge(&tally);
-            stage_peak = stage_peak.max(mem.peak_candidates());
-            acc.switches[w] = switch_at;
-            acc.absorb_stage(w, &stage_timer, &mem, tally);
+        if config.hundred_stage {
+            rules.extend(stage_rules.into_iter().filter(|r| r.misses() > 0));
+        } else {
+            rules.extend(stage_rules);
         }
         report.sub_stage(StageReport::new(
-            stage_tally,
+            tally,
             (rules.len() - before) as u64,
-            stage_peak,
+            mem.peak_candidates(),
         ));
+        memory.absorb_peak(&mem);
     }
 
     if config.emit_reverse {
@@ -374,8 +729,7 @@ where
     rules.sort_unstable();
     rules.dedup();
 
-    let mut memory = CounterMemory::new();
-    let (workers, bitmap_switch_at) = acc.finish(&mut memory);
+    let workers = acc.finish();
     for worker in &workers {
         report.push_worker(WorkerSummary::from(worker));
     }
@@ -395,8 +749,7 @@ where
     })
 }
 
-/// The staged parallel DMC-sim pipeline (Algorithm 5.1 over
-/// `ctx.threads` partitions of the smaller-column pair side); see
+/// The staged parallel DMC-sim pipeline over the block scheduler; see
 /// [`parallel_imp_pipeline`].
 pub(crate) fn parallel_sim_pipeline<E, F, I>(
     n_cols: usize,
@@ -419,45 +772,38 @@ where
         stats,
         started,
     } = ctx;
-    assert!(threads > 0, "need at least one worker");
+    let threads = threads.max(1);
+    let block_rows = effective_block_rows(config.block_rows);
     let mut rules = Vec::new();
     let mut acc = WorkerAccumulators::new(threads);
+    let mut memory = CounterMemory::new();
+    let mut bitmap_switch_at = None;
     let mut report = ReportBuilder::new("similarity", mode, threads, config.minsim);
     report.dims(total_rows, n_cols).spill_bytes(spill_bytes);
 
     // Stage 1: identical (100%-similar) columns.
     if config.hundred_stage || config.minsim >= 1.0 {
         let _g = timer.enter("100% rules");
-        let handlers: Vec<HundredScan> = (0..threads)
-            .map(|w| {
-                let mut scan = HundredScan::new(n_cols, HundredMode::Identical, ones.to_vec());
-                scan.set_lhs_mask(round_robin_mask(n_cols, threads, w));
-                scan
-            })
-            .collect();
-        let results = fan_out(
-            handlers,
+        let scan = HundredScan::new(n_cols, HundredMode::Identical, ones.to_vec());
+        let run = run_stage(
+            scan,
+            threads,
+            block_rows,
             total_rows,
             config.switch,
             "100% rules",
             make_rows()?,
         )?;
-        let mut stage_tally = ScanTally::new();
-        let mut stage_peak = 0;
-        let before = rules.len();
-        for (w, (scan, _, stage_timer)) in results.into_iter().enumerate() {
-            let tally = scan.tally();
-            let (_, sims, mem) = scan.into_parts();
-            rules.extend(sims);
-            stage_tally.merge(&tally);
-            stage_peak = stage_peak.max(mem.peak_candidates());
-            acc.absorb_stage(w, &stage_timer, &mem, tally);
-        }
+        acc.absorb_stage(&run.workers);
+        let tally = run.handler.tally();
+        let (_, sims, mem) = run.handler.into_parts();
         report.hundred_stage(StageReport::new(
-            stage_tally,
-            (rules.len() - before) as u64,
-            stage_peak,
+            tally,
+            sims.len() as u64,
+            mem.peak_candidates(),
         ));
+        rules.extend(sims);
+        memory.absorb_peak(&mem);
     }
 
     // Stage 2: sub-100% pairs over columns that can reach minsim with at
@@ -473,48 +819,38 @@ where
             None
         };
         let _g = timer.enter("<100% rules");
-        let handlers: Vec<SimScan> = (0..threads)
-            .map(|w| {
-                let mut scan = SimScan::new(n_cols, config, ones.to_vec(), active.clone());
-                scan.set_lhs_mask(round_robin_mask(n_cols, threads, w));
-                scan
-            })
-            .collect();
-        let results = fan_out(
-            handlers,
+        let scan = SimScan::new(n_cols, config, ones.to_vec(), active);
+        let run = run_stage(
+            scan,
+            threads,
+            block_rows,
             total_rows,
             config.switch,
             "<100% rules",
             make_rows()?,
         )?;
-        let mut stage_tally = ScanTally::new();
-        let mut stage_peak = 0;
+        acc.absorb_stage(&run.workers);
+        bitmap_switch_at = run.switch_at;
+        let tally = run.handler.tally();
+        let (stage_rules, mem) = run.handler.into_parts();
         let before = rules.len();
-        for (w, (scan, switch_at, stage_timer)) in results.into_iter().enumerate() {
-            let tally = scan.tally();
-            let (stage_rules, mem) = scan.into_parts();
-            if config.hundred_stage {
-                rules.extend(stage_rules.into_iter().filter(|r| r.hits < r.union()));
-            } else {
-                rules.extend(stage_rules);
-            }
-            stage_tally.merge(&tally);
-            stage_peak = stage_peak.max(mem.peak_candidates());
-            acc.switches[w] = switch_at;
-            acc.absorb_stage(w, &stage_timer, &mem, tally);
+        if config.hundred_stage {
+            rules.extend(stage_rules.into_iter().filter(|r| r.hits < r.union()));
+        } else {
+            rules.extend(stage_rules);
         }
         report.sub_stage(StageReport::new(
-            stage_tally,
+            tally,
             (rules.len() - before) as u64,
-            stage_peak,
+            mem.peak_candidates(),
         ));
+        memory.absorb_peak(&mem);
     }
 
     rules.sort_unstable();
     rules.dedup();
 
-    let mut memory = CounterMemory::new();
-    let (workers, bitmap_switch_at) = acc.finish(&mut memory);
+    let workers = acc.finish();
     for worker in &workers {
         report.push_worker(WorkerSummary::from(worker));
     }
@@ -539,25 +875,45 @@ mod tests {
     use super::*;
 
     #[test]
-    fn round_robin_masks_partition_all_columns() {
-        for threads in 1..=5 {
-            let masks: Vec<Vec<bool>> = (0..threads)
-                .map(|w| round_robin_mask(13, threads, w))
-                .collect();
-            for c in 0..13 {
-                let owners = masks.iter().filter(|m| m[c]).count();
-                assert_eq!(owners, 1, "column {c} must have exactly one owner");
-            }
-        }
+    fn block_rows_resolution() {
+        assert_eq!(block_rows_from(None, 512), 512);
+        assert_eq!(block_rows_from(None, 0), 1, "configured 0 clamps to 1");
+        assert_eq!(block_rows_from(Some("7"), 512), 7);
+        assert_eq!(block_rows_from(Some("0"), 512), 512, "env 0 is ignored");
+        assert_eq!(block_rows_from(Some("junk"), 512), 512);
     }
 
-    /// A handler that records what it saw, to pin down fan-out mechanics
-    /// independent of the scans.
+    #[test]
+    fn worker_resolution_caps_at_cores_unless_oversubscribed() {
+        assert_eq!(workers_from(None, 4, 16), 4, "enough cores: as requested");
+        assert_eq!(workers_from(None, 4, 1), 1, "single core: no oversubscription");
+        assert_eq!(workers_from(None, 8, 2), 2);
+        assert_eq!(workers_from(None, 0, 1), 1, "requested 0 clamps to 1");
+        assert_eq!(workers_from(None, 4, 0), 1, "unknown core count acts as 1");
+        assert_eq!(workers_from(Some("1"), 4, 1), 4, "oversubscribe lifts the cap");
+        assert_eq!(workers_from(Some(""), 4, 1), 1, "empty value does not");
+        assert_eq!(workers_from(Some("1"), 0, 1), 1, "but still clamps 0 to 1");
+    }
+
+    /// A handler that records what it saw, to pin down scheduler
+    /// mechanics independent of the scans.
     #[derive(Debug)]
     struct Recorder {
         rows: Vec<Vec<ColumnId>>,
         tail: Vec<Vec<ColumnId>>,
         bytes: usize,
+        tally: ScanTally,
+    }
+
+    impl Recorder {
+        fn new(bytes: usize) -> Self {
+            Self {
+                rows: Vec::new(),
+                tail: Vec::new(),
+                bytes,
+                tally: ScanTally::new(),
+            }
+        }
     }
 
     impl ReplayHandler for Recorder {
@@ -566,60 +922,88 @@ mod tests {
         }
         fn row(&mut self, row: &[ColumnId]) {
             self.rows.push(row.to_vec());
+            self.tally.row();
         }
         fn tail(&mut self, tail: &[&[ColumnId]]) {
             self.tail = tail.iter().map(|r| r.to_vec()).collect();
         }
+        fn apply_block(&mut self, rows: &[Vec<ColumnId>], bm: &BitMatrix) {
+            assert_eq!(bm.width(), rows.len(), "bitmaps cover the block rows");
+            for row in rows {
+                self.row(row);
+            }
+        }
+        fn tally(&self) -> ScanTally {
+            self.tally
+        }
+    }
+
+    fn run_recorder(
+        rows: Vec<Vec<ColumnId>>,
+        threads: usize,
+        block_rows: usize,
+        switch: SwitchPolicy,
+        bytes: usize,
+    ) -> StageRun<Recorder> {
+        let total = rows.len();
+        run_stage::<_, _, std::convert::Infallible>(
+            Recorder::new(bytes),
+            threads,
+            block_rows,
+            total,
+            switch,
+            "test",
+            rows.into_iter().map(Ok),
+        )
+        .unwrap()
     }
 
     #[test]
-    fn every_worker_sees_every_row_in_order() {
+    fn folds_every_row_once_in_order() {
         let rows: Vec<Vec<ColumnId>> = (0..3000u32).map(|i| vec![i % 7]).collect();
-        let source = rows.clone();
-        let handlers: Vec<Recorder> = (0..3)
-            .map(|_| Recorder {
-                rows: Vec::new(),
-                tail: Vec::new(),
-                bytes: 0,
-            })
-            .collect();
-        let results = fan_out::<_, _, std::convert::Infallible>(
-            handlers,
-            rows.len(),
-            SwitchPolicy::never(),
-            "test",
-            source.into_iter().map(Ok),
-        )
-        .unwrap();
-        assert_eq!(results.len(), 3);
-        for (rec, switch_at, _) in results {
-            assert_eq!(rec.rows, rows);
-            assert!(rec.tail.is_empty());
-            assert_eq!(switch_at, None);
+        for threads in [1, 3] {
+            for block_rows in [1, 7, 512, 5000] {
+                let run =
+                    run_recorder(rows.clone(), threads, block_rows, SwitchPolicy::never(), 0);
+                assert_eq!(run.handler.rows, rows, "t={threads} b={block_rows}");
+                assert!(run.handler.tail.is_empty());
+                assert_eq!(run.switch_at, None);
+                assert_eq!(run.workers.len(), threads);
+                let claimed: u64 = run.workers.iter().map(|w| w.blocks_processed).sum();
+                assert_eq!(claimed as usize, rows.len().div_ceil(block_rows));
+                let seen: u64 = run.workers.iter().map(|w| w.tally.rows_scanned).sum();
+                assert_eq!(seen as usize, rows.len(), "credits partition the tally");
+            }
         }
     }
 
     #[test]
-    fn switch_buffers_remaining_rows_as_tail() {
+    fn switch_buffers_remaining_blocks_as_tail() {
         let rows: Vec<Vec<ColumnId>> = (0..100u32).map(|i| vec![i]).collect();
-        let handlers = vec![Recorder {
-            rows: Vec::new(),
-            tail: Vec::new(),
-            bytes: 1,
-        }];
-        let results = fan_out::<_, _, std::convert::Infallible>(
-            handlers,
-            rows.len(),
-            SwitchPolicy::always_at(40),
-            "test",
-            rows.clone().into_iter().map(Ok),
-        )
-        .unwrap();
-        let (rec, switch_at, timer) = &results[0];
-        assert_eq!(*switch_at, Some(60), "switch fires at 40 remaining");
-        assert_eq!(rec.rows, rows[..60].to_vec());
-        assert_eq!(rec.tail, rows[60..].to_vec());
-        assert!(timer.report().phase("bitmap tail") >= std::time::Duration::ZERO);
+        let run = run_recorder(rows.clone(), 2, 10, SwitchPolicy::always_at(45), 1);
+        // The first block boundary with remaining <= 45 is row 60.
+        assert_eq!(run.switch_at, Some(60), "switch is block-aligned");
+        assert_eq!(run.handler.rows, rows[..60].to_vec());
+        assert_eq!(run.handler.tail, rows[60..].to_vec());
+    }
+
+    #[test]
+    fn zero_rows_still_finishes_with_empty_tail() {
+        let run = run_recorder(Vec::new(), 4, 512, SwitchPolicy::never(), 0);
+        assert!(run.handler.rows.is_empty());
+        assert!(run.handler.tail.is_empty());
+        assert_eq!(run.switch_at, None);
+        assert_eq!(run.workers.len(), 4);
+    }
+
+    #[test]
+    fn more_workers_than_blocks() {
+        let rows: Vec<Vec<ColumnId>> = (0..5u32).map(|i| vec![i]).collect();
+        let run = run_recorder(rows.clone(), 8, 512, SwitchPolicy::never(), 0);
+        assert_eq!(run.handler.rows, rows);
+        assert_eq!(run.workers.len(), 8);
+        let claimed: u64 = run.workers.iter().map(|w| w.blocks_processed).sum();
+        assert_eq!(claimed, 1, "five rows fit one 512-row block");
     }
 
     #[test]
@@ -628,13 +1012,18 @@ mod tests {
         struct Boom;
         let rows: Vec<Result<Vec<ColumnId>, Boom>> =
             vec![Ok(vec![0]), Ok(vec![1]), Err(Boom), Ok(vec![2])];
-        let handlers = vec![Recorder {
-            rows: Vec::new(),
-            tail: Vec::new(),
-            bytes: 0,
-        }];
-        let err =
-            fan_out(handlers, 4, SwitchPolicy::never(), "test", rows.into_iter()).unwrap_err();
-        assert_eq!(err, Boom);
+        let res = run_stage(
+            Recorder::new(0),
+            3,
+            1,
+            4,
+            SwitchPolicy::never(),
+            "test",
+            rows.into_iter(),
+        );
+        match res {
+            Err(e) => assert_eq!(e, Boom),
+            Ok(_) => panic!("reader error must propagate"),
+        }
     }
 }

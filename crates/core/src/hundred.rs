@@ -43,9 +43,6 @@ pub struct HundredScan {
     ones: Vec<u32>,
     cnt: Vec<u32>,
     lists: ColumnLists<ColumnId>,
-    /// Optional LHS restriction (columns outside it still pair as RHS) —
-    /// used by the parallel drivers to partition list ownership.
-    lhs_mask: Option<Vec<bool>>,
     done: Vec<bool>,
     imp_rules: Vec<ImplicationRule>,
     sim_rules: Vec<SimilarityRule>,
@@ -78,7 +75,6 @@ impl HundredScan {
             ones,
             cnt: vec![0; m],
             lists: ColumnLists::new(m),
-            lhs_mask: None,
             done: vec![false; m],
             imp_rules: Vec::new(),
             sim_rules: Vec::new(),
@@ -108,21 +104,9 @@ impl HundredScan {
         &self.mem
     }
 
-    /// Restricts which columns own candidate lists (they remain usable as
-    /// RHS). The parallel drivers partition columns across workers with
-    /// this; a masked-out column's rules come from the worker that owns it.
-    pub fn set_lhs_mask(&mut self, mask: Vec<bool>) {
-        assert_eq!(
-            mask.len(),
-            self.ones.len(),
-            "LHS mask must cover every column"
-        );
-        self.lhs_mask = Some(mask);
-    }
-
     #[inline]
     fn is_lhs(&self, j: ColumnId) -> bool {
-        !self.done[j as usize] && self.lhs_mask.as_ref().is_none_or(|m| m[j as usize])
+        !self.done[j as usize]
     }
 
     #[inline]
@@ -162,6 +146,64 @@ impl HundredScan {
             }
             self.cnt[j as usize] += 1;
             if self.cnt[j as usize] == self.ones[j as usize] {
+                self.complete(j);
+            }
+        }
+    }
+
+    /// Applies one scheduler block entirely from its pre-aggregated
+    /// bitmaps — no per-row replay at all.
+    ///
+    /// With `maxmis = 0` the sequential scan only ever (a) creates a
+    /// column's list from its first row and (b) intersects it with later
+    /// rows. Both fold to bitmap operations over the block: the list is
+    /// created from the row of `j`'s first block 1 (`first_one`), and a
+    /// candidate survives iff `popcount(bm(j) & !bm(k)) == 0`. Rules,
+    /// tallies and counters match row-by-row processing exactly.
+    pub(crate) fn apply_block(&mut self, rows: &[Vec<ColumnId>], bm: &BitMatrix) {
+        self.tally.rows(rows.len());
+        for ji in 0..self.ones.len() {
+            let j = ji as ColumnId;
+            if !self.is_lhs(j) || self.ones[ji] == 0 {
+                continue;
+            }
+            let Some(bits) = bm.get(j) else {
+                continue;
+            };
+            let block_ones = bits.count_ones() as u32;
+            if block_ones == 0 {
+                continue;
+            }
+            if self.cnt[ji] == 0 {
+                // Rows before `t0` have no `j`, so they contribute no
+                // misses: installing from `t0` then folding the whole
+                // block's misses below is exact.
+                let t0 = bits.first_one().expect("bitmap has a set bit");
+                let list: Vec<ColumnId> = rows[t0]
+                    .iter()
+                    .copied()
+                    .filter(|&k| self.admissible(j, k))
+                    .collect();
+                self.tally.admit(list.len());
+                self.lists.install(j, list, &mut self.mem);
+            }
+            if let Some(mut list) = self.lists.take(j) {
+                let before = list.len();
+                list.retain(|&k| bm.miss_count(j, k) == 0);
+                let dropped = before - list.len();
+                // One miss deletes a candidate, exactly as in the
+                // sequential intersection.
+                self.tally.miss(dropped);
+                self.tally.delete(dropped);
+                self.mem.remove_candidates(dropped);
+                if list.is_empty() {
+                    self.mem.remove_list();
+                } else {
+                    self.lists.put_back(j, list);
+                }
+            }
+            self.cnt[ji] += block_ones;
+            if self.cnt[ji] == self.ones[ji] {
                 self.complete(j);
             }
         }
@@ -383,51 +425,46 @@ mod tests {
         assert_eq!(run_ident(&m, m.n_rows()), vec![(0, 1)]);
     }
 
+    /// Block application is state-identical to row-by-row processing for
+    /// both modes at every block size — rules, tallies, counters.
     #[test]
-    fn lhs_partition_union_matches_unmasked() {
-        // Worker partitions must reproduce exactly the unmasked rule set,
-        // for both modes and at every switch point.
+    fn apply_block_matches_row_by_row() {
         let m = SparseMatrix::from_rows(
             5,
             vec![vec![0, 1, 2, 4], vec![0, 2, 3], vec![1, 3, 4], vec![0, 2]],
         );
+        let rows: Vec<Vec<ColumnId>> = m.rows().map(<[ColumnId]>::to_vec).collect();
         for mode in [HundredMode::Implication, HundredMode::Identical] {
-            let full = {
-                let mut scan = HundredScan::new(m.n_cols(), mode, m.column_ones());
-                for row in m.rows() {
-                    scan.process_row(row);
-                }
-                scan.finish_with_bitmaps(&[]);
-                let (imp, sim, _) = scan.into_parts();
-                let mut pairs: Vec<(ColumnId, ColumnId)> = imp
-                    .iter()
-                    .map(|r| (r.lhs, r.rhs))
-                    .chain(sim.iter().map(|r| (r.a, r.b)))
-                    .collect();
-                pairs.sort_unstable();
-                pairs
-            };
-            for threads in 1..=4usize {
-                for head in 0..=m.n_rows() {
-                    let mut pairs = Vec::new();
-                    for w in 0..threads {
-                        let mut scan = HundredScan::new(m.n_cols(), mode, m.column_ones());
-                        scan.set_lhs_mask((0..m.n_cols()).map(|c| c % threads == w).collect());
-                        for r in 0..head {
-                            scan.process_row(m.row(r));
+            let mut seq = HundredScan::new(m.n_cols(), mode, m.column_ones());
+            for row in m.rows() {
+                seq.process_row(row);
+            }
+            seq.finish_with_bitmaps(&[]);
+            for block in 1..=m.n_rows() {
+                let mut blk = HundredScan::new(m.n_cols(), mode, m.column_ones());
+                for chunk in rows.chunks(block) {
+                    let mut bm = BitMatrix::new(chunk.len());
+                    for (t, row) in chunk.iter().enumerate() {
+                        for &c in row {
+                            bm.set(c, t);
                         }
-                        let tail: Vec<&[ColumnId]> = (head..m.n_rows()).map(|r| m.row(r)).collect();
-                        scan.finish_with_bitmaps(&tail);
-                        let (imp, sim, _) = scan.into_parts();
-                        pairs.extend(
-                            imp.iter()
-                                .map(|r| (r.lhs, r.rhs))
-                                .chain(sim.iter().map(|r| (r.a, r.b))),
-                        );
                     }
-                    pairs.sort_unstable();
-                    assert_eq!(pairs, full, "mode={mode:?} threads={threads} head={head}");
+                    blk.apply_block(chunk, &bm);
                 }
+                blk.finish_with_bitmaps(&[]);
+                assert_eq!(blk.tally(), seq.tally(), "mode={mode:?} block={block}");
+                assert_eq!(blk.cnt, seq.cnt, "mode={mode:?} block={block}");
+                let sorted = |s: &HundredScan| {
+                    let mut pairs: Vec<(ColumnId, ColumnId)> = s
+                        .imp_rules
+                        .iter()
+                        .map(|r| (r.lhs, r.rhs))
+                        .chain(s.sim_rules.iter().map(|r| (r.a, r.b)))
+                        .collect();
+                    pairs.sort_unstable();
+                    pairs
+                };
+                assert_eq!(sorted(&blk), sorted(&seq), "mode={mode:?} block={block}");
             }
         }
     }

@@ -34,12 +34,12 @@ pub struct ImplicationOutput {
     /// Counter-array accounting across all stages (peak = max over stages).
     pub memory: CounterMemory,
     /// Whether the sub-100% stage switched to DMC-bitmap, and after how
-    /// many scanned rows. Parallel drivers report it only for
-    /// `threads == 1` (workers switch independently); see `workers`.
+    /// many scanned rows. Parallel drivers report one global position at
+    /// any thread count, aligned to a block boundary of the scheduler.
     pub bitmap_switch_at: Option<usize>,
-    /// Per-worker phase times, memory peaks and switch positions. Empty
-    /// for the sequential drivers; one entry per worker for the parallel
-    /// drivers.
+    /// Per-worker phase times, credited tally shares and block-scheduling
+    /// counters. Empty for the sequential drivers; one entry per worker
+    /// for the parallel drivers.
     pub workers: Vec<WorkerReport>,
     /// The machine-readable run report (same schema across all drivers).
     pub report: RunReport,

@@ -47,7 +47,8 @@
 //! * [`find_similarities`] — DMC-sim (Algorithm 5.1): adds column-density
 //!   and maximum-hits pruning.
 //! * `find_*_parallel`, `find_*_streamed`, `find_*_streamed_parallel` —
-//!   the same mines over worker fan-out and/or disk-spilled row streams.
+//!   the same mines over a work-assisting block scheduler and/or
+//!   disk-spilled row streams.
 //!
 //! # Observability
 //!
@@ -55,7 +56,7 @@
 //! counters (rows scanned, candidates admitted/deleted, misses counted,
 //! rules emitted), per-stage breakdowns, phase timings, memory peaks, the
 //! bitmap-switch position and spill bytes, all in one schema
-//! (`dmc.run_report.v1`) across the eight drivers. `RunReport::to_json`
+//! (`dmc.run_report.v4`) across the eight drivers. `RunReport::to_json`
 //! serializes it; the `dmc` CLI exposes that as `--metrics`. The
 //! [`MinedOutput`] trait gives generic code one surface over both output
 //! types.
@@ -90,7 +91,8 @@ pub mod threshold;
 pub mod validate;
 
 pub use base::{BaseOutcome, BaseScan};
-pub use config::{ImplicationConfig, SimilarityConfig, SwitchPolicy};
+pub use config::{ImplicationConfig, SimilarityConfig, SwitchPolicy, DEFAULT_BLOCK_ROWS};
+pub use fanout::effective_workers;
 pub use groups::{rule_closure, rule_groups, DisjointSets};
 pub use imp::{find_implications, ImplicationOutput};
 pub use miner::{ImplicationMiner, Miner, SimilarityMiner};

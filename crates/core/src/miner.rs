@@ -82,8 +82,13 @@ pub struct ImplicationMiner {
 }
 
 impl ImplicationMiner {
-    /// Worker count: `0` or `1` run the sequential drivers, more fan out
-    /// to the LHS-partitioned parallel drivers.
+    /// Worker count. The request is resolved through
+    /// [`effective_workers`](crate::effective_workers) at run time: it is
+    /// capped at the host's available parallelism (lift the cap with
+    /// `DMC_SCHED_OVERSUBSCRIBE=1`), and when the resolved count is `0` or
+    /// `1` the sequential drivers run; otherwise the work-assisting
+    /// block-scheduler drivers run with that many workers. Rules are
+    /// bit-identical either way.
     #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
@@ -150,10 +155,11 @@ impl ImplicationMiner {
     /// Mines an in-memory matrix.
     #[must_use]
     pub fn run(&self, matrix: &SparseMatrix) -> ImplicationOutput {
-        if self.threads <= 1 {
+        let workers = crate::fanout::effective_workers(self.threads);
+        if workers <= 1 {
             find_implications(matrix, &self.config)
         } else {
-            find_implications_parallel(matrix, &self.config, self.threads)
+            find_implications_parallel(matrix, &self.config, workers)
         }
     }
 
@@ -173,10 +179,11 @@ impl ImplicationMiner {
         I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
         E: Send,
     {
-        if self.threads <= 1 {
+        let workers = crate::fanout::effective_workers(self.threads);
+        if workers <= 1 {
             find_implications_streamed(rows, n_cols, &self.config)
         } else {
-            find_implications_streamed_parallel(rows, n_cols, &self.config, self.threads)
+            find_implications_streamed_parallel(rows, n_cols, &self.config, workers)
         }
     }
 }
@@ -189,8 +196,10 @@ pub struct SimilarityMiner {
 }
 
 impl SimilarityMiner {
-    /// Worker count: `0` or `1` run the sequential drivers, more fan out
-    /// to the partitioned parallel drivers.
+    /// Worker count; see [`ImplicationMiner::threads`] — the request is
+    /// resolved through [`effective_workers`](crate::effective_workers)
+    /// at run time, and a resolved count of `0` or `1` runs the
+    /// sequential drivers.
     #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
@@ -257,10 +266,11 @@ impl SimilarityMiner {
     /// Mines an in-memory matrix.
     #[must_use]
     pub fn run(&self, matrix: &SparseMatrix) -> SimilarityOutput {
-        if self.threads <= 1 {
+        let workers = crate::fanout::effective_workers(self.threads);
+        if workers <= 1 {
             find_similarities(matrix, &self.config)
         } else {
-            find_similarities_parallel(matrix, &self.config, self.threads)
+            find_similarities_parallel(matrix, &self.config, workers)
         }
     }
 
@@ -280,10 +290,11 @@ impl SimilarityMiner {
         I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
         E: Send,
     {
-        if self.threads <= 1 {
+        let workers = crate::fanout::effective_workers(self.threads);
+        if workers <= 1 {
             find_similarities_streamed(rows, n_cols, &self.config)
         } else {
-            find_similarities_streamed_parallel(rows, n_cols, &self.config, self.threads)
+            find_similarities_streamed_parallel(rows, n_cols, &self.config, workers)
         }
     }
 }
@@ -292,6 +303,11 @@ impl SimilarityMiner {
 mod tests {
     use super::*;
     use std::convert::Infallible;
+
+    /// Serializes the tests that read or write `DMC_SCHED_OVERSUBSCRIBE`:
+    /// the variable is process-global and the harness runs tests
+    /// concurrently.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn fig2() -> SparseMatrix {
         SparseMatrix::from_rows(
@@ -316,6 +332,11 @@ mod tests {
 
     #[test]
     fn facade_matches_free_functions_across_all_strategies() {
+        // Force the requested counts through on any host: without this,
+        // `effective_workers` caps at the core count and a single-core CI
+        // box would dispatch every run to the sequential drivers.
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("DMC_SCHED_OVERSUBSCRIBE", "1");
         let m = fig2();
         let expected = find_implications(&m, &ImplicationConfig::new(0.8));
 
@@ -405,6 +426,25 @@ mod tests {
         let m = fig2();
         let out = Miner::implications(0.8).threads(0).run(&m);
         assert!(out.workers.is_empty());
+    }
+
+    #[test]
+    fn thread_request_is_capped_at_host_cores() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("DMC_SCHED_OVERSUBSCRIBE");
+        let m = fig2();
+        let resolved = crate::fanout::effective_workers(64);
+        let out = Miner::implications(0.8).threads(64).run(&m);
+        if resolved > 1 {
+            assert_eq!(out.workers.len(), resolved);
+        } else {
+            assert!(out.workers.is_empty(), "capped to 1 → sequential driver");
+        }
+        assert_eq!(
+            out.rules,
+            find_implications(&m, &ImplicationConfig::new(0.8)).rules,
+            "the cap never changes the rules"
+        );
     }
 
     #[test]

@@ -45,12 +45,12 @@ pub struct SimilarityOutput {
     /// Counter-array accounting across all stages.
     pub memory: CounterMemory,
     /// Whether the sub-100% stage switched to DMC-bitmap, and after how
-    /// many scanned rows. Parallel drivers report it only for
-    /// `threads == 1` (workers switch independently); see `workers`.
+    /// many scanned rows. Parallel drivers report one global position at
+    /// any thread count, aligned to a block boundary of the scheduler.
     pub bitmap_switch_at: Option<usize>,
-    /// Per-worker phase times, memory peaks and switch positions. Empty
-    /// for the sequential drivers; one entry per worker for the parallel
-    /// drivers.
+    /// Per-worker phase times, credited tally shares and block-scheduling
+    /// counters. Empty for the sequential drivers; one entry per worker
+    /// for the parallel drivers.
     pub workers: Vec<WorkerReport>,
     /// The machine-readable run report (same schema across all drivers).
     pub report: RunReport,
@@ -232,7 +232,8 @@ pub(crate) struct SimScan {
     lists: ColumnLists<SimCandidate>,
     active: Vec<bool>,
     /// Optional additional LHS restriction (columns outside it still count
-    /// and serve as RHS) — used by the parallel driver.
+    /// and serve as RHS) — used by [`SimScan::apply_block`] to replay a
+    /// block only for the columns whose lists were open at block start.
     lhs_mask: Option<Vec<bool>>,
     done: Vec<bool>,
     rules: Vec<SimilarityRule>,
@@ -294,18 +295,6 @@ impl SimScan {
         self.mem.current_bytes()
     }
 
-    /// Restricts which columns own candidate lists (they still advance
-    /// their `cnt` counters and serve as RHS candidates). The parallel
-    /// driver partitions columns across workers with this.
-    pub(crate) fn set_lhs_mask(&mut self, mask: Vec<bool>) {
-        assert_eq!(
-            mask.len(),
-            self.ones.len(),
-            "LHS mask must cover every column"
-        );
-        self.lhs_mask = Some(mask);
-    }
-
     #[inline]
     fn is_lhs(&self, j: ColumnId) -> bool {
         let ji = j as usize;
@@ -357,17 +346,102 @@ impl SimScan {
             }
         }
         // `cnt` advances for every active column — the §5.2 bound reads the
-        // RHS column's remaining count even when that column's own list
-        // belongs to another worker.
+        // RHS column's remaining count even when that column's own list is
+        // excluded from this replay. Completion, however, is deferred for
+        // masked-out columns: their lists still carry pre-block miss counts
+        // that [`SimScan::apply_block`] folds in afterwards.
         for &j in row {
             let ji = j as usize;
             if !self.active[ji] || self.done[ji] || self.ones[ji] == 0 {
                 continue;
             }
             self.cnt[ji] += 1;
-            if self.cnt[ji] == self.ones[ji] {
+            if self.cnt[ji] == self.ones[ji] && self.lhs_mask.as_ref().is_none_or(|m| m[ji]) {
                 self.complete_column(j);
             }
+        }
+    }
+
+    /// Applies one scheduler block (see [`crate::base::BaseScan::apply_block`]).
+    ///
+    /// Open columns (`cnt ≤ admit_limit`) replay the rows exactly; closed
+    /// columns fold their block misses word-batched from `bm` and re-run
+    /// the §5.2 bound at the block boundary. The emitted rule set is
+    /// identical to row-by-row processing; `misses_counted` may be lower
+    /// (a boundary deletion can pre-empt the miss sequential counting
+    /// would still charge at the candidate's next row), deterministically
+    /// so for a fixed block size.
+    pub(crate) fn apply_block(&mut self, rows: &[Vec<ColumnId>], bm: &BitMatrix) {
+        let m = self.ones.len();
+        let saved = self.lhs_mask.take();
+        let open: Vec<bool> = (0..m)
+            .map(|ji| {
+                self.active[ji]
+                    && !self.done[ji]
+                    && saved.as_ref().is_none_or(|s| s[ji])
+                    && self.cnt[ji] <= self.admit_limit[ji]
+            })
+            .collect();
+        self.lhs_mask = Some(open);
+        for row in rows {
+            self.process_row(row);
+        }
+        let open = std::mem::replace(&mut self.lhs_mask, saved).expect("mask was just installed");
+        for (ji, &is_open) in open.iter().enumerate() {
+            let j = ji as ColumnId;
+            if is_open || !self.is_lhs(j) || self.ones[ji] == 0 {
+                continue;
+            }
+            if bm.get(j).is_none() {
+                // No row of this block carries `j`: no misses, no counter
+                // movement — the sequential scan would not touch the list.
+                continue;
+            }
+            self.fold_closed(j, bm);
+        }
+    }
+
+    /// Folds one block into a closed column: word-batched miss counting,
+    /// budget and §5.2 checks at the boundary, then the completion the
+    /// masked replay deferred.
+    fn fold_closed(&mut self, j: ColumnId, bm: &BitMatrix) {
+        let ji = j as usize;
+        if let Some(mut list) = self.lists.take(j) {
+            let before = list.len();
+            let mut write = 0;
+            for read in 0..list.len() {
+                let mut c = list[read];
+                let block_miss = bm.miss_count(j, c.col) as u32;
+                if block_miss > 0 {
+                    // The sequential scan stops counting at the miss that
+                    // exhausts the pair's budget.
+                    let applied = block_miss.min(c.budget + 1 - c.miss);
+                    c.miss += applied;
+                    self.tally.miss(applied as usize);
+                    if c.miss > c.budget {
+                        self.tally.delete(1);
+                        continue;
+                    }
+                }
+                // §5.2 at the boundary: `cnt` is already block-final, so ĥ
+                // here is at most the minimum over the per-row snapshots.
+                if !self.max_hits_viable(j, c.col, c.miss) {
+                    self.tally.delete(1);
+                    continue;
+                }
+                list[write] = c;
+                write += 1;
+            }
+            list.truncate(write);
+            self.mem.remove_candidates(before - write);
+            if list.is_empty() {
+                self.mem.remove_list();
+            } else {
+                self.lists.put_back(j, list);
+            }
+        }
+        if self.cnt[ji] == self.ones[ji] {
+            self.complete_column(j);
         }
     }
 
@@ -764,6 +838,48 @@ mod tests {
                 &SimilarityConfig::new(0.5).with_row_order(order.clone()),
             );
             assert_eq!(out.rules, base.rules, "order={order:?}");
+        }
+    }
+
+    /// Block application emits exactly the rules of row-by-row processing
+    /// at every block size (misses_counted may legitimately differ — a
+    /// boundary §5.2 deletion pre-empts later sequential misses — but the
+    /// admitted/deleted/emitted balance must match).
+    #[test]
+    fn apply_block_matches_row_by_row() {
+        let m = fig_mixed();
+        let rows: Vec<Vec<ColumnId>> = m.rows().map(<[ColumnId]>::to_vec).collect();
+        for &minsim in &[0.9, 0.75, 0.5, 0.3] {
+            let cfg = SimilarityConfig::new(minsim);
+            let mut seq = SimScan::new(m.n_cols(), &cfg, m.column_ones(), None);
+            for row in m.rows() {
+                seq.process_row(row);
+            }
+            for block in 1..=m.n_rows() {
+                let mut blk = SimScan::new(m.n_cols(), &cfg, m.column_ones(), None);
+                for chunk in rows.chunks(block) {
+                    let mut bm = BitMatrix::new(chunk.len());
+                    for (t, row) in chunk.iter().enumerate() {
+                        for &c in row {
+                            bm.set(c, t);
+                        }
+                    }
+                    blk.apply_block(chunk, &bm);
+                }
+                blk.finish_with_bitmaps(&[]);
+                let mut expected = seq.rules.clone();
+                expected.sort_unstable();
+                let mut got = blk.rules.clone();
+                got.sort_unstable();
+                assert_eq!(got, expected, "minsim={minsim} block={block}");
+                let (s, b) = (seq.tally(), blk.tally());
+                assert_eq!(
+                    (s.candidates_admitted, s.candidates_deleted, s.rules_emitted),
+                    (b.candidates_admitted, b.candidates_deleted, b.rules_emitted),
+                    "minsim={minsim} block={block}"
+                );
+                assert_eq!(blk.cnt, seq.cnt, "minsim={minsim} block={block}");
+            }
         }
     }
 

@@ -155,12 +155,19 @@ where
 
 /// One scan's hooks for the spill replay: the switch policy reads the
 /// counter footprint, rows feed the scan, and the tail finishes it. Shared
-/// by the sequential replay below and the parallel fan-out
-/// (`crate::fanout`).
+/// by the sequential replay below and the parallel block scheduler
+/// (`crate::fanout`), which additionally folds pre-aggregated row blocks
+/// through [`ReplayHandler::apply_block`] and partitions the scan's tally
+/// into per-worker credits via [`ReplayHandler::tally`] snapshots.
 pub(crate) trait ReplayHandler {
     fn counter_bytes(&self) -> usize;
     fn row(&mut self, row: &[ColumnId]);
     fn tail(&mut self, tail: &[&[ColumnId]]);
+    /// Applies one block of rows plus its column bitmaps, producing the
+    /// same state as feeding the rows through [`ReplayHandler::row`].
+    fn apply_block(&mut self, rows: &[Vec<ColumnId>], bm: &dmc_bitset::BitMatrix);
+    /// Snapshot of the scan's event counters.
+    fn tally(&self) -> dmc_metrics::ScanTally;
 }
 
 /// Replays the spill through a [`ReplayHandler`], honoring the switch
@@ -208,6 +215,12 @@ impl ReplayHandler for HundredScan {
     fn tail(&mut self, tail: &[&[ColumnId]]) {
         self.finish_with_bitmaps(tail);
     }
+    fn apply_block(&mut self, rows: &[Vec<ColumnId>], bm: &dmc_bitset::BitMatrix) {
+        self.apply_block(rows, bm);
+    }
+    fn tally(&self) -> dmc_metrics::ScanTally {
+        self.tally()
+    }
 }
 
 impl ReplayHandler for BaseScan {
@@ -220,6 +233,12 @@ impl ReplayHandler for BaseScan {
     fn tail(&mut self, tail: &[&[ColumnId]]) {
         finish_with_bitmaps(self, tail);
     }
+    fn apply_block(&mut self, rows: &[Vec<ColumnId>], bm: &dmc_bitset::BitMatrix) {
+        self.apply_block(rows, bm);
+    }
+    fn tally(&self) -> dmc_metrics::ScanTally {
+        self.tally()
+    }
 }
 
 impl ReplayHandler for SimScan {
@@ -231,6 +250,12 @@ impl ReplayHandler for SimScan {
     }
     fn tail(&mut self, tail: &[&[ColumnId]]) {
         self.finish_with_bitmaps(tail);
+    }
+    fn apply_block(&mut self, rows: &[Vec<ColumnId>], bm: &dmc_bitset::BitMatrix) {
+        self.apply_block(rows, bm);
+    }
+    fn tally(&self) -> dmc_metrics::ScanTally {
+        self.tally()
     }
 }
 

@@ -1,20 +1,21 @@
-//! Parallel out-of-core mining: the §4.1 spill replay fanned out to
-//! LHS-partitioned workers.
+//! Parallel out-of-core mining: the §4.1 spill replay driven through the
+//! work-assisting block scheduler.
 //!
 //! Pass 1 is the same prescan as the sequential streamed drivers
 //! (normalize rows, count per-column 1s, spill into density buckets). The
 //! spill is then sealed into a [`dmc_matrix::spill::SharedSpill`] and each
-//! counting stage replays it on a dedicated reader thread that **decodes
-//! every row exactly once**, batching rows for broadcast to the workers
-//! (`crate::fanout`). Workers own round-robin LHS-column partitions and
-//! apply the §4.2 bitmap-switch policy to their own counter arrays; the
-//! deterministic merge keeps the output bit-identical to
-//! [`crate::find_implications_streamed`] /
-//! [`crate::find_similarities_streamed`] for any thread count.
+//! counting stage replays it on the calling thread, which **decodes every
+//! row exactly once** and publishes fixed-size row blocks to the
+//! scheduler (`crate::fanout`). Workers claim blocks from a shared
+//! cursor, aggregate them into per-block bitmaps, and fold them into the
+//! single shared scan in global block order — so the output is
+//! bit-identical to [`crate::find_implications_streamed`] /
+//! [`crate::find_similarities_streamed`] at any thread count, and the
+//! §4.2 bitmap switch fires at one global, block-aligned position.
 //!
-//! Memory stays `O(columns + candidates)` per worker plus the bounded
-//! batch queues — independent of the row count, as in the sequential
-//! streamed drivers.
+//! Memory stays `O(columns + candidates)` for the shared scan plus the
+//! bounded block ring — independent of the row count, as in the
+//! sequential streamed drivers.
 
 use crate::config::{ImplicationConfig, SimilarityConfig};
 use crate::fanout::{parallel_imp_pipeline, parallel_sim_pipeline, RunContext};
@@ -36,11 +37,8 @@ use dmc_metrics::PhaseTimer;
 /// # Errors
 ///
 /// Fails on source errors, spill IO errors, or out-of-range column ids.
-/// Spill files are cleaned up on every path.
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
+/// Spill files are cleaned up on every path. `threads == 0` is clamped to
+/// one worker.
 pub fn find_implications_streamed_parallel<I, E>(
     rows: I,
     n_cols: usize,
@@ -51,7 +49,7 @@ where
     I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
     E: Send,
 {
-    assert!(threads > 0, "need at least one worker");
+    let threads = threads.max(1);
     let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let (ones, spill) = {
@@ -86,10 +84,7 @@ where
 /// # Errors
 ///
 /// Fails on source errors, spill IO errors, or out-of-range column ids.
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
+/// `threads == 0` is clamped to one worker.
 pub fn find_similarities_streamed_parallel<I, E>(
     rows: I,
     n_cols: usize,
@@ -100,7 +95,7 @@ where
     I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
     E: Send,
 {
-    assert!(threads > 0, "need at least one worker");
+    let threads = threads.max(1);
     let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let (ones, spill) = {
@@ -186,18 +181,23 @@ mod tests {
     }
 
     #[test]
-    fn forced_switch_matches_and_reports_positions() {
+    fn forced_switch_matches_and_reports_global_position() {
         let m = fig2();
-        let cfg = ImplicationConfig::new(0.8).with_switch(SwitchPolicy::always_at(3));
+        let cfg = ImplicationConfig::new(0.8)
+            .with_switch(SwitchPolicy::always_at(3))
+            .with_block_rows(2);
+        let block = crate::fanout::effective_block_rows(cfg.block_rows);
         let seq = find_implications_streamed(rows_of(&m), m.n_cols(), &cfg).unwrap();
         for threads in [1, 2, 4] {
             let par = find_implications_streamed_parallel(rows_of(&m), m.n_cols(), &cfg, threads)
                 .unwrap();
             assert_eq!(par.rules, seq.rules, "threads={threads}");
-            assert!(par.workers.iter().all(|w| w.switch_at.is_some()));
-            if threads == 1 {
-                assert_eq!(par.bitmap_switch_at, seq.bitmap_switch_at);
-            }
+            // One global, block-aligned switch position, same at every
+            // thread count; workers never switch independently.
+            let at = par.bitmap_switch_at.expect("always_at(3) must fire");
+            assert_eq!(at % block, 0, "switch is block-aligned");
+            assert!(m.n_rows() - at <= 3 || at == 0);
+            assert!(par.workers.iter().all(|w| w.switch_at.is_none()));
         }
     }
 
@@ -213,9 +213,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_rejected() {
+    fn zero_threads_clamped_to_one_worker() {
         let rows: Vec<Result<Vec<ColumnId>, Infallible>> = vec![Ok(vec![0])];
-        let _ = find_implications_streamed_parallel(rows, 1, &ImplicationConfig::new(1.0), 0);
+        let out =
+            find_implications_streamed_parallel(rows, 1, &ImplicationConfig::new(1.0), 0).unwrap();
+        assert_eq!(out.workers.len(), 1, "threads=0 clamps to one worker");
     }
 }

@@ -22,8 +22,10 @@ use crate::worker::WorkerReport;
 
 /// Schema identifier embedded in every JSON report. v2 added the `io`
 /// section (spill frame/retry/corruption counters); v3 added
-/// `wall_seconds` (driver-measured end-to-end wall clock).
-pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v3";
+/// `wall_seconds` (driver-measured end-to-end wall clock); v4 added the
+/// per-worker `blocks_processed` / `blocks_stolen` counters of the
+/// work-assisting block scheduler.
+pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v4";
 
 /// Spill I/O counters for one out-of-core run: how many frames crossed
 /// the disk boundary, how often transient faults were retried, and how
@@ -77,10 +79,15 @@ pub struct WorkerSummary {
     pub busy_seconds: f64,
     /// Event counters summed over the worker's stages.
     pub tally: ScanTally,
-    /// Peak candidate count in the worker's counter arrays.
+    /// Peak candidate count in the worker's counter arrays (zero under
+    /// the block scheduler, which shares one counter array).
     pub peak_candidates: usize,
-    /// Row position where this worker switched to the bitmap tail.
+    /// Row position where this worker observed the bitmap switch.
     pub switch_at: Option<usize>,
+    /// Row blocks this worker claimed and aggregated.
+    pub blocks_processed: u64,
+    /// Claimed blocks whose preferred owner was another worker.
+    pub blocks_stolen: u64,
 }
 
 impl From<&WorkerReport> for WorkerSummary {
@@ -91,6 +98,8 @@ impl From<&WorkerReport> for WorkerSummary {
             tally: r.tally,
             peak_candidates: r.memory.peak_candidates(),
             switch_at: r.switch_at,
+            blocks_processed: r.blocks_processed,
+            blocks_stolen: r.blocks_stolen,
         }
     }
 }
@@ -217,6 +226,8 @@ impl RunReport {
             write_tally(&mut w, "counters", &worker.tally);
             w.uint("peak_candidates", worker.peak_candidates as u64);
             w.opt_uint("switch_at", worker.switch_at.map(|v| v as u64));
+            w.uint("blocks_processed", worker.blocks_processed);
+            w.uint("blocks_stolen", worker.blocks_stolen);
             w.end_object();
         }
         w.end_array();
@@ -565,6 +576,8 @@ mod tests {
             tally: sample_tally(1, 0, 1),
             peak_candidates: 2,
             switch_at: None,
+            blocks_processed: 1,
+            blocks_stolen: 0,
         });
         assert!(!report.reconciles());
     }

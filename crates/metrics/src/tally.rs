@@ -54,6 +54,12 @@ impl ScanTally {
         self.rows_scanned += 1;
     }
 
+    /// Records `n` scanned rows (block-granular scans).
+    #[inline]
+    pub fn rows(&mut self, n: usize) {
+        self.rows_scanned += n as u64;
+    }
+
     /// Records `n` admitted candidates.
     #[inline]
     pub fn admit(&mut self, n: usize) {

@@ -1,33 +1,44 @@
 //! Per-worker instrumentation for the parallel drivers.
 //!
-//! The parallel pipelines fan rows out to workers that each own an LHS
-//! column partition. Aggregate numbers (one peak, one phase table) hide
-//! load imbalance — a single dense partition can dominate wall-clock time
-//! while the merged peak looks modest. [`WorkerReport`] keeps the per-worker
-//! breakdown: its phase times, its counter-array peak, and where (if
-//! anywhere) its scan switched to the bitmap tail. Drivers collect one per
-//! worker into their output structs.
+//! The parallel pipelines run one shared scan fed by a work-assisting
+//! block scheduler: workers claim row blocks from a shared cursor,
+//! aggregate them into per-block bitmaps, and take turns folding the
+//! aggregates into the scan in global block order. Aggregate numbers (one
+//! phase table, one tally) hide scheduling imbalance — one worker can end
+//! up folding most blocks while the others only aggregate.
+//! [`WorkerReport`] keeps the per-worker breakdown: its phase times, the
+//! share of the stage tallies credited to it, and how many blocks it
+//! claimed (and how many of those were steals from another worker's
+//! preferred stripe). Drivers collect one per worker into their output
+//! structs.
 
 use crate::{CounterMemory, PhaseReport, ScanTally};
 
 /// One worker's share of a parallel run.
 #[derive(Clone, Debug, Default)]
 pub struct WorkerReport {
-    /// Worker index in `0..threads`; the worker owns LHS columns `c` with
-    /// `c % threads == worker`.
+    /// Worker index in `0..threads`.
     pub worker: usize,
-    /// Time this worker spent per stage (counting stages plus its own
-    /// `bitmap tail`).
+    /// Time this worker spent per stage (counting stages plus the
+    /// `bitmap tail`, when this worker ran the final fold).
     pub phases: PhaseReport,
-    /// Counter-array accounting for this worker's partition (peak = max
-    /// over the stages it ran).
+    /// Counter-array accounting. The block scheduler shares one counter
+    /// array across workers, so this stays empty for its workers; the
+    /// run-level memory carries the peak.
     pub memory: CounterMemory,
-    /// Event counters summed over the stages this worker ran.
+    /// The share of the stage tallies credited to this worker: the tally
+    /// delta of every block it claimed, plus the tail/finish delta when it
+    /// ran the final fold.
     pub tally: ScanTally,
-    /// Row position where this worker's sub-100% scan switched to the
-    /// bitmap tail, if it did. Workers switch independently: each applies
-    /// the policy to its own (smaller) counter array.
+    /// Row position where the scan switched to the bitmap tail, if this
+    /// worker observed the switch while folding. The run-level
+    /// `bitmap_switch_at` carries the (single, global) switch position.
     pub switch_at: Option<usize>,
+    /// Row blocks this worker claimed and aggregated.
+    pub blocks_processed: u64,
+    /// Claimed blocks whose preferred owner (`block % threads`) was
+    /// another worker — i.e. work assisting in action.
+    pub blocks_stolen: u64,
 }
 
 impl WorkerReport {
@@ -53,5 +64,7 @@ mod tests {
         assert_eq!(r.memory.peak_candidates(), 0);
         assert_eq!(r.tally, ScanTally::default());
         assert_eq!(r.switch_at, None);
+        assert_eq!(r.blocks_processed, 0);
+        assert_eq!(r.blocks_stolen, 0);
     }
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a `dmc.run_report.v3` JSON run report.
+"""Validate a `dmc.run_report.v4` JSON run report.
 
 Usage: validate_run_report.py PATH ALGORITHM MODE WORKERS
 
@@ -23,7 +23,7 @@ it in the repo test suite so the script cannot drift from the schema.
 import json
 import sys
 
-SCHEMA = "dmc.run_report.v3"
+SCHEMA = "dmc.run_report.v4"
 
 REQUIRED_KEYS = (
     "schema", "algorithm", "mode", "threads", "rows", "cols", "threshold",
@@ -74,6 +74,9 @@ def check(path, algorithm, mode, workers):
         admitted = sum(w["counters"]["candidates_admitted"]
                        for w in r["workers"])
         assert admitted == c["candidates_admitted"], path
+        for w in r["workers"]:
+            assert 0 <= w["blocks_stolen"] <= w["blocks_processed"], \
+                (path, w)
 
     if r["bitmap_switch_at"] is not None:
         assert 0 <= r["bitmap_switch_at"] <= r["rows"], path

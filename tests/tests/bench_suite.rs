@@ -58,9 +58,11 @@ fn suite_run_emits_a_valid_reconciled_record() {
         );
         assert_eq!(cell.id, expected_id);
     }
-    // Work counters are thread-invariant within an (algorithm, mode)
-    // group; run_suite asserts this internally, but check one pair here
-    // so the property is visible in a test, not only in a panic message.
+    // DMC-imp counters are exact under the block scheduler, so even the
+    // cross-engine pair (t1 sequential vs t2 block-scheduler) agrees on
+    // the full work counters; run_suite asserts the per-engine and
+    // cross-engine invariants internally, but check one pair here so the
+    // property is visible in a test, not only in a panic message.
     let t1 = suite.cell("imp/mem/t1/small").unwrap();
     let t2 = suite.cell("imp/mem/t2/small").unwrap();
     assert_eq!(t1.counters.work_counters(), t2.counters.work_counters());

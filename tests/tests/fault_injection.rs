@@ -58,6 +58,9 @@ fn run_driver(
     driver: &str,
     settings: SpillSettings,
 ) -> Result<Vec<String>, StreamError<Infallible>> {
+    // The parallel cases must actually spawn 3 workers, host cores
+    // notwithstanding — fault paths through the scheduler are the point.
+    std::env::set_var("DMC_SCHED_OVERSUBSCRIBE", "1");
     match driver {
         "imp-seq" => Miner::implications(0.8)
             .spill(settings)

@@ -100,29 +100,70 @@ fn planted_thread_sweep_is_byte_identical_to_sequential_streamed() {
     }
 }
 
-/// Forced early switches exercise the per-worker bitmap tails; the
-/// merged rules must still match, and with one worker the reported
-/// switch position must equal the sequential one.
+/// The block size the engine resolves: `DMC_BLOCK_ROWS` when set to a
+/// positive integer, else the config default.
+fn engine_block_rows() -> usize {
+    std::env::var("DMC_BLOCK_ROWS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(dmc_core::DEFAULT_BLOCK_ROWS)
+}
+
+/// Forced early switches exercise the shared bitmap tail; the merged
+/// rules must still match, and the reported switch position is a single
+/// global one, aligned to a scheduler block boundary and identical at
+/// every thread count.
 #[test]
-fn forced_switch_sweep_matches_and_single_worker_reports_position() {
+fn forced_switch_sweep_matches_and_reports_block_aligned_position() {
     let data = planted_implications(&PlantedConfig::new(600, 20, 4, 7));
     let m = &data.matrix;
     let config = ImplicationConfig::new(0.85).with_switch(SwitchPolicy::always_at(100));
+    let block = engine_block_rows();
 
     let seq = find_implications_streamed(rows_of(m), m.n_cols(), &config).expect("sequential");
-    assert!(seq.bitmap_switch_at.is_some(), "switch must trigger");
+    let seq_at = seq.bitmap_switch_at.expect("switch must trigger");
     for threads in [1, 2, 4, 8] {
         let par = find_implications_streamed_parallel(rows_of(m), m.n_cols(), &config, threads)
             .expect("parallel");
         assert_eq!(par.rules, seq.rules, "threads={threads}");
-        if threads == 1 {
-            assert_eq!(par.bitmap_switch_at, seq.bitmap_switch_at);
-            assert_eq!(par.workers[0].switch_at, seq.bitmap_switch_at);
-        } else {
-            assert_eq!(par.bitmap_switch_at, None);
-            for w in &par.workers {
-                assert_eq!(w.switch_at, seq.bitmap_switch_at, "worker {}", w.worker);
-            }
-        }
+        // The block engine checks the policy at block boundaries, so it
+        // switches at the first boundary at or after the sequential
+        // position — the same one at every thread count.
+        let at = par.bitmap_switch_at.expect("switch must trigger");
+        assert_eq!(at % block, 0, "threads={threads}: block-aligned");
+        assert!(at >= seq_at && at < seq_at + block, "threads={threads}");
+        assert!(
+            par.workers.iter().all(|w| w.switch_at.is_none()),
+            "workers never switch independently"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scheduler accounting: the per-worker `blocks_processed` counters
+    /// sum to the number of blocks each counting stage chops the stream
+    /// into, and the credited worker tallies partition the run counters
+    /// (checked by `RunReport::reconciles`).
+    #[test]
+    fn blocks_processed_sums_across_workers(
+        m in matrix_strategy(24, 12),
+        threads in 1usize..=8,
+    ) {
+        let config = ImplicationConfig::new(0.7).with_switch(SwitchPolicy::never());
+        let out = find_implications_streamed_parallel(
+            rows_of(&m), m.n_cols(), &config, threads,
+        ).expect("streamed parallel");
+        let block = engine_block_rows();
+        // Staged pipeline: the 100% stage and the sub-100% stage each
+        // chop the same replayed stream into ceil(rows / block) blocks.
+        let per_stage = m.n_rows().div_ceil(block) as u64;
+        let claimed: u64 = out.workers.iter().map(|w| w.blocks_processed).sum();
+        prop_assert_eq!(claimed, 2 * per_stage);
+        let stolen: u64 = out.workers.iter().map(|w| w.blocks_stolen).sum();
+        prop_assert!(stolen <= claimed);
+        prop_assert!(out.report.reconciles(), "worker tallies must partition run counters");
     }
 }

@@ -29,8 +29,17 @@ fn rows_of(m: &SparseMatrix) -> Vec<Result<Vec<u32>, Infallible>> {
     m.rows().map(|r| Ok(r.to_vec())).collect()
 }
 
+/// Lifts the host-core cap on `Miner`'s worker resolution so the
+/// parallel drivers actually spawn the requested counts here even on a
+/// single-core CI box. (Always the same value, so concurrent calls from
+/// the test harness are benign.)
+fn force_workers() {
+    std::env::set_var("DMC_SCHED_OVERSUBSCRIBE", "1");
+}
+
 /// Every report from every driver for `m`, labeled.
 fn all_reports(m: &SparseMatrix, threshold: f64) -> Vec<(String, RunReport)> {
+    force_workers();
     let mut out = Vec::new();
     for threads in [1usize, 3] {
         let imp = Miner::implications(threshold).threads(threads).run(m);
@@ -51,7 +60,7 @@ fn all_reports(m: &SparseMatrix, threshold: f64) -> Vec<(String, RunReport)> {
     out
 }
 
-/// The golden top-level key set of `dmc.run_report.v3`, in serialization
+/// The golden top-level key set of `dmc.run_report.v4`, in serialization
 /// order. A failure here means the schema changed: bump the version.
 const GOLDEN_KEYS: &[&str] = &[
     "schema",
@@ -184,6 +193,7 @@ fn streamed_reports_carry_spill_bytes() {
     // Encoded spill size: 12-byte frame header (len, ~len guard, crc32)
     // per row + 4 bytes per id.
     let expected = (12 * m.n_rows() + 4 * m.nnz()) as u64;
+    force_workers();
     for threads in [1usize, 4] {
         let out = Miner::implications(0.8)
             .threads(threads)
@@ -209,6 +219,7 @@ fn streamed_reports_carry_spill_bytes() {
 
 #[test]
 fn parallel_reports_sum_workers_to_run_counters() {
+    force_workers();
     let m = fig2();
     let out = Miner::similarities(0.4).threads(4).run(&m);
     let r = &out.report;

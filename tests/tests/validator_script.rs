@@ -1,7 +1,7 @@
 //! `scripts/validate_run_report.py` against freshly mined reports: the
 //! CI validator must accept every driver's real output and reject a
 //! tampered report, so the script cannot silently drift from the
-//! `dmc.run_report.v3` schema it gates.
+//! `dmc_core::RUN_REPORT_SCHEMA` version it gates.
 
 use dmc_core::{Miner, SparseMatrix};
 use dmc_datagen::{planted_implications, PlantedConfig};
@@ -58,6 +58,9 @@ fn validate(report: &Path, algorithm: &str, mode: &str, workers: usize) -> (i32,
 fn accepts_reports_from_real_drivers() {
     let dir = TempDir::new();
     let m = matrix();
+    // The threaded cases must report exactly the requested worker counts,
+    // so lift the host-core cap on worker resolution.
+    std::env::set_var("DMC_SCHED_OVERSUBSCRIBE", "1");
     let cases: Vec<(&str, String, &str, &str, usize)> = vec![
         (
             "imp-mem.json",
@@ -117,7 +120,8 @@ fn rejects_tampered_and_mismatched_reports() {
     assert!(stderr.contains("INVALID"), "{stderr}");
 
     // An old schema version is rejected outright.
-    let old = good.replace("dmc.run_report.v3", "dmc.run_report.v2");
+    let old = good.replace(dmc_core::RUN_REPORT_SCHEMA, "dmc.run_report.v2");
+    assert_ne!(old, good, "schema tamper target must exist");
     let path = dir.0.join("old.json");
     std::fs::write(&path, old).unwrap();
     let (code, _, _) = validate(&path, "implication", "in-memory", 0);
