@@ -313,9 +313,7 @@ pub fn scaling_checks(record: &BenchSuite, tolerance: Tolerance) -> Vec<ScalingC
 /// Renders the scaling checks as an aligned table (one row per group).
 #[must_use]
 pub fn render_scaling(checks: &[ScalingCheck]) -> String {
-    let mut table = Table::new(vec![
-        "group", "t1 (s)", "tmax (s)", "band (s)", "verdict",
-    ]);
+    let mut table = Table::new(vec!["group", "t1 (s)", "tmax (s)", "band (s)", "verdict"]);
     for c in checks {
         table.row(vec![
             format!("{} ({} vs {})", c.group, c.t1_id, c.tmax_id),

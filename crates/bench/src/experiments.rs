@@ -670,17 +670,23 @@ pub fn reports(scale: Scale) -> String {
         entries.push(r.to_json());
     };
     for threads in [1usize, 2, 4, 8] {
-        let out = Miner::implications(thr).threads(threads).run(&m);
+        let out = Miner::implications(thr)
+            .threads(threads)
+            .mine(&m)
+            .expect("in-memory mines cannot fail");
         record(format!("imp t={threads}"), &out.report);
     }
     let rows: Vec<Result<Vec<dmc_core::ColumnId>, std::convert::Infallible>> =
         m.rows().map(|r| Ok(r.to_vec())).collect();
     let streamed = Miner::implications(thr)
         .threads(4)
-        .run_streamed(rows, m.n_cols())
+        .mine_streamed(rows, m.n_cols())
         .expect("in-memory rows cannot fail");
     record("imp t=4 streamed".into(), &streamed.report);
-    let sim = Miner::similarities(thr).threads(4).run(&m);
+    let sim = Miner::similarities(thr)
+        .threads(4)
+        .mine(&m)
+        .expect("in-memory mines cannot fail");
     record("sim t=4".into(), &sim.report);
 
     let path = "BENCH_reports.json";

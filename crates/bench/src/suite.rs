@@ -29,15 +29,22 @@
 //! engine-split invariants above still hold: every cell in a `threads`
 //! group runs the same engine on a given host.
 //!
+//! Besides the driver matrix, every scale contributes an **engine cell
+//! pair** measuring the persistent [`Engine`]: `engine/query/t1/*` (point
+//! queries per second against a mined engine) and `engine/ingest/t1/*`
+//! (rows per second through incremental [`Engine::ingest`], asserted
+//! byte-identical to a from-scratch mine on every repeat).
+//!
 //! [`baseline`](crate::baseline) serializes the result under the
 //! `dmc.bench.v1` schema and [`compare`](crate::compare) diffs two such
 //! records with a noise-aware gate.
 
 use crate::datasets::Scale;
-use dmc_core::{Miner, RunReport, SparseMatrix};
+use dmc_core::{Engine, MineConfig, Miner, RunReport, SparseMatrix};
 use dmc_datagen::{planted_implications, PlantedConfig};
 use dmc_metrics::ScanTally;
 use std::convert::Infallible;
+use std::time::Instant;
 
 /// Which rule family a cell mines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,7 +117,8 @@ pub struct SuiteConfig {
 
 impl SuiteConfig {
     /// The full matrix: small + medium planted data, threads 1/2/4/8,
-    /// 1 warm-up + 5 measured repeats per cell (32 cells).
+    /// 1 warm-up + 5 measured repeats per cell (32 driver cells plus an
+    /// engine query/ingest pair per scale, 36 total).
     #[must_use]
     pub fn full() -> Self {
         Self {
@@ -125,7 +133,8 @@ impl SuiteConfig {
     }
 
     /// The CI gate matrix: small planted data only, threads 1/4,
-    /// 1 warm-up + 5 measured repeats per cell (8 cells). The extra
+    /// 1 warm-up + 5 measured repeats per cell (8 driver cells plus the
+    /// engine query/ingest pair, 10 total). The extra
     /// repeats over the minimum of 3 cost well under a second and buy a
     /// noticeably steadier median on shared runners.
     #[must_use]
@@ -328,26 +337,28 @@ fn run_cell_once(
         (Algorithm::Implication, Mode::InMemory) => {
             Miner::implications(config.minconf)
                 .threads(threads)
-                .run(matrix)
+                .mine(matrix)
+                .expect("in-memory mines cannot fail")
                 .report
         }
         (Algorithm::Implication, Mode::Streamed) => {
             Miner::implications(config.minconf)
                 .threads(threads)
-                .run_streamed(rows(), matrix.n_cols())
+                .mine_streamed(rows(), matrix.n_cols())
                 .expect("in-memory row replay cannot fail")
                 .report
         }
         (Algorithm::Similarity, Mode::InMemory) => {
             Miner::similarities(config.minsim)
                 .threads(threads)
-                .run(matrix)
+                .mine(matrix)
+                .expect("in-memory mines cannot fail")
                 .report
         }
         (Algorithm::Similarity, Mode::Streamed) => {
             Miner::similarities(config.minsim)
                 .threads(threads)
-                .run_streamed(rows(), matrix.n_cols())
+                .mine_streamed(rows(), matrix.n_cols())
                 .expect("in-memory row replay cannot fail")
                 .report
         }
@@ -357,6 +368,194 @@ fn run_cell_once(
         "{id}: run report failed reconciliation"
     );
     report
+}
+
+/// Point queries per pass of the `engine/query` cell.
+const QUERY_PASSES: u64 = 20_000;
+/// Rows per [`Engine::ingest`] batch in the `engine/ingest` cell.
+const INGEST_BATCH_ROWS: usize = 512;
+/// Fraction of rows mined up front in the `engine/ingest` cell; the rest
+/// arrive through ingest batches.
+const INGEST_BASE_FRACTION: (usize, usize) = (3, 4);
+
+/// Advances a splitmix-style LCG and returns a column id below `cols`.
+fn next_column(state: &mut u64, cols: u64) -> u32 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 33) % cols) as u32
+}
+
+/// Assembles a [`BenchCell`] from per-repeat seconds and the (repeat-
+/// invariant) counter fingerprint, mirroring the driver cells' rate
+/// derivations — for engine cells `rows_per_sec` is queries/sec or
+/// ingested rows/sec, depending on what `rows_scanned` counts.
+fn engine_cell(
+    mode: &str,
+    scale: Scale,
+    matrix_shape: (u64, u64),
+    threshold: f64,
+    rules: u64,
+    seconds: Vec<f64>,
+    fp: CounterFingerprint,
+) -> BenchCell {
+    let median_seconds = median(&seconds);
+    let mad_seconds = mad(&seconds);
+    let rate = |work: u64| {
+        if median_seconds > 0.0 {
+            work as f64 / median_seconds
+        } else {
+            0.0
+        }
+    };
+    BenchCell {
+        id: format!("engine/{mode}/t1/{}", scale_tag(scale)),
+        algorithm: "engine".into(),
+        mode: mode.into(),
+        threads: 1,
+        scale: scale_tag(scale).into(),
+        rows: matrix_shape.0,
+        cols: matrix_shape.1,
+        threshold,
+        rules,
+        median_seconds,
+        mad_seconds,
+        rows_per_sec: rate(fp.rows_scanned),
+        deletions_per_sec: rate(fp.candidates_deleted),
+        spill_bytes_per_sec: 0.0,
+        seconds,
+        counters: fp,
+    }
+}
+
+/// The `engine/query/t1/{scale}` cell: [`QUERY_PASSES`] deterministic
+/// pseudo-random point queries against a mined engine. `rows_scanned`
+/// counts queries, so `rows_per_sec` is queries per second;
+/// `rules_emitted` counts qualifying answers (a repeat-invariance check
+/// that the engine answered, not just returned).
+fn engine_query_cell(matrix: &SparseMatrix, scale: Scale, config: &SuiteConfig) -> BenchCell {
+    let id = format!("engine/query/t1/{}", scale_tag(scale));
+    let mut engine = Engine::new(
+        MineConfig::implications(config.minconf).expect("suite minconf is valid"),
+        matrix.clone(),
+    );
+    engine.mine();
+    let cols = matrix.n_cols() as u64;
+    let pass = |engine: &Engine| {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ cols;
+        let mut qualifying = 0u64;
+        let start = Instant::now();
+        for _ in 0..QUERY_PASSES {
+            let lhs = next_column(&mut state, cols);
+            let rhs = next_column(&mut state, cols);
+            let answer = engine.query(lhs, rhs).expect("generated ids are in range");
+            qualifying += u64::from(answer.qualifies);
+        }
+        (start.elapsed().as_secs_f64(), qualifying)
+    };
+    for _ in 0..config.warmup {
+        let _ = pass(&engine);
+    }
+    let mut seconds = Vec::with_capacity(config.repeats);
+    let mut first_qualifying = None;
+    for repeat in 0..config.repeats {
+        let (secs, qualifying) = pass(&engine);
+        match first_qualifying {
+            None => first_qualifying = Some(qualifying),
+            Some(q0) => assert_eq!(
+                qualifying, q0,
+                "{id}: qualifying answers drifted between repeats 0 and {repeat}"
+            ),
+        }
+        seconds.push(secs);
+    }
+    let qualifying = first_qualifying.expect("repeats >= 1");
+    let fp = CounterFingerprint {
+        rows_scanned: QUERY_PASSES,
+        rules_emitted: qualifying,
+        ..CounterFingerprint::default()
+    };
+    engine_cell(
+        "query",
+        scale,
+        (matrix.n_rows() as u64, cols),
+        config.minconf,
+        engine.rule_count() as u64,
+        seconds,
+        fp,
+    )
+}
+
+/// The `engine/ingest/t1/{scale}` cell: mine the first ¾ of the dataset
+/// (untimed), then ingest the remaining quarter in
+/// [`INGEST_BATCH_ROWS`]-row batches, re-deriving the rule set after
+/// every batch. `rows_scanned` counts ingested rows, so `rows_per_sec`
+/// is ingest rows per second. Every repeat asserts the incremental rule
+/// set is byte-identical to a from-scratch mine of the full dataset.
+fn engine_ingest_cell(matrix: &SparseMatrix, scale: Scale, config: &SuiteConfig) -> BenchCell {
+    let id = format!("engine/ingest/t1/{}", scale_tag(scale));
+    let rows: Vec<Vec<u32>> = matrix.rows().map(<[u32]>::to_vec).collect();
+    let split = rows.len() * INGEST_BASE_FRACTION.0 / INGEST_BASE_FRACTION.1;
+    let expected = Miner::implications(config.minconf)
+        .mine(matrix)
+        .expect("in-memory mines cannot fail")
+        .rules;
+    let pass = || {
+        let base = SparseMatrix::from_rows(matrix.n_cols(), rows[..split].to_vec());
+        let mut engine = Engine::new(
+            MineConfig::implications(config.minconf).expect("suite minconf is valid"),
+            base,
+        );
+        engine.mine();
+        let start = Instant::now();
+        for batch in rows[split..].chunks(INGEST_BATCH_ROWS) {
+            engine
+                .ingest(batch)
+                .expect("planted rows are always in range");
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(
+            engine.implication_rules(),
+            expected,
+            "{id}: incremental ingest diverged from the from-scratch mine"
+        );
+        let stats = engine.ingest_stats();
+        let fp = CounterFingerprint {
+            rows_scanned: stats.rows_ingested,
+            candidates_admitted: stats.rules_born,
+            candidates_deleted: stats.rules_died,
+            misses_counted: stats.pairs_bumped,
+            rules_emitted: engine.rule_count() as u64,
+            spill_bytes: 0,
+        };
+        (seconds, fp)
+    };
+    for _ in 0..config.warmup {
+        let _ = pass();
+    }
+    let mut seconds = Vec::with_capacity(config.repeats);
+    let mut first: Option<CounterFingerprint> = None;
+    for repeat in 0..config.repeats {
+        let (secs, fp) = pass();
+        match &first {
+            None => first = Some(fp),
+            Some(fp0) => assert_eq!(
+                fp, *fp0,
+                "{id}: ingest counters drifted between repeats 0 and {repeat}"
+            ),
+        }
+        seconds.push(secs);
+    }
+    let fp = first.expect("repeats >= 1");
+    engine_cell(
+        "ingest",
+        scale,
+        (matrix.n_rows() as u64, matrix.n_cols() as u64),
+        config.minconf,
+        fp.rules_emitted,
+        seconds,
+        fp,
+    )
 }
 
 /// Runs the whole matrix and assembles the suite record.
@@ -422,9 +621,11 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchS
                         .find(|(a, m, p, _)| *a == algorithm && *m == mode && *p == parallel)
                     {
                         None => {
-                            if let Some((_, _, _, other)) = invariants.iter().find(|(a, m, p, _)| {
-                                *a == algorithm && *m == mode && *p != parallel
-                            }) {
+                            if let Some((_, _, _, other)) =
+                                invariants.iter().find(|(a, m, p, _)| {
+                                    *a == algorithm && *m == mode && *p != parallel
+                                })
+                            {
                                 assert_eq!(
                                     fp.rule_counters(),
                                     other.rule_counters(),
@@ -473,6 +674,19 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchS
                     cells.push(cell);
                 }
             }
+        }
+        // The engine cell family: persistent-engine point queries and
+        // incremental ingest, always single-threaded (both paths hold
+        // the engine exclusively, there is no worker fan-out to scale).
+        for cell in [
+            engine_query_cell(&matrix, scale, config),
+            engine_ingest_cell(&matrix, scale, config),
+        ] {
+            progress(&format!(
+                "{}: median {:.4}s mad {:.4}s ({} rules)",
+                cell.id, cell.median_seconds, cell.mad_seconds, cell.rules
+            ));
+            cells.push(cell);
         }
     }
     BenchSuite {

@@ -55,6 +55,7 @@ const VALUED: &[&str] = &[
     "scale",
     "rules",
     "metrics",
+    "addr",
 ];
 
 impl Args {

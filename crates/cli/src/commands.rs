@@ -2,8 +2,8 @@
 
 use crate::args::{ArgError, Args};
 use dmc_core::{
-    find_implications, find_similarities, rule_groups, ImplicationConfig, Miner, RowOrder,
-    RunReport, SimilarityConfig, SwitchPolicy,
+    find_implications, find_similarities, rule_groups, Engine, ImplicationConfig, MineConfig,
+    Miner, RowOrder, RunReport, SimilarityConfig, SwitchPolicy,
 };
 use dmc_datagen::{
     dictionary, link_graph, news, weblog, DictionaryConfig, LinkGraphConfig, NewsConfig,
@@ -93,12 +93,12 @@ pub fn imp(args: &Args) -> CmdResult {
             .positional(0)
             .ok_or_else(|| ArgError::Required("<file>".into()))?;
         let reader = std::io::BufReader::new(File::open(path)?);
-        let out = miner.run_streamed(RowLines::new(reader), n_cols)?;
+        let out = miner.mine_streamed(RowLines::new(reader), n_cols)?;
         return print_imp(args, &out, minconf, None);
     }
 
     let matrix = load(args)?;
-    let out = miner.run(&matrix);
+    let out = miner.mine(&matrix)?;
     print_imp(args, &out, minconf, Some(&matrix))
 }
 
@@ -168,10 +168,10 @@ pub fn sim(args: &Args) -> CmdResult {
             .positional(0)
             .ok_or_else(|| ArgError::Required("<file>".into()))?;
         let reader = std::io::BufReader::new(File::open(path)?);
-        miner.run_streamed(RowLines::new(reader), n_cols)?
+        miner.mine_streamed(RowLines::new(reader), n_cols)?
     } else {
         let matrix = load(args)?;
-        miner.run(&matrix)
+        miner.mine(&matrix)?
     };
     if let Some(path) = args.get("output") {
         let mut file = BufWriter::new(File::create(path)?);
@@ -270,6 +270,38 @@ pub fn stats(args: &Args) -> CmdResult {
     for (b, count) in column_density_histogram(&matrix).iter().enumerate() {
         println!("  2^{b:<2} {count}");
     }
+    Ok(())
+}
+
+/// `dmc serve`: mine once, then serve rule queries and row ingest over
+/// TCP until a `shutdown` request (see `dmc-serve`'s protocol docs).
+pub fn serve(args: &Args) -> CmdResult {
+    let config = match (args.get("minconf"), args.get("minsim")) {
+        (Some(c), None) => {
+            let minconf: f64 = c
+                .parse()
+                .map_err(|_| ArgError::BadValue("minconf".into(), c.into()))?;
+            MineConfig::implications(minconf)?
+        }
+        (None, Some(s)) => {
+            let minsim: f64 = s
+                .parse()
+                .map_err(|_| ArgError::BadValue("minsim".into(), s.into()))?;
+            MineConfig::similarities(minsim)?
+        }
+        _ => return Err(Box::new(ArgError::Required("minconf | --minsim".into()))),
+    };
+    let matrix = load(args)?;
+    let engine = Engine::new(config, matrix).with_threads(worker_threads(args)?);
+    let options = dmc_serve::DaemonOptions {
+        addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        metrics: args.get("metrics").map(str::to_string),
+    };
+    let stats = dmc_serve::run_daemon(engine, &options)?;
+    eprintln!(
+        "served {} requests over {} connections ({} errors)",
+        stats.requests, stats.connections, stats.errors
+    );
     Ok(())
 }
 

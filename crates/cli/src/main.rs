@@ -39,7 +39,13 @@ commands:
   stats <file>             print data-set statistics
   gen <kind> --rows N --cols N [--seed N] [--output file]
                            generate a synthetic data set
-                           (weblog | linkgraph | news | dictionary)";
+                           (weblog | linkgraph | news | dictionary)
+  serve <file> --minconf X | --minsim X
+                           mine once, then serve rule queries and row
+                           ingest over length-framed JSON TCP
+      [--threads N] [--addr HOST:PORT] [--metrics FILE|-]
+                           (default addr 127.0.0.1:0; the chosen port is
+                           printed as 'listening on HOST:PORT')";
 
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1);
@@ -61,6 +67,7 @@ fn main() -> ExitCode {
         "verify" => commands::verify(&args),
         "stats" => commands::stats(&args),
         "gen" => commands::gen(&args),
+        "serve" => commands::serve(&args),
         _ => {
             eprintln!("dmc: unknown command {command:?}\n{USAGE}");
             return ExitCode::from(2);

@@ -326,7 +326,13 @@ impl<H: ReplayHandler> Scheduler<H> {
     /// Folds every consecutive aggregated block at the fold frontier into
     /// the scan, then finishes the stage (tail + bitmaps) once all blocks
     /// are published. The caller holds the fold mutex.
-    fn drain(&self, fold: &mut FoldState<H>, me: usize, timer: &mut PhaseTimer, stage: &'static str) {
+    fn drain(
+        &self,
+        fold: &mut FoldState<H>,
+        me: usize,
+        timer: &mut PhaseTimer,
+        stage: &'static str,
+    ) {
         if fold.finished {
             return;
         }
@@ -350,10 +356,9 @@ impl<H: ReplayHandler> Scheduler<H> {
                 unreachable!("aggregated slot must hold an aggregate")
             };
             if fold.switch_at.is_none()
-                && self.switch.should_switch(
-                    self.total_rows - fold.row_pos,
-                    fold.handler.counter_bytes(),
-                )
+                && self
+                    .switch
+                    .should_switch(self.total_rows - fold.row_pos, fold.handler.counter_bytes())
             {
                 fold.switch_at = Some(fold.row_pos);
             }
@@ -886,11 +891,19 @@ mod tests {
     #[test]
     fn worker_resolution_caps_at_cores_unless_oversubscribed() {
         assert_eq!(workers_from(None, 4, 16), 4, "enough cores: as requested");
-        assert_eq!(workers_from(None, 4, 1), 1, "single core: no oversubscription");
+        assert_eq!(
+            workers_from(None, 4, 1),
+            1,
+            "single core: no oversubscription"
+        );
         assert_eq!(workers_from(None, 8, 2), 2);
         assert_eq!(workers_from(None, 0, 1), 1, "requested 0 clamps to 1");
         assert_eq!(workers_from(None, 4, 0), 1, "unknown core count acts as 1");
-        assert_eq!(workers_from(Some("1"), 4, 1), 4, "oversubscribe lifts the cap");
+        assert_eq!(
+            workers_from(Some("1"), 4, 1),
+            4,
+            "oversubscribe lifts the cap"
+        );
         assert_eq!(workers_from(Some(""), 4, 1), 1, "empty value does not");
         assert_eq!(workers_from(Some("1"), 0, 1), 1, "but still clamps 0 to 1");
     }
@@ -963,8 +976,7 @@ mod tests {
         let rows: Vec<Vec<ColumnId>> = (0..3000u32).map(|i| vec![i % 7]).collect();
         for threads in [1, 3] {
             for block_rows in [1, 7, 512, 5000] {
-                let run =
-                    run_recorder(rows.clone(), threads, block_rows, SwitchPolicy::never(), 0);
+                let run = run_recorder(rows.clone(), threads, block_rows, SwitchPolicy::never(), 0);
                 assert_eq!(run.handler.rows, rows, "t={threads} b={block_rows}");
                 assert!(run.handler.tail.is_empty());
                 assert_eq!(run.switch_at, None);

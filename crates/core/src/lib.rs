@@ -21,10 +21,11 @@
 //!
 //! # Entry points
 //!
-//! The [`Miner`] facade is the front door: pick implications or
-//! similarities, set the knobs builder-style, then `run` (in-memory) or
-//! `run_streamed` (out-of-core); a thread count above one dispatches to
-//! the parallel drivers.
+//! The [`Miner`] facade is the front door for one-shot mines: pick
+//! implications or similarities, set the knobs builder-style, then `mine`
+//! (in-memory) or `mine_streamed` (out-of-core); a thread count above one
+//! dispatches to the parallel drivers. Both return the unified
+//! [`MineError`].
 //!
 //! ```
 //! use dmc_core::{Miner, SparseMatrix};
@@ -33,11 +34,20 @@
 //! let m = SparseMatrix::from_rows(3, vec![
 //!     vec![1, 2], vec![0, 1, 2], vec![0], vec![1],
 //! ]);
-//! let out = Miner::implications(1.0).run(&m);
+//! let out = Miner::implications(1.0).mine(&m).unwrap();
 //! let rules: Vec<String> = out.rules.iter().map(ToString::to_string).collect();
 //! // Only c3 => c2 survives at 100% confidence (0-indexed: 2 => 1).
 //! assert_eq!(rules, vec!["c2 => c1 (conf 2/2 = 1.000)"]);
 //! ```
+//!
+//! For long-lived use — serving rule queries, appending rows without
+//! re-mining from scratch — construct an [`Engine`] from a [`MineConfig`]
+//! instead. The engine owns the matrix and per-candidate counters across
+//! calls: [`Engine::mine`] runs the batch drivers, [`Engine::ingest`]
+//! folds appended rows in incrementally (bit-identical to a from-scratch
+//! mine; see the [`engine`](Engine) docs for the monotonicity argument),
+//! and [`Engine::query`] answers point lookups from column postings. The
+//! `dmc-serve` crate wraps an engine in a TCP daemon.
 //!
 //! The underlying free functions remain available:
 //!
@@ -56,7 +66,7 @@
 //! counters (rows scanned, candidates admitted/deleted, misses counted,
 //! rules emitted), per-stage breakdowns, phase timings, memory peaks, the
 //! bitmap-switch position and spill bytes, all in one schema
-//! (`dmc.run_report.v4`) across the eight drivers. `RunReport::to_json`
+//! (`dmc.run_report.v5`) across the eight drivers. `RunReport::to_json`
 //! serializes it; the `dmc` CLI exposes that as `--metrics`. The
 //! [`MinedOutput`] trait gives generic code one surface over both output
 //! types.
@@ -74,6 +84,8 @@ mod base;
 mod bitmap;
 mod candidates;
 mod config;
+mod engine;
+mod error;
 mod fanout;
 pub mod fxhash;
 pub mod groups;
@@ -92,6 +104,8 @@ pub mod validate;
 
 pub use base::{BaseOutcome, BaseScan};
 pub use config::{ImplicationConfig, SimilarityConfig, SwitchPolicy, DEFAULT_BLOCK_ROWS};
+pub use engine::{Engine, IngestReport, MineConfig, RuleAnswer};
+pub use error::{ConfigError, MineError};
 pub use fanout::effective_workers;
 pub use groups::{rule_closure, rule_groups, DisjointSets};
 pub use imp::{find_implications, ImplicationOutput};
@@ -111,5 +125,6 @@ pub use validate::{verify_implications, verify_similarities, RuleCheck};
 pub use dmc_matrix::spill_io::{RetryPolicy, SpillSettings};
 pub use dmc_matrix::{order::RowOrder, ColumnId, SparseMatrix};
 pub use dmc_metrics::{
-    IoReport, RunReport, ScanTally, StageReport, WorkerReport, WorkerSummary, RUN_REPORT_SCHEMA,
+    IngestStats, IoReport, RunReport, ScanTally, ServeStats, StageReport, WorkerReport,
+    WorkerSummary, RUN_REPORT_SCHEMA,
 };

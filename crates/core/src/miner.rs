@@ -15,13 +15,13 @@
 //! let m = SparseMatrix::from_rows(3, vec![
 //!     vec![1, 2], vec![0, 1, 2], vec![0], vec![1],
 //! ]);
-//! let out = Miner::implications(1.0).run(&m);
+//! let out = Miner::implications(1.0).mine(&m).unwrap();
 //! assert_eq!(out.pairs(), vec![(2, 1)]);
 //!
 //! // Same mine, four workers over a row stream:
 //! let rows: Vec<Result<Vec<u32>, std::convert::Infallible>> =
 //!     vec![Ok(vec![1, 2]), Ok(vec![0, 1, 2]), Ok(vec![0]), Ok(vec![1])];
-//! let streamed = Miner::implications(1.0).threads(4).run_streamed(rows, 3).unwrap();
+//! let streamed = Miner::implications(1.0).threads(4).mine_streamed(rows, 3).unwrap();
 //! assert_eq!(streamed.pairs(), vec![(2, 1)]);
 //! ```
 //!
@@ -29,12 +29,21 @@
 //! and streamed drivers are bit-identical to the sequential in-memory one
 //! under bucketed sparsest-first order), so switching execution strategy
 //! is purely an operational decision. The free `find_*` functions remain
-//! for backward compatibility; new code should prefer the facade.
+//! for backward compatibility; new code should prefer the facade — or,
+//! for long-lived use (incremental ingest, point queries), the
+//! [`Engine`](crate::Engine) the facade now fronts.
+//!
+//! Both `mine` methods return [`MineError`], the unified error enum: the
+//! in-memory path never actually fails (its only possible error, a bad
+//! threshold, panics in the constructor instead), and the streamed path
+//! folds the old [`StreamError`] variants in. The previous `run` /
+//! `run_streamed` signatures survive as `#[deprecated]` wrappers.
 
 use crate::config::{ImplicationConfig, SimilarityConfig, SwitchPolicy};
-use crate::imp::{find_implications, ImplicationOutput};
-use crate::parallel::{find_implications_parallel, find_similarities_parallel};
-use crate::sim::{find_similarities, SimilarityOutput};
+use crate::engine::{dispatch_implications, dispatch_similarities};
+use crate::error::MineError;
+use crate::imp::ImplicationOutput;
+use crate::sim::SimilarityOutput;
 use crate::stream::{find_implications_streamed, find_similarities_streamed, StreamError};
 use crate::stream_parallel::{
     find_implications_streamed_parallel, find_similarities_streamed_parallel,
@@ -42,6 +51,20 @@ use crate::stream_parallel::{
 use dmc_matrix::order::RowOrder;
 use dmc_matrix::spill_io::SpillSettings;
 use dmc_matrix::{ColumnId, SparseMatrix};
+
+/// Converts the unified error back to the legacy stream error for the
+/// deprecated `run_streamed` wrappers. `Config` cannot occur on the
+/// facade path (the constructors panic on bad thresholds before a run
+/// exists).
+fn to_stream_error<E>(e: MineError<E>) -> StreamError<E> {
+    match e {
+        MineError::Config(e) => unreachable!("facade constructors validate thresholds: {e}"),
+        MineError::Source(e) => StreamError::Source(e),
+        MineError::Io { context, error } => StreamError::Io { context, error },
+        MineError::CorruptSpill { frame, reason } => StreamError::CorruptSpill { frame, reason },
+        MineError::ColumnOutOfRange { row, id } => StreamError::ColumnOutOfRange { row, id },
+    }
+}
 
 /// Entry point of the facade; see the [module docs](self).
 pub struct Miner;
@@ -153,14 +176,15 @@ impl ImplicationMiner {
     }
 
     /// Mines an in-memory matrix.
-    #[must_use]
-    pub fn run(&self, matrix: &SparseMatrix) -> ImplicationOutput {
-        let workers = crate::fanout::effective_workers(self.threads);
-        if workers <= 1 {
-            find_implications(matrix, &self.config)
-        } else {
-            find_implications_parallel(matrix, &self.config, workers)
-        }
+    ///
+    /// # Errors
+    ///
+    /// Never fails today — the constructor already validated the
+    /// threshold, and in-memory mines have no IO — but the signature is
+    /// uniform with [`mine_streamed`](Self::mine_streamed) so generic
+    /// callers handle one error type.
+    pub fn mine(&self, matrix: &SparseMatrix) -> Result<ImplicationOutput, MineError> {
+        Ok(dispatch_implications(matrix, &self.config, self.threads))
     }
 
     /// Mines a fallible row stream out-of-core (two passes, §4.1 density
@@ -170,6 +194,44 @@ impl ImplicationMiner {
     ///
     /// Fails on source errors, spill IO errors, or out-of-range column
     /// ids.
+    pub fn mine_streamed<I, E>(
+        &self,
+        rows: I,
+        n_cols: usize,
+    ) -> Result<ImplicationOutput, MineError<E>>
+    where
+        I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
+        E: Send,
+    {
+        let workers = crate::fanout::effective_workers(self.threads);
+        let out = if workers <= 1 {
+            find_implications_streamed(rows, n_cols, &self.config)
+        } else {
+            find_implications_streamed_parallel(rows, n_cols, &self.config, workers)
+        };
+        out.map_err(MineError::from)
+    }
+
+    /// Mines an in-memory matrix.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `mine`, which reports the unified `MineError`"
+    )]
+    #[must_use]
+    pub fn run(&self, matrix: &SparseMatrix) -> ImplicationOutput {
+        self.mine(matrix).expect("in-memory mines are infallible")
+    }
+
+    /// Mines a fallible row stream out-of-core.
+    ///
+    /// # Errors
+    ///
+    /// Fails on source errors, spill IO errors, or out-of-range column
+    /// ids.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `mine_streamed`, which reports the unified `MineError`"
+    )]
     pub fn run_streamed<I, E>(
         &self,
         rows: I,
@@ -179,12 +241,7 @@ impl ImplicationMiner {
         I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
         E: Send,
     {
-        let workers = crate::fanout::effective_workers(self.threads);
-        if workers <= 1 {
-            find_implications_streamed(rows, n_cols, &self.config)
-        } else {
-            find_implications_streamed_parallel(rows, n_cols, &self.config, workers)
-        }
+        self.mine_streamed(rows, n_cols).map_err(to_stream_error)
     }
 }
 
@@ -264,23 +321,59 @@ impl SimilarityMiner {
     }
 
     /// Mines an in-memory matrix.
-    #[must_use]
-    pub fn run(&self, matrix: &SparseMatrix) -> SimilarityOutput {
-        let workers = crate::fanout::effective_workers(self.threads);
-        if workers <= 1 {
-            find_similarities(matrix, &self.config)
-        } else {
-            find_similarities_parallel(matrix, &self.config, workers)
-        }
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; see [`ImplicationMiner::mine`].
+    pub fn mine(&self, matrix: &SparseMatrix) -> Result<SimilarityOutput, MineError> {
+        Ok(dispatch_similarities(matrix, &self.config, self.threads))
     }
 
     /// Mines a fallible row stream out-of-core (see
-    /// [`ImplicationMiner::run_streamed`]).
+    /// [`ImplicationMiner::mine_streamed`]).
     ///
     /// # Errors
     ///
     /// Fails on source errors, spill IO errors, or out-of-range column
     /// ids.
+    pub fn mine_streamed<I, E>(
+        &self,
+        rows: I,
+        n_cols: usize,
+    ) -> Result<SimilarityOutput, MineError<E>>
+    where
+        I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
+        E: Send,
+    {
+        let workers = crate::fanout::effective_workers(self.threads);
+        let out = if workers <= 1 {
+            find_similarities_streamed(rows, n_cols, &self.config)
+        } else {
+            find_similarities_streamed_parallel(rows, n_cols, &self.config, workers)
+        };
+        out.map_err(MineError::from)
+    }
+
+    /// Mines an in-memory matrix.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `mine`, which reports the unified `MineError`"
+    )]
+    #[must_use]
+    pub fn run(&self, matrix: &SparseMatrix) -> SimilarityOutput {
+        self.mine(matrix).expect("in-memory mines are infallible")
+    }
+
+    /// Mines a fallible row stream out-of-core.
+    ///
+    /// # Errors
+    ///
+    /// Fails on source errors, spill IO errors, or out-of-range column
+    /// ids.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `mine_streamed`, which reports the unified `MineError`"
+    )]
     pub fn run_streamed<I, E>(
         &self,
         rows: I,
@@ -290,18 +383,15 @@ impl SimilarityMiner {
         I: IntoIterator<Item = Result<Vec<ColumnId>, E>>,
         E: Send,
     {
-        let workers = crate::fanout::effective_workers(self.threads);
-        if workers <= 1 {
-            find_similarities_streamed(rows, n_cols, &self.config)
-        } else {
-            find_similarities_streamed_parallel(rows, n_cols, &self.config, workers)
-        }
+        self.mine_streamed(rows, n_cols).map_err(to_stream_error)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::imp::find_implications;
+    use crate::sim::find_similarities;
     use std::convert::Infallible;
 
     /// Serializes the tests that read or write `DMC_SCHED_OVERSUBSCRIBE`:
@@ -340,25 +430,25 @@ mod tests {
         let m = fig2();
         let expected = find_implications(&m, &ImplicationConfig::new(0.8));
 
-        let seq = Miner::implications(0.8).run(&m);
+        let seq = Miner::implications(0.8).mine(&m).unwrap();
         assert_eq!(seq.rules, expected.rules);
         assert!(
             seq.workers.is_empty(),
             "threads<=1 is the sequential driver"
         );
 
-        let par = Miner::implications(0.8).threads(4).run(&m);
+        let par = Miner::implications(0.8).threads(4).mine(&m).unwrap();
         assert_eq!(par.rules, expected.rules);
         assert_eq!(par.workers.len(), 4);
 
         let streamed = Miner::implications(0.8)
-            .run_streamed(rows_of(&m), m.n_cols())
+            .mine_streamed(rows_of(&m), m.n_cols())
             .unwrap();
         assert_eq!(streamed.rules, expected.rules);
 
         let streamed_par = Miner::implications(0.8)
             .threads(3)
-            .run_streamed(rows_of(&m), m.n_cols())
+            .mine_streamed(rows_of(&m), m.n_cols())
             .unwrap();
         assert_eq!(streamed_par.rules, expected.rules);
         assert_eq!(streamed_par.workers.len(), 3);
@@ -369,14 +459,17 @@ mod tests {
         let m = fig2();
         let expected = find_similarities(&m, &SimilarityConfig::new(0.4));
 
-        assert_eq!(Miner::similarities(0.4).run(&m).rules, expected.rules);
         assert_eq!(
-            Miner::similarities(0.4).threads(2).run(&m).rules,
+            Miner::similarities(0.4).mine(&m).unwrap().rules,
+            expected.rules
+        );
+        assert_eq!(
+            Miner::similarities(0.4).threads(2).mine(&m).unwrap().rules,
             expected.rules
         );
         assert_eq!(
             Miner::similarities(0.4)
-                .run_streamed(rows_of(&m), m.n_cols())
+                .mine_streamed(rows_of(&m), m.n_cols())
                 .unwrap()
                 .rules,
             expected.rules
@@ -384,10 +477,29 @@ mod tests {
         assert_eq!(
             Miner::similarities(0.4)
                 .threads(2)
+                .mine_streamed(rows_of(&m), m.n_cols())
+                .unwrap()
+                .rules,
+            expected.rules
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_mine_identically() {
+        let m = fig2();
+        let expected = find_implications(&m, &ImplicationConfig::new(0.8));
+        assert_eq!(Miner::implications(0.8).run(&m).rules, expected.rules);
+        assert_eq!(
+            Miner::implications(0.8)
                 .run_streamed(rows_of(&m), m.n_cols())
                 .unwrap()
                 .rules,
             expected.rules
+        );
+        assert_eq!(
+            Miner::similarities(0.4).run(&m).rules,
+            find_similarities(&m, &SimilarityConfig::new(0.4)).rules
         );
     }
 
@@ -405,7 +517,7 @@ mod tests {
         assert!(!cfg.hundred_stage);
         assert!(cfg.emit_reverse);
         assert!(cfg.record_memory_history);
-        let out = imp.run(&m);
+        let out = imp.mine(&m).unwrap();
         let expected = find_implications(&m, cfg);
         assert_eq!(out.rules, expected.rules);
         assert!(
@@ -416,7 +528,7 @@ mod tests {
         let sim = Miner::similarities(0.6).max_hits_pruning(false);
         assert!(!sim.config().max_hits_pruning);
         assert_eq!(
-            sim.run(&m).rules,
+            sim.mine(&m).unwrap().rules,
             find_similarities(&m, &SimilarityConfig::new(0.6).with_max_hits_pruning(false)).rules
         );
     }
@@ -424,7 +536,7 @@ mod tests {
     #[test]
     fn zero_threads_means_sequential() {
         let m = fig2();
-        let out = Miner::implications(0.8).threads(0).run(&m);
+        let out = Miner::implications(0.8).threads(0).mine(&m).unwrap();
         assert!(out.workers.is_empty());
     }
 
@@ -434,7 +546,7 @@ mod tests {
         std::env::remove_var("DMC_SCHED_OVERSUBSCRIBE");
         let m = fig2();
         let resolved = crate::fanout::effective_workers(64);
-        let out = Miner::implications(0.8).threads(64).run(&m);
+        let out = Miner::implications(0.8).threads(64).mine(&m).unwrap();
         if resolved > 1 {
             assert_eq!(out.workers.len(), resolved);
         } else {

@@ -3,10 +3,13 @@
 use crate::{ColumnId, RowId};
 use std::fmt;
 
-/// An immutable sparse 0/1 matrix in row-major (CSR) form.
+/// A sparse 0/1 matrix in row-major (CSR) form.
 ///
 /// Each row is stored as a strictly increasing slice of [`ColumnId`]s.
 /// Construct via [`crate::MatrixBuilder`] or [`SparseMatrix::from_rows`].
+/// Existing rows never change, but new rows can be appended in place with
+/// [`SparseMatrix::append_row`] — CSR appends are `O(row length)` — which
+/// is what the incremental-ingest engine builds on.
 ///
 /// # Examples
 ///
@@ -146,6 +149,41 @@ impl SparseMatrix {
         cols
     }
 
+    /// Appends a row given as an arbitrary-order, possibly-duplicated
+    /// column list, normalizing it to a strictly increasing set (same
+    /// contract as [`crate::MatrixBuilder::push_row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column id is `>= n_cols`.
+    pub fn append_row(&mut self, mut cols: Vec<ColumnId>) {
+        cols.sort_unstable();
+        cols.dedup();
+        self.append_sorted_row(&cols);
+    }
+
+    /// Appends a row that is already strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is not strictly increasing or any id is
+    /// `>= n_cols`.
+    pub fn append_sorted_row(&mut self, cols: &[ColumnId]) {
+        if let Some(&last) = cols.last() {
+            assert!(
+                (last as usize) < self.n_cols,
+                "column id {last} out of range for {} columns",
+                self.n_cols
+            );
+        }
+        assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "append_sorted_row requires a strictly increasing column list"
+        );
+        self.col_indices.extend_from_slice(cols);
+        self.row_offsets.push(self.col_indices.len());
+    }
+
     /// Approximate heap bytes held by the storage.
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
@@ -243,6 +281,44 @@ mod tests {
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[1], &[0, 1, 2]);
         assert_eq!(m.rows().len(), 4);
+    }
+
+    #[test]
+    fn append_row_extends_in_place() {
+        let mut m = fig1();
+        m.append_row(vec![2, 0, 2]); // unsorted + duplicate: normalized
+        m.append_sorted_row(&[1]);
+        assert_eq!(m.n_rows(), 6);
+        assert_eq!(m.row(4), &[0, 2]);
+        assert_eq!(m.row(5), &[1]);
+        assert_eq!(m.column_ones(), vec![3, 4, 3]);
+        // Identical to building the whole thing at once.
+        let rebuilt = SparseMatrix::from_rows(
+            3,
+            vec![
+                vec![1, 2],
+                vec![0, 1, 2],
+                vec![0],
+                vec![1],
+                vec![0, 2],
+                vec![1],
+            ],
+        );
+        assert_eq!(m, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn append_rejects_out_of_range_column() {
+        let mut m = fig1();
+        m.append_row(vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn append_sorted_rejects_unsorted() {
+        let mut m = fig1();
+        m.append_sorted_row(&[2, 1]);
     }
 
     #[test]

@@ -30,7 +30,8 @@ mod worker;
 
 pub use memory::{CounterMemory, MemorySample, COL_OVERHEAD_BYTES, ENTRY_BYTES};
 pub use report::{
-    IoReport, ReportBuilder, RunReport, StageReport, WorkerSummary, RUN_REPORT_SCHEMA,
+    IngestStats, IoReport, ReportBuilder, RunReport, ServeStats, StageReport, WorkerSummary,
+    RUN_REPORT_SCHEMA,
 };
 pub use tally::ScanTally;
 pub use timer::{PhaseReport, PhaseTimer};

@@ -24,8 +24,39 @@ use crate::worker::WorkerReport;
 /// section (spill frame/retry/corruption counters); v3 added
 /// `wall_seconds` (driver-measured end-to-end wall clock); v4 added the
 /// per-worker `blocks_processed` / `blocks_stolen` counters of the
-/// work-assisting block scheduler.
-pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v4";
+/// work-assisting block scheduler; v5 added the `serve` and `ingest`
+/// sections (null for plain batch runs) reported by long-lived engines.
+pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v5";
+
+/// Cumulative incremental-ingest counters of a long-lived engine. `None`
+/// in the run report until the engine has ingested at least one batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Ingest calls (row batches) applied since the mine.
+    pub batches: u64,
+    /// Rows appended across all batches.
+    pub rows_ingested: u64,
+    /// Tracked-pair hit counters bumped by batch co-occurrences.
+    pub pairs_bumped: u64,
+    /// Untracked batch-co-occurring pairs recounted from the postings.
+    pub pairs_recounted: u64,
+    /// Recounted pairs admitted to the rule set.
+    pub rules_born: u64,
+    /// Tracked pairs pruned because their budget was exceeded.
+    pub rules_died: u64,
+}
+
+/// Request-serving counters of a rule-serving daemon. `None` in the run
+/// report unless a serving layer attaches them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Requests answered (including error responses).
+    pub requests: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+}
 
 /// Spill I/O counters for one out-of-core run: how many frames crossed
 /// the disk boundary, how often transient faults were retried, and how
@@ -150,6 +181,12 @@ pub struct RunReport {
     pub io: Option<IoReport>,
     /// Per-worker aggregates (empty for sequential runs).
     pub workers: Vec<WorkerSummary>,
+    /// Request-serving counters (`None` for batch runs; a serving layer
+    /// attaches them before rendering).
+    pub serve: Option<ServeStats>,
+    /// Cumulative incremental-ingest counters (`None` for batch runs and
+    /// for engines that have not ingested yet).
+    pub ingest: Option<IngestStats>,
 }
 
 impl RunReport {
@@ -231,6 +268,29 @@ impl RunReport {
             w.end_object();
         }
         w.end_array();
+        match &self.serve {
+            Some(s) => {
+                w.object_key("serve");
+                w.uint("connections", s.connections);
+                w.uint("requests", s.requests);
+                w.uint("errors", s.errors);
+                w.end_object();
+            }
+            None => w.null("serve"),
+        }
+        match &self.ingest {
+            Some(i) => {
+                w.object_key("ingest");
+                w.uint("batches", i.batches);
+                w.uint("rows_ingested", i.rows_ingested);
+                w.uint("pairs_bumped", i.pairs_bumped);
+                w.uint("pairs_recounted", i.pairs_recounted);
+                w.uint("rules_born", i.rules_born);
+                w.uint("rules_died", i.rules_died);
+                w.end_object();
+            }
+            None => w.null("ingest"),
+        }
         w.end_object();
         w.finish()
     }
@@ -282,6 +342,21 @@ impl RunReport {
                 || io.frames_read != io.frames_written * io.replays
                 || io.corrupt_frames != 0
             {
+                return false;
+            }
+        }
+        // The v5 sections have their own identities: a daemon cannot have
+        // erred on more requests than it answered, and an ingesting engine
+        // cannot have birthed more rules than it recounted pairs (a birth
+        // is an admission from a recount) nor ingested rows without a
+        // batch.
+        if let Some(s) = &self.serve {
+            if s.errors > s.requests {
+                return false;
+            }
+        }
+        if let Some(i) = &self.ingest {
+            if i.rules_born > i.pairs_recounted || (i.batches == 0 && i.rows_ingested > 0) {
                 return false;
             }
         }
@@ -580,6 +655,49 @@ mod tests {
             blocks_stolen: 0,
         });
         assert!(!report.reconciles());
+    }
+
+    #[test]
+    fn serve_and_ingest_sections_render_and_reconcile() {
+        let report = sample_report();
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        assert!(matches!(v.get("serve"), Some(JsonValue::Null)));
+        assert!(matches!(v.get("ingest"), Some(JsonValue::Null)));
+
+        let mut report = sample_report();
+        report.serve = Some(ServeStats {
+            connections: 3,
+            requests: 41,
+            errors: 2,
+        });
+        report.ingest = Some(IngestStats {
+            batches: 4,
+            rows_ingested: 2000,
+            pairs_bumped: 900,
+            pairs_recounted: 120,
+            rules_born: 5,
+            rules_died: 3,
+        });
+        assert!(report.reconciles());
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            v.get("serve")
+                .and_then(|s| s.get("requests"))
+                .and_then(JsonValue::as_u64),
+            Some(41)
+        );
+        assert_eq!(
+            v.get("ingest")
+                .and_then(|i| i.get("rows_ingested"))
+                .and_then(JsonValue::as_u64),
+            Some(2000)
+        );
+
+        report.serve.as_mut().unwrap().errors = 99;
+        assert!(!report.reconciles(), "errors > requests is impossible");
+        report.serve.as_mut().unwrap().errors = 2;
+        report.ingest.as_mut().unwrap().rules_born = 1000;
+        assert!(!report.reconciles(), "births come from recounts");
     }
 
     #[test]

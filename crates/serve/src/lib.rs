@@ -1,0 +1,94 @@
+//! `dmc-serve`: a rule-serving daemon over a persistent
+//! [`Engine`](dmc_core::Engine).
+//!
+//! The batch miners answer "what are the rules of this matrix, right
+//! now". This crate keeps the engine alive behind a TCP listener so the
+//! answers stay cheap as the data grows: point queries and rule listings
+//! are served from the engine's column postings under a read lock, and
+//! `ingest` requests append rows and incrementally re-derive the rule
+//! set under a write lock — bit-identical to a from-scratch mine, per
+//! the monotonicity argument in the engine docs, without re-scanning the
+//! accumulated matrix.
+//!
+//! The wire format is 4-byte big-endian length-framed JSON
+//! ([`protocol`]), written and parsed with the workspace's own
+//! [`dmc_metrics::json`] — no second JSON dialect. [`server`] holds the
+//! accept loop; [`run_daemon`] is the shared entry point behind both the
+//! standalone `dmc-serve` binary and the `dmc serve` subcommand: it
+//! mines, prints `listening on ADDR` (machine-parseable; bind port 0 to
+//! let the OS pick), serves until a `shutdown` request, and then writes
+//! the engine's `dmc.run_report.v5` report — `serve` and `ingest`
+//! sections included — wherever `--metrics` pointed.
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{read_frame, request, write_frame, Request, MAX_FRAME_BYTES};
+pub use server::Server;
+
+use dmc_core::Engine;
+use dmc_metrics::ServeStats;
+use std::io;
+use std::net::ToSocketAddrs;
+
+/// Options for [`run_daemon`], shared by the binary and `dmc serve`.
+#[derive(Clone, Debug)]
+pub struct DaemonOptions {
+    /// Bind address; port 0 lets the OS pick (reported on stdout).
+    pub addr: String,
+    /// Where to write the final run report (`-` for stdout), if anywhere.
+    pub metrics: Option<String>,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            metrics: None,
+        }
+    }
+}
+
+/// Mines, serves until shutdown, then writes the final report.
+///
+/// Prints exactly one `listening on HOST:PORT` line to stdout once the
+/// socket is bound and the initial mine has completed — scripts should
+/// wait for that line before connecting.
+///
+/// # Errors
+///
+/// Fails on bind/accept failures or an unwritable metrics destination.
+pub fn run_daemon(engine: Engine, options: &DaemonOptions) -> io::Result<ServeStats> {
+    let addrs: Vec<_> = options.addr.to_socket_addrs()?.collect();
+    let server = Server::bind(engine, &addrs[..])?;
+    let engine = server.engine();
+    {
+        // Mine before announcing readiness so the first client sees rules.
+        let mut engine = engine
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if engine.report().is_none() {
+            engine.mine();
+        }
+    }
+    println!("listening on {}", server.local_addr()?);
+    let stats = server.run()?;
+
+    if let Some(dest) = &options.metrics {
+        let engine = engine
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut report = engine
+            .report_with_ingest()
+            .expect("the daemon mined before serving");
+        report.serve = Some(stats);
+        let json = report.to_json();
+        if dest == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(dest, format!("{json}\n"))?;
+            eprintln!("run report written to {dest}");
+        }
+    }
+    Ok(stats)
+}

@@ -1,0 +1,501 @@
+//! The TCP serve loop around a shared [`Engine`].
+//!
+//! One [`Server`] owns the listener and an `Arc<RwLock<Engine>>`. Each
+//! accepted connection gets its own thread; queries (`rule`, `rules_ge`,
+//! `stats`) take the read lock so they run concurrently, `ingest` takes
+//! the write lock so a batch is atomic with respect to every query.
+//! A malformed frame or request produces an `{"ok": false}` response and
+//! leaves that connection usable — one bad client cannot take down its
+//! own session, let alone the daemon. Connection, request and error
+//! counts are kept in shared atomics and surface both in `stats`
+//! responses and in the final [`ServeStats`] that [`Server::run`]
+//! returns (the run report's `serve` section).
+//!
+//! Shutdown is cooperative: a `shutdown` request flips the shared flag
+//! and pokes the listener with a loopback connection so the blocking
+//! `accept` wakes up and the loop exits.
+
+use crate::protocol::{read_frame, write_frame, Request};
+use dmc_core::threshold::{conf_qualifies, sim_qualifies};
+use dmc_core::{Engine, IngestReport, MineConfig, RuleAnswer};
+use dmc_metrics::json::JsonWriter;
+use dmc_metrics::ServeStats;
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread;
+
+/// Live counters and the shutdown flag, shared across connection threads.
+#[derive(Default)]
+struct Shared {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A bound rule-serving daemon; see the [module docs](self).
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<RwLock<Engine>>,
+    shared: Arc<Shared>,
+}
+
+/// Read the engine even if a handler thread panicked mid-lock: the
+/// engine's state is only written under [`write_engine`], whose guard is
+/// not held across anything that can panic halfway through an update.
+fn read_engine(engine: &RwLock<Engine>) -> RwLockReadGuard<'_, Engine> {
+    engine
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_engine(engine: &RwLock<Engine>) -> RwLockWriteGuard<'_, Engine> {
+    engine
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 to let the OS pick) around the engine.
+    /// The engine is mined lazily by [`Server::run`] if it has not been
+    /// already, so queries never observe an empty pre-mine rule set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(engine: Engine, addr: A) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            engine: Arc::new(RwLock::new(engine)),
+            shared: Arc::new(Shared::default()),
+        })
+    }
+
+    /// The bound address — the port to print for clients when binding
+    /// port 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle on the shared engine, valid after [`Server::run`]
+    /// returns (for the final report) or from another thread while
+    /// serving.
+    #[must_use]
+    pub fn engine(&self) -> Arc<RwLock<Engine>> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Current serve counters.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.shared.snapshot()
+    }
+
+    /// Accepts and serves connections until a `shutdown` request, then
+    /// returns the final counters.
+    ///
+    /// Connection threads are detached; a client that is mid-request at
+    /// shutdown finishes its request against the still-shared engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if `accept` itself fails.
+    pub fn run(&self) -> io::Result<ServeStats> {
+        {
+            let mut engine = write_engine(&self.engine);
+            if engine.report().is_none() {
+                engine.mine();
+            }
+        }
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            self.shared.connections.fetch_add(1, Ordering::Relaxed);
+            let engine = Arc::clone(&self.engine);
+            let shared = Arc::clone(&self.shared);
+            let addr = self.listener.local_addr()?;
+            thread::spawn(move || {
+                // Per-connection IO errors end that connection only.
+                let _ = serve_connection(stream, &engine, &shared);
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Wake the blocking accept so the serve loop can exit.
+                    drop(TcpStream::connect(addr));
+                }
+            });
+        }
+        Ok(self.shared.snapshot())
+    }
+}
+
+/// Frame-at-a-time request loop for one client.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &RwLock<Engine>,
+    shared: &Shared,
+) -> io::Result<()> {
+    while let Some(payload) = read_frame(&mut stream)? {
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match Request::parse(&payload) {
+            Err(message) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(&message)
+            }
+            Ok(Request::Shutdown) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                write_frame(&mut stream, &ok_response())?;
+                return Ok(());
+            }
+            Ok(request) => match handle(&request, engine, shared) {
+                Ok(response) => response,
+                Err(message) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    error_response(&message)
+                }
+            },
+        };
+        write_frame(&mut stream, &response)?;
+    }
+    Ok(())
+}
+
+/// Dispatches one parsed request against the engine.
+fn handle(request: &Request, engine: &RwLock<Engine>, shared: &Shared) -> Result<String, String> {
+    match request {
+        Request::Rule { lhs, rhs } => {
+            let engine = read_engine(engine);
+            match engine.query(*lhs, *rhs) {
+                Some(answer) => Ok(answer_response(&answer)),
+                None => Err(format!(
+                    "column id out of range (matrix has {} columns)",
+                    engine.matrix().n_cols()
+                )),
+            }
+        }
+        Request::RulesGe { threshold, limit } => {
+            Ok(rules_response(&read_engine(engine), *threshold, *limit))
+        }
+        Request::Ingest { rows } => {
+            let mut engine = write_engine(engine);
+            engine
+                .ingest(rows)
+                .map(|report| ingest_response(&report))
+                .map_err(|e| e.to_string())
+        }
+        Request::Stats => Ok(stats_response(&read_engine(engine), &shared.snapshot())),
+        Request::Shutdown => unreachable!("shutdown is handled in the connection loop"),
+    }
+}
+
+fn ok_response() -> String {
+    let mut w = JsonWriter::new();
+    w.object();
+    w.bool("ok", true);
+    w.end_object();
+    w.finish()
+}
+
+fn error_response(message: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.object();
+    w.bool("ok", false);
+    w.string("error", message);
+    w.end_object();
+    w.finish()
+}
+
+fn answer_response(a: &RuleAnswer) -> String {
+    let mut w = JsonWriter::new();
+    w.object();
+    w.bool("ok", true);
+    w.object_key("answer");
+    w.uint("lhs", u64::from(a.lhs));
+    w.uint("rhs", u64::from(a.rhs));
+    w.uint("hits", u64::from(a.hits));
+    w.uint("lhs_ones", u64::from(a.lhs_ones));
+    w.uint("rhs_ones", u64::from(a.rhs_ones));
+    w.float("confidence", a.confidence);
+    w.float("similarity", a.similarity);
+    w.bool("qualifies", a.qualifies);
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// Rules at or above `threshold`, using the miners' own boundary
+/// predicates so "at" means exactly what mining meant by it.
+fn rules_response(engine: &Engine, threshold: f64, limit: Option<usize>) -> String {
+    let limit = limit.unwrap_or(usize::MAX);
+    let mut w = JsonWriter::new();
+    w.object();
+    w.bool("ok", true);
+    w.string("algorithm", engine.config().algorithm());
+    match engine.config() {
+        MineConfig::Implication(_) => {
+            let matching: Vec<_> = engine
+                .implication_rules()
+                .iter()
+                .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.lhs_ones), threshold))
+                .collect();
+            w.uint("total", matching.len() as u64);
+            w.array_key("rules");
+            for r in matching.into_iter().take(limit) {
+                w.object();
+                w.uint("lhs", u64::from(r.lhs));
+                w.uint("rhs", u64::from(r.rhs));
+                w.uint("hits", u64::from(r.hits));
+                w.uint("lhs_ones", u64::from(r.lhs_ones));
+                w.uint("rhs_ones", u64::from(r.rhs_ones));
+                w.float("confidence", r.confidence());
+                w.end_object();
+            }
+            w.end_array();
+        }
+        MineConfig::Similarity(_) => {
+            let matching: Vec<_> = engine
+                .similarity_rules()
+                .iter()
+                .filter(|r| {
+                    sim_qualifies(
+                        u64::from(r.hits),
+                        u64::from(r.a_ones),
+                        u64::from(r.b_ones),
+                        threshold,
+                    )
+                })
+                .collect();
+            w.uint("total", matching.len() as u64);
+            w.array_key("rules");
+            for r in matching.into_iter().take(limit) {
+                w.object();
+                w.uint("a", u64::from(r.a));
+                w.uint("b", u64::from(r.b));
+                w.uint("hits", u64::from(r.hits));
+                w.uint("a_ones", u64::from(r.a_ones));
+                w.uint("b_ones", u64::from(r.b_ones));
+                w.float("similarity", r.similarity());
+                w.end_object();
+            }
+            w.end_array();
+        }
+    }
+    w.end_object();
+    w.finish()
+}
+
+fn ingest_response(report: &IngestReport) -> String {
+    let mut w = JsonWriter::new();
+    w.object();
+    w.bool("ok", true);
+    w.object_key("report");
+    w.uint("rows", report.rows as u64);
+    w.uint("pairs_bumped", report.pairs_bumped);
+    w.uint("pairs_recounted", report.pairs_recounted);
+    w.uint("rules_born", report.rules_born);
+    w.uint("rules_died", report.rules_died);
+    w.uint("rules", report.rules as u64);
+    w.float("wall_seconds", report.wall_seconds);
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+fn stats_response(engine: &Engine, stats: &ServeStats) -> String {
+    let mut w = JsonWriter::new();
+    w.object();
+    w.bool("ok", true);
+    w.object_key("stats");
+    w.string("algorithm", engine.config().algorithm());
+    w.float("threshold", engine.config().threshold());
+    w.uint("rows", engine.matrix().n_rows() as u64);
+    w.uint("cols", engine.matrix().n_cols() as u64);
+    w.uint("rules", engine.rule_count() as u64);
+    w.uint("connections", stats.connections);
+    w.uint("requests", stats.requests);
+    w.uint("errors", stats.errors);
+    let ingest = engine.ingest_stats();
+    w.object_key("ingest");
+    w.uint("batches", ingest.batches);
+    w.uint("rows_ingested", ingest.rows_ingested);
+    w.end_object();
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::request;
+    use dmc_matrix::SparseMatrix;
+    use dmc_metrics::json::JsonValue;
+
+    fn fig2() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![1, 5],
+                vec![2, 3, 4],
+                vec![2, 4],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 3, 5],
+                vec![0, 2, 3, 4, 5],
+                vec![3, 5],
+                vec![0, 1, 4],
+            ],
+        )
+    }
+
+    fn start(config: MineConfig) -> (std::net::SocketAddr, thread::JoinHandle<ServeStats>) {
+        let server = Server::bind(Engine::new(config, fig2()), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    fn get_u64(v: &JsonValue, path: &[&str]) -> u64 {
+        path.iter()
+            .try_fold(v, |v, key| v.get(key))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("missing {path:?} in {v:?}"))
+    }
+
+    #[test]
+    fn serves_queries_ingest_and_stats_end_to_end() {
+        let (addr, handle) = start(MineConfig::implications(0.8).unwrap());
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        // Point query: c5 ⇒ c3 has hits 3 over 5 ones.
+        let v = request(&mut client, "{\"type\": \"rule\", \"lhs\": 5, \"rhs\": 3}").unwrap();
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(get_u64(&v, &["answer", "hits"]), 3);
+        assert_eq!(get_u64(&v, &["answer", "lhs_ones"]), 5);
+
+        // Rule listing matches a from-scratch mine of the same matrix.
+        let expected = {
+            let mut engine = Engine::new(MineConfig::implications(0.8).unwrap(), fig2());
+            engine.mine();
+            engine.implication_rules().len() as u64
+        };
+        let v = request(&mut client, "{\"type\": \"rules_ge\", \"threshold\": 0.8}").unwrap();
+        assert_eq!(get_u64(&v, &["total"]), expected);
+        assert_eq!(
+            v.get("rules").and_then(JsonValue::as_array).unwrap().len() as u64,
+            expected
+        );
+        let v = request(
+            &mut client,
+            "{\"type\": \"rules_ge\", \"threshold\": 0.8, \"limit\": 1}",
+        )
+        .unwrap();
+        assert_eq!(get_u64(&v, &["total"]), expected, "total ignores the limit");
+        assert_eq!(
+            v.get("rules").and_then(JsonValue::as_array).unwrap().len(),
+            1
+        );
+
+        // Ingest two rows, then see the updated counts in a query.
+        let v = request(
+            &mut client,
+            "{\"type\": \"ingest\", \"rows\": [[3, 5], [3, 5]]}",
+        )
+        .unwrap();
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(get_u64(&v, &["report", "rows"]), 2);
+        let v = request(&mut client, "{\"type\": \"rule\", \"lhs\": 5, \"rhs\": 3}").unwrap();
+        assert_eq!(get_u64(&v, &["answer", "hits"]), 5);
+        assert_eq!(get_u64(&v, &["answer", "lhs_ones"]), 7);
+
+        // Stats reflect the matrix growth and this connection's traffic.
+        let v = request(&mut client, "{\"type\": \"stats\"}").unwrap();
+        assert_eq!(get_u64(&v, &["stats", "rows"]), 11);
+        assert_eq!(get_u64(&v, &["stats", "connections"]), 1);
+        assert!(get_u64(&v, &["stats", "requests"]) >= 5);
+        assert_eq!(get_u64(&v, &["stats", "errors"]), 0);
+        assert_eq!(get_u64(&v, &["stats", "ingest", "rows_ingested"]), 2);
+
+        let v = request(&mut client, "{\"type\": \"shutdown\"}").unwrap();
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn bad_requests_do_not_poison_the_connection() {
+        let (addr, handle) = start(MineConfig::similarities(0.4).unwrap());
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        let v = request(&mut client, "this is not json").unwrap();
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(false)));
+        assert!(v.get("error").and_then(JsonValue::as_str).is_some());
+
+        let v = request(&mut client, "{\"type\": \"rule\", \"lhs\": 0, \"rhs\": 99}").unwrap();
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(false)));
+
+        let v = request(&mut client, "{\"type\": \"ingest\", \"rows\": [[0], [99]]}").unwrap();
+        assert_eq!(
+            v.get("ok"),
+            Some(&JsonValue::Bool(false)),
+            "out-of-range ingest fails"
+        );
+
+        // The same connection still answers real queries afterwards.
+        let v = request(&mut client, "{\"type\": \"rules_ge\", \"threshold\": 0.4}").unwrap();
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            v.get("algorithm").and_then(JsonValue::as_str),
+            Some("similarity")
+        );
+
+        request(&mut client, "{\"type\": \"shutdown\"}").unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.errors, 3);
+        assert!(stats.requests >= 5);
+    }
+
+    #[test]
+    fn concurrent_clients_each_get_exact_answers() {
+        let (addr, handle) = start(MineConfig::implications(0.8).unwrap());
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                thread::spawn(move || {
+                    let mut client = TcpStream::connect(addr).unwrap();
+                    for _ in 0..25 {
+                        let v =
+                            request(&mut client, "{\"type\": \"rule\", \"lhs\": 5, \"rhs\": 3}")
+                                .unwrap();
+                        assert_eq!(get_u64(&v, &["answer", "hits"]), 3);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut client = TcpStream::connect(addr).unwrap();
+        request(&mut client, "{\"type\": \"shutdown\"}").unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.connections, 5);
+        assert_eq!(stats.requests, 101);
+        assert_eq!(stats.errors, 0);
+    }
+}

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Smoke-test the rule-serving daemon over its real TCP wire protocol.
+
+Usage: serve_smoke.py DMC_BINARY DATA_FILE [METRICS_FILE]
+
+    DMC_BINARY    path to the `dmc` CLI (the script runs `dmc serve`)
+    DATA_FILE     transaction file to mine and serve
+    METRICS_FILE  optional --metrics destination; the daemon writes its
+                  v5 run report there after shutdown
+
+Starts `dmc serve DATA_FILE --minconf 0.9 --addr 127.0.0.1:0`, waits
+for the `listening on HOST:PORT` line, then exercises every request
+type over one connection: `stats`, `rule`, `rules_ge`, a garbage frame
+(which must produce an error response without killing the connection),
+`ingest`, and finally `shutdown`. Asserts the daemon exits 0 and, when
+METRICS_FILE is given, that the report carries non-null `serve` and
+`ingest` sections consistent with what the script did.
+
+Exits 0 on success, 1 with a diagnostic otherwise. CI runs this in the
+serve-smoke job; the Rust test suite covers the same surface in-process
+(crates/serve), so this script guards the shipped binary end to end.
+"""
+
+import json
+import os
+import socket
+import struct
+import subprocess
+import sys
+import time
+
+
+def send_frame(sock, payload: bytes) -> None:
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def recv_frame(sock) -> dict:
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        assert chunk, "connection closed while reading a frame header"
+        header += chunk
+    (length,) = struct.unpack(">I", header)
+    payload = b""
+    while len(payload) < length:
+        chunk = sock.recv(length - len(payload))
+        assert chunk, "connection closed mid-payload"
+        payload += chunk
+    return json.loads(payload)
+
+
+def request(sock, obj: dict) -> dict:
+    send_frame(sock, json.dumps(obj).encode())
+    return recv_frame(sock)
+
+
+def wait_for_listen_line(proc, timeout=60.0) -> tuple:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"daemon exited before announcing readiness "
+                f"(code {proc.poll()})")
+        line = line.strip()
+        print(f"daemon: {line}")
+        if line.startswith("listening on "):
+            host, _, port = line.rpartition(" ")[2].rpartition(":")
+            return host.strip("[]"), int(port)
+    raise AssertionError("timed out waiting for the listening line")
+
+
+def check(binary, data, metrics):
+    cmd = [binary, "serve", data, "--minconf", "0.9",
+           "--addr", "127.0.0.1:0"]
+    if metrics:
+        cmd += ["--metrics", metrics]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+    try:
+        host, port = wait_for_listen_line(proc)
+        sock = socket.create_connection((host, port), timeout=30)
+        sock.settimeout(30)
+        with sock:
+            stats = request(sock, {"type": "stats"})
+            assert stats["ok"] is True, stats
+            s = stats["stats"]
+            assert s["algorithm"] == "implication", s
+            assert s["rules"] > 0, f"mined rule set is empty: {s}"
+            rows_before = s["rows"]
+
+            answer = request(sock, {"type": "rule", "lhs": 0, "rhs": 1})
+            assert answer["ok"] is True, answer
+            a = answer["answer"]
+            assert a["hits"] <= min(a["lhs_ones"], a["rhs_ones"]), a
+
+            listing = request(
+                sock, {"type": "rules_ge", "threshold": 0.9, "limit": 5})
+            assert listing["ok"] is True, listing
+            assert len(listing["rules"]) <= 5, listing
+            assert listing["total"] >= len(listing["rules"]), listing
+            for rule in listing["rules"]:
+                assert rule["confidence"] >= 0.9 - 1e-9, rule
+
+            # A garbage frame draws an error response and must not
+            # poison the connection.
+            send_frame(sock, b"this is not json")
+            err = recv_frame(sock)
+            assert err["ok"] is False and err["error"], err
+
+            ingest = request(
+                sock, {"type": "ingest", "rows": [[0, 1], [0, 1], [2]]})
+            assert ingest["ok"] is True, ingest
+            assert ingest["report"]["rows"] == 3, ingest
+
+            stats2 = request(sock, {"type": "stats"})
+            assert stats2["ok"] is True, stats2
+            s2 = stats2["stats"]
+            assert s2["rows"] == rows_before + 3, (s, s2)
+            assert s2["errors"] >= 1, s2
+            assert s2["requests"] > s2["errors"], s2
+
+            bye = request(sock, {"type": "shutdown"})
+            assert bye["ok"] is True, bye
+
+        code = proc.wait(timeout=60)
+        assert code == 0, f"daemon exited {code}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        proc.stdout.close()
+
+    if metrics:
+        assert os.path.exists(metrics), f"missing report {metrics}"
+        with open(metrics) as f:
+            report = json.load(f)
+        serve = report["serve"]
+        assert serve is not None and serve["connections"] >= 1, serve
+        assert serve["errors"] >= 1, serve
+        assert serve["errors"] <= serve["requests"], serve
+        ingested = report["ingest"]
+        assert ingested is not None and ingested["rows_ingested"] == 3, \
+            ingested
+
+    print("serve smoke: ok")
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    try:
+        check(argv[1], argv[2], argv[3] if len(argv) == 4 else None)
+    except AssertionError as e:
+        print(f"serve smoke: FAILED: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

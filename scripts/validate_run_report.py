@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a `dmc.run_report.v4` JSON run report.
+"""Validate a `dmc.run_report.v5` JSON run report.
 
 Usage: validate_run_report.py PATH ALGORITHM MODE WORKERS
 
@@ -13,7 +13,10 @@ reconciliation identities the observability layer guarantees:
 admitted = deleted + emitted (per stage and for the run), stage
 counters sum to the run counters, worker admissions sum to the run,
 kept rules across stages equal the emitted rule count, and the
-driver-measured `wall_seconds` covers at least the named phases.
+driver-measured `wall_seconds` covers at least the named phases. The
+v5 `serve` / `ingest` sections must be null or well-formed objects:
+a server cannot err on more requests than it received, and an
+ingesting engine cannot bear more rules than it recounted pairs.
 
 Exits 0 on a valid report, 1 with a diagnostic otherwise. CI runs this
 against freshly mined reports; `tests/tests/validator_script.rs` runs
@@ -23,14 +26,19 @@ it in the repo test suite so the script cannot drift from the schema.
 import json
 import sys
 
-SCHEMA = "dmc.run_report.v4"
+SCHEMA = "dmc.run_report.v5"
 
 REQUIRED_KEYS = (
     "schema", "algorithm", "mode", "threads", "rows", "cols", "threshold",
     "rules", "counters", "hundred_stage", "sub_stage", "reverse_rules",
     "phases", "wall_seconds", "peak_candidates", "peak_counter_bytes",
-    "bitmap_switch_at", "spill_bytes", "io", "workers",
+    "bitmap_switch_at", "spill_bytes", "io", "workers", "serve", "ingest",
 )
+
+SERVE_KEYS = ("connections", "requests", "errors")
+
+INGEST_KEYS = ("batches", "rows_ingested", "pairs_bumped",
+               "pairs_recounted", "rules_born", "rules_died")
 
 
 def check(path, algorithm, mode, workers):
@@ -77,6 +85,25 @@ def check(path, algorithm, mode, workers):
         for w in r["workers"]:
             assert 0 <= w["blocks_stolen"] <= w["blocks_processed"], \
                 (path, w)
+
+    serve = r["serve"]
+    if serve is not None:
+        for key in SERVE_KEYS:
+            assert key in serve, f"{path}: serve missing {key}"
+            assert isinstance(serve[key], int) and serve[key] >= 0, \
+                (path, key, serve)
+        assert serve["errors"] <= serve["requests"], (path, serve)
+
+    ingest = r["ingest"]
+    if ingest is not None:
+        for key in INGEST_KEYS:
+            assert key in ingest, f"{path}: ingest missing {key}"
+            assert isinstance(ingest[key], int) and ingest[key] >= 0, \
+                (path, key, ingest)
+        assert ingest["rules_born"] <= ingest["pairs_recounted"], \
+            (path, ingest)
+        assert not (ingest["batches"] == 0 and ingest["rows_ingested"] > 0), \
+            (path, ingest)
 
     if r["bitmap_switch_at"] is not None:
         assert 0 <= r["bitmap_switch_at"] <= r["rows"], path

@@ -28,20 +28,13 @@ fn run_tiny() -> BenchSuite {
 fn suite_run_emits_a_valid_reconciled_record() {
     let suite = run_tiny();
     assert_eq!(suite.schema, BENCH_SCHEMA);
-    // 1 scale x 2 modes x 2 algorithms x 2 thread counts.
-    assert_eq!(suite.cells.len(), 8);
+    // 1 scale x 2 modes x 2 algorithms x 2 thread counts, plus the
+    // engine query/ingest cell pair for the scale.
+    assert_eq!(suite.cells.len(), 10);
     for cell in &suite.cells {
         assert_eq!(cell.seconds.len(), 3, "{}", cell.id);
         assert!(cell.median_seconds > 0.0, "{}", cell.id);
         assert!(cell.mad_seconds >= 0.0, "{}", cell.id);
-        // The miss-counting identity, straight from the recorded
-        // fingerprint: every admitted candidate was deleted or emitted.
-        assert_eq!(
-            cell.counters.candidates_admitted,
-            cell.counters.candidates_deleted + cell.counters.rules_emitted,
-            "{}",
-            cell.id
-        );
         assert!(cell.rules > 0, "{}: planted rules must be found", cell.id);
         assert!(cell.rows_per_sec > 0.0, "{}", cell.id);
         let streamed = cell.mode == "stream";
@@ -57,7 +50,35 @@ fn suite_run_emits_a_valid_reconciled_record() {
             cell.algorithm, cell.mode, cell.threads, cell.scale
         );
         assert_eq!(cell.id, expected_id);
+        if cell.algorithm == "engine" {
+            // Engine cells repurpose rows_scanned as their unit of work
+            // (queries answered / rows ingested); the miss-counting
+            // identity below is a driver-scan property and does not
+            // apply to them.
+            assert_eq!(cell.threads, 1, "{}", cell.id);
+            assert!(cell.counters.rows_scanned > 0, "{}", cell.id);
+            continue;
+        }
+        // The miss-counting identity, straight from the recorded
+        // fingerprint: every admitted candidate was deleted or emitted.
+        assert_eq!(
+            cell.counters.candidates_admitted,
+            cell.counters.candidates_deleted + cell.counters.rules_emitted,
+            "{}",
+            cell.id
+        );
     }
+    // The engine pair reports its throughput units: queries answered and
+    // rows ingested (a quarter of the dataset, per the 3:4 base split).
+    let query = suite.cell("engine/query/t1/small").unwrap();
+    assert_eq!(query.counters.rows_scanned, 20_000);
+    let ingest = suite.cell("engine/ingest/t1/small").unwrap();
+    assert_eq!(ingest.counters.rows_scanned, 1500);
+    assert_eq!(
+        ingest.rules,
+        suite.cell("imp/mem/t1/small").unwrap().rules,
+        "incremental ingest ends at the batch miner's rule set"
+    );
     // DMC-imp counters are exact under the block scheduler, so even the
     // cross-engine pair (t1 sequential vs t2 block-scheduler) agrees on
     // the full work counters; run_suite asserts the per-engine and

@@ -6,9 +6,9 @@
 //!
 //! * **transient faults are invisible** — with retries enabled the run
 //!   succeeds and its rules are byte-identical to a fault-free run;
-//! * **permanent faults surface typed errors** — `StreamError::Io` with
+//! * **permanent faults surface typed errors** — `MineError::Io` with
 //!   the original `ErrorKind`/os-error intact, or
-//!   `StreamError::CorruptSpill` for silent data damage (torn writes,
+//!   `MineError::CorruptSpill` for silent data damage (torn writes,
 //!   bit flips, lost tails) — never garbage rules;
 //! * **no spill files leak**, success or failure.
 //!
@@ -18,7 +18,7 @@
 //! (the panic message embeds the plan, which `FaultPlan::seeded` makes
 //! exactly replayable from the seed).
 
-use dmc_core::{Miner, RetryPolicy, SpillSettings, StreamError};
+use dmc_core::{MineError, Miner, RetryPolicy, SpillSettings};
 use dmc_matrix::spill_io::{FaultPlan, FaultyIo};
 use dmc_matrix::ColumnId;
 use std::convert::Infallible;
@@ -54,31 +54,28 @@ fn rows() -> Vec<Result<Vec<ColumnId>, Infallible>> {
 
 /// Runs one streamed driver end to end, returning its rules rendered to
 /// strings so implication and similarity runs compare uniformly.
-fn run_driver(
-    driver: &str,
-    settings: SpillSettings,
-) -> Result<Vec<String>, StreamError<Infallible>> {
+fn run_driver(driver: &str, settings: SpillSettings) -> Result<Vec<String>, MineError<Infallible>> {
     // The parallel cases must actually spawn 3 workers, host cores
     // notwithstanding — fault paths through the scheduler are the point.
     std::env::set_var("DMC_SCHED_OVERSUBSCRIBE", "1");
     match driver {
         "imp-seq" => Miner::implications(0.8)
             .spill(settings)
-            .run_streamed(rows(), N_COLS)
+            .mine_streamed(rows(), N_COLS)
             .map(|o| o.rules.iter().map(ToString::to_string).collect()),
         "imp-par" => Miner::implications(0.8)
             .spill(settings)
             .threads(3)
-            .run_streamed(rows(), N_COLS)
+            .mine_streamed(rows(), N_COLS)
             .map(|o| o.rules.iter().map(ToString::to_string).collect()),
         "sim-seq" => Miner::similarities(0.5)
             .spill(settings)
-            .run_streamed(rows(), N_COLS)
+            .mine_streamed(rows(), N_COLS)
             .map(|o| o.rules.iter().map(ToString::to_string).collect()),
         "sim-par" => Miner::similarities(0.5)
             .spill(settings)
             .threads(3)
-            .run_streamed(rows(), N_COLS)
+            .mine_streamed(rows(), N_COLS)
             .map(|o| o.rules.iter().map(ToString::to_string).collect()),
         other => panic!("unknown driver {other}"),
     }
@@ -160,7 +157,7 @@ fn transient_retries_surface_in_the_run_report() {
     let (io, settings) = faulty_settings(plan, &dir);
     let out = Miner::implications(0.8)
         .spill(settings)
-        .run_streamed(rows(), N_COLS)
+        .mine_streamed(rows(), N_COLS)
         .expect("transient faults retried");
     assert_eq!(io.fired().len(), 2);
     let counters = out.report.io.expect("streamed run reports io counters");
@@ -177,9 +174,9 @@ fn transient_retries_surface_in_the_run_report() {
 
 /// What a permanent fault must surface as.
 enum Expected {
-    /// `StreamError::Io` carrying this raw os error.
+    /// `MineError::Io` carrying this raw os error.
     Io(i32),
-    /// `StreamError::CorruptSpill` from the framing/checksum guards.
+    /// `MineError::CorruptSpill` from the framing/checksum guards.
     Corrupt,
 }
 
@@ -204,7 +201,7 @@ fn permanent_faults_surface_typed_errors_without_leaks() {
             };
             match expected {
                 Expected::Io(raw) => match &err {
-                    StreamError::Io { error, .. } => assert_eq!(
+                    MineError::Io { error, .. } => assert_eq!(
                         error.raw_os_error(),
                         Some(*raw),
                         "{driver} under {plan}: wrong os error ({error})"
@@ -212,7 +209,7 @@ fn permanent_faults_surface_typed_errors_without_leaks() {
                     other => panic!("{driver} under {plan}: expected Io, got {other}"),
                 },
                 Expected::Corrupt => assert!(
-                    matches!(err, StreamError::CorruptSpill { .. }),
+                    matches!(err, MineError::CorruptSpill { .. }),
                     "{driver} under {plan}: expected CorruptSpill, got {err}"
                 ),
             }
@@ -262,7 +259,7 @@ fn seeded_fault_sweep() {
                         "seed {seed} {driver}: transient-only plan failed: {e}; {plan}"
                     );
                     assert!(
-                        matches!(e, StreamError::Io { .. } | StreamError::CorruptSpill { .. }),
+                        matches!(e, MineError::Io { .. } | MineError::CorruptSpill { .. }),
                         "seed {seed} {driver}: untyped failure {e}; {plan}"
                     );
                 }

@@ -42,25 +42,31 @@ fn all_reports(m: &SparseMatrix, threshold: f64) -> Vec<(String, RunReport)> {
     force_workers();
     let mut out = Vec::new();
     for threads in [1usize, 3] {
-        let imp = Miner::implications(threshold).threads(threads).run(m);
+        let imp = Miner::implications(threshold)
+            .threads(threads)
+            .mine(m)
+            .expect("in-memory mines cannot fail");
         out.push((format!("imp mem t={threads}"), imp.report));
         let imp_s = Miner::implications(threshold)
             .threads(threads)
-            .run_streamed(rows_of(m), m.n_cols())
+            .mine_streamed(rows_of(m), m.n_cols())
             .unwrap();
         out.push((format!("imp stream t={threads}"), imp_s.report));
-        let sim = Miner::similarities(threshold).threads(threads).run(m);
+        let sim = Miner::similarities(threshold)
+            .threads(threads)
+            .mine(m)
+            .expect("in-memory mines cannot fail");
         out.push((format!("sim mem t={threads}"), sim.report));
         let sim_s = Miner::similarities(threshold)
             .threads(threads)
-            .run_streamed(rows_of(m), m.n_cols())
+            .mine_streamed(rows_of(m), m.n_cols())
             .unwrap();
         out.push((format!("sim stream t={threads}"), sim_s.report));
     }
     out
 }
 
-/// The golden top-level key set of `dmc.run_report.v4`, in serialization
+/// The golden top-level key set of `dmc.run_report.v5`, in serialization
 /// order. A failure here means the schema changed: bump the version.
 const GOLDEN_KEYS: &[&str] = &[
     "schema",
@@ -83,6 +89,8 @@ const GOLDEN_KEYS: &[&str] = &[
     "spill_bytes",
     "io",
     "workers",
+    "serve",
+    "ingest",
 ];
 
 const GOLDEN_IO_KEYS: &[&str] = &[
@@ -154,7 +162,9 @@ fn all_eight_drivers_emit_the_same_schema() {
 #[test]
 fn golden_report_values_fig2() {
     let m = fig2();
-    let out = Miner::implications(0.8).run(&m);
+    let out = Miner::implications(0.8)
+        .mine(&m)
+        .expect("in-memory mines cannot fail");
     let json = JsonValue::parse(&out.report.to_json()).unwrap();
     let u = |k: &str| json.get(k).and_then(JsonValue::as_u64).unwrap();
     assert_eq!(
@@ -197,7 +207,7 @@ fn streamed_reports_carry_spill_bytes() {
     for threads in [1usize, 4] {
         let out = Miner::implications(0.8)
             .threads(threads)
-            .run_streamed(rows_of(&m), m.n_cols())
+            .mine_streamed(rows_of(&m), m.n_cols())
             .unwrap();
         assert_eq!(out.report.spill_bytes, expected, "threads={threads}");
         assert_eq!(out.report.mode, "streamed");
@@ -221,7 +231,10 @@ fn streamed_reports_carry_spill_bytes() {
 fn parallel_reports_sum_workers_to_run_counters() {
     force_workers();
     let m = fig2();
-    let out = Miner::similarities(0.4).threads(4).run(&m);
+    let out = Miner::similarities(0.4)
+        .threads(4)
+        .mine(&m)
+        .expect("in-memory mines cannot fail");
     let r = &out.report;
     assert_eq!(r.workers.len(), 4);
     let admitted: u64 = r.workers.iter().map(|w| w.tally.candidates_admitted).sum();
@@ -232,8 +245,12 @@ fn parallel_reports_sum_workers_to_run_counters() {
 #[test]
 fn report_accessible_through_the_output_trait() {
     let m = fig2();
-    let imp = Miner::implications(0.8).run(&m);
-    let sim = Miner::similarities(0.4).run(&m);
+    let imp = Miner::implications(0.8)
+        .mine(&m)
+        .expect("in-memory mines cannot fail");
+    let sim = Miner::similarities(0.4)
+        .mine(&m)
+        .expect("in-memory mines cannot fail");
     assert_eq!(MinedOutput::report(&imp).algorithm, "implication");
     assert_eq!(MinedOutput::report(&sim).algorithm, "similarity");
 }

@@ -64,7 +64,11 @@ fn accepts_reports_from_real_drivers() {
     let cases: Vec<(&str, String, &str, &str, usize)> = vec![
         (
             "imp-mem.json",
-            Miner::implications(0.9).run(&m).report.to_json(),
+            Miner::implications(0.9)
+                .mine(&m)
+                .expect("in-memory mines cannot fail")
+                .report
+                .to_json(),
             "implication",
             "in-memory",
             0,
@@ -73,7 +77,7 @@ fn accepts_reports_from_real_drivers() {
             "sim-stream-t4.json",
             Miner::similarities(0.7)
                 .threads(4)
-                .run_streamed(rows_of(&m), m.n_cols())
+                .mine_streamed(rows_of(&m), m.n_cols())
                 .unwrap()
                 .report
                 .to_json(),
@@ -83,7 +87,12 @@ fn accepts_reports_from_real_drivers() {
         ),
         (
             "imp-mem-t2.json",
-            Miner::implications(0.9).threads(2).run(&m).report.to_json(),
+            Miner::implications(0.9)
+                .threads(2)
+                .mine(&m)
+                .expect("in-memory mines cannot fail")
+                .report
+                .to_json(),
             "implication",
             "in-memory",
             2,
@@ -102,7 +111,11 @@ fn accepts_reports_from_real_drivers() {
 fn rejects_tampered_and_mismatched_reports() {
     let dir = TempDir::new();
     let m = matrix();
-    let good = Miner::implications(0.9).run(&m).report.to_json();
+    let good = Miner::implications(0.9)
+        .mine(&m)
+        .expect("in-memory mines cannot fail")
+        .report
+        .to_json();
 
     // Wrong expectations against a valid report.
     let path = dir.0.join("good.json");
