@@ -33,7 +33,11 @@
 //! pair** measuring the persistent [`Engine`]: `engine/query/t1/*` (point
 //! queries per second against a mined engine) and `engine/ingest/t1/*`
 //! (rows per second through incremental [`Engine::ingest`], asserted
-//! byte-identical to a from-scratch mine on every repeat).
+//! byte-identical to a from-scratch mine on every repeat), and a **shard
+//! cell pair** measuring the column-sharded protocol: `shard/mine/t4/*`
+//! (the full plan → worker → checksummed-merge pipeline) and
+//! `shard/merge/t4/*` (the fingerprint-verified merge alone), each
+//! asserting the union byte-identical to the unsharded mine.
 //!
 //! [`baseline`](crate::baseline) serializes the result under the
 //! `dmc.bench.v1` schema and [`compare`](crate::compare) diffs two such
@@ -118,7 +122,8 @@ pub struct SuiteConfig {
 impl SuiteConfig {
     /// The full matrix: small + medium planted data, threads 1/2/4/8,
     /// 1 warm-up + 5 measured repeats per cell (32 driver cells plus an
-    /// engine query/ingest pair per scale, 36 total).
+    /// engine query/ingest pair and a shard mine/merge pair per scale,
+    /// 40 total).
     #[must_use]
     pub fn full() -> Self {
         Self {
@@ -134,7 +139,8 @@ impl SuiteConfig {
 
     /// The CI gate matrix: small planted data only, threads 1/4,
     /// 1 warm-up + 5 measured repeats per cell (8 driver cells plus the
-    /// engine query/ingest pair, 10 total). The extra
+    /// engine query/ingest pair and the shard mine/merge pair, 12
+    /// total). The extra
     /// repeats over the minimum of 3 cost well under a second and buy a
     /// noticeably steadier median on shared runners.
     #[must_use]
@@ -386,19 +392,33 @@ fn next_column(state: &mut u64, cols: u64) -> u32 {
     ((*state >> 33) % cols) as u32
 }
 
-/// Assembles a [`BenchCell`] from per-repeat seconds and the (repeat-
-/// invariant) counter fingerprint, mirroring the driver cells' rate
-/// derivations — for engine cells `rows_per_sec` is queries/sec or
-/// ingested rows/sec, depending on what `rows_scanned` counts.
-fn engine_cell(
-    mode: &str,
+/// Identity and workload shape of a non-driver cell — everything about
+/// it except the measurements.
+struct CellSpec<'a> {
+    family: &'a str,
+    mode: &'a str,
+    threads: u64,
     scale: Scale,
     matrix_shape: (u64, u64),
     threshold: f64,
     rules: u64,
-    seconds: Vec<f64>,
-    fp: CounterFingerprint,
-) -> BenchCell {
+}
+
+/// Assembles a [`BenchCell`] from per-repeat seconds and the (repeat-
+/// invariant) counter fingerprint, mirroring the driver cells' rate
+/// derivations — for engine cells `rows_per_sec` is queries/sec or
+/// ingested rows/sec, depending on what `rows_scanned` counts; for shard
+/// cells it is shard-scans/sec (each worker re-scans every row).
+fn family_cell(spec: CellSpec, seconds: Vec<f64>, fp: CounterFingerprint) -> BenchCell {
+    let CellSpec {
+        family,
+        mode,
+        threads,
+        scale,
+        matrix_shape,
+        threshold,
+        rules,
+    } = spec;
     let median_seconds = median(&seconds);
     let mad_seconds = mad(&seconds);
     let rate = |work: u64| {
@@ -409,10 +429,10 @@ fn engine_cell(
         }
     };
     BenchCell {
-        id: format!("engine/{mode}/t1/{}", scale_tag(scale)),
-        algorithm: "engine".into(),
+        id: format!("{family}/{mode}/t{threads}/{}", scale_tag(scale)),
+        algorithm: family.into(),
         mode: mode.into(),
-        threads: 1,
+        threads,
         scale: scale_tag(scale).into(),
         rows: matrix_shape.0,
         cols: matrix_shape.1,
@@ -475,12 +495,16 @@ fn engine_query_cell(matrix: &SparseMatrix, scale: Scale, config: &SuiteConfig) 
         rules_emitted: qualifying,
         ..CounterFingerprint::default()
     };
-    engine_cell(
-        "query",
-        scale,
-        (matrix.n_rows() as u64, cols),
-        config.minconf,
-        engine.rule_count() as u64,
+    family_cell(
+        CellSpec {
+            family: "engine",
+            mode: "query",
+            threads: 1,
+            scale,
+            matrix_shape: (matrix.n_rows() as u64, cols),
+            threshold: config.minconf,
+            rules: engine.rule_count() as u64,
+        },
         seconds,
         fp,
     )
@@ -547,15 +571,134 @@ fn engine_ingest_cell(matrix: &SparseMatrix, scale: Scale, config: &SuiteConfig)
         seconds.push(secs);
     }
     let fp = first.expect("repeats >= 1");
-    engine_cell(
-        "ingest",
-        scale,
-        (matrix.n_rows() as u64, matrix.n_cols() as u64),
-        config.minconf,
-        fp.rules_emitted,
+    family_cell(
+        CellSpec {
+            family: "engine",
+            mode: "ingest",
+            threads: 1,
+            scale,
+            matrix_shape: (matrix.n_rows() as u64, matrix.n_cols() as u64),
+            threshold: config.minconf,
+            rules: fp.rules_emitted,
+        },
         seconds,
         fp,
     )
+}
+
+/// Worker-shard count of the shard cell family.
+const SHARD_WORKERS: usize = 4;
+
+/// Warm-up + measured passes of one cell body, asserting the counter
+/// fingerprint is repeat-invariant.
+fn measure(
+    config: &SuiteConfig,
+    id: &str,
+    mut pass: impl FnMut() -> (f64, CounterFingerprint),
+) -> (Vec<f64>, CounterFingerprint) {
+    for _ in 0..config.warmup {
+        let _ = pass();
+    }
+    let mut seconds = Vec::with_capacity(config.repeats);
+    let mut first: Option<CounterFingerprint> = None;
+    for repeat in 0..config.repeats {
+        let (secs, fp) = pass();
+        match &first {
+            None => first = Some(fp),
+            Some(fp0) => assert_eq!(
+                fp, *fp0,
+                "{id}: counters drifted between repeats 0 and {repeat}"
+            ),
+        }
+        seconds.push(secs);
+    }
+    (seconds, first.expect("repeats >= 1"))
+}
+
+/// The `shard/mine/t4/{scale}` and `shard/merge/t4/{scale}` cells:
+/// the full column-sharded pipeline (plan → [`SHARD_WORKERS`] workers
+/// writing checksummed spills → fingerprint-verified merge) and the
+/// merge step alone over pre-written spills. Every repeat asserts the
+/// merged rule set is byte-identical to an unsharded mine, so the cells
+/// double as a continuous fidelity check on the shard protocol.
+fn shard_cells(matrix: &SparseMatrix, scale: Scale, config: &SuiteConfig) -> Vec<BenchCell> {
+    use dmc_core::shard::run_worker;
+    use dmc_core::{merge_shards, plan_shards, shard_mine, RetryPolicy};
+    use dmc_matrix::spill_io::StdFsIo;
+
+    let dir = std::env::temp_dir().join(format!(
+        "dmc-bench-shard-{}-{}",
+        std::process::id(),
+        scale_tag(scale)
+    ));
+    std::fs::create_dir_all(&dir).expect("bench shard temp dir");
+    let cfg = MineConfig::implications(config.minconf).expect("suite minconf is valid");
+    let retry = RetryPolicy::none();
+    let shape = (matrix.n_rows() as u64, matrix.n_cols() as u64);
+    let expected = Miner::implications(config.minconf)
+        .mine(matrix)
+        .expect("in-memory mines cannot fail")
+        .rules;
+
+    let mine_id = format!("shard/mine/t{SHARD_WORKERS}/{}", scale_tag(scale));
+    let manifest = dir.join("mine.manifest");
+    let (mine_seconds, mine_fp) = measure(config, &mine_id, || {
+        let start = Instant::now();
+        let merged = shard_mine(
+            &StdFsIo,
+            &manifest,
+            retry,
+            &cfg,
+            matrix,
+            SHARD_WORKERS,
+            false,
+        )
+        .expect("bench shard mine");
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(
+            merged.imp_rules, expected,
+            "{mine_id}: merged rules diverged from the unsharded mine"
+        );
+        assert!(merged.report.reconciles(), "{mine_id}: report reconciles");
+        (seconds, CounterFingerprint::of(&merged.report))
+    });
+
+    // Merge-only: the spills are written once, untimed, and kept across
+    // passes (`keep_shards`), so each pass re-validates and re-unions.
+    let merge_id = format!("shard/merge/t{SHARD_WORKERS}/{}", scale_tag(scale));
+    let merge_manifest = dir.join("merge.manifest");
+    let plan = plan_shards(matrix.n_cols(), SHARD_WORKERS).expect("suite shard plan");
+    for index in 0..plan.len() {
+        run_worker(&StdFsIo, &merge_manifest, retry, &cfg, matrix, &plan, index)
+            .expect("bench shard worker");
+    }
+    let (merge_seconds, merge_fp) = measure(config, &merge_id, || {
+        let start = Instant::now();
+        let merged = merge_shards(&StdFsIo, &merge_manifest, plan.len(), retry, true)
+            .expect("bench shard merge");
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(
+            merged.imp_rules, expected,
+            "{merge_id}: merged rules diverged from the unsharded mine"
+        );
+        (seconds, CounterFingerprint::of(&merged.report))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rules = expected.len() as u64;
+    let spec = |mode| CellSpec {
+        family: "shard",
+        mode,
+        threads: SHARD_WORKERS as u64,
+        scale,
+        matrix_shape: shape,
+        threshold: config.minconf,
+        rules,
+    };
+    vec![
+        family_cell(spec("mine"), mine_seconds, mine_fp),
+        family_cell(spec("merge"), merge_seconds, merge_fp),
+    ]
 }
 
 /// Runs the whole matrix and assembles the suite record.
@@ -678,10 +821,15 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchS
         // The engine cell family: persistent-engine point queries and
         // incremental ingest, always single-threaded (both paths hold
         // the engine exclusively, there is no worker fan-out to scale).
-        for cell in [
+        let mut extra = vec![
             engine_query_cell(&matrix, scale, config),
             engine_ingest_cell(&matrix, scale, config),
-        ] {
+        ];
+        // The shard cell family: the multi-process protocol measured
+        // in-process (plan → workers → checksummed merge), plus the merge
+        // step alone.
+        extra.extend(shard_cells(&matrix, scale, config));
+        for cell in extra {
             progress(&format!(
                 "{}: median {:.4}s mad {:.4}s ({} rules)",
                 cell.id, cell.median_seconds, cell.mad_seconds, cell.rules

@@ -56,6 +56,9 @@ const VALUED: &[&str] = &[
     "rules",
     "metrics",
     "addr",
+    "shards",
+    "worker",
+    "manifest",
 ];
 
 impl Args {

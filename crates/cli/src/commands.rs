@@ -305,6 +305,218 @@ pub fn serve(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Exactly one of `--minconf` / `--minsim`, folded with the shared
+/// mining knobs into a [`MineConfig`] (the same shape the workers use).
+fn shard_config(args: &Args) -> Result<MineConfig, Box<dyn Error>> {
+    match (args.get("minconf"), args.get("minsim")) {
+        (Some(c), None) => {
+            let minconf: f64 = c
+                .parse()
+                .map_err(|_| ArgError::BadValue("minconf".into(), c.into()))?;
+            MineConfig::implications(minconf)?; // range check with the typed error
+            Ok(ImplicationConfig::new(minconf)
+                .with_row_order(row_order(args)?)
+                .with_switch(switch_policy(args)?)
+                .with_reverse(args.flag("reverse"))
+                .with_hundred_stage(!args.flag("no-hundred-stage"))
+                .into())
+        }
+        (None, Some(s)) => {
+            let minsim: f64 = s
+                .parse()
+                .map_err(|_| ArgError::BadValue("minsim".into(), s.into()))?;
+            MineConfig::similarities(minsim)?;
+            Ok(SimilarityConfig::new(minsim)
+                .with_row_order(row_order(args)?)
+                .with_switch(switch_policy(args)?)
+                .with_max_hits_pruning(!args.flag("no-max-hits"))
+                .with_hundred_stage(!args.flag("no-hundred-stage"))
+                .into())
+        }
+        _ => Err(Box::new(ArgError::Required("minconf | --minsim".into()))),
+    }
+}
+
+/// Parses a `--worker INDEX:LO-HI,LO-HI,...` spec into the worker's index
+/// and the full shard plan. Malformed specs, an out-of-range index and
+/// overlapping or duplicate ranges are usage errors (exit 2); gaps
+/// against the matrix width can only be checked after the input loads.
+fn parse_worker_spec(spec: &str) -> Result<(usize, Vec<(u32, u32)>), ArgError> {
+    let bad = || ArgError::BadValue("worker".into(), spec.into());
+    let (idx, ranges_str) = spec.split_once(':').ok_or_else(bad)?;
+    let index: usize = idx.parse().map_err(|_| bad())?;
+    let mut ranges = Vec::new();
+    for part in ranges_str.split(',') {
+        let (lo, hi) = part.split_once('-').ok_or_else(bad)?;
+        let lo: u32 = lo.parse().map_err(|_| bad())?;
+        let hi: u32 = hi.parse().map_err(|_| bad())?;
+        if lo > hi {
+            return Err(bad());
+        }
+        ranges.push((lo, hi));
+    }
+    if index >= ranges.len() {
+        return Err(bad());
+    }
+    let mut sorted = ranges.clone();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[1].0 < w[0].1 || w[0] == w[1]) {
+        return Err(bad());
+    }
+    Ok((index, ranges))
+}
+
+/// Option names a shard coordinator forwards verbatim to its workers so
+/// every worker mines under the exact configuration of the parent.
+const FORWARDED_VALUED: &[&str] = &[
+    "minconf",
+    "minsim",
+    "order",
+    "switch-rows",
+    "switch-bytes",
+    "spill-retries",
+];
+const FORWARDED_FLAGS: &[&str] = &["reverse", "no-hundred-stage", "no-max-hits"];
+
+/// `dmc shard`: column-sharded multi-process mining.
+///
+/// Without `--worker` or `--merge` this is the coordinator: it plans the
+/// column split, spawns one worker child process per shard (each re-runs
+/// this binary with `--worker INDEX:PLAN`), then validates and merges the
+/// shard spills into the consolidated manifest and the merged rule set —
+/// byte-identical to an unsharded `dmc imp` / `dmc sim` run.
+pub fn shard(args: &Args) -> CmdResult {
+    let config = shard_config(args)?;
+    let manifest: String = args.require("manifest")?;
+    let retry = dmc_core::RetryPolicy::with_retries(args.get_or("spill-retries", 3)?);
+    let io = dmc_matrix::spill_io::StdFsIo;
+
+    // Worker mode: mine one shard of the plan and write its spill.
+    if let Some(spec) = args.get("worker") {
+        let (index, plan) = parse_worker_spec(spec)?;
+        let matrix = load(args)?;
+        let out = dmc_core::shard::run_worker(
+            &io,
+            std::path::Path::new(&manifest),
+            retry,
+            &config,
+            &matrix,
+            &plan,
+            index,
+        )?;
+        let (lo, hi) = plan[index];
+        if !args.flag("quiet") {
+            eprintln!(
+                "shard {index}: {} rules (columns {lo}..{hi})",
+                out.rule_count()
+            );
+        }
+        return Ok(());
+    }
+
+    let n_shards: usize = args.require("shards")?;
+    if n_shards == 0 {
+        return Err(Box::new(ArgError::BadValue("shards".into(), "0".into())));
+    }
+    if args.get("output") == Some(manifest.as_str()) {
+        return Err(Box::new(ArgError::BadValue(
+            "manifest".into(),
+            format!("{manifest} (collides with --output)"),
+        )));
+    }
+
+    let n_merge = if args.flag("merge") {
+        // Merge-only: the shard spills already exist (e.g. written by
+        // workers of an earlier invocation); just validate and merge.
+        n_shards
+    } else {
+        let input = args
+            .positional(0)
+            .ok_or_else(|| ArgError::Required("<file>".into()))?
+            .to_string();
+        if input == "-" {
+            // Workers each re-read the input, so it must be a real file.
+            return Err(Box::new(ArgError::BadValue("<file>".into(), "-".into())));
+        }
+        let matrix = load(args)?;
+        let plan = dmc_core::plan_shards(matrix.n_cols(), n_shards)?;
+        drop(matrix);
+        let ranges: Vec<String> = plan.iter().map(|(lo, hi)| format!("{lo}-{hi}")).collect();
+        let ranges = ranges.join(",");
+        let exe = std::env::current_exe()?;
+        let mut children = Vec::with_capacity(plan.len());
+        for index in 0..plan.len() {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("shard")
+                .arg(&input)
+                .arg("--manifest")
+                .arg(&manifest)
+                .arg("--worker")
+                .arg(format!("{index}:{ranges}"))
+                .arg("--quiet");
+            for name in FORWARDED_VALUED {
+                if let Some(v) = args.get(name) {
+                    cmd.arg(format!("--{name}")).arg(v);
+                }
+            }
+            for name in FORWARDED_FLAGS {
+                if args.flag(name) {
+                    cmd.arg(format!("--{name}"));
+                }
+            }
+            children.push((index, cmd.spawn()?));
+        }
+        // Wait for every child before judging any, so a failure does not
+        // leave the rest running unattended.
+        let mut failed = Vec::new();
+        for (index, mut child) in children {
+            let status = child.wait()?;
+            if !status.success() {
+                failed.push((index, status));
+            }
+        }
+        if let Some((index, status)) = failed.first() {
+            return Err(format!("shard worker {index} failed with {status}").into());
+        }
+        plan.len()
+    };
+
+    let merged = dmc_core::merge_shards(
+        &io,
+        std::path::Path::new(&manifest),
+        n_merge,
+        retry,
+        args.flag("keep-shards"),
+    )?;
+    if let Some(path) = args.get("output") {
+        let mut file = BufWriter::new(File::create(path)?);
+        dmc_core::write_rules(&merged.imp_rules, &merged.sim_rules, &mut file)?;
+        file.flush()?;
+    }
+    let limit: usize = args.get_or("limit", usize::MAX)?;
+    if !args.flag("quiet") {
+        for rule in merged.imp_rules.iter().take(limit) {
+            println!("{rule}");
+        }
+        for rule in merged.sim_rules.iter().take(limit) {
+            println!("{rule}");
+        }
+    }
+    eprintln!(
+        "{} rules from {} shards at {} {} (manifest {})",
+        merged.report.rules,
+        n_merge,
+        if merged.report.algorithm == "implication" {
+            "minconf"
+        } else {
+            "minsim"
+        },
+        merged.report.threshold,
+        manifest
+    );
+    write_metrics(args, &merged.report)
+}
+
 /// `dmc gen`: synthetic data sets in the text format.
 pub fn gen(args: &Args) -> CmdResult {
     let kind = args

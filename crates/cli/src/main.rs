@@ -45,7 +45,17 @@ commands:
                            ingest over length-framed JSON TCP
       [--threads N] [--addr HOST:PORT] [--metrics FILE|-]
                            (default addr 127.0.0.1:0; the chosen port is
-                           printed as 'listening on HOST:PORT')";
+                           printed as 'listening on HOST:PORT')
+  shard <file> --minconf X | --minsim X --shards N --manifest M
+                           column-sharded multi-process mine: split the
+                           columns into N LHS shards, mine each in a
+                           worker child process, then verify checksums
+                           and counter fingerprints and merge — output
+                           is byte-identical to the unsharded mine
+      [--output FILE] [--metrics FILE|-] [--keep-shards]
+      [--order ...] [--reverse] [--limit N] [--quiet]
+      [--worker I:LO-HI,...]  internal: mine one shard of the plan
+      [--merge]               merge existing shard spills only";
 
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1);
@@ -68,6 +78,7 @@ fn main() -> ExitCode {
         "stats" => commands::stats(&args),
         "gen" => commands::gen(&args),
         "serve" => commands::serve(&args),
+        "shard" => commands::shard(&args),
         _ => {
             eprintln!("dmc: unknown command {command:?}\n{USAGE}");
             return ExitCode::from(2);

@@ -360,3 +360,324 @@ fn verify_roundtrip_through_rules_file() {
     assert!(!ok);
     assert!(stdout.contains("FAIL"), "{stdout}");
 }
+
+#[test]
+fn shard_matches_unsharded_through_real_child_processes() {
+    let dir = std::env::temp_dir().join("dmc-cli-shard-happy");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.txt");
+    let (_, stderr, ok) = run(
+        &[
+            "gen",
+            "weblog",
+            "--rows",
+            "400",
+            "--cols",
+            "60",
+            "--seed",
+            "7",
+            "--output",
+            data.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(ok, "{stderr}");
+    let d = data.to_str().unwrap();
+
+    for (cmd, opt, threshold) in [("imp", "--minconf", "0.8"), ("sim", "--minsim", "0.4")] {
+        let unsharded = dir.join(format!("{cmd}-unsharded.rules"));
+        let (_, stderr, ok) = run(
+            &[
+                cmd,
+                d,
+                opt,
+                threshold,
+                "--output",
+                unsharded.to_str().unwrap(),
+                "--quiet",
+            ],
+            None,
+        );
+        assert!(ok, "{stderr}");
+
+        let sharded = dir.join(format!("{cmd}-sharded.rules"));
+        let manifest = dir.join(format!("{cmd}.manifest"));
+        let metrics = dir.join(format!("{cmd}-report.json"));
+        let (_, stderr, ok) = run(
+            &[
+                "shard",
+                d,
+                opt,
+                threshold,
+                "--shards",
+                "4",
+                "--manifest",
+                manifest.to_str().unwrap(),
+                "--output",
+                sharded.to_str().unwrap(),
+                "--metrics",
+                metrics.to_str().unwrap(),
+                "--quiet",
+            ],
+            None,
+        );
+        assert!(ok, "{stderr}");
+        assert_eq!(
+            std::fs::read(&unsharded).unwrap(),
+            std::fs::read(&sharded).unwrap(),
+            "{cmd}: merged rules byte-identical to the unsharded mine"
+        );
+        assert!(manifest.exists(), "consolidated manifest written");
+        for i in 0..4 {
+            let mut spill = manifest.clone().into_os_string();
+            spill.push(format!(".shard{i}"));
+            assert!(
+                !std::path::Path::new(&spill).exists(),
+                "{cmd}: shard spill {i} removed after merge"
+            );
+        }
+
+        let json = dmc_metrics::json::JsonValue::parse(&std::fs::read_to_string(&metrics).unwrap())
+            .expect("report is valid JSON");
+        assert_eq!(json.get("mode").and_then(|v| v.as_str()), Some("sharded"));
+        assert_eq!(json.get("threads").and_then(|v| v.as_u64()), Some(4));
+        let shard = json.get("shard").expect("shard section");
+        assert_eq!(shard.get("n_shards").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(
+            shard
+                .get("shards")
+                .and_then(|v| v.as_array())
+                .unwrap()
+                .len(),
+            4
+        );
+    }
+}
+
+#[test]
+fn shard_usage_errors_exit_2() {
+    let cases: &[&[&str]] = &[
+        // zero shards
+        &[
+            "shard",
+            "x.txt",
+            "--minconf",
+            "0.9",
+            "--shards",
+            "0",
+            "--manifest",
+            "m",
+        ],
+        // overlapping worker ranges
+        &[
+            "shard",
+            "x.txt",
+            "--minconf",
+            "0.9",
+            "--manifest",
+            "m",
+            "--worker",
+            "0:0-10,5-20",
+        ],
+        // duplicate worker ranges
+        &[
+            "shard",
+            "x.txt",
+            "--minconf",
+            "0.9",
+            "--manifest",
+            "m",
+            "--worker",
+            "1:0-10,0-10",
+        ],
+        // worker index out of range
+        &[
+            "shard",
+            "x.txt",
+            "--minconf",
+            "0.9",
+            "--manifest",
+            "m",
+            "--worker",
+            "2:0-10,10-20",
+        ],
+        // manifest collides with the rule output
+        &[
+            "shard",
+            "x.txt",
+            "--minconf",
+            "0.9",
+            "--shards",
+            "2",
+            "--manifest",
+            "same",
+            "--output",
+            "same",
+        ],
+        // neither --minconf nor --minsim
+        &["shard", "x.txt", "--shards", "2", "--manifest", "m"],
+        // both thresholds at once
+        &[
+            "shard",
+            "x.txt",
+            "--minconf",
+            "0.9",
+            "--minsim",
+            "0.9",
+            "--shards",
+            "2",
+            "--manifest",
+            "m",
+        ],
+        // stdin cannot be re-read by worker children
+        &[
+            "shard",
+            "-",
+            "--minconf",
+            "0.9",
+            "--shards",
+            "2",
+            "--manifest",
+            "m",
+        ],
+    ];
+    for case in cases {
+        let (stderr, code) = run_code(case, None);
+        assert_eq!(code, Some(2), "{case:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "{case:?}: {stderr}");
+    }
+}
+
+#[test]
+fn worker_killed_mid_write_is_detected_by_merge() {
+    let dir = std::env::temp_dir().join("dmc-cli-shard-killed");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.txt");
+    let (_, _, ok) = run(
+        &[
+            "gen",
+            "weblog",
+            "--rows",
+            "300",
+            "--cols",
+            "30",
+            "--seed",
+            "3",
+            "--output",
+            data.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(ok);
+    let d = data.to_str().unwrap();
+    let manifest = dir.join("m");
+    let mf = manifest.to_str().unwrap();
+
+    // Run the three workers by hand (what the coordinator would spawn).
+    for index in 0..3 {
+        let spec = format!("{index}:0-10,10-20,20-30");
+        let (_, stderr, ok) = run(
+            &[
+                "shard",
+                d,
+                "--minconf",
+                "0.8",
+                "--manifest",
+                mf,
+                "--worker",
+                &spec,
+            ],
+            None,
+        );
+        assert!(ok, "worker {index}: {stderr}");
+        assert!(stderr.contains(&format!("shard {index}:")), "{stderr}");
+    }
+
+    // A worker killed mid-write leaves a truncated spill; the merge-only
+    // coordinator must reject it (runtime error: exit 1) and must not
+    // write a manifest.
+    let mut spill = manifest.clone().into_os_string();
+    spill.push(".shard1");
+    let len = std::fs::metadata(&spill).unwrap().len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&spill)
+        .unwrap();
+    f.set_len(len - 5).unwrap();
+    drop(f);
+
+    let (stderr, code) = run_code(
+        &[
+            "shard",
+            d,
+            "--minconf",
+            "0.8",
+            "--shards",
+            "3",
+            "--manifest",
+            mf,
+            "--merge",
+        ],
+        None,
+    );
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("shard 1 corrupt"), "{stderr}");
+    assert!(!manifest.exists(), "failed merge leaves no manifest");
+
+    // Re-running the lost worker repairs the set; the merge then succeeds
+    // and matches the unsharded mine.
+    let (_, _, ok) = run(
+        &[
+            "shard",
+            d,
+            "--minconf",
+            "0.8",
+            "--manifest",
+            mf,
+            "--worker",
+            "1:0-10,10-20,20-30",
+            "--quiet",
+        ],
+        None,
+    );
+    assert!(ok);
+    let merged = dir.join("merged.rules");
+    let (_, stderr, ok) = run(
+        &[
+            "shard",
+            d,
+            "--minconf",
+            "0.8",
+            "--shards",
+            "3",
+            "--manifest",
+            mf,
+            "--merge",
+            "--output",
+            merged.to_str().unwrap(),
+            "--quiet",
+        ],
+        None,
+    );
+    assert!(ok, "{stderr}");
+    let unsharded = dir.join("unsharded.rules");
+    let (_, _, ok) = run(
+        &[
+            "imp",
+            d,
+            "--minconf",
+            "0.8",
+            "--output",
+            unsharded.to_str().unwrap(),
+            "--quiet",
+        ],
+        None,
+    );
+    assert!(ok);
+    assert_eq!(
+        std::fs::read(&merged).unwrap(),
+        std::fs::read(&unsharded).unwrap()
+    );
+}

@@ -304,7 +304,7 @@ impl Engine {
     }
 
     /// The last mine's report with the cumulative `ingest` section
-    /// attached — the `dmc.run_report.v5` shape a serving layer reports.
+    /// attached — the `dmc.run_report.v6` shape a serving layer reports.
     #[must_use]
     pub fn report_with_ingest(&self) -> Option<RunReport> {
         let mut report = self.report.clone()?;

@@ -43,6 +43,10 @@ pub struct HundredScan {
     ones: Vec<u32>,
     cnt: Vec<u32>,
     lists: ColumnLists<ColumnId>,
+    /// Optional additional LHS restriction (columns outside it still serve
+    /// as RHS candidates) — installed by the shard workers so one shard
+    /// owns exactly the rules of its LHS-column range.
+    lhs_mask: Option<Vec<bool>>,
     done: Vec<bool>,
     imp_rules: Vec<ImplicationRule>,
     sim_rules: Vec<SimilarityRule>,
@@ -75,6 +79,7 @@ impl HundredScan {
             ones,
             cnt: vec![0; m],
             lists: ColumnLists::new(m),
+            lhs_mask: None,
             done: vec![false; m],
             imp_rules: Vec::new(),
             sim_rules: Vec::new(),
@@ -104,9 +109,18 @@ impl HundredScan {
         &self.mem
     }
 
+    /// Restricts which columns act as LHS (they still serve as RHS
+    /// candidates of other columns). Must be installed before the first
+    /// row; masked columns keep `cnt = 0` and never complete, which is
+    /// safe because nothing reads another column's counter here.
+    pub(crate) fn set_lhs_mask(&mut self, mask: Vec<bool>) {
+        assert_eq!(mask.len(), self.ones.len());
+        self.lhs_mask = Some(mask);
+    }
+
     #[inline]
     fn is_lhs(&self, j: ColumnId) -> bool {
-        !self.done[j as usize]
+        !self.done[j as usize] && self.lhs_mask.as_ref().is_none_or(|m| m[j as usize])
     }
 
     #[inline]

@@ -82,6 +82,21 @@ impl ImplicationOutput {
 /// remains for backward compatibility.
 #[must_use]
 pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> ImplicationOutput {
+    find_implications_masked(matrix, config, None)
+}
+
+/// [`find_implications`] restricted to the LHS columns selected by
+/// `lhs_mask` (`None` = all). Masked columns still serve as RHS partners,
+/// still appear in tail bitmaps, and their pre-scan counts are unchanged,
+/// so each unmasked column's candidate evolution is byte-identical to the
+/// unsharded run — the shard workers rely on this to make the merged
+/// union exact (DESIGN.md §13).
+#[must_use]
+pub(crate) fn find_implications_masked(
+    matrix: &SparseMatrix,
+    config: &ImplicationConfig,
+    lhs_mask: Option<&[bool]>,
+) -> ImplicationOutput {
     let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let mut memory = if config.record_memory_history {
@@ -110,6 +125,7 @@ pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> I
             &config.switch,
             ones.clone(),
             config.record_memory_history,
+            lhs_mask,
         );
         let tally = hundred.tally();
         let (imp, _, mem) = hundred.into_parts();
@@ -141,6 +157,7 @@ pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> I
             config.release_completed,
             config.record_memory_history,
         );
+        scan.lhs_mask = lhs_mask.map(<[bool]>::to_vec);
         {
             let _g = timer.enter("<100% rules");
             bitmap_switch_at = scan_rows(matrix, &order, &config.switch, &mut scan);
@@ -204,6 +221,7 @@ fn run_hundred(
     switch: &crate::config::SwitchPolicy,
     ones: Vec<u32>,
     record_history: bool,
+    lhs_mask: Option<&[bool]>,
 ) -> HundredScan {
     let mut scan = HundredScan::with_history(
         matrix.n_cols(),
@@ -211,6 +229,9 @@ fn run_hundred(
         ones,
         record_history,
     );
+    if let Some(mask) = lhs_mask {
+        scan.set_lhs_mask(mask.to_vec());
+    }
     for (pos, &r) in order.iter().enumerate() {
         let remaining = order.len() - pos;
         if switch.should_switch(remaining, scan.memory().current_bytes()) {

@@ -66,7 +66,7 @@
 //! counters (rows scanned, candidates admitted/deleted, misses counted,
 //! rules emitted), per-stage breakdowns, phase timings, memory peaks, the
 //! bitmap-switch position and spill bytes, all in one schema
-//! (`dmc.run_report.v5`) across the eight drivers. `RunReport::to_json`
+//! (`dmc.run_report.v6`) across the eight drivers. `RunReport::to_json`
 //! serializes it; the `dmc` CLI exposes that as `--metrics`. The
 //! [`MinedOutput`] trait gives generic code one surface over both output
 //! types.
@@ -96,6 +96,7 @@ mod output;
 mod parallel;
 mod rules;
 pub mod rules_io;
+pub mod shard;
 mod sim;
 pub mod stream;
 mod stream_parallel;
@@ -114,6 +115,10 @@ pub use output::MinedOutput;
 pub use parallel::{find_implications_parallel, find_similarities_parallel};
 pub use rules::{ImplicationRule, SimilarityRule};
 pub use rules_io::{read_rules, write_rules, RuleParseError};
+pub use shard::{
+    merge_shards, mine_shard, plan_shards, shard_mine, shard_path, MergedOutput, ShardError,
+    ShardOutput,
+};
 pub use sim::{find_similarities, SimilarityOutput};
 pub use stream::{find_implications_streamed, find_similarities_streamed, StreamError};
 pub use stream_parallel::{

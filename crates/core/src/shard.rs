@@ -1,0 +1,1253 @@
+//! Column-sharded multi-process mining (`dmc shard`).
+//!
+//! Every DMC rule has exactly one *canonical owner*: the LHS column of an
+//! implication (sparser column, ties by id) or the `a` column of a
+//! similarity pair. Splitting the column range `[0, n_cols)` into
+//! contiguous shards therefore partitions the rule set exactly — each
+//! worker mines with an LHS mask restricted to its range (see
+//! `find_implications_masked` / `find_similarities_masked`: masked
+//! columns still serve as RHS partners, so every unmasked column's
+//! candidate evolution is byte-identical to the unsharded run), and the
+//! merged union of the per-shard outputs equals the single-process rule
+//! set byte for byte. Reverse implication rules are computed inside the
+//! owner shard from the forward rule, so they partition too.
+//!
+//! # Shard file protocol
+//!
+//! Each worker writes one shard file (`<manifest>.shard<i>`) of
+//! checksummed frames ([`dmc_matrix::framed`]): frame 0 is the shard
+//! header — its own manifest entry — and the remaining frames carry rule
+//! batches of [`RULE_BYTES`]-byte records. Two integrity layers guard the
+//! hand-off:
+//!
+//! * every frame carries a CRC32, so torn writes and flipped bytes
+//!   surface as [`ShardError::Corrupt`], and
+//! * the header's trailing **counter fingerprint** is a CRC32 over the
+//!   header bytes (fingerprint field excluded) and every rule record, so
+//!   a shard whose frames are individually valid but whose payload was
+//!   swapped or tampered with fails [`ShardError::FingerprintMismatch`].
+//!
+//! [`merge_shards`] validates both layers plus the header identities
+//! (dense shard indices, consistent algorithm/threshold/dimensions,
+//! ranges tiling the column space exactly), writes the consolidated
+//! manifest — the validated header frames, in shard order — to the
+//! manifest path, and reconciles the per-shard reports into one
+//! `dmc.run_report.v6` report whose `shard` section carries every
+//! entry. A failed merge removes the partial manifest; a successful one
+//! removes the per-shard spills unless asked to keep them.
+
+use crate::engine::MineConfig;
+use crate::imp::find_implications_masked;
+use crate::rules::{ImplicationRule, SimilarityRule};
+use crate::sim::find_similarities_masked;
+use dmc_matrix::framed::{FrameReader, FrameWriter, FramedError};
+use dmc_matrix::spill_io::{crc32, RetryPolicy, SpillIo};
+use dmc_matrix::SparseMatrix;
+use dmc_metrics::{RunReport, ScanTally, ShardReport, ShardSummary, StageReport};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every shard header frame.
+pub const SHARD_MAGIC: &[u8; 8] = b"DMCSHRD1";
+
+/// Encoded size of one rule record: five `u32` little-endian words
+/// (`lhs, rhs, hits, lhs_ones, rhs_ones` for implications;
+/// `a, b, hits, a_ones, b_ones` for similarities).
+pub const RULE_BYTES: usize = 20;
+
+/// Rules per rule-batch frame.
+const RULES_PER_FRAME: usize = 512;
+
+/// Fixed size of the header frame payload, fingerprint included.
+pub const HEADER_BYTES: usize = 280;
+
+const ALGO_IMPLICATION: u8 = 0;
+const ALGO_SIMILARITY: u8 = 1;
+
+const FLAG_HUNDRED: u8 = 1;
+const FLAG_SUB: u8 = 1 << 1;
+const FLAG_SWITCH: u8 = 1 << 2;
+
+/// A typed sharding failure: bad configuration, backend I/O, or one of
+/// the merge-time integrity checks.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Invalid shard configuration (zero shards, bad worker spec, …).
+    Config(String),
+    /// The I/O backend failed permanently.
+    Io {
+        /// What the operation was doing.
+        context: &'static str,
+        /// The underlying error, kind preserved.
+        error: io::Error,
+    },
+    /// A shard file the plan promised does not exist.
+    MissingShard {
+        /// Shard index.
+        index: usize,
+        /// Path the merge looked for.
+        path: PathBuf,
+    },
+    /// A shard file failed frame-level or structural decoding.
+    Corrupt {
+        /// Shard index.
+        shard: usize,
+        /// Which guard tripped.
+        detail: String,
+    },
+    /// A shard header disagrees with the plan or with its peers.
+    HeaderMismatch {
+        /// Shard index.
+        shard: usize,
+        /// What disagreed.
+        detail: String,
+    },
+    /// The recomputed counter fingerprint disagrees with the header.
+    FingerprintMismatch {
+        /// Shard index.
+        shard: usize,
+        /// Fingerprint stored in the header.
+        expected: u32,
+        /// Fingerprint recomputed from the decoded bytes.
+        actual: u32,
+    },
+    /// The header's rule count disagrees with the decoded rule frames.
+    RuleCountMismatch {
+        /// Shard index.
+        shard: usize,
+        /// Rules the header promised.
+        expected: u64,
+        /// Rules the frames carried.
+        actual: u64,
+    },
+    /// The shard column ranges do not tile `[0, n_cols)` exactly.
+    BadRanges {
+        /// Which tiling rule broke (gap, overlap, duplicate, bounds).
+        detail: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Config(detail) => write!(f, "shard config: {detail}"),
+            ShardError::Io { context, error } => write!(f, "shard io ({context}): {error}"),
+            ShardError::MissingShard { index, path } => {
+                write!(f, "shard {index} missing: {}", path.display())
+            }
+            ShardError::Corrupt { shard, detail } => {
+                write!(f, "shard {shard} corrupt: {detail}")
+            }
+            ShardError::HeaderMismatch { shard, detail } => {
+                write!(f, "shard {shard} header mismatch: {detail}")
+            }
+            ShardError::FingerprintMismatch {
+                shard,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shard {shard} fingerprint mismatch: header {expected:#010x}, \
+                 recomputed {actual:#010x}"
+            ),
+            ShardError::RuleCountMismatch {
+                shard,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shard {shard} rule count mismatch: header promised {expected}, \
+                 frames carried {actual}"
+            ),
+            ShardError::BadRanges { detail } => write!(f, "shard ranges: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<FramedError> for ShardError {
+    fn from(e: FramedError) -> Self {
+        match e {
+            FramedError::Io { context, error } => ShardError::Io { context, error },
+            FramedError::Corrupt { frame, reason } => ShardError::Corrupt {
+                shard: usize::MAX,
+                detail: format!("frame {frame}: {reason}"),
+            },
+        }
+    }
+}
+
+/// Tags a framed error with the shard it came from.
+fn framed_err(shard: usize, e: FramedError) -> ShardError {
+    match ShardError::from(e) {
+        ShardError::Corrupt { detail, .. } => ShardError::Corrupt { shard, detail },
+        other => other,
+    }
+}
+
+/// Splits `[0, n_cols)` into at most `n_shards` contiguous, balanced
+/// ranges (fewer when there are fewer columns than shards; exactly one
+/// empty range for an empty matrix, so the plan is never empty).
+///
+/// # Errors
+///
+/// [`ShardError::Config`] when `n_shards` is zero.
+pub fn plan_shards(n_cols: usize, n_shards: usize) -> Result<Vec<(u32, u32)>, ShardError> {
+    if n_shards == 0 {
+        return Err(ShardError::Config(
+            "shard count must be at least 1".to_string(),
+        ));
+    }
+    if n_cols == 0 {
+        return Ok(vec![(0, 0)]);
+    }
+    let n = n_shards.min(n_cols);
+    let base = n_cols / n;
+    let extra = n_cols % n;
+    let mut ranges = Vec::with_capacity(n);
+    let mut lo = 0usize;
+    for i in 0..n {
+        let width = base + usize::from(i < extra);
+        ranges.push((lo as u32, (lo + width) as u32));
+        lo += width;
+    }
+    Ok(ranges)
+}
+
+/// Checks that `ranges` (in shard order) tile `[0, n_cols)` exactly:
+/// ascending, first at 0, last at `n_cols`, no gap, overlap or duplicate.
+///
+/// # Errors
+///
+/// [`ShardError::BadRanges`] naming the broken rule.
+pub fn validate_ranges(ranges: &[(u32, u32)], n_cols: u32) -> Result<(), ShardError> {
+    if ranges.is_empty() {
+        return Err(ShardError::BadRanges {
+            detail: "no shard ranges".to_string(),
+        });
+    }
+    let mut sorted = ranges.to_vec();
+    sorted.sort_unstable();
+    for &(lo, hi) in &sorted {
+        if lo > hi || (lo == hi && n_cols > 0) {
+            return Err(ShardError::BadRanges {
+                detail: format!("empty or inverted range {lo}..{hi}"),
+            });
+        }
+    }
+    if sorted[0].0 != 0 {
+        return Err(ShardError::BadRanges {
+            detail: format!("first range starts at {}, not 0", sorted[0].0),
+        });
+    }
+    let last = sorted[sorted.len() - 1].1;
+    if last != n_cols {
+        return Err(ShardError::BadRanges {
+            detail: format!("last range ends at {last}, not {n_cols}"),
+        });
+    }
+    for w in sorted.windows(2) {
+        if w[0].1 != w[1].0 {
+            let detail = if w[0].1 > w[1].0 {
+                format!("ranges {:?} and {:?} overlap", w[0], w[1])
+            } else {
+                format!("gap between ranges {:?} and {:?}", w[0], w[1])
+            };
+            return Err(ShardError::BadRanges { detail });
+        }
+    }
+    Ok(())
+}
+
+/// Path of shard `index`'s spill next to the manifest:
+/// `<manifest>.shard<index>`.
+#[must_use]
+pub fn shard_path(manifest: &Path, index: usize) -> PathBuf {
+    let mut name = manifest.as_os_str().to_os_string();
+    name.push(format!(".shard{index}"));
+    PathBuf::from(name)
+}
+
+/// One worker's mined shard: the rules it owns plus its run report.
+#[derive(Debug)]
+pub struct ShardOutput {
+    /// Implication rules owned by the shard (empty for similarity runs).
+    pub imp_rules: Vec<ImplicationRule>,
+    /// Similarity rules owned by the shard (empty for implication runs).
+    pub sim_rules: Vec<SimilarityRule>,
+    /// The masked driver's run report.
+    pub report: RunReport,
+}
+
+impl ShardOutput {
+    /// Rules the shard owns, either kind.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.imp_rules.len() + self.sim_rules.len()
+    }
+}
+
+/// Mines the LHS columns in `[lo, hi)` of `matrix` under `config`.
+///
+/// The mask restricts only *ownership* — masked columns still act as RHS
+/// partners — so the returned rules are exactly the unsharded rules whose
+/// canonical owner lies in the range, with identical counts.
+#[must_use]
+pub fn mine_shard(config: &MineConfig, matrix: &SparseMatrix, lo: u32, hi: u32) -> ShardOutput {
+    let mask: Vec<bool> = (0..matrix.n_cols())
+        .map(|c| (c as u32) >= lo && (c as u32) < hi)
+        .collect();
+    match config {
+        MineConfig::Implication(cfg) => {
+            let out = find_implications_masked(matrix, cfg, Some(&mask));
+            ShardOutput {
+                imp_rules: out.rules,
+                sim_rules: Vec::new(),
+                report: out.report,
+            }
+        }
+        MineConfig::Similarity(cfg) => {
+            let out = find_similarities_masked(matrix, cfg, Some(&mask));
+            ShardOutput {
+                imp_rules: Vec::new(),
+                sim_rules: out.rules,
+                report: out.report,
+            }
+        }
+    }
+}
+
+/// Decoded shard header — one manifest entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardHeader {
+    /// `"implication"` or `"similarity"`.
+    pub algorithm: &'static str,
+    /// Whether the worker appended reverse implication rules.
+    pub emit_reverse: bool,
+    /// Shards in the plan this file belongs to.
+    pub n_shards: u32,
+    /// This shard's index.
+    pub index: u32,
+    /// First owned LHS column (inclusive).
+    pub col_lo: u32,
+    /// One past the last owned LHS column.
+    pub col_hi: u32,
+    /// Rows of the input matrix.
+    pub n_rows: u64,
+    /// Columns of the input matrix.
+    pub n_cols: u64,
+    /// Mining threshold (`minconf` / `minsim`).
+    pub threshold: f64,
+    /// Rules in the shard file (reverse rules included).
+    pub rule_count: u64,
+    /// Reverse implication rules among them.
+    pub reverse_rules: u64,
+    /// Row position of the shard's DMC-bitmap switch, if it fired.
+    pub switch_at: Option<u64>,
+    /// Peak candidate count of the shard's counter arrays.
+    pub peak_candidates: u64,
+    /// Peak counter-array footprint in bytes.
+    pub peak_counter_bytes: u64,
+    /// Seconds in `pre-scan`, `100% rules`, `<100% rules`, `bitmap tail`.
+    pub phase_seconds: [f64; 4],
+    /// Run-level event counters of the shard's scans.
+    pub counters: ScanTally,
+    /// The 100%-rule stage, when the worker ran it.
+    pub hundred: Option<StageReport>,
+    /// The sub-100% stage, when the worker ran it.
+    pub sub: Option<StageReport>,
+    /// Counter fingerprint (CRC32 over header-sans-fingerprint + rules).
+    pub fingerprint: u32,
+}
+
+/// The four phase names a shard header records, in header order.
+const PHASE_NAMES: [&str; 4] = ["pre-scan", "100% rules", "<100% rules", "bitmap tail"];
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_tally(buf: &mut Vec<u8>, t: &ScanTally) {
+    put_u64(buf, t.rows_scanned);
+    put_u64(buf, t.candidates_admitted);
+    put_u64(buf, t.candidates_deleted);
+    put_u64(buf, t.misses_counted);
+    put_u64(buf, t.rules_emitted);
+}
+
+fn put_stage(buf: &mut Vec<u8>, s: Option<&StageReport>) {
+    let stage = s.copied().unwrap_or_default();
+    put_tally(buf, &stage.tally);
+    put_u64(buf, stage.rules_kept);
+    put_u64(buf, stage.peak_candidates as u64);
+}
+
+/// Little-endian cursor over a header payload; every read is
+/// bounds-checked so a short or padded payload fails decoding instead of
+/// panicking.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn tally(&mut self) -> Option<ScanTally> {
+        Some(ScanTally {
+            rows_scanned: self.u64()?,
+            candidates_admitted: self.u64()?,
+            candidates_deleted: self.u64()?,
+            misses_counted: self.u64()?,
+            rules_emitted: self.u64()?,
+        })
+    }
+
+    fn stage(&mut self) -> Option<StageReport> {
+        Some(StageReport {
+            tally: self.tally()?,
+            rules_kept: self.u64()?,
+            peak_candidates: self.u64()? as usize,
+        })
+    }
+}
+
+/// Encodes the header payload (fingerprint field zeroed; the caller
+/// patches the real fingerprint into the trailing four bytes).
+fn encode_header(
+    out: &ShardOutput,
+    emit_reverse: bool,
+    n_shards: usize,
+    index: usize,
+    lo: u32,
+    hi: u32,
+) -> Vec<u8> {
+    let report = &out.report;
+    let algorithm = if report.algorithm == "similarity" {
+        ALGO_SIMILARITY
+    } else {
+        ALGO_IMPLICATION
+    };
+    let mut flags = 0u8;
+    if report.hundred.is_some() {
+        flags |= FLAG_HUNDRED;
+    }
+    if report.sub.is_some() {
+        flags |= FLAG_SUB;
+    }
+    if report.bitmap_switch_at.is_some() {
+        flags |= FLAG_SWITCH;
+    }
+    let mut buf = Vec::with_capacity(HEADER_BYTES);
+    buf.extend_from_slice(SHARD_MAGIC);
+    buf.push(algorithm);
+    buf.push(u8::from(emit_reverse));
+    buf.push(flags);
+    buf.push(0); // pad
+    put_u32(&mut buf, n_shards as u32);
+    put_u32(&mut buf, index as u32);
+    put_u32(&mut buf, lo);
+    put_u32(&mut buf, hi);
+    put_u64(&mut buf, report.rows as u64);
+    put_u64(&mut buf, report.cols as u64);
+    put_f64(&mut buf, report.threshold);
+    put_u64(&mut buf, out.rule_count() as u64);
+    put_u64(&mut buf, report.reverse_rules);
+    put_u64(&mut buf, report.bitmap_switch_at.unwrap_or(0) as u64);
+    put_u64(&mut buf, report.peak_candidates as u64);
+    put_u64(&mut buf, report.peak_counter_bytes as u64);
+    for name in PHASE_NAMES {
+        put_f64(&mut buf, report.phase_seconds(name));
+    }
+    put_tally(&mut buf, &report.counters);
+    put_stage(&mut buf, report.hundred.as_ref());
+    put_stage(&mut buf, report.sub.as_ref());
+    put_u32(&mut buf, 0); // fingerprint, patched by the caller
+    debug_assert_eq!(buf.len(), HEADER_BYTES);
+    buf
+}
+
+/// Decodes a header payload. `shard` is only used to tag errors.
+fn decode_header(shard: usize, payload: &[u8]) -> Result<ShardHeader, ShardError> {
+    let corrupt = |detail: &str| ShardError::Corrupt {
+        shard,
+        detail: detail.to_string(),
+    };
+    if payload.len() != HEADER_BYTES {
+        return Err(corrupt(&format!(
+            "header payload is {} bytes, expected {HEADER_BYTES}",
+            payload.len()
+        )));
+    }
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let magic = c.take(8).expect("length checked");
+    if magic != SHARD_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let algorithm = match c.u8().expect("length checked") {
+        ALGO_IMPLICATION => "implication",
+        ALGO_SIMILARITY => "similarity",
+        other => return Err(corrupt(&format!("unknown algorithm tag {other}"))),
+    };
+    let emit_reverse = c.u8().expect("length checked") != 0;
+    let flags = c.u8().expect("length checked");
+    let _pad = c.u8();
+    let mut decode = || -> Option<ShardHeader> {
+        Some(ShardHeader {
+            algorithm,
+            emit_reverse,
+            n_shards: c.u32()?,
+            index: c.u32()?,
+            col_lo: c.u32()?,
+            col_hi: c.u32()?,
+            n_rows: c.u64()?,
+            n_cols: c.u64()?,
+            threshold: c.f64()?,
+            rule_count: c.u64()?,
+            reverse_rules: c.u64()?,
+            switch_at: {
+                let at = c.u64()?;
+                (flags & FLAG_SWITCH != 0).then_some(at)
+            },
+            peak_candidates: c.u64()?,
+            peak_counter_bytes: c.u64()?,
+            phase_seconds: [c.f64()?, c.f64()?, c.f64()?, c.f64()?],
+            counters: c.tally()?,
+            hundred: {
+                let s = c.stage()?;
+                (flags & FLAG_HUNDRED != 0).then_some(s)
+            },
+            sub: {
+                let s = c.stage()?;
+                (flags & FLAG_SUB != 0).then_some(s)
+            },
+            fingerprint: c.u32()?,
+        })
+    };
+    decode().ok_or_else(|| corrupt("short header payload"))
+}
+
+fn encode_imp_rule(buf: &mut Vec<u8>, r: &ImplicationRule) {
+    for v in [r.lhs, r.rhs, r.hits, r.lhs_ones, r.rhs_ones] {
+        put_u32(buf, v);
+    }
+}
+
+fn encode_sim_rule(buf: &mut Vec<u8>, r: &SimilarityRule) {
+    for v in [r.a, r.b, r.hits, r.a_ones, r.b_ones] {
+        put_u32(buf, v);
+    }
+}
+
+/// Counter fingerprint: CRC32 over the header payload with its trailing
+/// fingerprint field excluded, followed by every rule record in emitted
+/// order.
+#[must_use]
+fn fingerprint_of(header_sans_fp: &[u8], rule_bytes: &[u8]) -> u32 {
+    let mut data = Vec::with_capacity(header_sans_fp.len() + rule_bytes.len());
+    data.extend_from_slice(header_sans_fp);
+    data.extend_from_slice(rule_bytes);
+    crc32(&data)
+}
+
+/// Mines shard `index` of `plan` and writes its spill to
+/// `shard_path(manifest, index)` through `io`.
+///
+/// Returns the in-memory [`ShardOutput`] so single-process callers (and
+/// the fidelity tests) can inspect what went to disk.
+///
+/// # Errors
+///
+/// [`ShardError::Config`] for an out-of-range index or a plan that does
+/// not tile the matrix's columns; [`ShardError::Io`] when writing fails.
+pub fn run_worker(
+    io: &dyn SpillIo,
+    manifest: &Path,
+    retry: RetryPolicy,
+    config: &MineConfig,
+    matrix: &SparseMatrix,
+    plan: &[(u32, u32)],
+    index: usize,
+) -> Result<ShardOutput, ShardError> {
+    let Some(&(lo, hi)) = plan.get(index) else {
+        return Err(ShardError::Config(format!(
+            "worker index {index} out of range for a {}-shard plan",
+            plan.len()
+        )));
+    };
+    validate_ranges(plan, matrix.n_cols() as u32)?;
+    let out = mine_shard(config, matrix, lo, hi);
+    let emit_reverse = match config {
+        MineConfig::Implication(cfg) => cfg.emit_reverse,
+        MineConfig::Similarity(_) => false,
+    };
+    write_shard(
+        io,
+        &shard_path(manifest, index),
+        retry,
+        &out,
+        emit_reverse,
+        plan,
+        index,
+    )?;
+    Ok(out)
+}
+
+/// Writes one mined shard as a framed spill: header frame, then rule
+/// batches. `emit_reverse` records the run's *configured* setting (not
+/// whether any reverse rule qualified) so the merge's consistency check
+/// compares configurations, not data-dependent outcomes.
+///
+/// # Errors
+///
+/// [`ShardError::Io`] when the backend fails permanently.
+pub fn write_shard(
+    io: &dyn SpillIo,
+    path: &Path,
+    retry: RetryPolicy,
+    out: &ShardOutput,
+    emit_reverse: bool,
+    plan: &[(u32, u32)],
+    index: usize,
+) -> Result<(), ShardError> {
+    let (lo, hi) = plan[index];
+    let mut header = encode_header(out, emit_reverse, plan.len(), index, lo, hi);
+
+    let mut rule_bytes = Vec::with_capacity(out.rule_count() * RULE_BYTES);
+    for r in &out.imp_rules {
+        encode_imp_rule(&mut rule_bytes, r);
+    }
+    for r in &out.sim_rules {
+        encode_sim_rule(&mut rule_bytes, r);
+    }
+    let fp = fingerprint_of(&header[..HEADER_BYTES - 4], &rule_bytes);
+    header[HEADER_BYTES - 4..].copy_from_slice(&fp.to_le_bytes());
+
+    let mut writer = FrameWriter::create(io, path, retry)?;
+    writer.write_frame(&header)?;
+    for chunk in rule_bytes.chunks(RULES_PER_FRAME * RULE_BYTES) {
+        writer.write_frame(chunk)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+/// One decoded shard file: its header (manifest entry), the raw header
+/// payload (for the consolidated manifest), and its rules.
+#[derive(Debug)]
+pub struct ShardFile {
+    /// The decoded, fingerprint-verified header.
+    pub header: ShardHeader,
+    /// The raw header frame payload, byte-exact.
+    pub header_payload: Vec<u8>,
+    /// Implication rules (implication shards).
+    pub imp_rules: Vec<ImplicationRule>,
+    /// Similarity rules (similarity shards).
+    pub sim_rules: Vec<SimilarityRule>,
+}
+
+/// Reads and fully validates one shard file: frame checksums, header
+/// structure, rule count, counter fingerprint.
+///
+/// # Errors
+///
+/// [`ShardError::Io`] (kind preserved — `NotFound` means the file is
+/// missing), [`ShardError::Corrupt`], [`ShardError::RuleCountMismatch`],
+/// [`ShardError::FingerprintMismatch`].
+pub fn read_shard(
+    io: &dyn SpillIo,
+    path: &Path,
+    retry: RetryPolicy,
+    shard: usize,
+) -> Result<ShardFile, ShardError> {
+    let mut reader = FrameReader::open(io, path, retry).map_err(|e| framed_err(shard, e))?;
+    let header_payload = reader
+        .next_frame()
+        .map_err(|e| framed_err(shard, e))?
+        .ok_or_else(|| ShardError::Corrupt {
+            shard,
+            detail: "empty shard file (no header frame)".to_string(),
+        })?;
+    let header = decode_header(shard, &header_payload)?;
+
+    let mut rule_bytes = Vec::new();
+    while let Some(frame) = reader.next_frame().map_err(|e| framed_err(shard, e))? {
+        if frame.len() % RULE_BYTES != 0 {
+            return Err(ShardError::Corrupt {
+                shard,
+                detail: format!(
+                    "rule frame of {} bytes is not a multiple of {RULE_BYTES}",
+                    frame.len()
+                ),
+            });
+        }
+        rule_bytes.extend_from_slice(&frame);
+    }
+    let actual = (rule_bytes.len() / RULE_BYTES) as u64;
+    if actual != header.rule_count {
+        return Err(ShardError::RuleCountMismatch {
+            shard,
+            expected: header.rule_count,
+            actual,
+        });
+    }
+    let fp = fingerprint_of(&header_payload[..HEADER_BYTES - 4], &rule_bytes);
+    if fp != header.fingerprint {
+        return Err(ShardError::FingerprintMismatch {
+            shard,
+            expected: header.fingerprint,
+            actual: fp,
+        });
+    }
+
+    let mut imp_rules = Vec::new();
+    let mut sim_rules = Vec::new();
+    for rec in rule_bytes.chunks_exact(RULE_BYTES) {
+        let mut c = Cursor { buf: rec, pos: 0 };
+        let w = [
+            c.u32().expect("20 bytes"),
+            c.u32().expect("20 bytes"),
+            c.u32().expect("20 bytes"),
+            c.u32().expect("20 bytes"),
+            c.u32().expect("20 bytes"),
+        ];
+        if header.algorithm == "implication" {
+            imp_rules.push(ImplicationRule {
+                lhs: w[0],
+                rhs: w[1],
+                hits: w[2],
+                lhs_ones: w[3],
+                rhs_ones: w[4],
+            });
+        } else {
+            sim_rules.push(SimilarityRule {
+                a: w[0],
+                b: w[1],
+                hits: w[2],
+                a_ones: w[3],
+                b_ones: w[4],
+            });
+        }
+    }
+    Ok(ShardFile {
+        header,
+        header_payload,
+        imp_rules,
+        sim_rules,
+    })
+}
+
+/// The validated union of a shard merge.
+#[derive(Debug)]
+pub struct MergedOutput {
+    /// Merged implication rules, sorted and deduplicated.
+    pub imp_rules: Vec<ImplicationRule>,
+    /// Merged similarity rules, sorted and deduplicated.
+    pub sim_rules: Vec<SimilarityRule>,
+    /// The reconciled `dmc.run_report.v6` report with its `shard` section.
+    pub report: RunReport,
+}
+
+/// Removes `paths` through `io` on drop unless defused — the merge's
+/// no-partial-output guard.
+struct RemoveOnDrop<'a> {
+    io: &'a dyn SpillIo,
+    paths: Vec<PathBuf>,
+    keep: bool,
+}
+
+impl Drop for RemoveOnDrop<'_> {
+    fn drop(&mut self) {
+        if !self.keep {
+            for p in &self.paths {
+                let _ = self.io.remove(p);
+            }
+        }
+    }
+}
+
+/// Merges the `n_shards` shard spills next to `manifest` into one rule
+/// set, writing the consolidated manifest (the validated header frames,
+/// in shard order) to `manifest` itself.
+///
+/// Every integrity layer is checked before anything is unioned: frame
+/// checksums, header structure and cross-shard consistency, rule counts,
+/// counter fingerprints, and the range tiling. On any failure the partial
+/// manifest is removed — a failed merge leaves no output. On success the
+/// per-shard spills are removed unless `keep_shards` is set.
+///
+/// # Errors
+///
+/// Every [`ShardError`] variant except `Config`.
+pub fn merge_shards(
+    io: &dyn SpillIo,
+    manifest: &Path,
+    n_shards: usize,
+    retry: RetryPolicy,
+    keep_shards: bool,
+) -> Result<MergedOutput, ShardError> {
+    if n_shards == 0 {
+        return Err(ShardError::Config("cannot merge zero shards".to_string()));
+    }
+    let mut shards = Vec::with_capacity(n_shards);
+    for i in 0..n_shards {
+        let path = shard_path(manifest, i);
+        match read_shard(io, &path, retry, i) {
+            Ok(file) => shards.push(file),
+            Err(ShardError::Io { error, .. }) if error.kind() == io::ErrorKind::NotFound => {
+                return Err(ShardError::MissingShard { index: i, path })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Header identities: every shard agrees with shard 0 on the run shape
+    // and carries its own dense index.
+    let first = &shards[0].header;
+    for (i, file) in shards.iter().enumerate() {
+        let h = &file.header;
+        let mismatch = |detail: String| ShardError::HeaderMismatch { shard: i, detail };
+        if h.index as usize != i {
+            return Err(mismatch(format!("header claims index {}", h.index)));
+        }
+        if h.n_shards as usize != n_shards {
+            return Err(mismatch(format!(
+                "header claims {} shards, merging {n_shards}",
+                h.n_shards
+            )));
+        }
+        if h.algorithm != first.algorithm {
+            return Err(mismatch(format!(
+                "algorithm {} vs {}",
+                h.algorithm, first.algorithm
+            )));
+        }
+        if h.emit_reverse != first.emit_reverse
+            || h.n_rows != first.n_rows
+            || h.n_cols != first.n_cols
+            || h.threshold.to_bits() != first.threshold.to_bits()
+        {
+            return Err(mismatch("run parameters disagree with shard 0".to_string()));
+        }
+    }
+    let ranges: Vec<(u32, u32)> = shards
+        .iter()
+        .map(|f| (f.header.col_lo, f.header.col_hi))
+        .collect();
+    validate_ranges(&ranges, first.n_cols as u32)?;
+
+    // All checks passed: write the consolidated manifest, then union.
+    let guard_paths = vec![manifest.to_path_buf()];
+    let mut guard = RemoveOnDrop {
+        io,
+        paths: guard_paths,
+        keep: false,
+    };
+    let mut writer = FrameWriter::create(io, manifest, retry)?;
+    for file in &shards {
+        writer.write_frame(&file.header_payload)?;
+    }
+    writer.finish()?;
+
+    let mut imp_rules = Vec::new();
+    let mut sim_rules = Vec::new();
+    for file in &mut shards {
+        imp_rules.append(&mut file.imp_rules);
+        sim_rules.append(&mut file.sim_rules);
+    }
+    // Canonical ownership makes the shard outputs disjoint, so this is
+    // exactly the unsharded driver's final sort (dedup removes nothing).
+    imp_rules.sort_unstable();
+    imp_rules.dedup();
+    sim_rules.sort_unstable();
+    sim_rules.dedup();
+
+    let report = merged_report(&shards, imp_rules.len() + sim_rules.len());
+    guard.keep = true;
+    drop(guard);
+    if !keep_shards {
+        for i in 0..n_shards {
+            let path = shard_path(manifest, i);
+            io.remove(&path).map_err(|error| ShardError::Io {
+                context: "remove merged shard spill",
+                error,
+            })?;
+        }
+    }
+    Ok(MergedOutput {
+        imp_rules,
+        sim_rules,
+        report,
+    })
+}
+
+/// Reconciles the per-shard headers into one merged v6 report.
+fn merged_report(shards: &[ShardFile], rules: usize) -> RunReport {
+    let first = &shards[0].header;
+    let mut counters = ScanTally::new();
+    let mut hundred: Option<StageReport> = None;
+    let mut sub: Option<StageReport> = None;
+    let mut reverse_rules = 0u64;
+    let mut phase_seconds = [0.0f64; 4];
+    let mut wall_seconds = 0.0f64;
+    let mut peak_candidates = 0usize;
+    let mut peak_counter_bytes = 0usize;
+    let mut any_switch = false;
+    let mut entries = Vec::with_capacity(shards.len());
+    for file in shards {
+        let h = &file.header;
+        counters.merge(&h.counters);
+        reverse_rules += h.reverse_rules;
+        for (acc, s) in phase_seconds.iter_mut().zip(h.phase_seconds) {
+            *acc += s;
+        }
+        wall_seconds += h.phase_seconds.iter().sum::<f64>();
+        peak_candidates = peak_candidates.max(h.peak_candidates as usize);
+        peak_counter_bytes = peak_counter_bytes.max(h.peak_counter_bytes as usize);
+        any_switch |= h.switch_at.is_some();
+        if let Some(s) = &h.hundred {
+            let acc = hundred.get_or_insert_with(StageReport::default);
+            acc.tally.merge(&s.tally);
+            acc.rules_kept += s.rules_kept;
+            acc.peak_candidates = acc.peak_candidates.max(s.peak_candidates);
+        }
+        if let Some(s) = &h.sub {
+            let acc = sub.get_or_insert_with(StageReport::default);
+            acc.tally.merge(&s.tally);
+            acc.rules_kept += s.rules_kept;
+            acc.peak_candidates = acc.peak_candidates.max(s.peak_candidates);
+        }
+        entries.push(ShardSummary {
+            index: h.index as usize,
+            col_lo: h.col_lo,
+            col_hi: h.col_hi,
+            rules: h.rule_count,
+            fingerprint: h.fingerprint,
+            counters: h.counters,
+        });
+    }
+    let mut phases: Vec<(&'static str, f64)> = Vec::new();
+    phases.push((PHASE_NAMES[0], phase_seconds[0]));
+    if hundred.is_some() {
+        phases.push((PHASE_NAMES[1], phase_seconds[1]));
+    }
+    if sub.is_some() {
+        phases.push((PHASE_NAMES[2], phase_seconds[2]));
+    }
+    if any_switch {
+        phases.push((PHASE_NAMES[3], phase_seconds[3]));
+    }
+    RunReport {
+        algorithm: if first.algorithm == "similarity" {
+            "similarity"
+        } else {
+            "implication"
+        },
+        mode: "sharded",
+        threads: shards.len(),
+        rows: first.n_rows as usize,
+        cols: first.n_cols as usize,
+        threshold: first.threshold,
+        rules,
+        counters,
+        hundred,
+        sub,
+        reverse_rules,
+        phases,
+        wall_seconds,
+        peak_candidates,
+        peak_counter_bytes,
+        bitmap_switch_at: None,
+        spill_bytes: 0,
+        io: None,
+        workers: Vec::new(),
+        serve: None,
+        ingest: None,
+        shard: Some(ShardReport {
+            n_shards: shards.len(),
+            shards: entries,
+        }),
+    }
+}
+
+/// Single-process convenience: plans, mines every shard in this process,
+/// writes the spills, and merges — the same code path the multi-process
+/// CLI drives, minus the `fork`.
+///
+/// # Errors
+///
+/// Any [`ShardError`].
+pub fn shard_mine(
+    io: &dyn SpillIo,
+    manifest: &Path,
+    retry: RetryPolicy,
+    config: &MineConfig,
+    matrix: &SparseMatrix,
+    n_shards: usize,
+    keep_shards: bool,
+) -> Result<MergedOutput, ShardError> {
+    let plan = plan_shards(matrix.n_cols(), n_shards)?;
+    for index in 0..plan.len() {
+        run_worker(io, manifest, retry, config, matrix, &plan, index)?;
+    }
+    merge_shards(io, manifest, plan.len(), retry, keep_shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ImplicationConfig;
+    use dmc_matrix::spill_io::StdFsIo;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "dmc-shard-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+        fn path(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn fig2() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            6,
+            vec![
+                vec![1, 5],
+                vec![2, 3, 4],
+                vec![2, 4],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 3, 5],
+                vec![0, 2, 3, 4, 5],
+                vec![3, 5],
+                vec![0, 1, 4],
+            ],
+        )
+    }
+
+    #[test]
+    fn plan_is_balanced_and_tiles() {
+        assert!(plan_shards(10, 0).is_err());
+        for (cols, shards) in [(10, 3), (7, 7), (5, 9), (1, 1), (400, 16)] {
+            let plan = plan_shards(cols, shards).unwrap();
+            assert!(plan.len() <= shards);
+            validate_ranges(&plan, cols as u32).unwrap();
+            let widths: Vec<u32> = plan.iter().map(|(lo, hi)| hi - lo).collect();
+            let (min, max) = (*widths.iter().min().unwrap(), *widths.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced: {widths:?}");
+        }
+        let empty = plan_shards(0, 4).unwrap();
+        assert_eq!(empty, vec![(0, 0)]);
+        validate_ranges(&empty, 0).unwrap();
+    }
+
+    #[test]
+    fn validate_ranges_catches_gap_overlap_duplicate() {
+        validate_ranges(&[(0, 3), (3, 6)], 6).unwrap();
+        assert!(matches!(
+            validate_ranges(&[(0, 2), (3, 6)], 6),
+            Err(ShardError::BadRanges { .. })
+        ));
+        assert!(matches!(
+            validate_ranges(&[(0, 4), (3, 6)], 6),
+            Err(ShardError::BadRanges { .. })
+        ));
+        assert!(matches!(
+            validate_ranges(&[(0, 3), (0, 3), (3, 6)], 6),
+            Err(ShardError::BadRanges { .. })
+        ));
+        assert!(matches!(
+            validate_ranges(&[(0, 3), (3, 5)], 6),
+            Err(ShardError::BadRanges { .. })
+        ));
+        assert!(matches!(
+            validate_ranges(&[(1, 6)], 6),
+            Err(ShardError::BadRanges { .. })
+        ));
+        assert!(matches!(
+            validate_ranges(&[], 6),
+            Err(ShardError::BadRanges { .. })
+        ));
+    }
+
+    #[test]
+    fn header_round_trips_through_encode_decode() {
+        let m = fig2();
+        let config = MineConfig::implications(0.8).unwrap();
+        let out = mine_shard(&config, &m, 0, 3);
+        let mut header = encode_header(&out, false, 2, 0, 0, 3);
+        let mut rule_bytes = Vec::new();
+        for r in &out.imp_rules {
+            encode_imp_rule(&mut rule_bytes, r);
+        }
+        let fp = fingerprint_of(&header[..HEADER_BYTES - 4], &rule_bytes);
+        header[HEADER_BYTES - 4..].copy_from_slice(&fp.to_le_bytes());
+
+        let h = decode_header(0, &header).unwrap();
+        assert_eq!(h.algorithm, "implication");
+        assert_eq!((h.index, h.n_shards), (0, 2));
+        assert_eq!((h.col_lo, h.col_hi), (0, 3));
+        assert_eq!(h.n_rows, 9);
+        assert_eq!(h.n_cols, 6);
+        assert_eq!(h.threshold, 0.8);
+        assert_eq!(h.rule_count, out.rule_count() as u64);
+        assert_eq!(h.counters, out.report.counters);
+        assert_eq!(h.hundred, out.report.hundred);
+        assert_eq!(h.sub, out.report.sub);
+        assert_eq!(h.fingerprint, fp);
+    }
+
+    #[test]
+    fn shard_mine_matches_unsharded_for_both_algorithms() {
+        let m = fig2();
+        let dir = TempDir::new("roundtrip");
+        for n_shards in [1usize, 2, 3, 6] {
+            let config = MineConfig::implications(0.8).unwrap();
+            let merged = shard_mine(
+                &StdFsIo,
+                &dir.path(&format!("imp{n_shards}.manifest")),
+                RetryPolicy::none(),
+                &config,
+                &m,
+                n_shards,
+                false,
+            )
+            .unwrap();
+            let single = crate::find_implications(&m, &ImplicationConfig::new(0.8));
+            assert_eq!(merged.imp_rules, single.rules, "{n_shards} shards");
+            assert!(merged.report.reconciles(), "{n_shards} shards");
+
+            let config = MineConfig::similarities(0.4).unwrap();
+            let merged = shard_mine(
+                &StdFsIo,
+                &dir.path(&format!("sim{n_shards}.manifest")),
+                RetryPolicy::none(),
+                &config,
+                &m,
+                n_shards,
+                false,
+            )
+            .unwrap();
+            let single = crate::find_similarities(&m, &crate::SimilarityConfig::new(0.4));
+            assert_eq!(merged.sim_rules, single.rules, "{n_shards} shards");
+            assert!(merged.report.reconciles(), "{n_shards} shards");
+        }
+    }
+
+    #[test]
+    fn merge_cleans_up_and_writes_manifest() {
+        let m = fig2();
+        let dir = TempDir::new("cleanup");
+        let manifest = dir.path("m.manifest");
+        let config = MineConfig::implications(0.8).unwrap();
+        shard_mine(
+            &StdFsIo,
+            &manifest,
+            RetryPolicy::none(),
+            &config,
+            &m,
+            2,
+            false,
+        )
+        .unwrap();
+        assert!(manifest.exists(), "consolidated manifest written");
+        assert!(!shard_path(&manifest, 0).exists(), "shard spills removed");
+        assert!(!shard_path(&manifest, 1).exists());
+
+        // keep_shards leaves the spills in place.
+        let manifest2 = dir.path("m2.manifest");
+        shard_mine(
+            &StdFsIo,
+            &manifest2,
+            RetryPolicy::none(),
+            &config,
+            &m,
+            2,
+            true,
+        )
+        .unwrap();
+        assert!(shard_path(&manifest2, 0).exists());
+        assert!(shard_path(&manifest2, 1).exists());
+    }
+
+    #[test]
+    fn missing_shard_is_typed() {
+        let m = fig2();
+        let dir = TempDir::new("missing");
+        let manifest = dir.path("m.manifest");
+        let config = MineConfig::implications(0.8).unwrap();
+        let plan = plan_shards(m.n_cols(), 3).unwrap();
+        for index in [0, 2] {
+            run_worker(
+                &StdFsIo,
+                &manifest,
+                RetryPolicy::none(),
+                &config,
+                &m,
+                &plan,
+                index,
+            )
+            .unwrap();
+        }
+        match merge_shards(&StdFsIo, &manifest, 3, RetryPolicy::none(), false) {
+            Err(ShardError::MissingShard { index: 1, .. }) => {}
+            other => panic!("expected MissingShard, got {other:?}"),
+        }
+        assert!(!manifest.exists(), "failed merge leaves no manifest");
+    }
+}

@@ -92,6 +92,21 @@ impl SimilarityOutput {
 /// remains for backward compatibility.
 #[must_use]
 pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> SimilarityOutput {
+    find_similarities_masked(matrix, config, None)
+}
+
+/// [`find_similarities`] restricted to the LHS (canonically smaller)
+/// columns selected by `lhs_mask` (`None` = all). Masked columns still
+/// serve as RHS partners — their `cnt` advances so the §5.2 bound reads
+/// the same values as in an unmasked run — so each unmasked column's
+/// candidate evolution is byte-identical to the unsharded run (DESIGN.md
+/// §13).
+#[must_use]
+pub(crate) fn find_similarities_masked(
+    matrix: &SparseMatrix,
+    config: &SimilarityConfig,
+    lhs_mask: Option<&[bool]>,
+) -> SimilarityOutput {
     let started = std::time::Instant::now();
     let mut timer = PhaseTimer::new();
     let mut memory = if config.record_memory_history {
@@ -114,6 +129,9 @@ pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> Si
     if config.hundred_stage || config.minsim >= 1.0 {
         let _g = timer.enter("100% rules");
         let mut scan = HundredScan::new(matrix.n_cols(), HundredMode::Identical, ones.clone());
+        if let Some(mask) = lhs_mask {
+            scan.set_lhs_mask(mask.to_vec());
+        }
         let mut switched = false;
         for (pos, &r) in order.iter().enumerate() {
             let remaining = order.len() - pos;
@@ -158,6 +176,7 @@ pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> Si
             None
         };
         let mut scan = SimScan::new(matrix.n_cols(), config, ones, active);
+        scan.lhs_mask = lhs_mask.map(<[bool]>::to_vec);
         {
             let _g = timer.enter("<100% rules");
             bitmap_switch_at = scan_rows_sim(matrix, &order, &config.switch, &mut scan);

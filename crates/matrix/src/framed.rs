@@ -1,0 +1,444 @@
+//! Generic framed-record files over the [`spill_io`](crate::spill_io)
+//! surface.
+//!
+//! The bucket spill ([`crate::spill`]) frames every row as
+//! `len | !len | crc32 | payload` (little-endian) so truncation and
+//! corruption become typed errors instead of garbage replay. The shard
+//! manifest protocol needs exactly the same guarantees for records that
+//! are *not* rows — shard headers, rule batches, manifest entries — so
+//! this module exposes the frame codec as a standalone writer/reader pair
+//! over any [`SpillIo`] backend. Everything the fault injector
+//! ([`crate::spill_io::FaultyIo`]) can do to the row spill it can
+//! therefore do to any framed file: torn writes surface as
+//! [`FramedError::Corrupt`], transient faults are retried per the
+//! [`RetryPolicy`], and permanent faults surface as [`FramedError::Io`].
+
+use crate::spill_io::{crc32, is_transient, RetryPolicy, SpillIo, SpillRead, SpillWrite};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Bytes of frame header preceding the payload: `len | !len | crc`.
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// Upper bound on a framed payload. A frame whose length field passes the
+/// complement guard but exceeds this is corrupt framing (e.g. a torn write
+/// that happened to produce complementary words), not a real record.
+const MAX_PAYLOAD_LEN: u32 = 1 << 28;
+
+/// A framed read/write failure: either the backend failed permanently, or
+/// a frame failed its integrity checks.
+#[derive(Debug)]
+pub enum FramedError {
+    /// The backend failed after exhausting any retries.
+    Io {
+        /// What the file was doing ("create framed file", "read frame").
+        context: &'static str,
+        /// The underlying error, kind preserved.
+        error: io::Error,
+    },
+    /// A frame failed its integrity checks.
+    Corrupt {
+        /// 0-based index of the offending frame in file order.
+        frame: u64,
+        /// Which guard tripped.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for FramedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FramedError::Io { context, error } => write!(f, "framed io ({context}): {error}"),
+            FramedError::Corrupt { frame, reason } => {
+                write!(f, "corrupt frame {frame}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FramedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FramedError::Io { error, .. } => Some(error),
+            FramedError::Corrupt { .. } => None,
+        }
+    }
+}
+
+/// Writes all of `buf`, retrying transient failures per `retry`.
+fn write_full_retry(
+    writer: &mut dyn Write,
+    buf: &[u8],
+    retry: &RetryPolicy,
+    jitter: &mut u64,
+) -> io::Result<()> {
+    let mut offset = 0;
+    let mut attempts = 0u32;
+    while offset < buf.len() {
+        match writer.write(&buf[offset..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "framed write accepted no bytes",
+                ))
+            }
+            Ok(n) => offset += n,
+            Err(e) if is_transient(e.kind()) && attempts < retry.max_retries => {
+                attempts += 1;
+                let pause = retry.backoff(attempts, jitter);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads up to `buf.len()` bytes, stopping early only at end-of-file;
+/// transient failures are retried per `retry`. Returns the bytes read.
+fn read_full_retry(
+    reader: &mut dyn Read,
+    buf: &mut [u8],
+    retry: &RetryPolicy,
+    jitter: &mut u64,
+) -> io::Result<usize> {
+    let mut offset = 0;
+    let mut attempts = 0u32;
+    while offset < buf.len() {
+        match reader.read(&mut buf[offset..]) {
+            Ok(0) => break,
+            Ok(n) => offset += n,
+            Err(e) if is_transient(e.kind()) && attempts < retry.max_retries => {
+                attempts += 1;
+                let pause = retry.backoff(attempts, jitter);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(offset)
+}
+
+/// Appends checksummed frames to one file through a [`SpillIo`] backend.
+pub struct FrameWriter {
+    inner: Box<dyn SpillWrite>,
+    retry: RetryPolicy,
+    jitter: u64,
+    scratch: Vec<u8>,
+    frames: u64,
+    bytes: u64,
+}
+
+impl FrameWriter {
+    /// Creates (truncating) `path` through `io` for framed writing.
+    ///
+    /// # Errors
+    ///
+    /// [`FramedError::Io`] when creation fails.
+    pub fn create(io: &dyn SpillIo, path: &Path, retry: RetryPolicy) -> Result<Self, FramedError> {
+        let inner = io.create(path).map_err(|error| FramedError::Io {
+            context: "create framed file",
+            error,
+        })?;
+        Ok(Self {
+            inner,
+            retry,
+            jitter: retry.seed ^ 0x9E37_79B9_7F4A_7C15,
+            scratch: Vec::new(),
+            frames: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Appends one frame wrapping `payload`.
+    ///
+    /// # Errors
+    ///
+    /// [`FramedError::Io`] when the write fails permanently.
+    pub fn write_frame(&mut self, payload: &[u8]) -> Result<(), FramedError> {
+        assert!(
+            payload.len() <= MAX_PAYLOAD_LEN as usize,
+            "framed payload exceeds {MAX_PAYLOAD_LEN} bytes"
+        );
+        let len = payload.len() as u32;
+        self.scratch.clear();
+        self.scratch.reserve(FRAME_HEADER_BYTES + payload.len());
+        self.scratch.extend_from_slice(&len.to_le_bytes());
+        self.scratch.extend_from_slice(&(!len).to_le_bytes());
+        self.scratch
+            .extend_from_slice(&crc32(payload).to_le_bytes());
+        self.scratch.extend_from_slice(payload);
+        write_full_retry(
+            &mut self.inner,
+            &self.scratch,
+            &self.retry,
+            &mut self.jitter,
+        )
+        .map_err(|error| FramedError::Io {
+            context: "write frame",
+            error,
+        })?;
+        self.frames += 1;
+        self.bytes += self.scratch.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes and closes the file; returns `(frames, bytes)` written.
+    ///
+    /// # Errors
+    ///
+    /// [`FramedError::Io`] when the flush fails.
+    pub fn finish(mut self) -> Result<(u64, u64), FramedError> {
+        self.inner.flush().map_err(|error| FramedError::Io {
+            context: "flush framed file",
+            error,
+        })?;
+        Ok((self.frames, self.bytes))
+    }
+}
+
+/// Replays checksummed frames from one file through a [`SpillIo`] backend.
+pub struct FrameReader {
+    inner: Box<dyn SpillRead>,
+    retry: RetryPolicy,
+    jitter: u64,
+    frame: u64,
+}
+
+impl FrameReader {
+    /// Opens `path` through `io` for framed reading.
+    ///
+    /// # Errors
+    ///
+    /// [`FramedError::Io`] when the open fails (kind preserved, so callers
+    /// can distinguish a missing file from a permission failure).
+    pub fn open(io: &dyn SpillIo, path: &Path, retry: RetryPolicy) -> Result<Self, FramedError> {
+        let inner = io.open(path).map_err(|error| FramedError::Io {
+            context: "open framed file",
+            error,
+        })?;
+        Ok(Self {
+            inner,
+            retry,
+            jitter: retry.seed ^ 0x6A09_E667_F3BC_C908,
+            frame: 0,
+        })
+    }
+
+    /// Decodes the next frame's payload; `None` at a clean end-of-file.
+    ///
+    /// A partial header or payload (truncation), a length/complement
+    /// mismatch, an oversized length and a checksum mismatch all surface
+    /// as [`FramedError::Corrupt`] naming the offending frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FramedError::Io`] on permanent backend failure,
+    /// [`FramedError::Corrupt`] on integrity failure.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FramedError> {
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        let got = read_full_retry(&mut self.inner, &mut header, &self.retry, &mut self.jitter)
+            .map_err(|error| FramedError::Io {
+                context: "read frame header",
+                error,
+            })?;
+        if got == 0 {
+            return Ok(None);
+        }
+        if got < FRAME_HEADER_BYTES {
+            return Err(self.corrupt("truncated frame header"));
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let not_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if len != !not_len {
+            return Err(self.corrupt("length complement mismatch"));
+        }
+        if len > MAX_PAYLOAD_LEN {
+            return Err(self.corrupt("payload length exceeds maximum"));
+        }
+        let mut payload = vec![0u8; len as usize];
+        let got = read_full_retry(&mut self.inner, &mut payload, &self.retry, &mut self.jitter)
+            .map_err(|error| FramedError::Io {
+                context: "read frame payload",
+                error,
+            })?;
+        if got < payload.len() {
+            return Err(self.corrupt("truncated frame payload"));
+        }
+        if crc32(&payload) != crc {
+            return Err(self.corrupt("checksum mismatch"));
+        }
+        self.frame += 1;
+        Ok(Some(payload))
+    }
+
+    fn corrupt(&self, reason: &'static str) -> FramedError {
+        FramedError::Corrupt {
+            frame: self.frame,
+            reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spill_io::{FaultPlan, FaultyIo, StdFsIo};
+    use std::sync::Arc;
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "dmc-framed-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+        fn path(&self, name: &str) -> std::path::PathBuf {
+            self.0.join(name)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn roundtrip(io: &dyn SpillIo, path: &Path, retry: RetryPolicy) -> Vec<Vec<u8>> {
+        let payloads: Vec<Vec<u8>> = vec![b"hello".to_vec(), Vec::new(), vec![0xAB; 1000]];
+        let mut w = FrameWriter::create(io, path, retry).unwrap();
+        for p in &payloads {
+            w.write_frame(p).unwrap();
+        }
+        let (frames, bytes) = w.finish().unwrap();
+        assert_eq!(frames, 3);
+        assert_eq!(
+            bytes,
+            payloads
+                .iter()
+                .map(|p| (FRAME_HEADER_BYTES + p.len()) as u64)
+                .sum::<u64>()
+        );
+        let mut r = FrameReader::open(io, path, retry).unwrap();
+        let mut got = Vec::new();
+        while let Some(p) = r.next_frame().unwrap() {
+            got.push(p);
+        }
+        got
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let dir = TempDir::new("roundtrip");
+        let payloads = roundtrip(&StdFsIo, &dir.path("f.bin"), RetryPolicy::none());
+        assert_eq!(
+            payloads,
+            vec![b"hello".to_vec(), Vec::new(), vec![0xAB; 1000]]
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed_corrupt() {
+        let dir = TempDir::new("trunc");
+        let path = dir.path("f.bin");
+        let mut w = FrameWriter::create(&StdFsIo, &path, RetryPolicy::none()).unwrap();
+        w.write_frame(b"first").unwrap();
+        w.write_frame(b"second").unwrap();
+        w.finish().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Cut into the second frame's payload.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let mut r = FrameReader::open(&StdFsIo, &path, RetryPolicy::none()).unwrap();
+        assert_eq!(r.next_frame().unwrap().unwrap(), b"first");
+        match r.next_frame() {
+            Err(FramedError::Corrupt { frame: 1, reason }) => {
+                assert!(reason.contains("truncated"), "reason={reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_checksum_mismatch() {
+        let dir = TempDir::new("flip");
+        let path = dir.path("f.bin");
+        let mut w = FrameWriter::create(&StdFsIo, &path, RetryPolicy::none()).unwrap();
+        w.write_frame(b"payload-bytes").unwrap();
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = FRAME_HEADER_BYTES + 4;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = FrameReader::open(&StdFsIo, &path, RetryPolicy::none()).unwrap();
+        match r.next_frame() {
+            Err(FramedError::Corrupt { frame: 0, reason }) => {
+                assert_eq!(reason, "checksum mismatch");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_keeps_error_kind() {
+        let dir = TempDir::new("missing");
+        let err = FrameReader::open(&StdFsIo, &dir.path("absent.bin"), RetryPolicy::none())
+            .err()
+            .expect("open fails");
+        match err {
+            FramedError::Io { error, .. } => {
+                assert_eq!(error.kind(), io::ErrorKind::NotFound);
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    /// Every seeded single-fault plan either retries to the exact payloads
+    /// (transient) or surfaces a typed error — never wrong data.
+    #[test]
+    fn seeded_faults_retry_or_surface() {
+        let dir = TempDir::new("faults");
+        for seed in 0..32u64 {
+            let plan = FaultPlan::seeded(seed);
+            let io = FaultyIo::over(Arc::new(StdFsIo), plan.clone());
+            let path = dir.path(&format!("seed{seed}.bin"));
+            let retry = RetryPolicy {
+                seed,
+                ..RetryPolicy::standard()
+            };
+            let write_then_read = || -> Result<Vec<Vec<u8>>, FramedError> {
+                let mut w = FrameWriter::create(&io, &path, retry)?;
+                for i in 0..8u8 {
+                    w.write_frame(&[i; 64])?;
+                }
+                w.finish()?;
+                let mut r = FrameReader::open(&io, &path, retry)?;
+                let mut got = Vec::new();
+                while let Some(p) = r.next_frame()? {
+                    got.push(p);
+                }
+                Ok(got)
+            };
+            match write_then_read() {
+                Ok(got) => {
+                    let expect: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 64]).collect();
+                    assert_eq!(got, expect, "seed={seed}");
+                }
+                Err(_) => {
+                    assert!(
+                        !plan.all_transient(),
+                        "transient-only plan must recover (seed={seed})"
+                    );
+                }
+            }
+        }
+    }
+}

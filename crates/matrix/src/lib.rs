@@ -28,9 +28,13 @@
 //! * [`spill_io`] — the pluggable spill I/O surface: the real filesystem
 //!   backend, a deterministic fault-injecting backend for tests, retry
 //!   policy, and shared I/O counters.
+//! * [`framed`] — the spill's checksummed frame codec as a standalone
+//!   writer/reader pair over the same I/O surface, for protocols beyond
+//!   row spills (the multi-process shard manifest lives on it).
 
 mod builder;
 mod colorder;
+pub mod framed;
 pub mod io;
 pub mod io_binary;
 mod matrix;

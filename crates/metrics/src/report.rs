@@ -25,8 +25,11 @@ use crate::worker::WorkerReport;
 /// `wall_seconds` (driver-measured end-to-end wall clock); v4 added the
 /// per-worker `blocks_processed` / `blocks_stolen` counters of the
 /// work-assisting block scheduler; v5 added the `serve` and `ingest`
-/// sections (null for plain batch runs) reported by long-lived engines.
-pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v5";
+/// sections (null for plain batch runs) reported by long-lived engines;
+/// v6 added the `shard` section (null for single-process runs) carrying
+/// the per-shard column ranges, rule counts, counter fingerprints and
+/// counters of a multi-process `dmc shard` merge.
+pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v6";
 
 /// Cumulative incremental-ingest counters of a long-lived engine. `None`
 /// in the run report until the engine has ingested at least one batch.
@@ -76,6 +79,33 @@ pub struct IoReport {
     pub read_retries: u64,
     /// Frames rejected by the checksum/framing guards.
     pub corrupt_frames: u64,
+}
+
+/// One shard's manifest entry inside a merged (multi-process) run report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Shard index (0-based, dense).
+    pub index: usize,
+    /// First LHS column owned by the shard (inclusive).
+    pub col_lo: u32,
+    /// One past the last LHS column owned by the shard.
+    pub col_hi: u32,
+    /// Rules the shard emitted (including its reverse rules).
+    pub rules: u64,
+    /// CRC32 counter fingerprint over the shard's header and rule bytes.
+    pub fingerprint: u32,
+    /// The shard worker's run-level event counters.
+    pub counters: ScanTally,
+}
+
+/// The shard section of a merged run report: one entry per worker, in
+/// shard order. `None` for single-process runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Number of shards the column range was split into.
+    pub n_shards: usize,
+    /// Per-shard manifest entries, ordered by shard index.
+    pub shards: Vec<ShardSummary>,
 }
 
 /// Outcome of one driver stage (the 100%-rule stage or the sub-100% stage).
@@ -187,6 +217,9 @@ pub struct RunReport {
     /// Cumulative incremental-ingest counters (`None` for batch runs and
     /// for engines that have not ingested yet).
     pub ingest: Option<IngestStats>,
+    /// Per-shard manifest entries of a multi-process merge (`None` for
+    /// single-process runs).
+    pub shard: Option<ShardReport>,
 }
 
 impl RunReport {
@@ -291,6 +324,26 @@ impl RunReport {
             }
             None => w.null("ingest"),
         }
+        match &self.shard {
+            Some(s) => {
+                w.object_key("shard");
+                w.uint("n_shards", s.n_shards as u64);
+                w.array_key("shards");
+                for entry in &s.shards {
+                    w.object();
+                    w.uint("index", entry.index as u64);
+                    w.uint("col_lo", u64::from(entry.col_lo));
+                    w.uint("col_hi", u64::from(entry.col_hi));
+                    w.uint("rules", entry.rules);
+                    w.uint("fingerprint", u64::from(entry.fingerprint));
+                    write_tally(&mut w, "counters", &entry.counters);
+                    w.end_object();
+                }
+                w.end_array();
+                w.end_object();
+            }
+            None => w.null("shard"),
+        }
         w.end_object();
         w.finish()
     }
@@ -357,6 +410,36 @@ impl RunReport {
         }
         if let Some(i) = &self.ingest {
             if i.rules_born > i.pairs_recounted || (i.batches == 0 && i.rows_ingested > 0) {
+                return false;
+            }
+        }
+        // The v6 shard section: entries are dense by index, every shard's
+        // own tally reconciles, the column ranges tile `[0, cols)` exactly
+        // (no gap, no overlap), and the per-shard counters and rule counts
+        // sum to the merged totals.
+        if let Some(s) = &self.shard {
+            if s.n_shards != s.shards.len() || s.shards.is_empty() {
+                return false;
+            }
+            let mut shard_sum = ScanTally::new();
+            let mut shard_rules = 0u64;
+            let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(s.shards.len());
+            for (i, entry) in s.shards.iter().enumerate() {
+                if entry.index != i || entry.col_lo > entry.col_hi || !entry.counters.reconciles() {
+                    return false;
+                }
+                shard_sum.merge(&entry.counters);
+                shard_rules += entry.rules;
+                ranges.push((entry.col_lo, entry.col_hi));
+            }
+            ranges.sort_unstable();
+            if ranges.first().map(|r| r.0) != Some(0)
+                || ranges.last().map(|r| r.1) != Some(self.cols as u32)
+                || ranges.windows(2).any(|w| w[0].1 != w[1].0)
+            {
+                return false;
+            }
+            if shard_sum != self.counters || shard_rules != self.rules as u64 {
                 return false;
             }
         }
@@ -698,6 +781,99 @@ mod tests {
         report.serve.as_mut().unwrap().errors = 2;
         report.ingest.as_mut().unwrap().rules_born = 1000;
         assert!(!report.reconciles(), "births come from recounts");
+    }
+
+    /// Builds a consistent shard section for `sample_report`: two shards
+    /// splitting the run counters and rules.
+    fn sample_shard_section(report: &RunReport) -> ShardReport {
+        let mut left = report.counters;
+        left.rows_scanned = 10;
+        left.candidates_admitted = 5;
+        left.candidates_deleted = 2;
+        left.rules_emitted = 3;
+        let mut right = report.counters;
+        right.rows_scanned = report.counters.rows_scanned - 10;
+        right.candidates_admitted = report.counters.candidates_admitted - 5;
+        right.candidates_deleted = report.counters.candidates_deleted - 2;
+        right.rules_emitted = report.counters.rules_emitted - 3;
+        right.misses_counted = 0;
+        ShardReport {
+            n_shards: 2,
+            shards: vec![
+                ShardSummary {
+                    index: 0,
+                    col_lo: 0,
+                    col_hi: 2,
+                    rules: 2,
+                    fingerprint: 0xDEAD_BEEF,
+                    counters: left,
+                },
+                ShardSummary {
+                    index: 1,
+                    col_lo: 2,
+                    col_hi: report.cols as u32,
+                    rules: report.rules as u64 - 2,
+                    fingerprint: 0x1234_5678,
+                    counters: right,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn shard_section_renders_and_reconciles() {
+        let report = sample_report();
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        assert!(
+            matches!(v.get("shard"), Some(JsonValue::Null)),
+            "single-process runs carry shard: null"
+        );
+
+        let mut report = sample_report();
+        report.shard = Some(sample_shard_section(&report));
+        assert!(report.reconciles());
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        let shard = v.get("shard").expect("shard object present");
+        assert_eq!(shard.get("n_shards").and_then(JsonValue::as_u64), Some(2));
+        let shards = shard
+            .get("shards")
+            .and_then(JsonValue::as_array)
+            .expect("shards array");
+        assert_eq!(shards.len(), 2);
+        assert_eq!(
+            shards[0].get("fingerprint").and_then(JsonValue::as_u64),
+            Some(0xDEAD_BEEF)
+        );
+    }
+
+    #[test]
+    fn shard_reconcile_catches_gap_overlap_and_sum_mismatch() {
+        let base = sample_report();
+
+        let mut gap = base.clone();
+        let mut section = sample_shard_section(&base);
+        section.shards[1].col_lo = 3; // hole between shard 0 and 1
+        gap.shard = Some(section);
+        assert!(!gap.reconciles(), "range gap must fail");
+
+        let mut overlap = base.clone();
+        let mut section = sample_shard_section(&base);
+        section.shards[1].col_lo = 1; // overlaps shard 0
+        overlap.shard = Some(section);
+        assert!(!overlap.reconciles(), "range overlap must fail");
+
+        let mut sum = base.clone();
+        let mut section = sample_shard_section(&base);
+        section.shards[0].counters.candidates_admitted += 1;
+        section.shards[0].counters.rules_emitted += 1;
+        sum.shard = Some(section);
+        assert!(!sum.reconciles(), "counter sum mismatch must fail");
+
+        let mut rules = base;
+        let mut section = sample_shard_section(&rules);
+        section.shards[0].rules += 1;
+        rules.shard = Some(section);
+        assert!(!rules.reconciles(), "rule sum mismatch must fail");
     }
 
     #[test]

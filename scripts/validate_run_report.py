@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""Validate a `dmc.run_report.v5` JSON run report.
+"""Validate a `dmc.run_report.v6` JSON run report.
 
 Usage: validate_run_report.py PATH ALGORITHM MODE WORKERS
 
     PATH       report file written by `dmc ... --metrics PATH`
     ALGORITHM  expected `algorithm` field (implication | similarity)
-    MODE       expected `mode` field (in-memory | streamed)
+    MODE       expected `mode` field (in-memory | streamed | sharded)
     WORKERS    expected number of worker summaries (0 for sequential)
 
 Checks the schema name, the required keys, and the counter
@@ -16,7 +16,12 @@ kept rules across stages equal the emitted rule count, and the
 driver-measured `wall_seconds` covers at least the named phases. The
 v5 `serve` / `ingest` sections must be null or well-formed objects:
 a server cannot err on more requests than it received, and an
-ingesting engine cannot bear more rules than it recounted pairs.
+ingesting engine cannot bear more rules than it recounted pairs. The
+v6 `shard` section (required non-null for `sharded` mode, null
+otherwise) must carry dense shard indices, column ranges tiling
+`[0, cols)` exactly, per-shard counters that reconcile and sum to the
+run counters, rule counts summing to the merged total, and a counter
+fingerprint per shard.
 
 Exits 0 on a valid report, 1 with a diagnostic otherwise. CI runs this
 against freshly mined reports; `tests/tests/validator_script.rs` runs
@@ -26,16 +31,20 @@ it in the repo test suite so the script cannot drift from the schema.
 import json
 import sys
 
-SCHEMA = "dmc.run_report.v5"
+SCHEMA = "dmc.run_report.v6"
 
 REQUIRED_KEYS = (
     "schema", "algorithm", "mode", "threads", "rows", "cols", "threshold",
     "rules", "counters", "hundred_stage", "sub_stage", "reverse_rules",
     "phases", "wall_seconds", "peak_candidates", "peak_counter_bytes",
     "bitmap_switch_at", "spill_bytes", "io", "workers", "serve", "ingest",
+    "shard",
 )
 
 SERVE_KEYS = ("connections", "requests", "errors")
+
+SHARD_ENTRY_KEYS = ("index", "col_lo", "col_hi", "rules", "fingerprint",
+                    "counters")
 
 INGEST_KEYS = ("batches", "rows_ingested", "pairs_bumped",
                "pairs_recounted", "rules_born", "rules_died")
@@ -104,6 +113,35 @@ def check(path, algorithm, mode, workers):
             (path, ingest)
         assert not (ingest["batches"] == 0 and ingest["rows_ingested"] > 0), \
             (path, ingest)
+
+    shard = r["shard"]
+    if mode == "sharded":
+        assert shard is not None, f"{path}: sharded run missing shard"
+    if shard is not None:
+        entries = shard["shards"]
+        assert shard["n_shards"] == len(entries) > 0, (path, shard)
+        shard_sum = {k: 0 for k in c}
+        shard_rules = 0
+        ranges = []
+        for i, entry in enumerate(entries):
+            for key in SHARD_ENTRY_KEYS:
+                assert key in entry, f"{path}: shard entry missing {key}"
+            assert entry["index"] == i, (path, entry)
+            assert 0 <= entry["fingerprint"] <= 0xFFFFFFFF, (path, entry)
+            ec = entry["counters"]
+            assert ec["candidates_admitted"] == \
+                ec["candidates_deleted"] + ec["rules_emitted"], (path, ec)
+            for k in shard_sum:
+                shard_sum[k] += ec[k]
+            shard_rules += entry["rules"]
+            ranges.append((entry["col_lo"], entry["col_hi"]))
+        ranges.sort()
+        assert ranges[0][0] == 0, (path, ranges)
+        assert ranges[-1][1] == r["cols"], (path, ranges)
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo, (path, ranges)
+        assert shard_sum == c, (path, shard_sum, c)
+        assert shard_rules == r["rules"], (path, shard_rules, r["rules"])
 
     if r["bitmap_switch_at"] is not None:
         assert 0 <= r["bitmap_switch_at"] <= r["rows"], path

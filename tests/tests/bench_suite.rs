@@ -29,8 +29,8 @@ fn suite_run_emits_a_valid_reconciled_record() {
     let suite = run_tiny();
     assert_eq!(suite.schema, BENCH_SCHEMA);
     // 1 scale x 2 modes x 2 algorithms x 2 thread counts, plus the
-    // engine query/ingest cell pair for the scale.
-    assert_eq!(suite.cells.len(), 10);
+    // engine query/ingest and shard mine/merge cell pairs for the scale.
+    assert_eq!(suite.cells.len(), 12);
     for cell in &suite.cells {
         assert_eq!(cell.seconds.len(), 3, "{}", cell.id);
         assert!(cell.median_seconds > 0.0, "{}", cell.id);
@@ -57,6 +57,19 @@ fn suite_run_emits_a_valid_reconciled_record() {
             // apply to them.
             assert_eq!(cell.threads, 1, "{}", cell.id);
             assert!(cell.counters.rows_scanned > 0, "{}", cell.id);
+            continue;
+        }
+        if cell.algorithm == "shard" {
+            // Shard cells report the merged run: per-shard counters
+            // summed, so rows_scanned is shards x dataset rows and the
+            // identity holds on the sums too.
+            assert_eq!(cell.threads, 4, "{}", cell.id);
+            assert_eq!(
+                cell.counters.candidates_admitted,
+                cell.counters.candidates_deleted + cell.counters.rules_emitted,
+                "{}",
+                cell.id
+            );
             continue;
         }
         // The miss-counting identity, straight from the recorded

@@ -66,7 +66,7 @@ fn all_reports(m: &SparseMatrix, threshold: f64) -> Vec<(String, RunReport)> {
     out
 }
 
-/// The golden top-level key set of `dmc.run_report.v5`, in serialization
+/// The golden top-level key set of `dmc.run_report.v6`, in serialization
 /// order. A failure here means the schema changed: bump the version.
 const GOLDEN_KEYS: &[&str] = &[
     "schema",
@@ -91,6 +91,7 @@ const GOLDEN_KEYS: &[&str] = &[
     "workers",
     "serve",
     "ingest",
+    "shard",
 ];
 
 const GOLDEN_IO_KEYS: &[&str] = &[

@@ -1,0 +1,285 @@
+//! Fault injection against the shard spill / merge protocol: every
+//! corruption a crashed or lying worker can leave behind must surface as
+//! a *typed* [`ShardError`] from the merge — never a partial union — and
+//! a failed merge must leave no manifest on disk. Transient io faults
+//! must instead retry through to output byte-identical to a fault-free
+//! run (the seeded sweep at the bottom).
+
+use dmc_core::shard::{
+    merge_shards, mine_shard, plan_shards, run_worker, shard_path, write_shard, ShardError,
+    HEADER_BYTES,
+};
+use dmc_core::{shard_mine, MineConfig, SparseMatrix};
+use dmc_datagen::{planted_implications, PlantedConfig};
+use dmc_matrix::framed::FRAME_HEADER_BYTES;
+use dmc_matrix::spill_io::{crc32, FaultPlan, FaultyIo, RetryPolicy, StdFsIo};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "dmc-shard-faults-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn matrix() -> SparseMatrix {
+    planted_implications(&PlantedConfig::new(300, 30, 5, 17)).matrix
+}
+
+fn config() -> MineConfig {
+    MineConfig::implications(0.8).unwrap()
+}
+
+/// Writes a full set of healthy shard spills and returns the plan.
+fn healthy_shards(manifest: &Path, n_shards: usize) -> Vec<(u32, u32)> {
+    let m = matrix();
+    let cfg = config();
+    let plan = plan_shards(m.n_cols(), n_shards).unwrap();
+    for index in 0..plan.len() {
+        run_worker(
+            &StdFsIo,
+            manifest,
+            RetryPolicy::none(),
+            &cfg,
+            &m,
+            &plan,
+            index,
+        )
+        .unwrap();
+    }
+    plan
+}
+
+fn merge(manifest: &Path, n_shards: usize) -> Result<(), ShardError> {
+    merge_shards(&StdFsIo, manifest, n_shards, RetryPolicy::none(), false).map(|_| ())
+}
+
+/// Asserts the merge failed cleanly: no manifest written, every shard
+/// spill left in place for inspection and retry.
+fn assert_no_partial_output(manifest: &Path, n_shards: usize) {
+    assert!(!manifest.exists(), "failed merge must not leave a manifest");
+    for i in 0..n_shards {
+        assert!(
+            shard_path(manifest, i).exists(),
+            "failed merge must not consume shard spill {i}"
+        );
+    }
+}
+
+/// Rewrites the CRC of the frame starting at `frame_off` so a deliberate
+/// payload tamper passes the frame checksum and must be caught by the
+/// next integrity layer (fingerprint, rule count, range check).
+fn fix_frame_crc(bytes: &mut [u8], frame_off: usize) {
+    let len = u32::from_le_bytes(bytes[frame_off..frame_off + 4].try_into().unwrap()) as usize;
+    let payload_off = frame_off + FRAME_HEADER_BYTES;
+    let crc = crc32(&bytes[payload_off..payload_off + len]);
+    bytes[frame_off + 8..frame_off + 12].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn truncated_shard_spill_is_corrupt() {
+    let dir = TempDir::new("truncated");
+    let manifest = dir.path("m");
+    let plan = healthy_shards(&manifest, 3);
+    let victim = shard_path(&manifest, 1);
+    let len = std::fs::metadata(&victim).unwrap().len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&victim)
+        .unwrap();
+    file.set_len(len - 7).unwrap();
+    drop(file);
+    match merge(&manifest, plan.len()) {
+        Err(ShardError::Corrupt { shard: 1, .. }) => {}
+        other => panic!("expected Corrupt on shard 1, got {other:?}"),
+    }
+    assert_no_partial_output(&manifest, plan.len());
+}
+
+#[test]
+fn flipped_fingerprint_byte_is_typed() {
+    let dir = TempDir::new("fingerprint");
+    let manifest = dir.path("m");
+    let plan = healthy_shards(&manifest, 3);
+    let victim = shard_path(&manifest, 2);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    // The fingerprint is the last 4 bytes of the header payload; repair
+    // the frame CRC so only the fingerprint layer can catch the flip.
+    bytes[FRAME_HEADER_BYTES + HEADER_BYTES - 4] ^= 0x40;
+    fix_frame_crc(&mut bytes, 0);
+    std::fs::write(&victim, &bytes).unwrap();
+    match merge(&manifest, plan.len()) {
+        Err(ShardError::FingerprintMismatch {
+            shard: 2,
+            expected,
+            actual,
+        }) => assert_ne!(expected, actual),
+        other => panic!("expected FingerprintMismatch on shard 2, got {other:?}"),
+    }
+    assert_no_partial_output(&manifest, plan.len());
+}
+
+#[test]
+fn tampered_rule_payload_is_fingerprint_mismatch() {
+    let dir = TempDir::new("rule-tamper");
+    let manifest = dir.path("m");
+    let plan = healthy_shards(&manifest, 2);
+    // Pick a shard that actually emitted rules (its file extends past the
+    // header frame into at least one rule frame).
+    let rule_frame_off = FRAME_HEADER_BYTES + HEADER_BYTES;
+    let victim = (0..plan.len())
+        .map(|i| shard_path(&manifest, i))
+        .find(|p| std::fs::metadata(p).unwrap().len() > rule_frame_off as u64)
+        .expect("at least one shard holds rules");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[rule_frame_off + FRAME_HEADER_BYTES + 8] ^= 0x01; // a rule's hit count
+    fix_frame_crc(&mut bytes, rule_frame_off);
+    std::fs::write(&victim, &bytes).unwrap();
+    match merge(&manifest, plan.len()) {
+        Err(ShardError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+    assert_no_partial_output(&manifest, plan.len());
+}
+
+#[test]
+fn tampered_rule_count_is_typed() {
+    let dir = TempDir::new("rule-count");
+    let manifest = dir.path("m");
+    let plan = healthy_shards(&manifest, 2);
+    let victim = shard_path(&manifest, 0);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    // rule_count is the u64 at header offset 52 (after the magic, the
+    // four config bytes, four u32s, and three u64s).
+    bytes[FRAME_HEADER_BYTES + 52] ^= 0x02;
+    fix_frame_crc(&mut bytes, 0);
+    std::fs::write(&victim, &bytes).unwrap();
+    match merge(&manifest, plan.len()) {
+        Err(ShardError::RuleCountMismatch { shard: 0, .. }) => {}
+        other => panic!("expected RuleCountMismatch on shard 0, got {other:?}"),
+    }
+    assert_no_partial_output(&manifest, plan.len());
+}
+
+#[test]
+fn missing_shard_file_is_typed() {
+    let dir = TempDir::new("missing");
+    let manifest = dir.path("m");
+    let plan = healthy_shards(&manifest, 3);
+    std::fs::remove_file(shard_path(&manifest, 2)).unwrap();
+    match merge(&manifest, plan.len()) {
+        Err(ShardError::MissingShard { index: 2, .. }) => {}
+        other => panic!("expected MissingShard 2, got {other:?}"),
+    }
+    assert!(!manifest.exists());
+}
+
+/// Duplicate, overlapping and gapped column ranges (a mis-launched worker
+/// pair) are all rejected by the range-tiling check. `run_worker` refuses
+/// such plans up front, so the spills are forged through `write_shard`.
+#[test]
+fn bad_column_ranges_are_typed() {
+    let m = matrix();
+    let cfg = config();
+    let n = m.n_cols() as u32;
+    let bad_plans: &[&[(u32, u32)]] = &[
+        &[(0, n), (0, n)],             // duplicate range
+        &[(0, n / 2 + 3), (n / 2, n)], // overlap
+        &[(0, n / 2 - 3), (n / 2, n)], // gap
+    ];
+    for (case, plan) in bad_plans.iter().enumerate() {
+        let dir = TempDir::new(&format!("ranges-{case}"));
+        let manifest = dir.path("m");
+        for (index, &(lo, hi)) in plan.iter().enumerate() {
+            let out = mine_shard(&cfg, &m, lo, hi);
+            write_shard(
+                &StdFsIo,
+                &shard_path(&manifest, index),
+                RetryPolicy::none(),
+                &out,
+                false,
+                plan,
+                index,
+            )
+            .unwrap();
+        }
+        match merge(&manifest, plan.len()) {
+            Err(ShardError::BadRanges { .. }) => {}
+            other => panic!("case {case}: expected BadRanges, got {other:?}"),
+        }
+        assert_no_partial_output(&manifest, plan.len());
+    }
+}
+
+#[test]
+fn merging_the_wrong_shard_count_is_typed() {
+    let dir = TempDir::new("count");
+    let manifest = dir.path("m");
+    healthy_shards(&manifest, 3);
+    match merge(&manifest, 2) {
+        Err(ShardError::HeaderMismatch { shard: 0, .. }) => {}
+        other => panic!("expected HeaderMismatch, got {other:?}"),
+    }
+    assert!(!manifest.exists());
+}
+
+/// The seeded fault sweep of `framed.rs`, lifted to the whole sharded
+/// pipeline: under any single injected io fault, `shard_mine` either
+/// produces rules byte-identical to a fault-free run (transient faults
+/// retried away, or silent corruption confined to the post-union
+/// manifest) or fails with a typed error — and a transient-only plan
+/// must always recover.
+#[test]
+fn seeded_faults_retry_or_surface() {
+    let dir = TempDir::new("sweep");
+    let m = matrix();
+    let cfg = config();
+    let baseline = shard_mine(
+        &StdFsIo,
+        &dir.path("baseline.manifest"),
+        RetryPolicy::none(),
+        &cfg,
+        &m,
+        4,
+        false,
+    )
+    .unwrap();
+    for seed in 0..32u64 {
+        let plan = FaultPlan::seeded(seed);
+        let io = FaultyIo::over(Arc::new(StdFsIo), plan.clone());
+        let retry = RetryPolicy {
+            seed,
+            ..RetryPolicy::standard()
+        };
+        let manifest = dir.path(&format!("seed{seed}.manifest"));
+        match shard_mine(&io, &manifest, retry, &cfg, &m, 4, false) {
+            Ok(merged) => {
+                assert_eq!(merged.imp_rules, baseline.imp_rules, "seed={seed}");
+                assert!(merged.report.reconciles(), "seed={seed}");
+            }
+            Err(e) => {
+                assert!(
+                    !plan.all_transient(),
+                    "transient-only plan must recover (seed={seed}, error: {e})"
+                );
+            }
+        }
+    }
+}

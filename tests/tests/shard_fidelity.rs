@@ -1,0 +1,247 @@
+//! Cross-process fidelity of column-sharded mining: for every generator
+//! × algorithm × threshold × shard count, the merged shard union must be
+//! **byte-identical** to the single-process `Engine::mine` output — same
+//! rules, same serialized text — and the per-shard counters must sum to
+//! the unsharded run's counters (each shard re-scans every row, so only
+//! `rows_scanned` multiplies; every candidate event belongs to exactly
+//! one owner shard).
+
+use dmc_core::shard::{merge_shards, plan_shards, run_worker, shard_path};
+use dmc_core::{
+    shard_mine, write_rules, Engine, ImplicationRule, MineConfig, ScanTally, SimilarityRule,
+    SparseMatrix,
+};
+use dmc_datagen::{planted_implications, weblog, PlantedConfig, WeblogConfig};
+use dmc_matrix::spill_io::{RetryPolicy, StdFsIo};
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "dmc-shard-fidelity-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn generators() -> Vec<(&'static str, SparseMatrix)> {
+    vec![
+        (
+            "planted",
+            planted_implications(&PlantedConfig::new(300, 40, 5, 11)).matrix,
+        ),
+        ("weblog", weblog(&WeblogConfig::new(250, 30, 7))),
+    ]
+}
+
+fn single_process(
+    config: &MineConfig,
+    m: &SparseMatrix,
+) -> (Vec<ImplicationRule>, Vec<SimilarityRule>, ScanTally) {
+    let mut engine = Engine::new(config.clone(), m.clone());
+    let report = engine.mine().clone();
+    (
+        engine.implication_rules().to_vec(),
+        engine.similarity_rules().to_vec(),
+        report.counters,
+    )
+}
+
+fn rules_text(imp: &[ImplicationRule], sim: &[SimilarityRule]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_rules(imp, sim, &mut buf).unwrap();
+    buf
+}
+
+fn configs() -> Vec<(&'static str, MineConfig)> {
+    let mut cases: Vec<(&'static str, MineConfig)> = vec![
+        ("imp-1.0", MineConfig::implications(1.0).unwrap()),
+        ("imp-0.85", MineConfig::implications(0.85).unwrap()),
+        ("imp-0.6", MineConfig::implications(0.6).unwrap()),
+        ("sim-0.7", MineConfig::similarities(0.7).unwrap()),
+        ("sim-0.4", MineConfig::similarities(0.4).unwrap()),
+    ];
+    // emit_reverse: reverse rules are derived inside the owner shard, so
+    // they must partition exactly like the forward rules.
+    let MineConfig::Implication(cfg) = MineConfig::implications(0.75).unwrap() else {
+        unreachable!()
+    };
+    cases.push((
+        "imp-0.75-reverse",
+        MineConfig::Implication(cfg.with_reverse(true)),
+    ));
+    cases
+}
+
+#[test]
+fn merged_output_is_byte_identical_to_single_process() {
+    let dir = TempDir::new("bytes");
+    for (gen_name, m) in generators() {
+        for (cfg_name, config) in configs() {
+            let (imp, sim, _) = single_process(&config, &m);
+            let expected_text = rules_text(&imp, &sim);
+            for n_shards in [1usize, 2, 7, m.n_cols()] {
+                let tag = format!("{gen_name}-{cfg_name}-{n_shards}");
+                let merged = shard_mine(
+                    &StdFsIo,
+                    &dir.path(&format!("{tag}.manifest")),
+                    RetryPolicy::none(),
+                    &config,
+                    &m,
+                    n_shards,
+                    false,
+                )
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                assert_eq!(merged.imp_rules, imp, "{tag}: implication rules");
+                assert_eq!(merged.sim_rules, sim, "{tag}: similarity rules");
+                assert_eq!(
+                    rules_text(&merged.imp_rules, &merged.sim_rules),
+                    expected_text,
+                    "{tag}: serialized rules"
+                );
+                assert!(merged.report.reconciles(), "{tag}: report reconciles");
+                assert_eq!(merged.report.mode, "sharded", "{tag}");
+                assert_eq!(
+                    merged.report.shard.as_ref().unwrap().n_shards,
+                    n_shards.min(m.n_cols()),
+                    "{tag}: plan clamps to the column count"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_shard_counters_sum_to_the_unsharded_run() {
+    let dir = TempDir::new("counters");
+    for (gen_name, m) in generators() {
+        for (cfg_name, config) in configs() {
+            let (_, _, unsharded) = single_process(&config, &m);
+            for n_shards in [2usize, 7] {
+                let tag = format!("{gen_name}-{cfg_name}-{n_shards}");
+                let merged = shard_mine(
+                    &StdFsIo,
+                    &dir.path(&format!("{tag}.manifest")),
+                    RetryPolicy::none(),
+                    &config,
+                    &m,
+                    n_shards,
+                    false,
+                )
+                .unwrap();
+                let section = merged.report.shard.as_ref().unwrap();
+                let mut sum = ScanTally::new();
+                for entry in &section.shards {
+                    sum.merge(&entry.counters);
+                }
+                // Every candidate event (admission, deletion, miss, rule)
+                // happens in exactly one owner shard; only the row scans
+                // multiply, one full pass per shard.
+                assert_eq!(
+                    sum.candidates_admitted, unsharded.candidates_admitted,
+                    "{tag}: admitted"
+                );
+                assert_eq!(
+                    sum.candidates_deleted, unsharded.candidates_deleted,
+                    "{tag}: deleted"
+                );
+                assert_eq!(
+                    sum.misses_counted, unsharded.misses_counted,
+                    "{tag}: misses"
+                );
+                assert_eq!(sum.rules_emitted, unsharded.rules_emitted, "{tag}: emitted");
+                assert_eq!(
+                    sum.rows_scanned,
+                    unsharded.rows_scanned * section.n_shards as u64,
+                    "{tag}: each shard re-scans every row"
+                );
+            }
+        }
+    }
+}
+
+/// Workers may run in any order and any interleaving across processes;
+/// writing the shards in reverse order must not change the merge.
+#[test]
+fn worker_order_does_not_matter() {
+    let dir = TempDir::new("order");
+    let m = planted_implications(&PlantedConfig::new(200, 24, 4, 3)).matrix;
+    let config = MineConfig::implications(0.8).unwrap();
+    let (imp, _, _) = single_process(&config, &m);
+    let plan = plan_shards(m.n_cols(), 4).unwrap();
+    let manifest = dir.path("reverse.manifest");
+    for index in (0..plan.len()).rev() {
+        run_worker(
+            &StdFsIo,
+            &manifest,
+            RetryPolicy::none(),
+            &config,
+            &m,
+            &plan,
+            index,
+        )
+        .unwrap();
+    }
+    let merged = merge_shards(&StdFsIo, &manifest, plan.len(), RetryPolicy::none(), false).unwrap();
+    assert_eq!(merged.imp_rules, imp);
+    assert!(merged.report.reconciles());
+    for i in 0..plan.len() {
+        assert!(
+            !shard_path(&manifest, i).exists(),
+            "shard {i} spill removed after merge"
+        );
+    }
+}
+
+/// Degenerate inputs: empty matrix, single column, more shards than
+/// columns.
+#[test]
+fn degenerate_shapes_shard_cleanly() {
+    let dir = TempDir::new("degenerate");
+    let empty = SparseMatrix::from_rows(0, vec![]);
+    let config = MineConfig::implications(0.9).unwrap();
+    let merged = shard_mine(
+        &StdFsIo,
+        &dir.path("empty.manifest"),
+        RetryPolicy::none(),
+        &config,
+        &empty,
+        4,
+        false,
+    )
+    .unwrap();
+    assert!(merged.imp_rules.is_empty());
+    assert!(merged.report.reconciles());
+
+    let single = SparseMatrix::from_rows(1, vec![vec![0], vec![0]]);
+    let merged = shard_mine(
+        &StdFsIo,
+        &dir.path("single.manifest"),
+        RetryPolicy::none(),
+        &config,
+        &single,
+        8,
+        false,
+    )
+    .unwrap();
+    assert!(merged.report.reconciles());
+    assert_eq!(
+        merged.report.shard.unwrap().n_shards,
+        1,
+        "clamped to 1 column"
+    );
+}

@@ -144,3 +144,82 @@ fn rejects_tampered_and_mismatched_reports() {
     let out = Command::new("python3").arg(script()).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+/// A real sharded merge's report, as `dmc shard --metrics` writes it.
+fn sharded_json(dir: &TempDir, n_shards: usize) -> String {
+    use dmc_matrix::spill_io::{RetryPolicy, StdFsIo};
+    let merged = dmc_core::shard_mine(
+        &StdFsIo,
+        &dir.0.join(format!("fixture-{n_shards}.manifest")),
+        RetryPolicy::none(),
+        &dmc_core::MineConfig::implications(0.85).unwrap(),
+        &matrix(),
+        n_shards,
+        false,
+    )
+    .unwrap();
+    merged.report.to_json()
+}
+
+#[test]
+fn accepts_sharded_reports() {
+    let dir = TempDir::new();
+    for n_shards in [1usize, 4] {
+        let json = sharded_json(&dir, n_shards);
+        let path = dir.0.join(format!("sharded-{n_shards}.json"));
+        std::fs::write(&path, json).unwrap();
+        // A sharded merge reports one "thread" (worker process) per shard
+        // but no in-process worker summaries.
+        let (code, stdout, stderr) = validate(&path, "implication", "sharded", 0);
+        assert_eq!(code, 0, "{n_shards} shards: {stdout:?} {stderr:?}");
+    }
+}
+
+#[test]
+fn rejects_tampered_shard_sections() {
+    let dir = TempDir::new();
+    let good = sharded_json(&dir, 4);
+
+    // A shard's counters no longer sum to the run counters.
+    let tampers = [
+        (
+            "counter",
+            "\"candidates_admitted\": ",
+            "\"candidates_admitted\": 9",
+        ),
+        // The first shard's range no longer starts at column 0.
+        ("range", "\"col_lo\": 0,", "\"col_lo\": 1,"),
+        // A shard claims a different rule count than the merged total.
+        ("rules", "\"rules\": ", "\"rules\": 9"),
+        // The shard section vanishes from a sharded-mode report.
+        ("missing", "\"shard\": {", "\"shard_gone\": {"),
+    ];
+    for (name, from, to) in tampers {
+        // Tamper inside the shard section only: split the JSON at the
+        // section start so run-level keys with the same names stay intact.
+        let at = good.find("\"shard\"").expect("shard section present");
+        let (head, tail) = good.split_at(at);
+        let rigged = format!("{head}{}", tail.replacen(from, to, 1));
+        assert_ne!(rigged, good, "{name}: tamper target must exist");
+        let path = dir.0.join(format!("shard-tamper-{name}.json"));
+        std::fs::write(&path, rigged).unwrap();
+        let (code, _, stderr) = validate(&path, "implication", "sharded", 0);
+        assert_eq!(code, 1, "{name}: tampered shard section must fail");
+        assert!(stderr.contains("INVALID"), "{name}: {stderr}");
+    }
+
+    // An unsharded mode claim over a report carrying a shard section is
+    // fine (the section still has to be internally consistent), but a
+    // sharded mode claim requires the section.
+    let (code, _, _) = validate(
+        &{
+            let path = dir.0.join("mode-mismatch.json");
+            std::fs::write(&path, &good).unwrap();
+            path
+        },
+        "implication",
+        "in-memory",
+        0,
+    );
+    assert_eq!(code, 1, "mode mismatch must fail");
+}
