@@ -37,7 +37,11 @@
 //! cell pair** measuring the column-sharded protocol: `shard/mine/t4/*`
 //! (the full plan → worker → checksummed-merge pipeline) and
 //! `shard/merge/t4/*` (the fingerprint-verified merge alone), each
-//! asserting the union byte-identical to the unsharded mine.
+//! asserting the union byte-identical to the unsharded mine, and a
+//! **compact cell pair**: `compact/base/t1/*` (irredundant-base
+//! construction over the mined rule set, reverses emitted so the base
+//! genuinely shrinks) and `compact/expand/t1/*` (the inverse expansion,
+//! asserted identical to the mined rules on every repeat).
 //!
 //! [`baseline`](crate::baseline) serializes the result under the
 //! `dmc.bench.v1` schema and [`compare`](crate::compare) diffs two such
@@ -122,8 +126,8 @@ pub struct SuiteConfig {
 impl SuiteConfig {
     /// The full matrix: small + medium planted data, threads 1/2/4/8,
     /// 1 warm-up + 5 measured repeats per cell (32 driver cells plus an
-    /// engine query/ingest pair and a shard mine/merge pair per scale,
-    /// 40 total).
+    /// engine query/ingest pair, a shard mine/merge pair and a compact
+    /// base/expand pair per scale, 44 total).
     #[must_use]
     pub fn full() -> Self {
         Self {
@@ -139,8 +143,8 @@ impl SuiteConfig {
 
     /// The CI gate matrix: small planted data only, threads 1/4,
     /// 1 warm-up + 5 measured repeats per cell (8 driver cells plus the
-    /// engine query/ingest pair and the shard mine/merge pair, 12
-    /// total). The extra
+    /// engine query/ingest, shard mine/merge and compact base/expand
+    /// pairs, 14 total). The extra
     /// repeats over the minimum of 3 cost well under a second and buy a
     /// noticeably steadier median on shared runners.
     #[must_use]
@@ -701,6 +705,73 @@ fn shard_cells(matrix: &SparseMatrix, scale: Scale, config: &SuiteConfig) -> Vec
     ]
 }
 
+/// The `compact/base/t1/{scale}` and `compact/expand/t1/{scale}` cells:
+/// irredundant-base construction over the mined rule set and the inverse
+/// expansion. The mine runs once, untimed, with reverse emission so the
+/// base genuinely shrinks; every expand repeat asserts the rebuilt rule
+/// set equals the mined one, making the pair a continuous fidelity check
+/// on the compaction round trip. `rows_scanned` counts input rules and
+/// `rules_emitted` output rules, so `rows_per_sec` is rules through the
+/// stage per second.
+fn compact_cells(matrix: &SparseMatrix, scale: Scale, config: &SuiteConfig) -> Vec<BenchCell> {
+    use dmc_core::compact_implications;
+    let shape = (matrix.n_rows() as u64, matrix.n_cols() as u64);
+    let rules = Miner::implications(config.minconf)
+        .reverse(true)
+        .mine(matrix)
+        .expect("in-memory mines cannot fail")
+        .rules;
+
+    let base_id = format!("compact/base/t1/{}", scale_tag(scale));
+    let (base_seconds, base_fp) = measure(config, &base_id, || {
+        let start = Instant::now();
+        let base = compact_implications(&rules, config.minconf, None);
+        let seconds = start.elapsed().as_secs_f64();
+        let fp = CounterFingerprint {
+            rows_scanned: base.rules_in() as u64,
+            rules_emitted: base.rules_in_base() as u64,
+            ..CounterFingerprint::default()
+        };
+        (seconds, fp)
+    });
+
+    let expand_id = format!("compact/expand/t1/{}", scale_tag(scale));
+    let base = compact_implications(&rules, config.minconf, None);
+    let (expand_seconds, expand_fp) = measure(config, &expand_id, || {
+        let start = Instant::now();
+        let (expanded, _) = base.expand();
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(
+            expanded, rules,
+            "{expand_id}: expansion diverged from the mined rule set"
+        );
+        let fp = CounterFingerprint {
+            rows_scanned: base.rules_in_base() as u64,
+            rules_emitted: expanded.len() as u64,
+            ..CounterFingerprint::default()
+        };
+        (seconds, fp)
+    });
+
+    let spec = |mode, rules| CellSpec {
+        family: "compact",
+        mode,
+        threads: 1,
+        scale,
+        matrix_shape: shape,
+        threshold: config.minconf,
+        rules,
+    };
+    vec![
+        family_cell(spec("base", base_fp.rules_emitted), base_seconds, base_fp),
+        family_cell(
+            spec("expand", expand_fp.rules_emitted),
+            expand_seconds,
+            expand_fp,
+        ),
+    ]
+}
+
 /// Runs the whole matrix and assembles the suite record.
 ///
 /// `progress` receives one line per finished cell (pass `|_| {}` to run
@@ -829,6 +900,9 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchS
         // in-process (plan → workers → checksummed merge), plus the merge
         // step alone.
         extra.extend(shard_cells(&matrix, scale, config));
+        // The compact cell family: irredundant-base construction and the
+        // identity-checked inverse expansion.
+        extra.extend(compact_cells(&matrix, scale, config));
         for cell in extra {
             progress(&format!(
                 "{}: median {:.4}s mad {:.4}s ({} rules)",

@@ -59,6 +59,9 @@ const VALUED: &[&str] = &[
     "shards",
     "worker",
     "manifest",
+    "min-boost",
+    "top",
+    "base",
 ];
 
 impl Args {

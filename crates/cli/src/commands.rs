@@ -2,8 +2,9 @@
 
 use crate::args::{ArgError, Args};
 use dmc_core::{
-    find_implications, find_similarities, rule_groups, Engine, ImplicationConfig, MineConfig,
-    Miner, RowOrder, RunReport, SimilarityConfig, SwitchPolicy,
+    find_implications, find_similarities, rule_group_summaries, rule_groups, CompactedBase,
+    CompactionConfig, Engine, ImplicationConfig, MineConfig, Miner, RowOrder, RunReport,
+    SimilarityConfig, SwitchPolicy,
 };
 use dmc_datagen::{
     dictionary, link_graph, news, weblog, DictionaryConfig, LinkGraphConfig, NewsConfig,
@@ -137,7 +138,33 @@ fn print_imp(
         eprintln!("  {phase:<12} {:.3}s", time.as_secs_f64());
     }
     print_workers(&out.workers);
-    write_metrics(args, &out.report)
+    let mut report = out.report.clone();
+    if args.flag("compact") || args.get("base").is_some() {
+        let base = dmc_core::compact_implications(&out.rules, minconf, None);
+        write_base(args, &base)?;
+        report.compaction = Some(base.report());
+    }
+    write_metrics(args, &report)
+}
+
+/// Shared `--compact` / `--base FILE` tail of the mine commands: writes
+/// the irredundant base as a rules file and reports the ratio.
+fn write_base(args: &Args, base: &CompactedBase) -> CmdResult {
+    if let Some(path) = args.get("base") {
+        let imps: Vec<_> = base.implications.iter().map(|b| b.rule).collect();
+        let sims: Vec<_> = base.similarities.iter().map(|b| b.rule).collect();
+        let mut file = BufWriter::new(File::create(path)?);
+        dmc_core::write_rules(&imps, &sims, &mut file)?;
+        file.flush()?;
+        eprintln!("base written to {path}");
+    }
+    eprintln!(
+        "compacted base: {} of {} rules (ratio {:.3})",
+        base.rules_in_base(),
+        base.rules_in(),
+        base.ratio()
+    );
+    Ok(())
 }
 
 /// Per-worker lines (parallel drivers only; sequential runs leave this empty).
@@ -190,7 +217,109 @@ pub fn sim(args: &Args) -> CmdResult {
         out.memory.peak_candidates()
     );
     print_workers(&out.workers);
-    write_metrics(args, &out.report)
+    let mut report = out.report.clone();
+    if args.flag("compact") || args.get("base").is_some() {
+        let base = dmc_core::compact_similarities(&out.rules, minsim);
+        write_base(args, &base)?;
+        report.compaction = Some(base.report());
+    }
+    write_metrics(args, &report)
+}
+
+/// `dmc compact`: shrink a rules file to its irredundant base, or
+/// (`--expand`) rebuild the full implied rule set from a base file. The
+/// round trip `compact` then `--expand` reproduces the original rules
+/// file byte for byte.
+pub fn compact(args: &Args) -> CmdResult {
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError::Required("<rules-file>".into()))?;
+    let (imps, sims) = if path == "-" {
+        dmc_core::read_rules(std::io::stdin().lock())?
+    } else {
+        dmc_core::read_rules(File::open(path)?)?
+    };
+    // Each threshold is required exactly when rules of that kind are
+    // present — compaction and expansion both reason about which implied
+    // rules qualify at the mining threshold.
+    let minconf: f64 = if imps.is_empty() {
+        args.get_or("minconf", 1.0)?
+    } else {
+        args.require("minconf")?
+    };
+    let minsim: f64 = if sims.is_empty() {
+        args.get_or("minsim", 1.0)?
+    } else {
+        args.require("minsim")?
+    };
+
+    if args.flag("expand") {
+        let n_base = imps.len() + sims.len();
+        let base =
+            CompactedBase::from_base_rules(imps, sims, minconf, minsim, args.flag("reverse"));
+        let (ei, es) = base.expand();
+        write_rule_listing(args, &ei, &es)?;
+        eprintln!(
+            "expanded {n_base} base rules to {} rules",
+            ei.len() + es.len()
+        );
+        return Ok(());
+    }
+
+    let base = dmc_core::compact(
+        &imps,
+        &sims,
+        minconf,
+        minsim,
+        args.flag("reverse").then_some(true),
+    );
+    let config = CompactionConfig::default().with_min_boost(args.get_or("min-boost", 0.0)?);
+    let config = match args.get("top") {
+        Some(_) => config.with_top_k(args.require("top")?),
+        None => config,
+    };
+    let (bi, bs) = base.select(&config);
+    let imps: Vec<_> = bi.iter().map(|b| b.rule).collect();
+    let sims: Vec<_> = bs.iter().map(|b| b.rule).collect();
+    write_rule_listing(args, &imps, &sims)?;
+    if !args.flag("quiet") && args.get("output") != Some("-") {
+        let limit: usize = args.get_or("limit", usize::MAX)?;
+        for b in bi.iter().take(limit) {
+            println!("{} [boost {:.3}]", b.rule, b.boost);
+        }
+        for b in bs.iter().take(limit.saturating_sub(bi.len())) {
+            println!("{} [boost {:.3}]", b.rule, b.boost);
+        }
+    }
+    eprintln!(
+        "compacted base: {} of {} rules (ratio {:.3}); {} selected",
+        base.rules_in_base(),
+        base.rules_in(),
+        base.ratio(),
+        imps.len() + sims.len()
+    );
+    Ok(())
+}
+
+/// Writes implication + similarity rules to `--output` in the rules-file
+/// format (`-` is stdout; stdout suppresses the human listing).
+fn write_rule_listing(
+    args: &Args,
+    imps: &[dmc_core::ImplicationRule],
+    sims: &[dmc_core::SimilarityRule],
+) -> CmdResult {
+    let Some(path) = args.get("output") else {
+        return Ok(());
+    };
+    if path == "-" {
+        let stdout = std::io::stdout();
+        dmc_core::write_rules(imps, sims, &mut stdout.lock())?;
+    } else {
+        let mut file = BufWriter::new(File::create(path)?);
+        dmc_core::write_rules(imps, sims, &mut file)?;
+        file.flush()?;
+    }
+    Ok(())
 }
 
 /// `dmc groups`: rule-graph clusters (§6.3).
@@ -200,6 +329,30 @@ pub fn groups(args: &Args) -> CmdResult {
     let minsim: f64 = args.get_or("minsim", 1.0)?;
     let imps = find_implications(&matrix, &ImplicationConfig::new(minconf));
     let sims = find_similarities(&matrix, &SimilarityConfig::new(minsim));
+    if args.flag("compact") {
+        // Per-group compaction outcome: how much of each cluster the
+        // irredundant base retains.
+        let base = dmc_core::compact(&imps.rules, &sims.rules, minconf, minsim, None);
+        let bi: Vec<_> = base.implications.iter().map(|b| b.rule).collect();
+        let bs: Vec<_> = base.similarities.iter().map(|b| b.rule).collect();
+        let summaries = rule_group_summaries(matrix.n_cols(), &imps.rules, &sims.rules, &bi, &bs);
+        for (i, s) in summaries.iter().enumerate() {
+            let members: Vec<String> = s.members.iter().map(|c| format!("c{c}")).collect();
+            println!(
+                "group {i}: {} ({} rules, {} in base)",
+                members.join(" "),
+                s.rules,
+                s.base_rules
+            );
+        }
+        eprintln!(
+            "{} groups from {} rules ({} in base)",
+            summaries.len(),
+            base.rules_in(),
+            base.rules_in_base()
+        );
+        return Ok(());
+    }
     let clusters = rule_groups(matrix.n_cols(), &imps.rules, &sims.rules);
     for (i, cluster) in clusters.iter().enumerate() {
         let members: Vec<String> = cluster.iter().map(|c| format!("c{c}")).collect();

@@ -29,11 +29,24 @@ commands:
       [--stream --cols N]  out-of-core: spill to disk, never materialize
                            (--threads N fans the replay out to N workers)
       [--spill-retries N]  transient spill-fault retry cap (default 3)
+      [--compact] [--base FILE]
+                           also compute the irredundant rule base: report
+                           the compaction ratio (and the report's
+                           'compaction' section), write the base to FILE
   sim <file> --minsim X    mine similarity rules
       [--order ...] [--no-max-hits] [--threads N] [--limit N] [--quiet]
       [--metrics FILE|-] [--stream --cols N] [--spill-retries N]
+      [--compact] [--base FILE]
+  compact <rules-file> --minconf X | --minsim X
+                           shrink a rules file to its irredundant base
+                           (confidence boost per kept rule); '-' = stdin
+      [--min-boost X] [--top N] [--output FILE|-] [--limit N] [--quiet]
+      [--expand]           inverse: rebuild the full implied rule set
+                           from a base file ([--reverse] if the original
+                           mine emitted reverse directions)
   groups <file> --minconf X --minsim X
                            cluster columns connected by rules
+      [--compact]          annotate each group with its base rule count
   verify <file> --rules R  re-check a rules file against the data
       [--minconf X] [--minsim X]
   stats <file>             print data-set statistics
@@ -73,6 +86,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "imp" => commands::imp(&args),
         "sim" => commands::sim(&args),
+        "compact" => commands::compact(&args),
         "groups" => commands::groups(&args),
         "verify" => commands::verify(&args),
         "stats" => commands::stats(&args),

@@ -1,0 +1,1110 @@
+//! Post-mining rule-base compaction: irredundant bases with confidence boost.
+//!
+//! DMC mines *every* qualifying rule, and at production thresholds the
+//! output itself becomes the bottleneck — serving millions of raw rules,
+//! most of which are logically implied by a handful of others. This module
+//! shrinks a mined rule set to an **irredundant base** that is *lossless*:
+//! [`CompactedBase::expand`] reconstructs the original rule set — including
+//! every `hits`/`ones` count — byte-identically (after [`crate::write_rules`]
+//! serialization) for any algorithm/threshold/`emit_reverse` combination.
+//!
+//! # Deduction schemes for single-antecedent rules
+//!
+//! DMC rules have exactly one column on each side, so of Balcázar's
+//! deduction schemes for partial rules only three can fire, and each maps
+//! to a concrete redundancy in the mined set:
+//!
+//! * **Reflexivity** — `c ⇒ c` is never informative. The miners never emit
+//!   it; compaction asserts the invariant.
+//! * **Canonical-direction augmentation** — a reverse rule `b ⇒ a` (emitted
+//!   under [`crate::ImplicationConfig::emit_reverse`]) is determined by its
+//!   canonical twin: it exists iff `conf(b ⇒ a) = hits/ones(b) ≥ minconf`,
+//!   and every count in it is a permutation of the twin's. The base stores
+//!   only canonical-direction rules plus one `emit_reverse` bit.
+//! * **Transitivity-style cover pruning** — a 100%-confidence rule
+//!   `a ⇒ b` states a set containment `S_a ⊆ S_b`. The mined canonical
+//!   100%-rule set is *transitively closed* (containment composes, and the
+//!   canonical order `(ones, id)` composes with it), so its transitive
+//!   reduction loses nothing: the closure of the reduction is exactly the
+//!   original edge set, and an implied edge `a ⇒ c` has fully determined
+//!   counts `hits = lhs_ones = ones(a)`, `rhs_ones = ones(c)`.
+//!   Columns with *equal* sets (containment both ways, equal `ones`) form
+//!   equivalence classes; the reduction turns each class's complete
+//!   pair-DAG into an id-ordered chain. A sub-100% rule `a ⇒ b` is then
+//!   redundant when some class-mates `a' ≈ a`, `b' ≈ b` give a rule
+//!   `a' ⇒ b'` with identical counts — each cross-class family keeps one
+//!   representative (the `Ord`-minimal member).
+//!
+//! Sub-100% rules between distinct classes carry counts no other rule
+//! determines, so they are irredundant and kept verbatim. The same
+//! argument applies to similarity rules with `sim = 1.0` (equal sets ⇒
+//! classes ⇒ chains) and `sim < 1.0` (class-family representatives).
+//!
+//! # Confidence boost
+//!
+//! Following the confidence-boost measure (arXiv:1103.4778) adapted to
+//! single-antecedent rules: a rule `a ⇒ b` is only as interesting as its
+//! advantage over its *generalizations* — rules `a' ⇒ b` whose antecedent
+//! fires at least as often (`S_a ⊆ S_{a'}`, known exactly from the
+//! 100%-rule containment order):
+//!
+//! ```text
+//! boost(a ⇒ b) = conf(a ⇒ b) / max({minconf} ∪ {conf(a' ⇒ b) : S_a ⊆ S_{a'}, a' ∉ {a, b}})
+//! ```
+//!
+//! `minconf` floors the denominator because an absent pair is known to sit
+//! below the threshold. Rules implied by the base have boost exactly 1.0;
+//! a base rule dominated by a generalization has boost < 1.0. For
+//! similarity rules the generalizations are the class-family twins, whose
+//! similarity is identical — so twinned rules get boost 1.0 and singleton
+//! families `sim/minsim`. [`CompactionConfig`] filters the *served* base by
+//! minimum boost and/or top-k without affecting the lossless base itself.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::rules::{ImplicationRule, SimilarityRule};
+use crate::threshold::conf_qualifies;
+use dmc_matrix::{canonical_less, ColumnId};
+use dmc_metrics::CompactionReport;
+
+/// Buckets of [`CompactedBase::boost_histogram`] (shared with the report
+/// section).
+pub use dmc_metrics::BOOST_HIST_BUCKETS;
+
+/// Upper edges of the first `BOOST_HIST_BUCKETS - 1` histogram buckets:
+/// `< 1.0`, `[1.0, 1.05)`, `[1.05, 1.25)`, `[1.25, 2.0)`, `[2.0, 4.0)`,
+/// `≥ 4.0`.
+pub const BOOST_HIST_EDGES: [f64; BOOST_HIST_BUCKETS - 1] = [1.0, 1.05, 1.25, 2.0, 4.0];
+
+/// Tolerance for boost-threshold comparisons, mirroring the `REL_EPS`
+/// guard in [`crate::threshold`]: a rule whose boost lands exactly on
+/// `min_boost` must not be dropped by an `f64` rounding artifact.
+const BOOST_EPS: f64 = 1e-9;
+
+/// Which histogram bucket `boost` falls into.
+#[must_use]
+pub fn boost_bucket(boost: f64) -> usize {
+    BOOST_HIST_EDGES
+        .iter()
+        .position(|&edge| boost < edge)
+        .unwrap_or(BOOST_HIST_BUCKETS - 1)
+}
+
+/// Serving-side filters over a [`CompactedBase`].
+///
+/// The defaults (`min_boost = 0.0`, no top-k) select the entire base, so a
+/// default config never breaks the expansion identity. Raising `min_boost`
+/// only removes rules (monotone); `top_k` keeps the k highest-boost rules
+/// of each kind, ties broken toward the `Ord`-smaller rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompactionConfig {
+    /// Keep base rules with `boost ≥ min_boost` (small epsilon-tolerant).
+    pub min_boost: f64,
+    /// Keep at most this many rules of each kind, highest boost first.
+    pub top_k: Option<usize>,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        Self {
+            min_boost: 0.0,
+            top_k: None,
+        }
+    }
+}
+
+impl CompactionConfig {
+    /// Builder: set the minimum boost.
+    #[must_use]
+    pub fn with_min_boost(mut self, min_boost: f64) -> Self {
+        self.min_boost = min_boost;
+        self
+    }
+
+    /// Builder: keep only the `k` highest-boost rules per kind.
+    #[must_use]
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+}
+
+/// An implication rule of the base together with its confidence boost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoostedImplication {
+    pub rule: ImplicationRule,
+    pub boost: f64,
+}
+
+/// A similarity rule of the base together with its boost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoostedSimilarity {
+    pub rule: SimilarityRule,
+    pub boost: f64,
+}
+
+/// An irredundant, lossless base for a mined rule set.
+///
+/// Produced by [`compact`]; [`expand`](Self::expand) inverts it exactly.
+#[derive(Clone, Debug)]
+pub struct CompactedBase {
+    /// Implication threshold the rules were mined at (also the reverse
+    /// re-qualification bar and the boost floor).
+    pub minconf: f64,
+    /// Similarity threshold (boost floor for similarity rules).
+    pub minsim: f64,
+    /// Whether expansion re-emits qualifying reverse implication rules.
+    pub emit_reverse: bool,
+    /// Base implication rules, canonical direction, sorted by rule `Ord`.
+    pub implications: Vec<BoostedImplication>,
+    /// Base similarity rules, sorted by rule `Ord`.
+    pub similarities: Vec<BoostedSimilarity>,
+    /// Implication rules in the input (reverse rules included).
+    pub imp_rules_in: usize,
+    /// Similarity rules in the input.
+    pub sim_rules_in: usize,
+}
+
+/// Compacts a mined rule set into its irredundant base.
+///
+/// `emit_reverse` declares whether the implications were mined with
+/// reverse emission; `None` infers it from the input (safe: if no reverse
+/// rule qualified, expansion is byte-identical under either flag). When
+/// the input visibly contains reverse rules the flag is forced on.
+#[must_use]
+pub fn compact(
+    implications: &[ImplicationRule],
+    similarities: &[SimilarityRule],
+    minconf: f64,
+    minsim: f64,
+    emit_reverse: Option<bool>,
+) -> CompactedBase {
+    let (imp_base, saw_reverse) = compact_imp_rules(implications, minconf);
+    let sim_base = compact_sim_rules(similarities, minsim);
+    CompactedBase {
+        minconf,
+        minsim,
+        emit_reverse: saw_reverse || emit_reverse.unwrap_or(false),
+        implications: imp_base,
+        similarities: sim_base,
+        imp_rules_in: implications.len(),
+        sim_rules_in: similarities.len(),
+    }
+}
+
+/// [`compact`] for an implication-only rule set.
+#[must_use]
+pub fn compact_implications(
+    rules: &[ImplicationRule],
+    minconf: f64,
+    emit_reverse: Option<bool>,
+) -> CompactedBase {
+    compact(rules, &[], minconf, 1.0, emit_reverse)
+}
+
+/// [`compact`] for a similarity-only rule set.
+#[must_use]
+pub fn compact_similarities(rules: &[SimilarityRule], minsim: f64) -> CompactedBase {
+    compact(&[], rules, 1.0, minsim, Some(false))
+}
+
+impl CompactedBase {
+    /// Reinterprets an already-compacted rule set (e.g. a base file read
+    /// back from disk) as a base, for [`expand`](Self::expand).
+    ///
+    /// Boosts are not reconstructible from the base alone and are stored
+    /// as 1.0 placeholders; only expansion is meaningful on such a value.
+    /// `emit_reverse` must be passed explicitly when the original mine
+    /// emitted reverse rules (a base never contains one to infer from).
+    #[must_use]
+    pub fn from_base_rules(
+        implications: Vec<ImplicationRule>,
+        similarities: Vec<SimilarityRule>,
+        minconf: f64,
+        minsim: f64,
+        emit_reverse: bool,
+    ) -> Self {
+        let imp_rules_in = implications.len();
+        let sim_rules_in = similarities.len();
+        Self {
+            minconf,
+            minsim,
+            emit_reverse,
+            implications: implications
+                .into_iter()
+                .map(|rule| BoostedImplication { rule, boost: 1.0 })
+                .collect(),
+            similarities: similarities
+                .into_iter()
+                .map(|rule| BoostedSimilarity { rule, boost: 1.0 })
+                .collect(),
+            imp_rules_in,
+            sim_rules_in,
+        }
+    }
+
+    /// Rules in the original input.
+    #[must_use]
+    pub fn rules_in(&self) -> usize {
+        self.imp_rules_in + self.sim_rules_in
+    }
+
+    /// Rules in the base.
+    #[must_use]
+    pub fn rules_in_base(&self) -> usize {
+        self.implications.len() + self.similarities.len()
+    }
+
+    /// `rules_in_base / rules_in`; 1.0 for an empty input.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.rules_in() == 0 {
+            1.0
+        } else {
+            self.rules_in_base() as f64 / self.rules_in() as f64
+        }
+    }
+
+    /// Histogram of base-rule boosts over the [`BOOST_HIST_EDGES`] buckets.
+    #[must_use]
+    pub fn boost_histogram(&self) -> [u64; BOOST_HIST_BUCKETS] {
+        let mut hist = [0u64; BOOST_HIST_BUCKETS];
+        for b in &self.implications {
+            hist[boost_bucket(b.boost)] += 1;
+        }
+        for b in &self.similarities {
+            hist[boost_bucket(b.boost)] += 1;
+        }
+        hist
+    }
+
+    /// The `compaction` section of the run report.
+    #[must_use]
+    pub fn report(&self) -> CompactionReport {
+        CompactionReport {
+            rules_in: self.rules_in() as u64,
+            rules_in_base: self.rules_in_base() as u64,
+            ratio: self.ratio(),
+            boost_hist: self.boost_histogram(),
+        }
+    }
+
+    /// The base rules passing `config`, each kind sorted by rule `Ord`.
+    ///
+    /// Raising `min_boost` (or lowering `top_k`) only ever removes rules.
+    #[must_use]
+    pub fn select(
+        &self,
+        config: &CompactionConfig,
+    ) -> (Vec<BoostedImplication>, Vec<BoostedSimilarity>) {
+        let imps = select_rules(&self.implications, config, |b| (b.boost, b.rule));
+        let sims = select_rules(&self.similarities, config, |b| (b.boost, b.rule));
+        (imps, sims)
+    }
+
+    /// Reconstructs the full mined rule set from the base.
+    ///
+    /// The returned vectors are byte-identical (under
+    /// [`crate::write_rules`]) to the miner output the base was compacted
+    /// from: closure of the 100%-rule reduction, class-family
+    /// re-materialization of deduplicated sub-threshold rules, reverse
+    /// re-emission under `emit_reverse`, then the miners' `sort + dedup`.
+    #[must_use]
+    pub fn expand(&self) -> (Vec<ImplicationRule>, Vec<SimilarityRule>) {
+        (self.expand_implications(), self.expand_similarities())
+    }
+
+    fn expand_implications(&self) -> Vec<ImplicationRule> {
+        let mut ones: FxHashMap<ColumnId, u32> = FxHashMap::default();
+        let mut adj: FxHashMap<ColumnId, Vec<ColumnId>> = FxHashMap::default();
+        let mut nodes: Vec<ColumnId> = Vec::new();
+        for b in &self.implications {
+            let r = b.rule;
+            ones.insert(r.lhs, r.lhs_ones);
+            ones.insert(r.rhs, r.rhs_ones);
+            if r.hits == r.lhs_ones {
+                adj.entry(r.lhs).or_default().push(r.rhs);
+                if !nodes.contains(&r.lhs) {
+                    nodes.push(r.lhs);
+                }
+                if !nodes.contains(&r.rhs) {
+                    nodes.push(r.rhs);
+                }
+            }
+        }
+
+        // Transitive closure of the base's 100%-rule edges. The original
+        // 100%-rule set was transitively closed, so closing its reduction
+        // reproduces it exactly.
+        let mut rules: Vec<ImplicationRule> = Vec::new();
+        let mut classes = MinIdUnionFind::default();
+        nodes.sort_unstable();
+        for &u in &nodes {
+            let reach = reachable_from(u, &adj);
+            for &v in &reach {
+                let (ou, ov) = (ones[&u], ones[&v]);
+                rules.push(ImplicationRule {
+                    lhs: u,
+                    rhs: v,
+                    hits: ou,
+                    lhs_ones: ou,
+                    rhs_ones: ov,
+                });
+                if ou == ov {
+                    // Containment with equal sizes is set equality.
+                    classes.union(u, v);
+                }
+            }
+        }
+
+        // Re-materialize each deduplicated sub-100% class family from its
+        // representative.
+        let members = classes.members();
+        for b in &self.implications {
+            let r = b.rule;
+            if r.hits == r.lhs_ones {
+                continue;
+            }
+            let lhs_class = class_of(&members, &classes, r.lhs);
+            let rhs_class = class_of(&members, &classes, r.rhs);
+            for &x in &lhs_class {
+                for &y in &rhs_class {
+                    rules.push(canonical_imp(x, r.lhs_ones, y, r.rhs_ones, r.hits));
+                }
+            }
+        }
+
+        if self.emit_reverse {
+            let reversed: Vec<ImplicationRule> = rules
+                .iter()
+                .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.rhs_ones), self.minconf))
+                .map(|r| r.reversed())
+                .collect();
+            rules.extend(reversed);
+        }
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+
+    fn expand_similarities(&self) -> Vec<SimilarityRule> {
+        let mut classes = MinIdUnionFind::default();
+        let mut ones: FxHashMap<ColumnId, u32> = FxHashMap::default();
+        for b in &self.similarities {
+            let r = b.rule;
+            ones.insert(r.a, r.a_ones);
+            ones.insert(r.b, r.b_ones);
+            if r.hits == r.a_ones && r.hits == r.b_ones {
+                classes.union(r.a, r.b);
+            }
+        }
+
+        // All pairs within each equal-set class carry sim 1.0.
+        let mut rules: Vec<SimilarityRule> = Vec::new();
+        let members = classes.members();
+        for group in members.values() {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    let o = ones[&a];
+                    rules.push(SimilarityRule {
+                        a,
+                        b,
+                        hits: o,
+                        a_ones: o,
+                        b_ones: o,
+                    });
+                }
+            }
+        }
+
+        for b in &self.similarities {
+            let r = b.rule;
+            if r.hits == r.a_ones && r.hits == r.b_ones {
+                continue;
+            }
+            let a_class = class_of(&members, &classes, r.a);
+            let b_class = class_of(&members, &classes, r.b);
+            for &x in &a_class {
+                for &y in &b_class {
+                    rules.push(canonical_sim(x, r.a_ones, y, r.b_ones, r.hits));
+                }
+            }
+        }
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+}
+
+fn select_rules<T: Copy, R: Ord + Copy>(
+    rules: &[T],
+    config: &CompactionConfig,
+    key: impl Fn(&T) -> (f64, R),
+) -> Vec<T> {
+    let mut kept: Vec<T> = rules
+        .iter()
+        .filter(|t| key(t).0 + BOOST_EPS >= config.min_boost)
+        .copied()
+        .collect();
+    if let Some(k) = config.top_k {
+        if kept.len() > k {
+            kept.sort_by(|x, y| {
+                let (bx, rx) = key(x);
+                let (by, ry) = key(y);
+                by.total_cmp(&bx).then_with(|| rx.cmp(&ry))
+            });
+            kept.truncate(k);
+            kept.sort_by_key(|t| key(t).1);
+        }
+    }
+    kept
+}
+
+/// Union-find over sparse column ids whose representative is the smallest
+/// member — the natural class representative for deterministic output.
+#[derive(Default)]
+struct MinIdUnionFind {
+    parent: FxHashMap<ColumnId, ColumnId>,
+}
+
+impl MinIdUnionFind {
+    fn find(&mut self, x: ColumnId) -> ColumnId {
+        let mut root = x;
+        while let Some(&p) = self.parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        // Path compression.
+        let mut cur = x;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            self.parent.insert(cur, root);
+            cur = p;
+        }
+        root
+    }
+
+    fn union(&mut self, a: ColumnId, b: ColumnId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(hi, lo);
+        self.parent.entry(lo).or_insert(lo);
+    }
+
+    fn find_root(&mut self, x: ColumnId) -> ColumnId {
+        if self.parent.contains_key(&x) {
+            self.find(x)
+        } else {
+            x
+        }
+    }
+
+    /// Root → ascending member list, for classes with ≥ 2 members.
+    fn members(&mut self) -> FxHashMap<ColumnId, Vec<ColumnId>> {
+        let keys: Vec<ColumnId> = self.parent.keys().copied().collect();
+        let mut out: FxHashMap<ColumnId, Vec<ColumnId>> = FxHashMap::default();
+        for k in keys {
+            let root = self.find(k);
+            out.entry(root).or_default().push(k);
+        }
+        for group in out.values_mut() {
+            group.sort_unstable();
+        }
+        out.retain(|_, group| group.len() >= 2);
+        out
+    }
+}
+
+fn class_of(
+    members: &FxHashMap<ColumnId, Vec<ColumnId>>,
+    classes: &MinIdUnionFind,
+    col: ColumnId,
+) -> Vec<ColumnId> {
+    // `members()` has already path-compressed every key, so a plain parent
+    // lookup resolves the root without mutation.
+    let root = classes
+        .parent
+        .get(&col)
+        .copied()
+        .map_or(col, |p| if p == col { col } else { p });
+    members.get(&root).cloned().unwrap_or_else(|| vec![col])
+}
+
+fn canonical_imp(x: ColumnId, ox: u32, y: ColumnId, oy: u32, hits: u32) -> ImplicationRule {
+    if canonical_less(x, ox, y, oy) {
+        ImplicationRule {
+            lhs: x,
+            rhs: y,
+            hits,
+            lhs_ones: ox,
+            rhs_ones: oy,
+        }
+    } else {
+        ImplicationRule {
+            lhs: y,
+            rhs: x,
+            hits,
+            lhs_ones: oy,
+            rhs_ones: ox,
+        }
+    }
+}
+
+fn canonical_sim(x: ColumnId, ox: u32, y: ColumnId, oy: u32, hits: u32) -> SimilarityRule {
+    if canonical_less(x, ox, y, oy) {
+        SimilarityRule {
+            a: x,
+            b: y,
+            hits,
+            a_ones: ox,
+            b_ones: oy,
+        }
+    } else {
+        SimilarityRule {
+            a: y,
+            b: x,
+            hits,
+            a_ones: oy,
+            b_ones: ox,
+        }
+    }
+}
+
+fn reachable_from(start: ColumnId, adj: &FxHashMap<ColumnId, Vec<ColumnId>>) -> Vec<ColumnId> {
+    let mut seen: FxHashSet<ColumnId> = FxHashSet::default();
+    let mut stack: Vec<ColumnId> = adj.get(&start).cloned().unwrap_or_default();
+    while let Some(v) = stack.pop() {
+        if seen.insert(v) {
+            if let Some(next) = adj.get(&v) {
+                stack.extend(next.iter().copied());
+            }
+        }
+    }
+    let mut reach: Vec<ColumnId> = seen.into_iter().collect();
+    reach.sort_unstable();
+    reach
+}
+
+fn unordered(a: ColumnId, b: ColumnId) -> (ColumnId, ColumnId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Compacts canonical implication rules; returns the base (sorted, with
+/// boosts) and whether reverse rules were present in the input.
+fn compact_imp_rules(rules: &[ImplicationRule], minconf: f64) -> (Vec<BoostedImplication>, bool) {
+    let mut canonical: Vec<ImplicationRule> = Vec::with_capacity(rules.len());
+    let mut saw_reverse = false;
+    for r in rules {
+        debug_assert_ne!(r.lhs, r.rhs, "reflexive rule in miner output");
+        if canonical_less(r.lhs, r.lhs_ones, r.rhs, r.rhs_ones) {
+            canonical.push(*r);
+        } else {
+            saw_reverse = true;
+        }
+    }
+
+    let mut ones: FxHashMap<ColumnId, u32> = FxHashMap::default();
+    let mut pair_hits: FxHashMap<(ColumnId, ColumnId), u32> = FxHashMap::default();
+    let mut succ: FxHashMap<ColumnId, Vec<ColumnId>> = FxHashMap::default();
+    let mut edges: FxHashSet<(ColumnId, ColumnId)> = FxHashSet::default();
+    let mut classes = MinIdUnionFind::default();
+    for r in &canonical {
+        ones.insert(r.lhs, r.lhs_ones);
+        ones.insert(r.rhs, r.rhs_ones);
+        pair_hits.insert(unordered(r.lhs, r.rhs), r.hits);
+        if r.hits == r.lhs_ones {
+            succ.entry(r.lhs).or_default().push(r.rhs);
+            edges.insert((r.lhs, r.rhs));
+            if r.lhs_ones == r.rhs_ones {
+                classes.union(r.lhs, r.rhs);
+            }
+        }
+    }
+
+    let empty: Vec<ColumnId> = Vec::new();
+    let mut base: Vec<ImplicationRule> = Vec::new();
+    // 100% rules: keep exactly the transitive reduction. The edge set is
+    // transitively closed, so one intermediate-hop test is a full path test.
+    for r in &canonical {
+        if r.hits != r.lhs_ones {
+            continue;
+        }
+        let covered = succ
+            .get(&r.lhs)
+            .unwrap_or(&empty)
+            .iter()
+            .any(|&w| w != r.rhs && edges.contains(&(w, r.rhs)));
+        if !covered {
+            base.push(*r);
+        }
+    }
+
+    // Sub-100% rules: one Ord-minimal representative per equal-set class
+    // family (all members share every count, so any one determines all).
+    let mut families: FxHashMap<(ColumnId, ColumnId), ImplicationRule> = FxHashMap::default();
+    for r in &canonical {
+        if r.hits == r.lhs_ones {
+            continue;
+        }
+        let key = unordered(classes.find_root(r.lhs), classes.find_root(r.rhs));
+        families
+            .entry(key)
+            .and_modify(|best| {
+                if *r < *best {
+                    *best = *r;
+                }
+            })
+            .or_insert(*r);
+    }
+    base.extend(families.into_values());
+    base.sort_unstable();
+
+    let class_members = classes.members();
+    let boosted = base
+        .iter()
+        .map(|r| BoostedImplication {
+            rule: *r,
+            boost: imp_boost(
+                r,
+                minconf,
+                &ones,
+                &succ,
+                &classes,
+                &class_members,
+                &pair_hits,
+            ),
+        })
+        .collect();
+    (boosted, saw_reverse)
+}
+
+/// `conf(r) / max(minconf, best generalization confidence)`.
+#[allow(clippy::too_many_arguments)]
+fn imp_boost(
+    r: &ImplicationRule,
+    minconf: f64,
+    ones: &FxHashMap<ColumnId, u32>,
+    succ: &FxHashMap<ColumnId, Vec<ColumnId>>,
+    classes: &MinIdUnionFind,
+    class_members: &FxHashMap<ColumnId, Vec<ColumnId>>,
+    pair_hits: &FxHashMap<(ColumnId, ColumnId), u32>,
+) -> f64 {
+    let conf = f64::from(r.hits) / f64::from(r.lhs_ones);
+    let mut denom = minconf;
+    // Generalizations of the antecedent: supersets via the (transitively
+    // closed) 100%-rule successors, plus equal-set class mates.
+    let empty: Vec<ColumnId> = Vec::new();
+    let supersets = succ.get(&r.lhs).unwrap_or(&empty);
+    let mates = class_of(class_members, classes, r.lhs);
+    for &a in supersets.iter().chain(mates.iter()) {
+        if a == r.lhs || a == r.rhs {
+            continue;
+        }
+        if let Some(&h) = pair_hits.get(&unordered(a, r.rhs)) {
+            let c = f64::from(h) / f64::from(ones[&a]);
+            if c > denom {
+                denom = c;
+            }
+        }
+    }
+    conf / denom
+}
+
+/// Compacts similarity rules: equal-set classes become id-ordered chains,
+/// sub-1.0 rules one representative per class family.
+fn compact_sim_rules(rules: &[SimilarityRule], minsim: f64) -> Vec<BoostedSimilarity> {
+    let mut classes = MinIdUnionFind::default();
+    let mut ones: FxHashMap<ColumnId, u32> = FxHashMap::default();
+    for r in rules {
+        debug_assert_ne!(r.a, r.b, "reflexive rule in miner output");
+        ones.insert(r.a, r.a_ones);
+        ones.insert(r.b, r.b_ones);
+        if r.hits == r.a_ones && r.hits == r.b_ones {
+            classes.union(r.a, r.b);
+        }
+    }
+
+    let class_members = classes.members();
+    let mut base: Vec<SimilarityRule> = Vec::new();
+    // Chains: consecutive id-ordered pairs within each equal-set class.
+    let mut roots: Vec<ColumnId> = class_members.keys().copied().collect();
+    roots.sort_unstable();
+    for root in roots {
+        let group = &class_members[&root];
+        let o = ones[&group[0]];
+        for pair in group.windows(2) {
+            base.push(SimilarityRule {
+                a: pair[0],
+                b: pair[1],
+                hits: o,
+                a_ones: o,
+                b_ones: o,
+            });
+        }
+    }
+
+    let mut families: FxHashMap<(ColumnId, ColumnId), (SimilarityRule, usize)> =
+        FxHashMap::default();
+    for r in rules {
+        if r.hits == r.a_ones && r.hits == r.b_ones {
+            continue;
+        }
+        let key = unordered(classes.find_root(r.a), classes.find_root(r.b));
+        families
+            .entry(key)
+            .and_modify(|(best, n)| {
+                if *r < *best {
+                    *best = *r;
+                }
+                *n += 1;
+            })
+            .or_insert((*r, 1));
+    }
+    let mut family_sizes: FxHashMap<(ColumnId, ColumnId), usize> = FxHashMap::default();
+    for (rule, n) in families.into_values() {
+        family_sizes.insert(unordered(rule.a, rule.b), n);
+        base.push(rule);
+    }
+    base.sort_unstable();
+
+    base.iter()
+        .map(|r| {
+            let sim = f64::from(r.hits) / f64::from(r.a_ones + r.b_ones - r.hits);
+            let family = if r.hits == r.a_ones && r.hits == r.b_ones {
+                // Within-class rule: the family is every pair of the class.
+                let group = class_of(&class_members, &classes, r.a);
+                group.len() * (group.len() - 1) / 2
+            } else {
+                family_sizes[&unordered(r.a, r.b)]
+            };
+            // Class twins share the exact similarity, so a twinned rule has
+            // no advantage (boost 1.0); a singleton is measured off the
+            // minsim floor.
+            let boost = if family > 1 { 1.0 } else { sim / minsim };
+            BoostedSimilarity { rule: *r, boost }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imp(lhs: u32, rhs: u32, hits: u32, lo: u32, ro: u32) -> ImplicationRule {
+        ImplicationRule {
+            lhs,
+            rhs,
+            hits,
+            lhs_ones: lo,
+            rhs_ones: ro,
+        }
+    }
+
+    fn sim(a: u32, b: u32, hits: u32, ao: u32, bo: u32) -> SimilarityRule {
+        SimilarityRule {
+            a,
+            b,
+            hits,
+            a_ones: ao,
+            b_ones: bo,
+        }
+    }
+
+    fn imp_rules_of(base: &CompactedBase) -> Vec<ImplicationRule> {
+        base.implications.iter().map(|b| b.rule).collect()
+    }
+
+    fn roundtrips_imp(rules: &[ImplicationRule], minconf: f64) -> CompactedBase {
+        let base = compact_implications(rules, minconf, None);
+        let (expanded, _) = base.expand();
+        let mut expected = rules.to_vec();
+        expected.sort_unstable();
+        assert_eq!(expanded, expected, "expand(compact(rules)) != rules");
+        base
+    }
+
+    #[test]
+    fn containment_chain_reduces_to_two_edges() {
+        // S_0 ⊂ S_1 ⊂ S_2 — the implied 0 ⇒ 2 is dropped, counts restored.
+        let rules = vec![
+            imp(0, 1, 10, 10, 20),
+            imp(0, 2, 10, 10, 40),
+            imp(1, 2, 20, 20, 40),
+        ];
+        let base = roundtrips_imp(&rules, 1.0);
+        assert_eq!(
+            imp_rules_of(&base),
+            vec![imp(0, 1, 10, 10, 20), imp(1, 2, 20, 20, 40)]
+        );
+        assert_eq!(base.rules_in(), 3);
+        assert_eq!(base.rules_in_base(), 2);
+        assert!((base.ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_class_reduces_to_chain() {
+        // S_0 = S_1 = S_2: three pairwise rules, chain base.
+        let rules = vec![imp(0, 1, 5, 5, 5), imp(0, 2, 5, 5, 5), imp(1, 2, 5, 5, 5)];
+        let base = roundtrips_imp(&rules, 1.0);
+        assert_eq!(
+            imp_rules_of(&base),
+            vec![imp(0, 1, 5, 5, 5), imp(1, 2, 5, 5, 5)]
+        );
+    }
+
+    #[test]
+    fn class_contained_in_column_keeps_single_bridge() {
+        // {0, 1} equal sets, both ⊂ S_5. Base: equality edge + one bridge.
+        let rules = vec![
+            imp(0, 1, 10, 10, 10),
+            imp(0, 5, 10, 10, 30),
+            imp(1, 5, 10, 10, 30),
+        ];
+        let base = roundtrips_imp(&rules, 1.0);
+        assert_eq!(base.rules_in_base(), 2);
+    }
+
+    #[test]
+    fn sub_rule_families_deduplicate_across_classes() {
+        // {0, 1} equal sets; both imply column 5 at conf 0.9.
+        let rules = vec![
+            imp(0, 1, 10, 10, 10),
+            imp(0, 5, 9, 10, 30),
+            imp(1, 5, 9, 10, 30),
+        ];
+        let base = roundtrips_imp(&rules, 0.9);
+        assert_eq!(
+            imp_rules_of(&base),
+            vec![imp(0, 1, 10, 10, 10), imp(0, 5, 9, 10, 30)]
+        );
+    }
+
+    #[test]
+    fn equal_ones_cross_class_family_uses_unordered_key() {
+        // Classes {1, 4} and {2, 3}, all four columns with 10 ones: the
+        // canonical lhs flips between classes depending on ids, so the
+        // family key must be unordered to avoid double re-materialization.
+        let rules = vec![
+            imp(1, 4, 10, 10, 10),
+            imp(2, 3, 10, 10, 10),
+            imp(1, 2, 6, 10, 10),
+            imp(1, 3, 6, 10, 10),
+            imp(2, 4, 6, 10, 10),
+            imp(3, 4, 6, 10, 10),
+        ];
+        let base = roundtrips_imp(&rules, 0.6);
+        assert_eq!(base.rules_in_base(), 3);
+    }
+
+    #[test]
+    fn reverse_rules_are_inferred_and_rebuilt() {
+        let forward = imp(0, 1, 9, 10, 40);
+        let mut rules = vec![forward];
+        // conf(1 ⇒ 0) = 9/40 ≥ 0.2, so a reverse mine emits it.
+        rules.push(forward.reversed());
+        rules.sort_unstable();
+        let base = compact_implications(&rules, 0.2, None);
+        assert!(base.emit_reverse, "reverse presence must be inferred");
+        assert_eq!(base.rules_in_base(), 1);
+        let (expanded, _) = base.expand();
+        assert_eq!(expanded, rules);
+    }
+
+    #[test]
+    fn emit_reverse_flag_is_harmless_when_nothing_qualifies() {
+        // conf(1 ⇒ 0) = 1/40 < 0.9: the reverse mine emitted nothing, so
+        // expansion is identical whether or not the flag is set.
+        let rules = vec![imp(0, 1, 9, 10, 40)];
+        let with_flag = compact_implications(&rules, 0.9, Some(true));
+        let without = compact_implications(&rules, 0.9, Some(false));
+        assert_eq!(with_flag.expand(), without.expand());
+    }
+
+    #[test]
+    fn implied_reverse_of_closure_rule_requalifies() {
+        // Equal sets {0, 1, 2}: every implied rule has conf 1.0 in both
+        // directions, so a reverse mine emits all six rules; the base is
+        // still just the two chain edges.
+        let mut rules = vec![imp(0, 1, 5, 5, 5), imp(0, 2, 5, 5, 5), imp(1, 2, 5, 5, 5)];
+        let reversed: Vec<ImplicationRule> = rules.iter().map(|r| r.reversed()).collect();
+        rules.extend(reversed);
+        rules.sort_unstable();
+        let base = compact_implications(&rules, 1.0, None);
+        assert_eq!(base.rules_in_base(), 2);
+        let (expanded, _) = base.expand();
+        assert_eq!(expanded, rules);
+    }
+
+    #[test]
+    fn boost_measures_advantage_over_generalizations() {
+        // S_0 ⊂ S_1; both imply column 9: conf(0 ⇒ 9) = 0.9 is *dominated*
+        // by its generalization conf(1 ⇒ 9) = 0.95.
+        let rules = vec![
+            imp(0, 1, 10, 10, 20),
+            imp(0, 9, 9, 10, 100),
+            imp(1, 9, 19, 20, 100),
+        ];
+        let base = roundtrips_imp(&rules, 0.85);
+        let boost_of = |lhs: u32, rhs: u32| {
+            base.implications
+                .iter()
+                .find(|b| b.rule.lhs == lhs && b.rule.rhs == rhs)
+                .expect("rule in base")
+                .boost
+        };
+        assert!((boost_of(0, 9) - 0.9 / 0.95).abs() < 1e-12);
+        // 1 ⇒ 9 has no known generalization: floored at minconf.
+        assert!((boost_of(1, 9) - 0.95 / 0.85).abs() < 1e-12);
+        // The 100% rule's reverse pair conf(1 ⇒ 0) = 10/20 is below the
+        // floor; boost = 1.0 / 0.85.
+        assert!((boost_of(0, 1) - 1.0 / 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_boost_filtering_is_monotone() {
+        let rules = vec![
+            imp(0, 1, 10, 10, 20),
+            imp(0, 9, 9, 10, 100),
+            imp(1, 9, 19, 20, 100),
+        ];
+        let base = compact_implications(&rules, 0.85, None);
+        let mut previous = usize::MAX;
+        for step in 0..20 {
+            let config = CompactionConfig::default().with_min_boost(0.1 * f64::from(step));
+            let (imps, _) = base.select(&config);
+            assert!(imps.len() <= previous, "raising min_boost must only remove");
+            previous = imps.len();
+        }
+        // Exact-threshold rules survive the epsilon guard.
+        let exact = CompactionConfig::default().with_min_boost(0.9 / 0.95);
+        let (imps, _) = base.select(&exact);
+        assert!(imps.iter().any(|b| b.rule == imp(0, 9, 9, 10, 100)));
+    }
+
+    #[test]
+    fn top_k_keeps_highest_boost_in_rule_order() {
+        let rules = vec![
+            imp(0, 1, 10, 10, 20),
+            imp(0, 9, 9, 10, 100),
+            imp(1, 9, 19, 20, 100),
+        ];
+        let base = compact_implications(&rules, 0.85, None);
+        let (top2, _) = base.select(&CompactionConfig::default().with_top_k(2));
+        // Dominated 0 ⇒ 9 (boost < 1) drops first; survivors in rule order.
+        assert_eq!(
+            top2.iter().map(|b| b.rule).collect::<Vec<_>>(),
+            vec![imp(0, 1, 10, 10, 20), imp(1, 9, 19, 20, 100)]
+        );
+        let (top0, _) = base.select(&CompactionConfig::default().with_top_k(0));
+        assert!(top0.is_empty());
+    }
+
+    #[test]
+    fn sim_classes_chain_and_families_deduplicate() {
+        // Class {0, 1, 2} (equal sets), column 7 similar to all of them.
+        let rules = vec![
+            sim(0, 1, 8, 8, 8),
+            sim(0, 2, 8, 8, 8),
+            sim(1, 2, 8, 8, 8),
+            sim(0, 7, 7, 8, 9),
+            sim(1, 7, 7, 8, 9),
+            sim(2, 7, 7, 8, 9),
+        ];
+        let base = compact_similarities(&rules, 0.6);
+        let base_rules: Vec<SimilarityRule> = base.similarities.iter().map(|b| b.rule).collect();
+        assert_eq!(
+            base_rules,
+            vec![sim(0, 1, 8, 8, 8), sim(0, 7, 7, 8, 9), sim(1, 2, 8, 8, 8)]
+        );
+        let (_, expanded) = base.expand();
+        let mut expected = rules.clone();
+        expected.sort_unstable();
+        assert_eq!(expanded, expected);
+        // Twinned rules carry no boost; chain edges of a ≥3 class neither.
+        for b in &base.similarities {
+            assert!((b.boost - 1.0).abs() < 1e-12, "twinned rule boost 1.0");
+        }
+    }
+
+    #[test]
+    fn singleton_sim_rule_boost_is_floored_at_minsim() {
+        let rules = vec![sim(0, 7, 7, 8, 9)];
+        let base = compact_similarities(&rules, 0.6);
+        let s = 7.0 / 10.0;
+        assert!((base.similarities[0].boost - s / 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_line() {
+        assert_eq!(boost_bucket(0.3), 0);
+        assert_eq!(boost_bucket(1.0), 1);
+        assert_eq!(boost_bucket(1.049), 1);
+        assert_eq!(boost_bucket(1.05), 2);
+        assert_eq!(boost_bucket(1.3), 3);
+        assert_eq!(boost_bucket(2.0), 4);
+        assert_eq!(boost_bucket(100.0), 5);
+    }
+
+    #[test]
+    fn report_section_reconciles_with_base() {
+        let rules = vec![
+            imp(0, 1, 10, 10, 20),
+            imp(0, 2, 10, 10, 40),
+            imp(1, 2, 20, 20, 40),
+        ];
+        let base = compact_implications(&rules, 1.0, None);
+        let report = base.report();
+        assert_eq!(report.rules_in, 3);
+        assert_eq!(report.rules_in_base, 2);
+        assert_eq!(report.boost_hist.iter().sum::<u64>(), 2);
+        assert!((report.ratio - base.ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_a_fixed_point() {
+        let base = compact(&[], &[], 0.9, 0.9, None);
+        assert_eq!(base.rules_in(), 0);
+        assert_eq!(base.rules_in_base(), 0);
+        assert!((base.ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(base.expand(), (Vec::new(), Vec::new()));
+    }
+
+    #[test]
+    fn base_of_a_base_is_itself() {
+        let rules = vec![
+            imp(0, 1, 10, 10, 20),
+            imp(0, 2, 10, 10, 40),
+            imp(1, 2, 20, 20, 40),
+            imp(0, 9, 9, 10, 100),
+        ];
+        let base = compact_implications(&rules, 0.9, None);
+        let again = compact_implications(&imp_rules_of(&base), 0.9, None);
+        assert_eq!(imp_rules_of(&again), imp_rules_of(&base));
+    }
+
+    #[test]
+    fn from_base_rules_expands_like_the_original() {
+        let forward = imp(0, 1, 9, 10, 40);
+        let mut rules = vec![forward, forward.reversed()];
+        rules.sort_unstable();
+        let base = compact_implications(&rules, 0.2, None);
+        let reread = CompactedBase::from_base_rules(
+            imp_rules_of(&base),
+            Vec::new(),
+            0.2,
+            1.0,
+            base.emit_reverse,
+        );
+        assert_eq!(reread.expand(), base.expand());
+    }
+}

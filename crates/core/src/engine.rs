@@ -55,6 +55,7 @@
 //! assert_eq!((answer.hits, answer.lhs_ones), (3, 4));
 //! ```
 
+use crate::compact::{CompactedBase, CompactionConfig};
 use crate::config::{ImplicationConfig, SimilarityConfig};
 use crate::error::{ConfigError, MineError};
 use crate::fxhash::FxHashMap;
@@ -123,6 +124,16 @@ impl MineConfig {
         match self {
             MineConfig::Implication(_) => "implication",
             MineConfig::Similarity(_) => "similarity",
+        }
+    }
+
+    /// Whether the configuration emits reverse implication rules
+    /// (always `false` for similarity — those are symmetric).
+    #[must_use]
+    pub fn emit_reverse(&self) -> bool {
+        match self {
+            MineConfig::Implication(c) => c.emit_reverse,
+            MineConfig::Similarity(_) => false,
         }
     }
 }
@@ -222,6 +233,12 @@ pub struct Engine {
     report: Option<RunReport>,
     ingest_stats: IngestStats,
     mined: bool,
+    /// Serving-side compaction filters; `Some` turns on the compaction
+    /// stage (base maintenance + report section).
+    compaction: Option<CompactionConfig>,
+    /// Irredundant base of the current rule set, refreshed after every
+    /// mine and ingest when compaction is configured.
+    base: Option<CompactedBase>,
 }
 
 impl Engine {
@@ -241,6 +258,8 @@ impl Engine {
             report: None,
             ingest_stats: IngestStats::default(),
             mined: false,
+            compaction: None,
+            base: None,
         }
     }
 
@@ -251,6 +270,61 @@ impl Engine {
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
+    }
+
+    /// Builder-style compaction stage: the engine maintains an
+    /// irredundant [`CompactedBase`] of the rule set (refreshed on every
+    /// mine and ingest), serves rule queries from it filtered by
+    /// `config`, and attaches the v7 `compaction` report section.
+    #[must_use]
+    pub fn with_compaction(mut self, config: CompactionConfig) -> Self {
+        self.compaction = Some(config);
+        self
+    }
+
+    /// The serving-side compaction filters, when compaction is on.
+    #[must_use]
+    pub fn compaction(&self) -> Option<&CompactionConfig> {
+        self.compaction.as_ref()
+    }
+
+    /// The irredundant base of the current rule set (`None` until the
+    /// first mine, or when compaction is off).
+    #[must_use]
+    pub fn compacted_base(&self) -> Option<&CompactedBase> {
+        self.base.as_ref()
+    }
+
+    /// Expands the irredundant base back into the full rule set — the
+    /// serve layer's expansion query. For engines without a configured
+    /// compaction stage the base is computed on the fly; either way the
+    /// result is byte-identical to the engine's current rules.
+    #[must_use]
+    pub fn expand_rules(&self) -> (Vec<ImplicationRule>, Vec<SimilarityRule>) {
+        match &self.base {
+            Some(base) => base.expand(),
+            None => self.compact_current().expand(),
+        }
+    }
+
+    fn compact_current(&self) -> CompactedBase {
+        let (minconf, minsim) = match &self.config {
+            MineConfig::Implication(c) => (c.minconf, 1.0),
+            MineConfig::Similarity(c) => (1.0, c.minsim),
+        };
+        crate::compact::compact(
+            &self.imp_rules,
+            &self.sim_rules,
+            minconf,
+            minsim,
+            Some(self.config.emit_reverse()),
+        )
+    }
+
+    fn refresh_base(&mut self) {
+        if self.compaction.is_some() {
+            self.base = Some(self.compact_current());
+        }
     }
 
     /// The engine's configuration.
@@ -303,13 +377,17 @@ impl Engine {
         self.ingest_stats
     }
 
-    /// The last mine's report with the cumulative `ingest` section
-    /// attached — the `dmc.run_report.v6` shape a serving layer reports.
+    /// The last mine's report with the cumulative `ingest` section — and,
+    /// when compaction is on, the `compaction` section — attached: the
+    /// `dmc.run_report.v7` shape a serving layer reports.
     #[must_use]
     pub fn report_with_ingest(&self) -> Option<RunReport> {
         let mut report = self.report.clone()?;
         if self.ingest_stats.batches > 0 {
             report.ingest = Some(self.ingest_stats);
+        }
+        if let Some(base) = &self.base {
+            report.compaction = Some(base.report());
         }
         Some(report)
     }
@@ -345,6 +423,7 @@ impl Engine {
             }
         }
         self.mined = true;
+        self.refresh_base();
         self.report.as_ref().expect("mine stores a report")
     }
 
@@ -574,6 +653,7 @@ impl Engine {
                 self.sim_rules = rules;
             }
         }
+        self.refresh_base();
         died
     }
 }
@@ -766,6 +846,49 @@ mod tests {
         let ingest = engine.report_with_ingest().unwrap().ingest.unwrap();
         assert_eq!(ingest.batches, 1);
         assert_eq!(ingest.rows_ingested, 2);
+    }
+
+    #[test]
+    fn compaction_engine_maintains_base_and_report_section() {
+        let all = fig2_rows();
+        let mut engine = Engine::new(MineConfig::implications(0.6).unwrap(), matrix_of(&all[..5]))
+            .with_compaction(CompactionConfig::default());
+        assert!(engine.compacted_base().is_none(), "no base before mine");
+        engine.mine();
+
+        let base = engine.compacted_base().expect("base after mine");
+        assert!(base.rules_in_base() <= engine.rule_count());
+        let (expanded, _) = engine.expand_rules();
+        assert_eq!(expanded, engine.implication_rules());
+
+        let report = engine.report_with_ingest().unwrap();
+        let section = report.compaction.expect("compaction section attached");
+        assert_eq!(section.rules_in as usize, engine.rule_count());
+        assert!(report.reconciles());
+
+        // Ingest refreshes the base: expansion still matches exactly.
+        engine.ingest(&all[5..]).unwrap();
+        let (expanded, _) = engine.expand_rules();
+        assert_eq!(expanded, engine.implication_rules());
+        let section = engine.report_with_ingest().unwrap().compaction.unwrap();
+        assert_eq!(section.rules_in as usize, engine.rule_count());
+    }
+
+    #[test]
+    fn expand_rules_without_compaction_matches_rules() {
+        let all = fig2_rows();
+        let mut engine = Engine::new(
+            MineConfig::Implication(ImplicationConfig::new(0.6).with_reverse(true)),
+            matrix_of(&all),
+        );
+        engine.mine();
+        assert!(engine.compacted_base().is_none());
+        let (expanded, _) = engine.expand_rules();
+        assert_eq!(expanded, engine.implication_rules());
+        assert!(
+            engine.report_with_ingest().unwrap().compaction.is_none(),
+            "no section without a compaction stage"
+        );
     }
 
     #[test]

@@ -124,6 +124,72 @@ pub fn rule_groups(
     groups
 }
 
+/// One rule group annotated with its compaction outcome: how many of the
+/// group's rules the irredundant base keeps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSummary {
+    /// The group's columns, ascending.
+    pub members: Vec<ColumnId>,
+    /// Rules of the full set whose columns fall in this group.
+    pub rules: usize,
+    /// Rules of the compacted base in this group (≤ `rules`).
+    pub base_rules: usize,
+}
+
+/// [`rule_groups`] extended with per-group compaction counts.
+///
+/// Compaction preserves connectivity — every dropped rule is implied by a
+/// path of base rules over the same columns — so the groups of
+/// `(base_implications, base_similarities)` are exactly the groups of the
+/// full rule set, and each group's `base_rules` counts how much of it the
+/// base retains.
+#[must_use]
+pub fn rule_group_summaries(
+    n_cols: usize,
+    implications: &[ImplicationRule],
+    similarities: &[SimilarityRule],
+    base_implications: &[ImplicationRule],
+    base_similarities: &[SimilarityRule],
+) -> Vec<GroupSummary> {
+    let groups = rule_groups(n_cols, implications, similarities);
+    let mut group_of: crate::fxhash::FxHashMap<ColumnId, usize> =
+        crate::fxhash::FxHashMap::default();
+    for (i, group) in groups.iter().enumerate() {
+        for &c in group {
+            group_of.insert(c, i);
+        }
+    }
+    let mut rules = vec![0usize; groups.len()];
+    let mut base_rules = vec![0usize; groups.len()];
+    let tally = |counts: &mut Vec<usize>, cols: &[(ColumnId, ColumnId)]| {
+        for &(a, b) in cols {
+            let g = group_of[&a];
+            debug_assert_eq!(g, group_of[&b], "a rule never crosses groups");
+            counts[g] += 1;
+        }
+    };
+    let imp_cols: Vec<(ColumnId, ColumnId)> = implications.iter().map(|r| (r.lhs, r.rhs)).collect();
+    let sim_cols: Vec<(ColumnId, ColumnId)> = similarities.iter().map(|r| (r.a, r.b)).collect();
+    tally(&mut rules, &imp_cols);
+    tally(&mut rules, &sim_cols);
+    let base_imp: Vec<(ColumnId, ColumnId)> =
+        base_implications.iter().map(|r| (r.lhs, r.rhs)).collect();
+    let base_sim: Vec<(ColumnId, ColumnId)> =
+        base_similarities.iter().map(|r| (r.a, r.b)).collect();
+    tally(&mut base_rules, &base_imp);
+    tally(&mut base_rules, &base_sim);
+    groups
+        .into_iter()
+        .zip(rules)
+        .zip(base_rules)
+        .map(|((members, rules), base_rules)| GroupSummary {
+            members,
+            rules,
+            base_rules,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +262,67 @@ mod tests {
         let imps = vec![rule(4, 5), rule(0, 1)];
         let groups = rule_groups(6, &imps, &[]);
         assert_eq!(groups, vec![vec![0, 1], vec![4, 5]]);
+    }
+
+    #[test]
+    fn summaries_count_full_and_base_rules_per_group() {
+        // Group {0, 1, 2}: containment chain compacts 3 rules to 2.
+        // Group {4, 5}: one sub-100% rule, kept verbatim.
+        let chain = |lhs, rhs, lo, ro| ImplicationRule {
+            lhs,
+            rhs,
+            hits: lo,
+            lhs_ones: lo,
+            rhs_ones: ro,
+        };
+        let imps = vec![
+            chain(0, 1, 10, 20),
+            chain(0, 2, 10, 40),
+            chain(1, 2, 20, 40),
+            rule(4, 5),
+        ];
+        let base = crate::compact::compact_implications(&imps, 0.9, None);
+        let base_rules: Vec<ImplicationRule> = base.implications.iter().map(|b| b.rule).collect();
+        let summaries = rule_group_summaries(6, &imps, &[], &base_rules, &[]);
+        assert_eq!(
+            summaries,
+            vec![
+                GroupSummary {
+                    members: vec![0, 1, 2],
+                    rules: 3,
+                    base_rules: 2,
+                },
+                GroupSummary {
+                    members: vec![4, 5],
+                    rules: 1,
+                    base_rules: 1,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_group_connectivity() {
+        // The base must induce the same groups as the full rule set.
+        let chain = |lhs, rhs, lo, ro| ImplicationRule {
+            lhs,
+            rhs,
+            hits: lo,
+            lhs_ones: lo,
+            rhs_ones: ro,
+        };
+        let imps = vec![
+            chain(0, 1, 10, 20),
+            chain(0, 2, 10, 40),
+            chain(1, 2, 20, 40),
+            rule(2, 3),
+        ];
+        let base = crate::compact::compact_implications(&imps, 0.9, None);
+        let base_rules: Vec<ImplicationRule> = base.implications.iter().map(|b| b.rule).collect();
+        assert_eq!(
+            rule_groups(5, &imps, &[]),
+            rule_groups(5, &base_rules, &[]),
+            "groups of the base equal groups of the full set"
+        );
     }
 }

@@ -78,7 +78,7 @@ impl ImplicationOutput {
 /// false positives or negatives.
 ///
 /// New code should prefer the [`crate::Miner`] facade
-/// (`Miner::implications(minconf).run(&matrix)`); this free function
+/// (`Miner::implications(minconf).mine(&matrix)`); this free function
 /// remains for backward compatibility.
 #[must_use]
 pub fn find_implications(matrix: &SparseMatrix, config: &ImplicationConfig) -> ImplicationOutput {

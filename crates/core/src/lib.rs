@@ -66,7 +66,7 @@
 //! counters (rows scanned, candidates admitted/deleted, misses counted,
 //! rules emitted), per-stage breakdowns, phase timings, memory peaks, the
 //! bitmap-switch position and spill bytes, all in one schema
-//! (`dmc.run_report.v6`) across the eight drivers. `RunReport::to_json`
+//! (`dmc.run_report.v7`) across the eight drivers. `RunReport::to_json`
 //! serializes it; the `dmc` CLI exposes that as `--metrics`. The
 //! [`MinedOutput`] trait gives generic code one surface over both output
 //! types.
@@ -83,6 +83,7 @@
 mod base;
 mod bitmap;
 mod candidates;
+pub mod compact;
 mod config;
 mod engine;
 mod error;
@@ -104,11 +105,15 @@ pub mod threshold;
 pub mod validate;
 
 pub use base::{BaseOutcome, BaseScan};
+pub use compact::{
+    compact, compact_implications, compact_similarities, BoostedImplication, BoostedSimilarity,
+    CompactedBase, CompactionConfig, BOOST_HIST_EDGES,
+};
 pub use config::{ImplicationConfig, SimilarityConfig, SwitchPolicy, DEFAULT_BLOCK_ROWS};
 pub use engine::{Engine, IngestReport, MineConfig, RuleAnswer};
 pub use error::{ConfigError, MineError};
 pub use fanout::effective_workers;
-pub use groups::{rule_closure, rule_groups, DisjointSets};
+pub use groups::{rule_closure, rule_group_summaries, rule_groups, DisjointSets, GroupSummary};
 pub use imp::{find_implications, ImplicationOutput};
 pub use miner::{ImplicationMiner, Miner, SimilarityMiner};
 pub use output::MinedOutput;
@@ -130,6 +135,6 @@ pub use validate::{verify_implications, verify_similarities, RuleCheck};
 pub use dmc_matrix::spill_io::{RetryPolicy, SpillSettings};
 pub use dmc_matrix::{order::RowOrder, ColumnId, SparseMatrix};
 pub use dmc_metrics::{
-    IngestStats, IoReport, RunReport, ScanTally, ServeStats, StageReport, WorkerReport,
-    WorkerSummary, RUN_REPORT_SCHEMA,
+    CompactionReport, IngestStats, IoReport, RunReport, ScanTally, ServeStats, StageReport,
+    WorkerReport, WorkerSummary, RUN_REPORT_SCHEMA,
 };

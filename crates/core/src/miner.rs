@@ -484,22 +484,59 @@ mod tests {
         );
     }
 
+    /// Serializes rule vectors through the canonical text format, so the
+    /// wrapper comparisons below are byte-level, not just `Eq`-level.
+    fn imp_bytes(rules: &[crate::ImplicationRule]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        crate::write_rules(rules, &[], &mut buf).unwrap();
+        buf
+    }
+
+    fn sim_bytes(rules: &[crate::SimilarityRule]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        crate::write_rules(&[], rules, &mut buf).unwrap();
+        buf
+    }
+
     #[test]
     #[allow(deprecated)]
     fn deprecated_wrappers_still_mine_identically() {
         let m = fig2();
-        let expected = find_implications(&m, &ImplicationConfig::new(0.8));
-        assert_eq!(Miner::implications(0.8).run(&m).rules, expected.rules);
-        assert_eq!(
-            Miner::implications(0.8)
-                .run_streamed(rows_of(&m), m.n_cols())
+        // Each deprecated wrapper must byte-match its replacement on the
+        // serialized rule set.
+        let expected = imp_bytes(&Miner::implications(0.8).mine(&m).unwrap().rules);
+        assert_eq!(imp_bytes(&Miner::implications(0.8).run(&m).rules), expected);
+        let expected_streamed = imp_bytes(
+            &Miner::implications(0.8)
+                .mine_streamed(rows_of(&m), m.n_cols())
                 .unwrap()
                 .rules,
-            expected.rules
         );
         assert_eq!(
-            Miner::similarities(0.4).run(&m).rules,
-            find_similarities(&m, &SimilarityConfig::new(0.4)).rules
+            imp_bytes(
+                &Miner::implications(0.8)
+                    .run_streamed(rows_of(&m), m.n_cols())
+                    .unwrap()
+                    .rules
+            ),
+            expected_streamed
+        );
+        assert_eq!(
+            expected, expected_streamed,
+            "in-memory and streamed agree on fig2"
+        );
+
+        let expected = sim_bytes(&Miner::similarities(0.4).mine(&m).unwrap().rules);
+        assert_eq!(sim_bytes(&Miner::similarities(0.4).run(&m).rules), expected);
+        assert_eq!(
+            sim_bytes(
+                &Miner::similarities(0.4)
+                    .run_streamed(rows_of(&m), m.n_cols())
+                    .unwrap()
+                    .rules
+            ),
+            expected,
+            "deprecated sim run_streamed byte-matches mine_streamed"
         );
     }
 

@@ -46,7 +46,7 @@ fn unwrap_infallible<T>(result: Result<T, Infallible>) -> T {
 /// block size). `threads == 0` is clamped to one worker.
 ///
 /// New code should prefer the [`crate::Miner`] facade
-/// (`Miner::implications(minconf).threads(n).run(&matrix)`).
+/// (`Miner::implications(minconf).threads(n).mine(&matrix)`).
 #[must_use]
 pub fn find_implications_parallel(
     matrix: &SparseMatrix,
@@ -82,7 +82,7 @@ pub fn find_implications_parallel(
 /// shared scan fed by the block scheduler).
 ///
 /// New code should prefer the [`crate::Miner`] facade
-/// (`Miner::similarities(minsim).threads(n).run(&matrix)`).
+/// (`Miner::similarities(minsim).threads(n).mine(&matrix)`).
 /// `threads == 0` is clamped to one worker.
 #[must_use]
 pub fn find_similarities_parallel(

@@ -32,7 +32,7 @@
 //! ranges tiling the column space exactly), writes the consolidated
 //! manifest — the validated header frames, in shard order — to the
 //! manifest path, and reconciles the per-shard reports into one
-//! `dmc.run_report.v6` report whose `shard` section carries every
+//! `dmc.run_report.v7` report whose `shard` section carries every
 //! entry. A failed merge removes the partial manifest; a successful one
 //! removes the per-shard spills unless asked to keep them.
 
@@ -787,7 +787,7 @@ pub struct MergedOutput {
     pub imp_rules: Vec<ImplicationRule>,
     /// Merged similarity rules, sorted and deduplicated.
     pub sim_rules: Vec<SimilarityRule>,
-    /// The reconciled `dmc.run_report.v6` report with its `shard` section.
+    /// The reconciled `dmc.run_report.v7` report with its `shard` section.
     pub report: RunReport,
 }
 
@@ -1010,6 +1010,7 @@ fn merged_report(shards: &[ShardFile], rules: usize) -> RunReport {
             n_shards: shards.len(),
             shards: entries,
         }),
+        compaction: None,
     }
 }
 

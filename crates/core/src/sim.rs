@@ -88,7 +88,7 @@ impl SimilarityOutput {
 /// false positives or negatives.
 ///
 /// New code should prefer the [`crate::Miner`] facade
-/// (`Miner::similarities(minsim).run(&matrix)`); this free function
+/// (`Miner::similarities(minsim).mine(&matrix)`); this free function
 /// remains for backward compatibility.
 #[must_use]
 pub fn find_similarities(matrix: &SparseMatrix, config: &SimilarityConfig) -> SimilarityOutput {

@@ -266,7 +266,7 @@ impl ReplayHandler for SimScan {
 /// the spill files *are* the bucket order).
 ///
 /// New code should prefer the [`crate::Miner`] facade
-/// (`Miner::implications(minconf).run_streamed(rows, n_cols)`).
+/// (`Miner::implications(minconf).mine_streamed(rows, n_cols)`).
 ///
 /// # Errors
 ///
@@ -377,7 +377,7 @@ where
 /// [`find_implications_streamed`]).
 ///
 /// New code should prefer the [`crate::Miner`] facade
-/// (`Miner::similarities(minsim).run_streamed(rows, n_cols)`).
+/// (`Miner::similarities(minsim).mine_streamed(rows, n_cols)`).
 ///
 /// # Errors
 ///

@@ -32,7 +32,7 @@ use dmc_metrics::PhaseTimer;
 /// order).
 ///
 /// New code should prefer the [`crate::Miner`] facade
-/// (`Miner::implications(minconf).threads(n).run_streamed(rows, n_cols)`).
+/// (`Miner::implications(minconf).threads(n).mine_streamed(rows, n_cols)`).
 ///
 /// # Errors
 ///
@@ -79,7 +79,7 @@ where
 /// (see [`find_implications_streamed_parallel`]).
 ///
 /// New code should prefer the [`crate::Miner`] facade
-/// (`Miner::similarities(minsim).threads(n).run_streamed(rows, n_cols)`).
+/// (`Miner::similarities(minsim).threads(n).mine_streamed(rows, n_cols)`).
 ///
 /// # Errors
 ///

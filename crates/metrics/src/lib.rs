@@ -30,8 +30,8 @@ mod worker;
 
 pub use memory::{CounterMemory, MemorySample, COL_OVERHEAD_BYTES, ENTRY_BYTES};
 pub use report::{
-    IngestStats, IoReport, ReportBuilder, RunReport, ServeStats, ShardReport, ShardSummary,
-    StageReport, WorkerSummary, RUN_REPORT_SCHEMA,
+    CompactionReport, IngestStats, IoReport, ReportBuilder, RunReport, ServeStats, ShardReport,
+    ShardSummary, StageReport, WorkerSummary, BOOST_HIST_BUCKETS, RUN_REPORT_SCHEMA,
 };
 pub use tally::ScanTally;
 pub use timer::{PhaseReport, PhaseTimer};

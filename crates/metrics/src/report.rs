@@ -28,8 +28,11 @@ use crate::worker::WorkerReport;
 /// sections (null for plain batch runs) reported by long-lived engines;
 /// v6 added the `shard` section (null for single-process runs) carrying
 /// the per-shard column ranges, rule counts, counter fingerprints and
-/// counters of a multi-process `dmc shard` merge.
-pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v6";
+/// counters of a multi-process `dmc shard` merge; v7 added the
+/// `compaction` section (null unless a compaction stage ran) carrying the
+/// input/base rule counts, the compaction ratio and the boost histogram
+/// of the irredundant rule base.
+pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v7";
 
 /// Cumulative incremental-ingest counters of a long-lived engine. `None`
 /// in the run report until the engine has ingested at least one batch.
@@ -106,6 +109,39 @@ pub struct ShardReport {
     pub n_shards: usize,
     /// Per-shard manifest entries, ordered by shard index.
     pub shards: Vec<ShardSummary>,
+}
+
+/// Number of buckets in [`CompactionReport::boost_hist`].
+pub const BOOST_HIST_BUCKETS: usize = 6;
+
+/// The compaction section of a run report: how far the post-mining
+/// compaction stage shrank the rule set, and the confidence-boost
+/// distribution of the surviving base. `None` unless a compaction stage
+/// ran.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompactionReport {
+    /// Rules fed into compaction (reverse rules included).
+    pub rules_in: u64,
+    /// Rules in the irredundant base (always ≤ `rules_in`; the dropped
+    /// rules are reconstructed exactly by expansion).
+    pub rules_in_base: u64,
+    /// `rules_in_base / rules_in` (1.0 for an empty input).
+    pub ratio: f64,
+    /// Histogram of base-rule boosts: `< 1.0`, `[1.0, 1.05)`,
+    /// `[1.05, 1.25)`, `[1.25, 2.0)`, `[2.0, 4.0)`, `≥ 4.0`. Sums to
+    /// `rules_in_base`.
+    pub boost_hist: [u64; BOOST_HIST_BUCKETS],
+}
+
+impl Default for CompactionReport {
+    fn default() -> Self {
+        Self {
+            rules_in: 0,
+            rules_in_base: 0,
+            ratio: 1.0,
+            boost_hist: [0; BOOST_HIST_BUCKETS],
+        }
+    }
 }
 
 /// Outcome of one driver stage (the 100%-rule stage or the sub-100% stage).
@@ -220,6 +256,9 @@ pub struct RunReport {
     /// Per-shard manifest entries of a multi-process merge (`None` for
     /// single-process runs).
     pub shard: Option<ShardReport>,
+    /// Rule-base compaction outcome (`None` unless a compaction stage
+    /// ran).
+    pub compaction: Option<CompactionReport>,
 }
 
 impl RunReport {
@@ -344,6 +383,21 @@ impl RunReport {
             }
             None => w.null("shard"),
         }
+        match &self.compaction {
+            Some(c) => {
+                w.object_key("compaction");
+                w.uint("rules_in", c.rules_in);
+                w.uint("rules_in_base", c.rules_in_base);
+                w.float("ratio", c.ratio);
+                w.array_key("boost_hist");
+                for &bucket in &c.boost_hist {
+                    w.item_uint(bucket);
+                }
+                w.end_array();
+                w.end_object();
+            }
+            None => w.null("compaction"),
+        }
         w.end_object();
         w.finish()
     }
@@ -440,6 +494,26 @@ impl RunReport {
                 return false;
             }
             if shard_sum != self.counters || shard_rules != self.rules as u64 {
+                return false;
+            }
+        }
+        // The v7 compaction section: the base can never exceed the input
+        // (every drop is a provable redundancy), the boost histogram
+        // accounts for every base rule exactly once, and the recorded
+        // ratio matches the counts (1.0 by convention for empty input).
+        if let Some(c) = &self.compaction {
+            if c.rules_in_base > c.rules_in {
+                return false;
+            }
+            if c.boost_hist.iter().sum::<u64>() != c.rules_in_base {
+                return false;
+            }
+            let expected = if c.rules_in == 0 {
+                1.0
+            } else {
+                c.rules_in_base as f64 / c.rules_in as f64
+            };
+            if (c.ratio - expected).abs() > 1e-9 {
                 return false;
             }
         }
@@ -874,6 +948,76 @@ mod tests {
         section.shards[0].rules += 1;
         rules.shard = Some(section);
         assert!(!rules.reconciles(), "rule sum mismatch must fail");
+    }
+
+    fn sample_compaction_section() -> CompactionReport {
+        CompactionReport {
+            rules_in: 10,
+            rules_in_base: 4,
+            ratio: 0.4,
+            boost_hist: [1, 1, 0, 2, 0, 0],
+        }
+    }
+
+    #[test]
+    fn compaction_section_renders_and_reconciles() {
+        let report = sample_report();
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        assert!(
+            matches!(v.get("compaction"), Some(JsonValue::Null)),
+            "runs without a compaction stage carry compaction: null"
+        );
+
+        let mut report = sample_report();
+        report.compaction = Some(sample_compaction_section());
+        assert!(report.reconciles());
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        let section = v.get("compaction").expect("compaction object present");
+        assert_eq!(
+            section.get("rules_in").and_then(JsonValue::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            section.get("rules_in_base").and_then(JsonValue::as_u64),
+            Some(4)
+        );
+        assert_eq!(section.get("ratio").and_then(JsonValue::as_f64), Some(0.4));
+        let hist = section
+            .get("boost_hist")
+            .and_then(JsonValue::as_array)
+            .expect("boost_hist array");
+        assert_eq!(hist.len(), BOOST_HIST_BUCKETS);
+        let total: u64 = hist.iter().filter_map(JsonValue::as_u64).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn compaction_reconcile_catches_inflation_and_bad_histogram() {
+        let base = sample_report();
+
+        let mut grown = base.clone();
+        let mut section = sample_compaction_section();
+        section.rules_in_base = section.rules_in + 1;
+        section.ratio = section.rules_in_base as f64 / section.rules_in as f64;
+        section.boost_hist = [section.rules_in_base, 0, 0, 0, 0, 0];
+        grown.compaction = Some(section);
+        assert!(!grown.reconciles(), "base larger than input must fail");
+
+        let mut hist = base.clone();
+        let mut section = sample_compaction_section();
+        section.boost_hist[0] += 1;
+        hist.compaction = Some(section);
+        assert!(!hist.reconciles(), "histogram sum mismatch must fail");
+
+        let mut ratio = base.clone();
+        let mut section = sample_compaction_section();
+        section.ratio = 0.7;
+        ratio.compaction = Some(section);
+        assert!(!ratio.reconciles(), "ratio mismatch must fail");
+
+        let mut empty = base;
+        empty.compaction = Some(CompactionReport::default());
+        assert!(empty.reconciles(), "empty input with ratio 1.0 reconciles");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! standalone `dmc-serve` binary and the `dmc serve` subcommand: it
 //! mines, prints `listening on ADDR` (machine-parseable; bind port 0 to
 //! let the OS pick), serves until a `shutdown` request, and then writes
-//! the engine's `dmc.run_report.v6` report — `serve` and `ingest`
+//! the engine's `dmc.run_report.v7` report — `serve` and `ingest`
 //! sections included — wherever `--metrics` pointed.
 
 pub mod protocol;

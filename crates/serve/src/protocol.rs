@@ -14,7 +14,8 @@
 //! | `type`     | fields                                   | answer            |
 //! |------------|------------------------------------------|-------------------|
 //! | `rule`     | `lhs`, `rhs` (column ids)                | exact counts and scores for that directed pair |
-//! | `rules_ge` | `threshold`, optional `limit`            | current rules at or above `threshold` |
+//! | `rules_ge` | `threshold`, optional `limit`            | current rules at or above `threshold` (from the filtered irredundant base when the engine has a compaction stage) |
+//! | `expand`   | optional `threshold`, optional `limit`   | all rules implied by the irredundant base at or above `threshold` (default: the engine's own threshold) — byte-identical to the uncompacted rule set |
 //! | `ingest`   | `rows` (array of column-id arrays)       | the incremental [`IngestReport`](dmc_core::IngestReport) |
 //! | `stats`    | —                                        | engine shape plus live serve counters |
 //! | `shutdown` | —                                        | `{"ok": true}`, then the daemon drains and exits |
@@ -111,6 +112,12 @@ pub enum Request {
         threshold: f64,
         limit: Option<usize>,
     },
+    /// Every rule implied by the compacted base at or above `threshold`
+    /// (the engine's own mine threshold when omitted), optionally capped.
+    Expand {
+        threshold: Option<f64>,
+        limit: Option<usize>,
+    },
     /// Append rows and incrementally re-derive the rule set.
     Ingest { rows: Vec<Vec<ColumnId>> },
     /// Engine shape and live serve counters.
@@ -159,6 +166,24 @@ impl Request {
                     ),
                 };
                 Ok(Request::RulesGe { threshold, limit })
+            }
+            "expand" => {
+                let threshold = match v.get("threshold") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(t) => Some(
+                        t.as_f64()
+                            .ok_or_else(|| "\"threshold\" must be a number".to_string())?,
+                    ),
+                };
+                let limit = match v.get("limit") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(l) => Some(
+                        l.as_u64()
+                            .ok_or_else(|| "\"limit\" must be a non-negative integer".to_string())?
+                            as usize,
+                    ),
+                };
+                Ok(Request::Expand { threshold, limit })
             }
             "ingest" => {
                 let rows = v
@@ -243,6 +268,20 @@ mod tests {
             }
         );
         assert_eq!(
+            Request::parse("{\"type\": \"expand\"}").unwrap(),
+            Request::Expand {
+                threshold: None,
+                limit: None
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"type\": \"expand\", \"threshold\": 0.8, \"limit\": 3}").unwrap(),
+            Request::Expand {
+                threshold: Some(0.8),
+                limit: Some(3)
+            }
+        );
+        assert_eq!(
             Request::parse("{\"type\": \"ingest\", \"rows\": [[0, 2], [1]]}").unwrap(),
             Request::Ingest {
                 rows: vec![vec![0, 2], vec![1]]
@@ -270,6 +309,14 @@ mod tests {
             ),
             ("{\"type\": \"rule\", \"lhs\": 1}", "\"rhs\""),
             ("{\"type\": \"rules_ge\"}", "\"threshold\""),
+            (
+                "{\"type\": \"expand\", \"threshold\": \"hi\"}",
+                "\"threshold\" must be a number",
+            ),
+            (
+                "{\"type\": \"expand\", \"limit\": -2}",
+                "\"limit\" must be a non-negative integer",
+            ),
             ("{\"type\": \"ingest\", \"rows\": 3}", "array of rows"),
             (
                 "{\"type\": \"ingest\", \"rows\": [3]}",

@@ -2,8 +2,12 @@
 //!
 //! One [`Server`] owns the listener and an `Arc<RwLock<Engine>>`. Each
 //! accepted connection gets its own thread; queries (`rule`, `rules_ge`,
-//! `stats`) take the read lock so they run concurrently, `ingest` takes
-//! the write lock so a batch is atomic with respect to every query.
+//! `expand`, `stats`) take the read lock so they run concurrently,
+//! `ingest` takes the write lock so a batch is atomic with respect to
+//! every query. When the engine carries a compaction stage, `rules_ge`
+//! answers from the filtered irredundant base (each rule annotated with
+//! its confidence boost) and `expand` rebuilds the full implied rule set
+//! from that base.
 //! A malformed frame or request produces an `{"ok": false}` response and
 //! leaves that connection usable — one bad client cannot take down its
 //! own session, let alone the daemon. Connection, request and error
@@ -192,6 +196,11 @@ fn handle(request: &Request, engine: &RwLock<Engine>, shared: &Shared) -> Result
         Request::RulesGe { threshold, limit } => {
             Ok(rules_response(&read_engine(engine), *threshold, *limit))
         }
+        Request::Expand { threshold, limit } => {
+            let engine = read_engine(engine);
+            let threshold = threshold.unwrap_or_else(|| engine.config().threshold());
+            Ok(expand_response(&engine, threshold, *limit))
+        }
         Request::Ingest { rows } => {
             let mut engine = write_engine(engine);
             engine
@@ -239,32 +248,102 @@ fn answer_response(a: &RuleAnswer) -> String {
     w.finish()
 }
 
+/// One implication rule object, with its boost when served from a base.
+fn write_imp_rule(w: &mut JsonWriter, r: &dmc_core::ImplicationRule, boost: Option<f64>) {
+    w.object();
+    w.uint("lhs", u64::from(r.lhs));
+    w.uint("rhs", u64::from(r.rhs));
+    w.uint("hits", u64::from(r.hits));
+    w.uint("lhs_ones", u64::from(r.lhs_ones));
+    w.uint("rhs_ones", u64::from(r.rhs_ones));
+    w.float("confidence", r.confidence());
+    if let Some(boost) = boost {
+        w.float("boost", boost);
+    }
+    w.end_object();
+}
+
+/// One similarity rule object, with its boost when served from a base.
+fn write_sim_rule(w: &mut JsonWriter, r: &dmc_core::SimilarityRule, boost: Option<f64>) {
+    w.object();
+    w.uint("a", u64::from(r.a));
+    w.uint("b", u64::from(r.b));
+    w.uint("hits", u64::from(r.hits));
+    w.uint("a_ones", u64::from(r.a_ones));
+    w.uint("b_ones", u64::from(r.b_ones));
+    w.float("similarity", r.similarity());
+    if let Some(boost) = boost {
+        w.float("boost", boost);
+    }
+    w.end_object();
+}
+
+fn imp_qualifies(r: &dmc_core::ImplicationRule, threshold: f64) -> bool {
+    conf_qualifies(u64::from(r.hits), u64::from(r.lhs_ones), threshold)
+}
+
+fn sim_rule_qualifies(r: &dmc_core::SimilarityRule, threshold: f64) -> bool {
+    sim_qualifies(
+        u64::from(r.hits),
+        u64::from(r.a_ones),
+        u64::from(r.b_ones),
+        threshold,
+    )
+}
+
 /// Rules at or above `threshold`, using the miners' own boundary
-/// predicates so "at" means exactly what mining meant by it.
+/// predicates so "at" means exactly what mining meant by it. With a
+/// compaction stage configured, answers come from the selected
+/// irredundant base and carry a `boost` field per rule.
 fn rules_response(engine: &Engine, threshold: f64, limit: Option<usize>) -> String {
     let limit = limit.unwrap_or(usize::MAX);
     let mut w = JsonWriter::new();
     w.object();
     w.bool("ok", true);
     w.string("algorithm", engine.config().algorithm());
+    if let (Some(base), Some(config)) = (engine.compacted_base(), engine.compaction()) {
+        w.bool("base", true);
+        let (imps, sims) = base.select(config);
+        match engine.config() {
+            MineConfig::Implication(_) => {
+                let matching: Vec<_> = imps
+                    .iter()
+                    .filter(|b| imp_qualifies(&b.rule, threshold))
+                    .collect();
+                w.uint("total", matching.len() as u64);
+                w.array_key("rules");
+                for b in matching.into_iter().take(limit) {
+                    write_imp_rule(&mut w, &b.rule, Some(b.boost));
+                }
+                w.end_array();
+            }
+            MineConfig::Similarity(_) => {
+                let matching: Vec<_> = sims
+                    .iter()
+                    .filter(|b| sim_rule_qualifies(&b.rule, threshold))
+                    .collect();
+                w.uint("total", matching.len() as u64);
+                w.array_key("rules");
+                for b in matching.into_iter().take(limit) {
+                    write_sim_rule(&mut w, &b.rule, Some(b.boost));
+                }
+                w.end_array();
+            }
+        }
+        w.end_object();
+        return w.finish();
+    }
     match engine.config() {
         MineConfig::Implication(_) => {
             let matching: Vec<_> = engine
                 .implication_rules()
                 .iter()
-                .filter(|r| conf_qualifies(u64::from(r.hits), u64::from(r.lhs_ones), threshold))
+                .filter(|r| imp_qualifies(r, threshold))
                 .collect();
             w.uint("total", matching.len() as u64);
             w.array_key("rules");
             for r in matching.into_iter().take(limit) {
-                w.object();
-                w.uint("lhs", u64::from(r.lhs));
-                w.uint("rhs", u64::from(r.rhs));
-                w.uint("hits", u64::from(r.hits));
-                w.uint("lhs_ones", u64::from(r.lhs_ones));
-                w.uint("rhs_ones", u64::from(r.rhs_ones));
-                w.float("confidence", r.confidence());
-                w.end_object();
+                write_imp_rule(&mut w, r, None);
             }
             w.end_array();
         }
@@ -272,26 +351,53 @@ fn rules_response(engine: &Engine, threshold: f64, limit: Option<usize>) -> Stri
             let matching: Vec<_> = engine
                 .similarity_rules()
                 .iter()
-                .filter(|r| {
-                    sim_qualifies(
-                        u64::from(r.hits),
-                        u64::from(r.a_ones),
-                        u64::from(r.b_ones),
-                        threshold,
-                    )
-                })
+                .filter(|r| sim_rule_qualifies(r, threshold))
                 .collect();
             w.uint("total", matching.len() as u64);
             w.array_key("rules");
             for r in matching.into_iter().take(limit) {
-                w.object();
-                w.uint("a", u64::from(r.a));
-                w.uint("b", u64::from(r.b));
-                w.uint("hits", u64::from(r.hits));
-                w.uint("a_ones", u64::from(r.a_ones));
-                w.uint("b_ones", u64::from(r.b_ones));
-                w.float("similarity", r.similarity());
-                w.end_object();
+                write_sim_rule(&mut w, r, None);
+            }
+            w.end_array();
+        }
+    }
+    w.end_object();
+    w.finish()
+}
+
+/// The full rule set implied by the irredundant base at or above
+/// `threshold` — the compaction round trip served over the wire. Without
+/// a compaction stage the expansion is computed on the fly and equals the
+/// current rule set.
+fn expand_response(engine: &Engine, threshold: f64, limit: Option<usize>) -> String {
+    let limit = limit.unwrap_or(usize::MAX);
+    let (imps, sims) = engine.expand_rules();
+    let mut w = JsonWriter::new();
+    w.object();
+    w.bool("ok", true);
+    w.string("algorithm", engine.config().algorithm());
+    match engine.config() {
+        MineConfig::Implication(_) => {
+            let matching: Vec<_> = imps
+                .iter()
+                .filter(|r| imp_qualifies(r, threshold))
+                .collect();
+            w.uint("total", matching.len() as u64);
+            w.array_key("rules");
+            for r in matching.into_iter().take(limit) {
+                write_imp_rule(&mut w, r, None);
+            }
+            w.end_array();
+        }
+        MineConfig::Similarity(_) => {
+            let matching: Vec<_> = sims
+                .iter()
+                .filter(|r| sim_rule_qualifies(r, threshold))
+                .collect();
+            w.uint("total", matching.len() as u64);
+            w.array_key("rules");
+            for r in matching.into_iter().take(limit) {
+                write_sim_rule(&mut w, r, None);
             }
             w.end_array();
         }
@@ -470,6 +576,90 @@ mod tests {
         let stats = handle.join().unwrap();
         assert_eq!(stats.errors, 3);
         assert!(stats.requests >= 5);
+    }
+
+    #[test]
+    fn compacted_engine_serves_base_and_expansion() {
+        use dmc_core::{CompactionConfig, ImplicationConfig};
+        // Reverse emission doubles fig2's 0.8-confidence rules, so the
+        // base (reverses dropped, rebuilt on expansion) is a real subset.
+        let config = || MineConfig::Implication(ImplicationConfig::new(0.8).with_reverse(true));
+        let engine = Engine::new(config(), fig2()).with_compaction(CompactionConfig::default());
+        let server = Server::bind(engine, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = thread::spawn(move || server.run().unwrap());
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        // Offline reference: the same engine mined directly.
+        let (full, base_len) = {
+            let mut e = Engine::new(config(), fig2()).with_compaction(CompactionConfig::default());
+            e.mine();
+            (
+                e.implication_rules().to_vec(),
+                e.compacted_base().unwrap().rules_in_base(),
+            )
+        };
+        assert!(base_len < full.len(), "fig2 at 0.8 must actually compact");
+
+        // rules_ge answers from the base, each rule carrying its boost.
+        let v = request(&mut client, "{\"type\": \"rules_ge\", \"threshold\": 0.8}").unwrap();
+        assert_eq!(v.get("base"), Some(&JsonValue::Bool(true)));
+        assert_eq!(get_u64(&v, &["total"]), base_len as u64);
+        let rules = v.get("rules").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rules.len(), base_len);
+        assert!(
+            rules
+                .iter()
+                .all(|r| r.get("boost").and_then(JsonValue::as_f64).is_some()),
+            "base rules carry a boost field"
+        );
+
+        // expand rebuilds the full implied rule set, in mined order.
+        let v = request(&mut client, "{\"type\": \"expand\"}").unwrap();
+        assert_eq!(get_u64(&v, &["total"]), full.len() as u64);
+        let pairs: Vec<(u64, u64)> = v
+            .get("rules")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .iter()
+            .map(|r| (get_u64(r, &["lhs"]), get_u64(r, &["rhs"])))
+            .collect();
+        let expected: Vec<(u64, u64)> = full
+            .iter()
+            .map(|r| (u64::from(r.lhs), u64::from(r.rhs)))
+            .collect();
+        assert_eq!(pairs, expected, "expansion equals the uncompacted set");
+
+        // A raised threshold narrows the expansion; the limit caps the
+        // listing but not the total.
+        let v = request(
+            &mut client,
+            "{\"type\": \"expand\", \"threshold\": 1.0, \"limit\": 1}",
+        )
+        .unwrap();
+        let total = get_u64(&v, &["total"]);
+        assert!(total <= full.len() as u64);
+        assert!(v.get("rules").and_then(JsonValue::as_array).unwrap().len() <= 1);
+
+        request(&mut client, "{\"type\": \"shutdown\"}").unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn expand_without_compaction_matches_rules_ge() {
+        let (addr, handle) = start(MineConfig::similarities(0.4).unwrap());
+        let mut client = TcpStream::connect(addr).unwrap();
+        let ge = request(&mut client, "{\"type\": \"rules_ge\", \"threshold\": 0.4}").unwrap();
+        let ex = request(&mut client, "{\"type\": \"expand\"}").unwrap();
+        assert_eq!(
+            get_u64(&ge, &["total"]),
+            get_u64(&ex, &["total"]),
+            "on-the-fly expansion reproduces the served rule set"
+        );
+        assert_eq!(ge.get("rules"), ex.get("rules"));
+        request(&mut client, "{\"type\": \"shutdown\"}").unwrap();
+        handle.join().unwrap();
     }
 
     #[test]

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a `dmc.run_report.v6` JSON run report.
+"""Validate a `dmc.run_report.v7` JSON run report.
 
 Usage: validate_run_report.py PATH ALGORITHM MODE WORKERS
 
@@ -21,7 +21,10 @@ v6 `shard` section (required non-null for `sharded` mode, null
 otherwise) must carry dense shard indices, column ranges tiling
 `[0, cols)` exactly, per-shard counters that reconcile and sum to the
 run counters, rule counts summing to the merged total, and a counter
-fingerprint per shard.
+fingerprint per shard. The v7 `compaction` section (null unless the
+run compacted its rules) must keep `rules_in_base <= rules_in`, a
+six-bucket boost histogram summing to `rules_in_base`, and a `ratio`
+equal to `rules_in_base / rules_in` (1.0 for an empty rule set).
 
 Exits 0 on a valid report, 1 with a diagnostic otherwise. CI runs this
 against freshly mined reports; `tests/tests/validator_script.rs` runs
@@ -31,14 +34,14 @@ it in the repo test suite so the script cannot drift from the schema.
 import json
 import sys
 
-SCHEMA = "dmc.run_report.v6"
+SCHEMA = "dmc.run_report.v7"
 
 REQUIRED_KEYS = (
     "schema", "algorithm", "mode", "threads", "rows", "cols", "threshold",
     "rules", "counters", "hundred_stage", "sub_stage", "reverse_rules",
     "phases", "wall_seconds", "peak_candidates", "peak_counter_bytes",
     "bitmap_switch_at", "spill_bytes", "io", "workers", "serve", "ingest",
-    "shard",
+    "shard", "compaction",
 )
 
 SERVE_KEYS = ("connections", "requests", "errors")
@@ -48,6 +51,8 @@ SHARD_ENTRY_KEYS = ("index", "col_lo", "col_hi", "rules", "fingerprint",
 
 INGEST_KEYS = ("batches", "rows_ingested", "pairs_bumped",
                "pairs_recounted", "rules_born", "rules_died")
+
+COMPACTION_KEYS = ("rules_in", "rules_in_base", "ratio", "boost_hist")
 
 
 def check(path, algorithm, mode, workers):
@@ -142,6 +147,23 @@ def check(path, algorithm, mode, workers):
             assert hi == lo, (path, ranges)
         assert shard_sum == c, (path, shard_sum, c)
         assert shard_rules == r["rules"], (path, shard_rules, r["rules"])
+
+    compaction = r["compaction"]
+    if compaction is not None:
+        for key in COMPACTION_KEYS:
+            assert key in compaction, f"{path}: compaction missing {key}"
+        rules_in = compaction["rules_in"]
+        in_base = compaction["rules_in_base"]
+        assert isinstance(rules_in, int) and rules_in >= 0, (path, compaction)
+        assert isinstance(in_base, int) and 0 <= in_base <= rules_in, \
+            (path, compaction)
+        hist = compaction["boost_hist"]
+        assert len(hist) == 6, (path, hist)
+        assert all(isinstance(b, int) and b >= 0 for b in hist), (path, hist)
+        assert sum(hist) == in_base, (path, hist, in_base)
+        expected = 1.0 if rules_in == 0 else in_base / rules_in
+        assert abs(compaction["ratio"] - expected) <= 1e-9, \
+            (path, compaction["ratio"], expected)
 
     if r["bitmap_switch_at"] is not None:
         assert 0 <= r["bitmap_switch_at"] <= r["rows"], path

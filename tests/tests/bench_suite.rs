@@ -29,8 +29,9 @@ fn suite_run_emits_a_valid_reconciled_record() {
     let suite = run_tiny();
     assert_eq!(suite.schema, BENCH_SCHEMA);
     // 1 scale x 2 modes x 2 algorithms x 2 thread counts, plus the
-    // engine query/ingest and shard mine/merge cell pairs for the scale.
-    assert_eq!(suite.cells.len(), 12);
+    // engine query/ingest, shard mine/merge and compact base/expand
+    // cell pairs for the scale.
+    assert_eq!(suite.cells.len(), 14);
     for cell in &suite.cells {
         assert_eq!(cell.seconds.len(), 3, "{}", cell.id);
         assert!(cell.median_seconds > 0.0, "{}", cell.id);
@@ -55,6 +56,14 @@ fn suite_run_emits_a_valid_reconciled_record() {
             // (queries answered / rows ingested); the miss-counting
             // identity below is a driver-scan property and does not
             // apply to them.
+            assert_eq!(cell.threads, 1, "{}", cell.id);
+            assert!(cell.counters.rows_scanned > 0, "{}", cell.id);
+            continue;
+        }
+        if cell.algorithm == "compact" {
+            // Compact cells count rules through the stage (in via
+            // rows_scanned, out via rules_emitted), not row scans, so
+            // the miss-counting identity does not apply.
             assert_eq!(cell.threads, 1, "{}", cell.id);
             assert!(cell.counters.rows_scanned > 0, "{}", cell.id);
             continue;
@@ -92,6 +101,14 @@ fn suite_run_emits_a_valid_reconciled_record() {
         suite.cell("imp/mem/t1/small").unwrap().rules,
         "incremental ingest ends at the batch miner's rule set"
     );
+    // The compact pair is a closed loop: the base cell's output count is
+    // the expand cell's input count, and expansion ends back at the base
+    // cell's input count (the identity run_suite asserts each repeat).
+    let base = suite.cell("compact/base/t1/small").unwrap();
+    let expand = suite.cell("compact/expand/t1/small").unwrap();
+    assert!(base.counters.rules_emitted <= base.counters.rows_scanned);
+    assert_eq!(expand.counters.rows_scanned, base.counters.rules_emitted);
+    assert_eq!(expand.counters.rules_emitted, base.counters.rows_scanned);
     // DMC-imp counters are exact under the block scheduler, so even the
     // cross-engine pair (t1 sequential vs t2 block-scheduler) agrees on
     // the full work counters; run_suite asserts the per-engine and

@@ -1,0 +1,211 @@
+//! Compaction fidelity: `expand(compact(rules))` must reproduce the
+//! mined rule set byte for byte, for every algorithm, threshold and
+//! reverse-emission setting — the same identity CI's
+//! `compaction-fidelity` job enforces end-to-end through the `dmc`
+//! binary. On top of the identity, planted and handcrafted matrices pin
+//! the expected base exactly, and the boost filters must behave as
+//! filters (monotone, nested) rather than re-rankings.
+
+use dmc_core::{
+    compact, compact_implications, compact_similarities, CompactionConfig, Miner, SparseMatrix,
+};
+use dmc_datagen::{
+    dictionary, link_graph, planted_implications, weblog, DictionaryConfig, LinkGraphConfig,
+    PlantedConfig, WeblogConfig,
+};
+use proptest::prelude::*;
+
+/// The byte form both sides of the identity are compared in: the
+/// rules-file serialization, exactly what `dmc --output` writes.
+fn rule_bytes(imps: &[dmc_core::ImplicationRule], sims: &[dmc_core::SimilarityRule]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    dmc_core::write_rules(imps, sims, &mut buf).unwrap();
+    buf
+}
+
+/// Mines `m` both ways at `minconf`, compacts, expands, and asserts the
+/// byte identity. Returns the compaction ratio observed without reverses.
+fn assert_imp_roundtrip(m: &SparseMatrix, minconf: f64) -> f64 {
+    let mut ratio = 1.0;
+    for emit_reverse in [false, true] {
+        let out = Miner::implications(minconf)
+            .reverse(emit_reverse)
+            .mine(m)
+            .unwrap();
+        let base = compact_implications(&out.rules, minconf, None);
+        assert!(base.rules_in_base() <= base.rules_in());
+        let (ei, es) = base.expand();
+        assert!(es.is_empty());
+        assert_eq!(
+            rule_bytes(&ei, &[]),
+            rule_bytes(&out.rules, &[]),
+            "minconf {minconf} reverse {emit_reverse}: expansion must be byte-identical"
+        );
+        if !emit_reverse {
+            ratio = base.ratio();
+        }
+    }
+    ratio
+}
+
+fn assert_sim_roundtrip(m: &SparseMatrix, minsim: f64) {
+    let out = Miner::similarities(minsim).mine(m).unwrap();
+    let base = compact_similarities(&out.rules, minsim);
+    let (ei, es) = base.expand();
+    assert!(ei.is_empty());
+    assert_eq!(
+        rule_bytes(&[], &es),
+        rule_bytes(&[], &out.rules),
+        "minsim {minsim}: expansion must be byte-identical"
+    );
+}
+
+/// 4–40 rows over 12 columns, dense enough that containments, equalities
+/// and reverse-qualifying rules all arise naturally.
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0u32..12, 0..=8)
+            .prop_map(|set| set.into_iter().collect::<Vec<u32>>()),
+        4..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok()
+            .and_then(|v| v.parse().ok()).unwrap_or(64)))]
+
+    #[test]
+    fn random_matrices_round_trip(rows in rows_strategy(),
+                                  conf_pct in 50u32..=100,
+                                  sim_pct in 30u32..=100) {
+        let m = SparseMatrix::from_rows(12, rows);
+        assert_imp_roundtrip(&m, f64::from(conf_pct) / 100.0);
+        assert_sim_roundtrip(&m, f64::from(sim_pct) / 100.0);
+    }
+}
+
+#[test]
+fn generator_corpora_round_trip() {
+    // Shapes with real structure: planted implication pairs, dictionary
+    // prefix containments, mirrored link columns, weblog hub chains.
+    let planted = planted_implications(&PlantedConfig::new(2500, 40, 8, 5)).matrix;
+    let dict = dictionary(&DictionaryConfig::new(400, 1200, 9));
+    let links = link_graph(&LinkGraphConfig::new(1200, 13)).forward;
+    let logs = weblog(&WeblogConfig::new(2000, 150, 17));
+    for m in [&planted, &dict, &links, &logs] {
+        for minconf in [1.0, 0.95, 0.8] {
+            assert_imp_roundtrip(m, minconf);
+        }
+        for minsim in [1.0, 0.7, 0.5] {
+            assert_sim_roundtrip(m, minsim);
+        }
+    }
+}
+
+#[test]
+fn planted_rules_without_closure_structure_are_their_own_base() {
+    // Planted pairs are sub-100% rules between otherwise independent
+    // columns: no containments, no equalities, no reverses (default
+    // emission), so compaction has nothing to deduce and the base must
+    // equal the full set.
+    let data = planted_implications(&PlantedConfig::new(4000, 40, 8, 2));
+    let out = Miner::implications(0.9).mine(&data.matrix).unwrap();
+    assert!(
+        out.rules.iter().all(|r| r.hits < r.lhs_ones),
+        "planted data must not produce 100% rules at these rates"
+    );
+    let base = compact_implications(&out.rules, 0.9, None);
+    assert_eq!(base.rules_in_base(), out.rules.len());
+    let kept: Vec<_> = base.implications.iter().map(|b| b.rule).collect();
+    assert_eq!(kept, out.rules, "the base is the rule set itself");
+}
+
+#[test]
+fn containment_chain_and_equality_class_bases_are_exact() {
+    // Columns 0 ⊂ 1 ⊂ 2 (a containment chain) and 3 = 4 (an equality
+    // class): at minconf 1.0 the mine emits the transitive closure; the
+    // base must keep only the covering chain edges and the class edge.
+    let m = SparseMatrix::from_rows(
+        5,
+        vec![
+            vec![0, 1, 2],
+            vec![1, 2],
+            vec![2],
+            vec![3, 4],
+            vec![3, 4],
+            vec![2, 3, 4],
+        ],
+    );
+    let out = Miner::implications(1.0).reverse(true).mine(&m).unwrap();
+    let mined: Vec<(u32, u32)> = out.rules.iter().map(|r| (r.lhs, r.rhs)).collect();
+    assert_eq!(mined, vec![(0, 1), (0, 2), (1, 2), (3, 4), (4, 3)]);
+    let base = compact_implications(&out.rules, 1.0, None);
+    let kept: Vec<(u32, u32)> = base
+        .implications
+        .iter()
+        .map(|b| (b.rule.lhs, b.rule.rhs))
+        .collect();
+    assert_eq!(
+        kept,
+        vec![(0, 1), (1, 2), (3, 4)],
+        "transitive edge dropped, equality class kept as one edge"
+    );
+    let (ei, _) = base.expand();
+    assert_eq!(rule_bytes(&ei, &[]), rule_bytes(&out.rules, &[]));
+}
+
+#[test]
+fn boost_filters_are_monotone_and_top_k_is_nested() {
+    let m = dictionary(&DictionaryConfig::new(300, 900, 21));
+    let out = Miner::implications(0.85).reverse(true).mine(&m).unwrap();
+    let base = compact_implications(&out.rules, 0.85, None);
+    assert!(base.rules_in_base() > 4, "need a non-trivial base");
+
+    // Raising min_boost only removes rules, and every selection is a
+    // subset of the unfiltered base.
+    let mut previous: Option<Vec<dmc_core::ImplicationRule>> = None;
+    for min_boost in [0.0, 0.9, 1.0, 1.05, 1.5] {
+        let (bi, _) = base.select(&CompactionConfig::default().with_min_boost(min_boost));
+        let rules: Vec<_> = bi.iter().map(|b| b.rule).collect();
+        if let Some(prev) = &previous {
+            assert!(
+                rules.iter().all(|r| prev.contains(r)),
+                "min_boost {min_boost}: selection must shrink monotonically"
+            );
+        }
+        previous = Some(rules);
+    }
+
+    // top_k selections are nested: the k best are among the k+1 best.
+    let mut previous: Option<Vec<dmc_core::ImplicationRule>> = None;
+    for k in 1..=base.rules_in_base() {
+        let (bi, _) = base.select(&CompactionConfig::default().with_top_k(k));
+        assert!(bi.len() <= k);
+        let rules: Vec<_> = bi.iter().map(|b| b.rule).collect();
+        if let Some(prev) = &previous {
+            assert!(
+                prev.iter().all(|r| rules.contains(r)),
+                "top-{k} must contain top-{}",
+                k - 1
+            );
+        }
+        previous = Some(rules);
+    }
+}
+
+#[test]
+fn mixed_rule_sets_compact_jointly() {
+    // One call over both kinds at once (the `dmc compact` path): the
+    // identity holds per kind and the report tallies both.
+    let m = dictionary(&DictionaryConfig::new(350, 1000, 33));
+    let imps = Miner::implications(0.9).mine(&m).unwrap().rules;
+    let sims = Miner::similarities(0.6).mine(&m).unwrap().rules;
+    let base = compact(&imps, &sims, 0.9, 0.6, None);
+    assert_eq!(base.rules_in(), imps.len() + sims.len());
+    let (ei, es) = base.expand();
+    assert_eq!(rule_bytes(&ei, &es), rule_bytes(&imps, &sims));
+    let report = base.report();
+    assert_eq!(report.rules_in, base.rules_in() as u64);
+    assert_eq!(report.boost_hist.iter().sum::<u64>(), report.rules_in_base);
+}
