@@ -62,6 +62,7 @@ const VALUED: &[&str] = &[
     "min-boost",
     "top",
     "base",
+    "telemetry-addr",
 ];
 
 impl Args {

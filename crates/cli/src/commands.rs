@@ -449,12 +449,72 @@ pub fn serve(args: &Args) -> CmdResult {
     let options = dmc_serve::DaemonOptions {
         addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
         metrics: args.get("metrics").map(str::to_string),
+        telemetry_addr: args.get("telemetry-addr").map(str::to_string),
     };
     let stats = dmc_serve::run_daemon(engine, &options)?;
     eprintln!(
         "served {} requests over {} connections ({} errors)",
         stats.requests, stats.connections, stats.errors
     );
+    Ok(())
+}
+
+/// `dmc top`: one-shot view of a running daemon's telemetry — sends a
+/// `metrics` request and renders the registry as a table.
+pub fn top(args: &Args) -> CmdResult {
+    use dmc_metrics::json::JsonValue;
+    let addr: String = args.require("addr")?;
+    let mut stream = std::net::TcpStream::connect(&addr)?;
+    let v = dmc_serve::request(&mut stream, "{\"type\": \"metrics\"}")?;
+    if v.get("ok") != Some(&JsonValue::Bool(true)) {
+        let message = v
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("daemon refused the metrics request");
+        return Err(message.to_string().into());
+    }
+    let m = v
+        .get("metrics")
+        .ok_or("malformed metrics response: no \"metrics\" payload")?;
+
+    let hists = m.get("histograms");
+    let hist_names: Vec<&str> = hists.map(JsonValue::keys).unwrap_or_default();
+    if !hist_names.is_empty() {
+        println!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50_us", "p90_us", "p99_us", "max_us"
+        );
+        for name in hist_names {
+            let h = hists.and_then(|hs| hs.get(name));
+            let field = |key: &str| {
+                h.and_then(|h| h.get(key))
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0)
+            };
+            println!(
+                "{name:<28} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                field("count"),
+                field("p50_us"),
+                field("p90_us"),
+                field("p99_us"),
+                field("max_us")
+            );
+        }
+    }
+    for (section, title) in [("counters", "counter"), ("gauges", "gauge")] {
+        let Some(values) = m.get(section) else {
+            continue;
+        };
+        let names = values.keys();
+        if names.is_empty() {
+            continue;
+        }
+        println!("{:<28} {:>10}", title, "value");
+        for name in names {
+            let value = values.get(name).and_then(JsonValue::as_f64).unwrap_or(0.0);
+            println!("{name:<28} {value:>10}");
+        }
+    }
     Ok(())
 }
 
@@ -619,13 +679,48 @@ pub fn shard(args: &Args) -> CmdResult {
             }
             children.push((index, cmd.spawn()?));
         }
-        // Wait for every child before judging any, so a failure does not
-        // leave the rest running unattended.
+        // Poll every child rather than blocking on each in turn: every
+        // child is still awaited before judging any (a failure does not
+        // leave the rest running unattended), and between polls the
+        // coordinator reads the workers' advisory progress frames and
+        // mirrors them into the process-wide telemetry registry.
+        let _span = dmc_metrics::span!("shard.coordinate");
+        let registry = dmc_metrics::telemetry::global();
+        let workers_running = registry.gauge("shard.workers_running");
+        let workers_done = registry.gauge("shard.workers_done");
+        let rules_reported = registry.counter("shard.rules_reported");
+        workers_running.set(children.len() as i64);
+        let manifest_path = std::path::Path::new(&manifest);
         let mut failed = Vec::new();
-        for (index, mut child) in children {
-            let status = child.wait()?;
-            if !status.success() {
-                failed.push((index, status));
+        let mut pending = children;
+        let mut rules_seen = 0u64;
+        while !pending.is_empty() {
+            let mut still_running = Vec::with_capacity(pending.len());
+            for (index, mut child) in pending {
+                match child.try_wait()? {
+                    Some(status) => {
+                        workers_running.add(-1);
+                        workers_done.add(1);
+                        if !status.success() {
+                            failed.push((index, status));
+                        }
+                    }
+                    None => still_running.push((index, child)),
+                }
+            }
+            pending = still_running;
+            // Progress frames are best-effort advisory files; a torn or
+            // missing frame reads as None and simply skips this tick.
+            let rules_now: u64 = (0..plan.len())
+                .filter_map(|i| dmc_core::shard::read_progress(manifest_path, i))
+                .map(|p| p.rules)
+                .sum();
+            if rules_now > rules_seen {
+                rules_reported.add(rules_now - rules_seen);
+                rules_seen = rules_now;
+            }
+            if !pending.is_empty() {
+                std::thread::sleep(std::time::Duration::from_millis(20));
             }
         }
         if let Some((index, status)) = failed.first() {

@@ -59,6 +59,15 @@ commands:
       [--threads N] [--addr HOST:PORT] [--metrics FILE|-]
                            (default addr 127.0.0.1:0; the chosen port is
                            printed as 'listening on HOST:PORT')
+      [--telemetry-addr HOST:PORT]
+                           also serve live telemetry in Prometheus text
+                           format over plain HTTP ('telemetry on
+                           HOST:PORT' is printed before the listening
+                           line)
+  top --addr HOST:PORT     one-shot telemetry view of a running daemon:
+                           per-request-type latency histograms
+                           (count/p50/p90/p99/max) plus counters and
+                           gauges
   shard <file> --minconf X | --minsim X --shards N --manifest M
                            column-sharded multi-process mine: split the
                            columns into N LHS shards, mine each in a
@@ -92,6 +101,7 @@ fn main() -> ExitCode {
         "stats" => commands::stats(&args),
         "gen" => commands::gen(&args),
         "serve" => commands::serve(&args),
+        "top" => commands::top(&args),
         "shard" => commands::shard(&args),
         _ => {
             eprintln!("dmc: unknown command {command:?}\n{USAGE}");

@@ -400,6 +400,10 @@ impl Engine {
     /// [`effective_workers`](crate::effective_workers), `<= 1` running
     /// the sequential drivers. Rules are bit-identical either way.
     pub fn mine(&mut self) -> &RunReport {
+        let _span = dmc_metrics::span!("engine.mine");
+        dmc_metrics::telemetry::global()
+            .counter("engine.mines")
+            .inc();
         match &self.config {
             MineConfig::Implication(cfg) => {
                 let out = dispatch_implications(&self.matrix, cfg, self.threads);
@@ -438,6 +442,7 @@ impl Engine {
     /// row index — and leaves the engine untouched if any id is
     /// `>= n_cols()`.
     pub fn ingest(&mut self, rows: &[Vec<ColumnId>]) -> Result<IngestReport, MineError> {
+        let _span = dmc_metrics::span!("engine.ingest");
         let start = Instant::now();
         let n_cols = self.matrix.n_cols();
         for (k, row) in rows.iter().enumerate() {
@@ -494,6 +499,15 @@ impl Engine {
         report.rules = self.rule_count();
         report.wall_seconds = start.elapsed().as_secs_f64();
 
+        let registry = dmc_metrics::telemetry::global();
+        registry.counter("engine.ingest_batches").inc();
+        registry
+            .counter("engine.ingest_rows")
+            .add(report.rows as u64);
+        registry
+            .histogram("engine.ingest")
+            .record_us(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+
         self.ingest_stats.batches += 1;
         self.ingest_stats.rows_ingested += report.rows as u64;
         self.ingest_stats.pairs_bumped += report.pairs_bumped;
@@ -507,6 +521,10 @@ impl Engine {
     /// postings (no row rescan). `None` when either id is out of range.
     #[must_use]
     pub fn query(&self, lhs: ColumnId, rhs: ColumnId) -> Option<RuleAnswer> {
+        let _span = dmc_metrics::span!("engine.query");
+        dmc_metrics::telemetry::global()
+            .counter("engine.queries")
+            .inc();
         let pl = self.postings.get(lhs as usize)?;
         let pr = self.postings.get(rhs as usize)?;
         let hits = intersect_len(pl, pr);

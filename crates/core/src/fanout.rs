@@ -411,6 +411,7 @@ fn run_worker<H: ReplayHandler>(
     let mut blocks_processed = 0u64;
     let mut blocks_stolen = 0u64;
     while let Some(b) = sched.claim(me, &mut timer, stage) {
+        let _span = dmc_metrics::span!("mine.block");
         let start = Instant::now();
         let slot = &sched.slots[b % sched.slots.len()];
         let rows = match std::mem::replace(
@@ -525,7 +526,7 @@ where
     })?;
     let fold = sched.fold.into_inner().expect("fold lock poisoned");
     debug_assert!(fold.finished, "stage fold must complete");
-    let workers = stats
+    let workers: Vec<StageWorker> = stats
         .into_iter()
         .zip(fold.credits)
         .map(|(s, tally)| StageWorker {
@@ -535,6 +536,16 @@ where
             blocks_stolen: s.blocks_stolen,
         })
         .collect();
+    // Credit the stage's scheduling totals to the process-wide registry in
+    // one bulk add per counter — the hot claim/aggregate loop itself never
+    // touches shared telemetry state.
+    let registry = dmc_metrics::telemetry::global();
+    registry
+        .counter("mine.blocks_claimed")
+        .add(workers.iter().map(|w| w.blocks_processed).sum());
+    registry
+        .counter("mine.blocks_stolen")
+        .add(workers.iter().map(|w| w.blocks_stolen).sum());
     Ok(StageRun {
         handler: fold.handler,
         switch_at: fold.switch_at,
@@ -651,6 +662,7 @@ where
 
     // Stage 1: exact rules through the simplified scan (§4.3).
     if config.hundred_stage || config.minconf >= 1.0 {
+        let _span = dmc_metrics::span!("mine.stage.hundred");
         let _g = timer.enter("100% rules");
         let scan = HundredScan::new(n_cols, HundredMode::Implication, ones.to_vec());
         let run = run_stage(
@@ -686,6 +698,7 @@ where
         } else {
             None
         };
+        let _span = dmc_metrics::span!("mine.stage.sub");
         let _g = timer.enter("<100% rules");
         let scan = BaseScan::new(
             n_cols,
@@ -788,6 +801,7 @@ where
 
     // Stage 1: identical (100%-similar) columns.
     if config.hundred_stage || config.minsim >= 1.0 {
+        let _span = dmc_metrics::span!("mine.stage.hundred");
         let _g = timer.enter("100% rules");
         let scan = HundredScan::new(n_cols, HundredMode::Identical, ones.to_vec());
         let run = run_stage(
@@ -823,6 +837,7 @@ where
         } else {
             None
         };
+        let _span = dmc_metrics::span!("mine.stage.sub");
         let _g = timer.enter("<100% rules");
         let scan = SimScan::new(n_cols, config, ones.to_vec(), active);
         let run = run_stage(

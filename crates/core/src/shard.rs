@@ -32,9 +32,25 @@
 //! ranges tiling the column space exactly), writes the consolidated
 //! manifest — the validated header frames, in shard order — to the
 //! manifest path, and reconciles the per-shard reports into one
-//! `dmc.run_report.v7` report whose `shard` section carries every
+//! `dmc.run_report.v8` report whose `shard` section carries every
 //! entry. A failed merge removes the partial manifest; a successful one
 //! removes the per-shard spills unless asked to keep them.
+//!
+//! # Progress frames
+//!
+//! The shard protocol above is the *correctness* hand-off; alongside it
+//! runs an advisory *telemetry* hand-off. Each worker writes a tiny
+//! progress file (`<manifest>.shard<i>.progress`) at its phase
+//! transitions — `mining` when it starts, `writing` once the rules are
+//! mined, `done` when its spill is on disk — via [`write_progress`].
+//! Writes are best-effort (a failed progress write never fails the
+//! worker) and atomic-enough for the purpose: the coordinator polls the
+//! files with [`read_progress`] while it waits on the children and
+//! mirrors what it sees into the process-wide telemetry registry
+//! (`shard.workers_running` / `shard.workers_done` gauges and the
+//! `shard.rules_reported` counter). A torn or missing read degrades to
+//! "no update", never to a wrong merge. The files are removed with the
+//! spills once the merge completes.
 
 use crate::engine::MineConfig;
 use crate::imp::find_implications_masked;
@@ -275,6 +291,55 @@ pub fn shard_path(manifest: &Path, index: usize) -> PathBuf {
     let mut name = manifest.as_os_str().to_os_string();
     name.push(format!(".shard{index}"));
     PathBuf::from(name)
+}
+
+/// Path of shard `index`'s advisory progress file:
+/// `<manifest>.shard<index>.progress`.
+#[must_use]
+pub fn progress_path(manifest: &Path, index: usize) -> PathBuf {
+    let mut name = shard_path(manifest, index).into_os_string();
+    name.push(".progress");
+    PathBuf::from(name)
+}
+
+/// A worker's advisory progress frame: which phase it is in and how many
+/// rules it has reported so far.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardProgress {
+    /// `"mining"`, `"writing"` or `"done"`.
+    pub phase: &'static str,
+    /// Rules the worker has mined (zero until the mine finishes).
+    pub rules: u64,
+}
+
+/// Best-effort progress write: `<phase> <rules>\n` to the shard's
+/// progress file. Failures are swallowed — progress frames are telemetry,
+/// never part of the correctness hand-off.
+pub fn write_progress(manifest: &Path, index: usize, phase: &'static str, rules: u64) {
+    let _ = std::fs::write(progress_path(manifest, index), format!("{phase} {rules}\n"));
+}
+
+/// Reads shard `index`'s progress frame, if one exists and parses. A
+/// missing, torn or malformed file reads as `None` (no update), matching
+/// the best-effort write side.
+#[must_use]
+pub fn read_progress(manifest: &Path, index: usize) -> Option<ShardProgress> {
+    let text = std::fs::read_to_string(progress_path(manifest, index)).ok()?;
+    let mut words = text.split_whitespace();
+    let phase = match words.next()? {
+        "mining" => "mining",
+        "writing" => "writing",
+        "done" => "done",
+        _ => return None,
+    };
+    let rules = words.next()?.parse().ok()?;
+    Some(ShardProgress { phase, rules })
+}
+
+/// Removes shard `index`'s progress file, ignoring errors (it may never
+/// have been written).
+pub fn remove_progress(manifest: &Path, index: usize) {
+    let _ = std::fs::remove_file(progress_path(manifest, index));
 }
 
 /// One worker's mined shard: the rules it owns plus its run report.
@@ -612,6 +677,7 @@ pub fn run_worker(
     plan: &[(u32, u32)],
     index: usize,
 ) -> Result<ShardOutput, ShardError> {
+    let _span = dmc_metrics::span!("shard.worker");
     let Some(&(lo, hi)) = plan.get(index) else {
         return Err(ShardError::Config(format!(
             "worker index {index} out of range for a {}-shard plan",
@@ -619,7 +685,9 @@ pub fn run_worker(
         )));
     };
     validate_ranges(plan, matrix.n_cols() as u32)?;
+    write_progress(manifest, index, "mining", 0);
     let out = mine_shard(config, matrix, lo, hi);
+    write_progress(manifest, index, "writing", out.rule_count() as u64);
     let emit_reverse = match config {
         MineConfig::Implication(cfg) => cfg.emit_reverse,
         MineConfig::Similarity(_) => false,
@@ -633,6 +701,7 @@ pub fn run_worker(
         plan,
         index,
     )?;
+    write_progress(manifest, index, "done", out.rule_count() as u64);
     Ok(out)
 }
 
@@ -787,7 +856,7 @@ pub struct MergedOutput {
     pub imp_rules: Vec<ImplicationRule>,
     /// Merged similarity rules, sorted and deduplicated.
     pub sim_rules: Vec<SimilarityRule>,
-    /// The reconciled `dmc.run_report.v7` report with its `shard` section.
+    /// The reconciled `dmc.run_report.v8` report with its `shard` section.
     pub report: RunReport,
 }
 
@@ -829,6 +898,7 @@ pub fn merge_shards(
     retry: RetryPolicy,
     keep_shards: bool,
 ) -> Result<MergedOutput, ShardError> {
+    let _span = dmc_metrics::span!("shard.merge");
     if n_shards == 0 {
         return Err(ShardError::Config("cannot merge zero shards".to_string()));
     }
@@ -916,6 +986,11 @@ pub fn merge_shards(
                 error,
             })?;
         }
+    }
+    // Progress files are advisory and never merge inputs: drop them
+    // unconditionally now that the hand-off is complete.
+    for i in 0..n_shards {
+        remove_progress(manifest, i);
     }
     Ok(MergedOutput {
         imp_rules,
@@ -1011,6 +1086,7 @@ fn merged_report(shards: &[ShardFile], rules: usize) -> RunReport {
             shards: entries,
         }),
         compaction: None,
+        telemetry: None,
     }
 }
 
@@ -1224,6 +1300,57 @@ mod tests {
         .unwrap();
         assert!(shard_path(&manifest2, 0).exists());
         assert!(shard_path(&manifest2, 1).exists());
+    }
+
+    #[test]
+    fn progress_frames_round_trip_and_tolerate_garbage() {
+        let dir = TempDir::new("progress");
+        let manifest = dir.path("m.manifest");
+        assert_eq!(read_progress(&manifest, 0), None, "missing file reads None");
+
+        write_progress(&manifest, 0, "mining", 0);
+        assert_eq!(
+            read_progress(&manifest, 0),
+            Some(ShardProgress {
+                phase: "mining",
+                rules: 0
+            })
+        );
+        write_progress(&manifest, 0, "done", 42);
+        assert_eq!(
+            read_progress(&manifest, 0),
+            Some(ShardProgress {
+                phase: "done",
+                rules: 42
+            })
+        );
+
+        std::fs::write(progress_path(&manifest, 0), "exploded ???").unwrap();
+        assert_eq!(read_progress(&manifest, 0), None, "garbage reads None");
+
+        remove_progress(&manifest, 0);
+        assert!(!progress_path(&manifest, 0).exists());
+        remove_progress(&manifest, 0); // idempotent
+    }
+
+    #[test]
+    fn merge_removes_progress_files() {
+        let m = fig2();
+        let dir = TempDir::new("progress-cleanup");
+        let manifest = dir.path("m.manifest");
+        let config = MineConfig::implications(0.8).unwrap();
+        shard_mine(
+            &StdFsIo,
+            &manifest,
+            RetryPolicy::none(),
+            &config,
+            &m,
+            2,
+            false,
+        )
+        .unwrap();
+        assert!(!progress_path(&manifest, 0).exists());
+        assert!(!progress_path(&manifest, 1).exists());
     }
 
     #[test]

@@ -20,19 +20,30 @@
 //! volume into one machine-readable value ([`RunReport::to_json`]) that
 //! every driver attaches to its output. The [`json`] module provides the
 //! dependency-free writer/parser pair behind it.
+//!
+//! The [`telemetry`] module is the *live* counterpart: lock-free latency
+//! [`Histogram`]s, [`Counter`]s and [`Gauge`]s in a named [`Registry`],
+//! and near-zero-cost hierarchical spans ([`span!`]) — what the serve
+//! daemon and the shard coordinator expose while they run, and what the
+//! run report's final `telemetry` section summarizes.
 
 pub mod json;
 mod memory;
 mod report;
 mod tally;
+pub mod telemetry;
 mod timer;
 mod worker;
 
 pub use memory::{CounterMemory, MemorySample, COL_OVERHEAD_BYTES, ENTRY_BYTES};
 pub use report::{
     CompactionReport, IngestStats, IoReport, ReportBuilder, RunReport, ServeStats, ShardReport,
-    ShardSummary, StageReport, WorkerSummary, BOOST_HIST_BUCKETS, RUN_REPORT_SCHEMA,
+    ShardSummary, StageReport, TelemetryHistogram, TelemetryReport, WorkerSummary,
+    BOOST_HIST_BUCKETS, RUN_REPORT_SCHEMA,
 };
 pub use tally::ScanTally;
+pub use telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, SpanEvent,
+};
 pub use timer::{PhaseReport, PhaseTimer};
 pub use worker::WorkerReport;

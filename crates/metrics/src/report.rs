@@ -31,8 +31,11 @@ use crate::worker::WorkerReport;
 /// counters of a multi-process `dmc shard` merge; v7 added the
 /// `compaction` section (null unless a compaction stage ran) carrying the
 /// input/base rule counts, the compaction ratio and the boost histogram
-/// of the irredundant rule base.
-pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v7";
+/// of the irredundant rule base; v8 added the `telemetry` section (null
+/// unless live telemetry was captured) summarizing the run's registry —
+/// named counters plus per-histogram count/p50/p90/p99/max — reconciled
+/// against the `serve` section's request counter.
+pub const RUN_REPORT_SCHEMA: &str = "dmc.run_report.v8";
 
 /// Cumulative incremental-ingest counters of a long-lived engine. `None`
 /// in the run report until the engine has ingested at least one batch.
@@ -141,6 +144,73 @@ impl Default for CompactionReport {
             ratio: 1.0,
             boost_hist: [0; BOOST_HIST_BUCKETS],
         }
+    }
+}
+
+/// One latency histogram's summary inside the run report's `telemetry`
+/// section.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryHistogram {
+    /// The instrument's dotted registry name (`"serve.request.rule"`).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Median latency in microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// Largest observed latency in microseconds.
+    pub max_us: u64,
+}
+
+/// The telemetry section of a run report: a final summary of the live
+/// registry (counters and latency histograms) captured when the run shut
+/// down. `None` unless a telemetry-aware surface (the serve daemon, the
+/// shard coordinator) attached it. Gauges are deliberately absent — they
+/// are instantaneous values and carry no information once the run is over.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryReport {
+    /// `(name, value)` for every registered counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Per-histogram summaries, sorted by name.
+    pub histograms: Vec<TelemetryHistogram>,
+    /// Span events the bounded ring buffer evicted during the run.
+    pub events_dropped: u64,
+}
+
+impl TelemetryReport {
+    /// Summarizes a live registry snapshot into the report form.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &crate::telemetry::RegistrySnapshot) -> Self {
+        Self {
+            counters: snapshot.counters.clone(),
+            histograms: snapshot
+                .histograms
+                .iter()
+                .map(|(name, h)| TelemetryHistogram {
+                    name: name.clone(),
+                    count: h.count,
+                    p50_us: h.quantile_us(0.50),
+                    p90_us: h.quantile_us(0.90),
+                    p99_us: h.quantile_us(0.99),
+                    max_us: h.max_us,
+                })
+                .collect(),
+            events_dropped: crate::telemetry::events_dropped(),
+        }
+    }
+
+    /// Total observations across histograms whose name starts with
+    /// `prefix`.
+    #[must_use]
+    pub fn count_with_prefix(&self, prefix: &str) -> u64 {
+        self.histograms
+            .iter()
+            .filter(|h| h.name.starts_with(prefix))
+            .map(|h| h.count)
+            .sum()
     }
 }
 
@@ -259,6 +329,9 @@ pub struct RunReport {
     /// Rule-base compaction outcome (`None` unless a compaction stage
     /// ran).
     pub compaction: Option<CompactionReport>,
+    /// Final live-telemetry summary (`None` unless a telemetry-aware
+    /// surface attached it).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunReport {
@@ -398,6 +471,31 @@ impl RunReport {
             }
             None => w.null("compaction"),
         }
+        match &self.telemetry {
+            Some(t) => {
+                w.object_key("telemetry");
+                w.object_key("counters");
+                for (name, v) in &t.counters {
+                    w.uint(name, *v);
+                }
+                w.end_object();
+                w.array_key("histograms");
+                for h in &t.histograms {
+                    w.object();
+                    w.string("name", &h.name);
+                    w.uint("count", h.count);
+                    w.uint("p50_us", h.p50_us);
+                    w.uint("p90_us", h.p90_us);
+                    w.uint("p99_us", h.p99_us);
+                    w.uint("max_us", h.max_us);
+                    w.end_object();
+                }
+                w.end_array();
+                w.uint("events_dropped", t.events_dropped);
+                w.end_object();
+            }
+            None => w.null("telemetry"),
+        }
         w.end_object();
         w.finish()
     }
@@ -515,6 +613,28 @@ impl RunReport {
             };
             if (c.ratio - expected).abs() > 1e-9 {
                 return false;
+            }
+        }
+        // The v8 telemetry section: quantiles are monotone and bounded by
+        // the recorded max (the bucket scheme guarantees it, so a report
+        // violating it was tampered with), an empty histogram has all-zero
+        // latencies, and — because the daemon times *every* received frame
+        // into exactly one `serve.request.*` histogram (parse failures and
+        // shutdown included) — the per-type request counts must sum to the
+        // serve section's request counter exactly.
+        if let Some(t) = &self.telemetry {
+            for h in &t.histograms {
+                if h.p50_us > h.p90_us || h.p90_us > h.p99_us || h.p99_us > h.max_us {
+                    return false;
+                }
+                if h.count == 0 && h.max_us != 0 {
+                    return false;
+                }
+            }
+            if let Some(s) = &self.serve {
+                if t.count_with_prefix("serve.request.") != s.requests {
+                    return false;
+                }
             }
         }
         // Each stage scans every row once per participating worker.
@@ -1018,6 +1138,123 @@ mod tests {
         let mut empty = base;
         empty.compaction = Some(CompactionReport::default());
         assert!(empty.reconciles(), "empty input with ratio 1.0 reconciles");
+    }
+
+    fn sample_telemetry_section(requests: u64) -> TelemetryReport {
+        TelemetryReport {
+            counters: vec![("serve.bytes_in".to_string(), 512)],
+            histograms: vec![
+                TelemetryHistogram {
+                    name: "serve.request.rule".to_string(),
+                    count: requests - 1,
+                    p50_us: 4,
+                    p90_us: 8,
+                    p99_us: 15,
+                    max_us: 15,
+                },
+                TelemetryHistogram {
+                    name: "serve.request.stats".to_string(),
+                    count: 1,
+                    p50_us: 9,
+                    p90_us: 9,
+                    p99_us: 9,
+                    max_us: 9,
+                },
+            ],
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn telemetry_section_renders_and_reconciles() {
+        let report = sample_report();
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        assert!(
+            matches!(v.get("telemetry"), Some(JsonValue::Null)),
+            "runs without telemetry carry telemetry: null"
+        );
+
+        let mut report = sample_report();
+        report.serve = Some(ServeStats {
+            connections: 2,
+            requests: 7,
+            errors: 0,
+        });
+        report.telemetry = Some(sample_telemetry_section(7));
+        assert!(report.reconciles());
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        let section = v.get("telemetry").expect("telemetry object present");
+        assert_eq!(
+            section
+                .get("counters")
+                .and_then(|c| c.get("serve.bytes_in"))
+                .and_then(JsonValue::as_u64),
+            Some(512)
+        );
+        let hists = section
+            .get("histograms")
+            .and_then(JsonValue::as_array)
+            .expect("histograms array");
+        assert_eq!(hists.len(), 2);
+        assert_eq!(
+            hists[0].get("name").and_then(JsonValue::as_str),
+            Some("serve.request.rule")
+        );
+        assert_eq!(hists[0].get("p99_us").and_then(JsonValue::as_u64), Some(15));
+    }
+
+    #[test]
+    fn telemetry_reconcile_catches_count_and_quantile_violations() {
+        let mut base = sample_report();
+        base.serve = Some(ServeStats {
+            connections: 2,
+            requests: 7,
+            errors: 0,
+        });
+
+        let mut short = base.clone();
+        short.telemetry = Some(sample_telemetry_section(6));
+        assert!(
+            !short.reconciles(),
+            "histogram counts must sum to serve.requests"
+        );
+
+        let mut order = base.clone();
+        let mut section = sample_telemetry_section(7);
+        section.histograms[0].p50_us = 100; // above p90
+        order.telemetry = Some(section);
+        assert!(!order.reconciles(), "non-monotone quantiles must fail");
+
+        let mut over_max = base.clone();
+        let mut section = sample_telemetry_section(7);
+        section.histograms[1].max_us = section.histograms[1].p99_us - 1;
+        over_max.telemetry = Some(section);
+        assert!(!over_max.reconciles(), "p99 above max must fail");
+
+        let mut ghost = base;
+        let mut section = sample_telemetry_section(7);
+        section.histograms[1].count = 0;
+        section.histograms[0].count += 1; // keep the sum identity intact
+        ghost.telemetry = Some(section);
+        assert!(!ghost.reconciles(), "an empty histogram cannot carry a max");
+    }
+
+    #[test]
+    fn telemetry_from_snapshot_summarizes_registry() {
+        let registry = crate::telemetry::Registry::new();
+        registry.counter("mine.blocks_claimed").add(3);
+        let h = registry.histogram("serve.request.rule");
+        h.record_us(10);
+        h.record_us(1000);
+        let t = TelemetryReport::from_snapshot(&registry.snapshot());
+        assert_eq!(t.counters, vec![("mine.blocks_claimed".to_string(), 3)]);
+        assert_eq!(t.histograms.len(), 1);
+        let hist = &t.histograms[0];
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.max_us, 1000);
+        assert!(hist.p50_us <= hist.p90_us && hist.p99_us <= hist.max_us);
+        assert_eq!(t.count_with_prefix("serve.request."), 2);
+        assert_eq!(t.count_with_prefix("absent."), 0);
     }
 
     #[test]

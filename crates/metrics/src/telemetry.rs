@@ -1,0 +1,932 @@
+//! Live telemetry: latency histograms, counters/gauges, a named
+//! [`Registry`], and lightweight hierarchical spans.
+//!
+//! The [`RunReport`](crate::RunReport) only exists *after* a run finishes;
+//! the long-lived surfaces that grew around the miner — the `dmc-serve`
+//! daemon and the multi-process shard coordinator — need visibility *while*
+//! they run. This module is the substrate: everything here is dependency
+//! free, lock free on the hot paths, and cheap enough to leave compiled in.
+//!
+//! # Histograms
+//!
+//! [`Histogram`] buckets observations (durations, in microseconds) into 32
+//! fixed power-of-two buckets: bucket `i` holds values whose
+//! `floor(log2(max(v, 1)))` is `i` (clamped to 31), i.e. bucket 0 covers
+//! `[0, 2)` µs, bucket 1 `[2, 4)` µs, … bucket 31 everything from ~36
+//! minutes up. Each bucket is an `AtomicU64`, so recording is a single
+//! relaxed `fetch_add` plus a `fetch_max` for the running maximum — no
+//! locks, mergeable across threads and processes by bucket-wise addition.
+//! Quantiles come from a [`HistogramSnapshot`]: the reported `p(q)` is the
+//! upper bound of the first bucket whose cumulative count reaches
+//! `q * count`, clamped to the recorded maximum — so
+//! `p50 <= p90 <= p99 <= max` holds *exactly*, not just approximately
+//! (property-tested below).
+//!
+//! # Registry
+//!
+//! A [`Registry`] maps stable dotted names (`"serve.request.rule"`) to
+//! shared instruments. Registration is idempotent: asking twice for the
+//! same name returns the same `Arc`, so call sites don't coordinate.
+//! [`global()`] is the process-wide registry the miner, engine and shard
+//! coordinator instrument; the serve daemon keeps a per-server registry as
+//! well (multiple servers run in one test process) and merges both into
+//! one [`RegistrySnapshot`] for the `metrics` request and the Prometheus
+//! exposition — the same snapshot serves both.
+//!
+//! # Spans
+//!
+//! [`span()`] (or the [`span!`](crate::span) macro) returns an RAII guard
+//! that, on drop, appends a `(name, depth, micros)` event to a bounded
+//! ring buffer. Spans are globally disabled by default: the disabled path
+//! is one relaxed atomic load — no `Instant::now()`, no allocation, no
+//! lock — so instrumented hot loops cost nothing in production. Enable
+//! with [`set_spans_enabled`] or `DMC_TELEMETRY_SPANS=1`. The ring holds
+//! the most recent [`EVENT_LOG_CAPACITY`] events; overflow drops the
+//! oldest and counts what was lost ([`events_dropped`]) rather than
+//! blocking or growing.
+
+use crate::json::JsonWriter;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets; bucket 31 is the overflow.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Ring-buffer capacity of the span event log.
+pub const EVENT_LOG_CAPACITY: usize = 4096;
+
+/// The bucket index for a microsecond value: `floor(log2(max(v, 1)))`,
+/// clamped to the last bucket.
+#[must_use]
+pub fn bucket_index(micros: u64) -> usize {
+    let v = micros.max(1);
+    ((63 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Exclusive upper bound of bucket `i` in microseconds (`2^(i+1)`);
+/// `u64::MAX` for the overflow bucket.
+#[must_use]
+pub fn bucket_upper_bound_us(i: usize) -> u64 {
+    if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+/// A lock-free log-bucketed latency histogram.
+///
+/// All updates are relaxed atomics; readers take a [`snapshot`] and work
+/// with that. Bucket counts, total count, sum and max are not read
+/// atomically *together*, so a snapshot taken mid-update can be off by the
+/// in-flight observation — fine for monitoring, and the final snapshot of
+/// a quiesced histogram is exact.
+///
+/// [`snapshot`]: Histogram::snapshot
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `micros` microseconds.
+    pub fn record_us(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+        self.max_us.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a [`Duration`].
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy suitable for quantiles and merging.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An immutable copy of a [`Histogram`], mergeable and queryable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values in microseconds.
+    pub sum_us: u64,
+    /// Largest observed value in microseconds.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Folds `other` into `self`: bucket-wise addition, summed counts,
+    /// max of maxes. Merging is associative and commutative
+    /// (property-tested), so shard snapshots can be combined in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// The `q`-quantile in microseconds (`q` in `[0, 1]`): the upper bound
+    /// of the first bucket whose cumulative count reaches `ceil(q * count)`,
+    /// clamped to the recorded max. Zero when empty. Monotone in `q` and
+    /// never above [`max_us`](Self::max_us) by construction.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper_bound_us(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean observation in microseconds (zero when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (in-flight requests, workers running).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The instrument kinds a [`Registry`] holds.
+#[derive(Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of shared instruments.
+///
+/// Registration is idempotent — the first caller creates, later callers
+/// get the same `Arc` — so instrumented code just asks for what it needs.
+/// Asking for an existing name with a *different* kind returns a fresh
+/// detached instrument (recorded values go nowhere); names are expected
+/// to be stable per kind.
+#[derive(Default)]
+pub struct Registry {
+    instruments: Mutex<Vec<(String, Instrument)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Instrument) -> Instrument {
+        let mut instruments = self.instruments.lock().expect("registry lock poisoned");
+        if let Some((_, existing)) = instruments.iter().find(|(n, _)| n == name) {
+            return existing.clone();
+        }
+        let made = make();
+        instruments.push((name.to_string(), made.clone()));
+        made
+    }
+
+    /// The counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.register(name, || Instrument::Counter(Arc::new(Counter::new()))) {
+            Instrument::Counter(c) => c,
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.register(name, || Instrument::Gauge(Arc::new(Gauge::new()))) {
+            Instrument::Gauge(g) => g,
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.register(name, || Instrument::Histogram(Arc::new(Histogram::new()))) {
+            Instrument::Histogram(h) => h,
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// A point-in-time copy of every registered instrument, sorted by
+    /// name within each kind.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let instruments = self.instruments.lock().expect("registry lock poisoned");
+        let mut snap = RegistrySnapshot::default();
+        for (name, instrument) in instruments.iter() {
+            match instrument {
+                Instrument::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Instrument::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Instrument::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap.sort();
+        snap
+    }
+}
+
+/// A point-in-time copy of a [`Registry`] (or a merge of several).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    fn sort(&mut self) {
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Folds `other` into `self`: same-named counters and gauges add,
+    /// same-named histograms merge, new names append.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+        self.sort();
+    }
+
+    /// The snapshot as a JSON document:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.object();
+        w.object_key("counters");
+        for (name, v) in &self.counters {
+            w.uint(name, *v);
+        }
+        w.end_object();
+        w.object_key("gauges");
+        for (name, v) in &self.gauges {
+            // Gauges can go negative; the writer has no int64, so render
+            // through the (exact for |v| < 2^53) float path.
+            w.float(name, *v as f64);
+        }
+        w.end_object();
+        w.object_key("histograms");
+        for (name, h) in &self.histograms {
+            w.object_key(name);
+            w.uint("count", h.count);
+            w.uint("sum_us", h.sum_us);
+            w.uint("max_us", h.max_us);
+            w.uint("p50_us", h.quantile_us(0.50));
+            w.uint("p90_us", h.quantile_us(0.90));
+            w.uint("p99_us", h.quantile_us(0.99));
+            w.array_key("buckets");
+            for &b in &h.buckets {
+                w.item_uint(b);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// The snapshot in the Prometheus text exposition format (version
+    /// 0.0.4): dots in names become underscores, counters and gauges are
+    /// single samples, histograms use the cumulative
+    /// `_bucket{le="..."}`/`_sum`/`_count` convention (bucket bounds are
+    /// the scheme's power-of-two upper bounds, in microseconds).
+    #[must_use]
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                cum += b;
+                if i == HIST_BUCKETS - 1 {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cum}");
+                } else {
+                    let bound = bucket_upper_bound_us(i);
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cum}");
+                }
+            }
+            let _ = writeln!(out, "{n}_sum {}", h.sum_us);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+}
+
+/// Maps a dotted instrument name onto the Prometheus name charset
+/// (`[a-zA-Z0-9_:]`, non-digit first).
+#[must_use]
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// The process-wide registry. The mining pipeline, engine and shard
+/// coordinator register here; per-daemon instruments live in the server's
+/// own registry and are merged at snapshot time.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One completed span: what ran, how deep, and for how long.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The span's dotted name (`"mine.pass2.block"`).
+    pub name: &'static str,
+    /// Nesting depth at entry (0 = top-level) on the recording thread.
+    pub depth: u16,
+    /// Wall-clock duration in microseconds.
+    pub micros: u64,
+}
+
+struct EventLog {
+    ring: Mutex<VecDeque<SpanEvent>>,
+    dropped: AtomicU64,
+}
+
+fn event_log() -> &'static EventLog {
+    static LOG: OnceLock<EventLog> = OnceLock::new();
+    LOG.get_or_init(|| EventLog {
+        ring: Mutex::new(VecDeque::with_capacity(EVENT_LOG_CAPACITY)),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+fn spans_flag() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| {
+        let on = std::env::var("DMC_TELEMETRY_SPANS").is_ok_and(|v| !v.is_empty() && v != "0");
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether spans record (default: the `DMC_TELEMETRY_SPANS` environment
+/// variable at first use — any non-empty value other than `"0"` enables).
+#[must_use]
+pub fn spans_enabled() -> bool {
+    spans_flag().load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off process-wide.
+pub fn set_spans_enabled(on: bool) {
+    spans_flag().store(on, Ordering::Relaxed);
+}
+
+thread_local! {
+    static SPAN_DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// Starts a span; the event is recorded when the guard drops. When spans
+/// are disabled this is one relaxed atomic load and returns an inert
+/// guard — no clock read, no allocation.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !spans_enabled() {
+        return SpanGuard { active: None };
+    }
+    let depth = SPAN_DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth.saturating_add(1));
+        depth
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            depth,
+            start: Instant::now(),
+        }),
+    }
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    depth: u16,
+    start: Instant,
+}
+
+/// RAII guard returned by [`span()`]; records the event on drop.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let micros = u64::try_from(active.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let log = event_log();
+        let mut ring = log.ring.lock().expect("event log poisoned");
+        if ring.len() == EVENT_LOG_CAPACITY {
+            ring.pop_front();
+            log.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(SpanEvent {
+            name: active.name,
+            depth: active.depth,
+            micros,
+        });
+    }
+}
+
+/// Starts a telemetry span. Shorthand for
+/// [`telemetry::span(...)`](span()); bind the guard
+/// (`let _span = span!("mine.pass2");`) so it lives to the end of scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::telemetry::span($name)
+    };
+}
+
+/// The most recent span events, oldest first (up to `limit`).
+#[must_use]
+pub fn recent_events(limit: usize) -> Vec<SpanEvent> {
+    let ring = event_log().ring.lock().expect("event log poisoned");
+    let skip = ring.len().saturating_sub(limit);
+    ring.iter().skip(skip).copied().collect()
+}
+
+/// How many span events the bounded ring has evicted so far.
+#[must_use]
+pub fn events_dropped() -> u64 {
+    event_log().dropped.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(bucket_index(0), 0, "0 clamps into bucket 0");
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1, "overflow clamps");
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_indices() {
+        for i in 0..HIST_BUCKETS - 1 {
+            let bound = bucket_upper_bound_us(i);
+            assert_eq!(bucket_index(bound - 1), i, "largest value of bucket {i}");
+            assert_eq!(bucket_index(bound), i + 1, "bound starts the next bucket");
+        }
+        assert_eq!(bucket_upper_bound_us(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = Histogram::new();
+        for us in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum_us, 1009);
+        assert_eq!(s.max_us, 1000);
+        // Nine of ten observations sit in bucket 0 (bound 2µs): p50/p90
+        // resolve there, p99 needs the tenth observation's bucket, whose
+        // bound (1024) clamps to the recorded max.
+        assert_eq!(s.quantile_us(0.50), 2);
+        assert_eq!(s.quantile_us(0.90), 2);
+        assert_eq!(s.quantile_us(0.99), 1000);
+        assert!(s.quantile_us(0.50) <= s.quantile_us(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile_us(0.5), 0);
+        assert_eq!(s.quantile_us(0.99), 0);
+        assert_eq!(s.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_pins_every_quantile_to_max() {
+        let h = Histogram::new();
+        h.record_us(777);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile_us(q), 777, "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts_and_takes_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_us(5);
+        a.record_us(100);
+        b.record_us(7);
+        b.record_us(100_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum_us, 100_112);
+        assert_eq!(m.max_us, 100_000);
+        let total: u64 = m.buckets.iter().sum();
+        assert_eq!(total, m.count, "bucket counts partition the total");
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let c1 = r.counter("reqs");
+        let c2 = r.counter("reqs");
+        c1.add(3);
+        c2.add(4);
+        assert_eq!(c1.get(), 7, "same name returns the same counter");
+        let h1 = r.histogram("lat");
+        let h2 = r.histogram("lat");
+        h1.record_us(10);
+        h2.record_us(20);
+        assert_eq!(h1.count(), 2);
+        let g = r.gauge("inflight");
+        g.add(2);
+        g.add(-1);
+        assert_eq!(g.get(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("reqs".to_string(), 7)]);
+        assert_eq!(snap.gauges, vec![("inflight".to_string(), 1)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 2);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_instrument() {
+        let r = Registry::new();
+        let _c = r.counter("x");
+        let g = r.gauge("x");
+        g.set(99);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("x".to_string(), 0)]);
+        assert!(snap.gauges.is_empty(), "mismatched kind is not registered");
+    }
+
+    #[test]
+    fn snapshot_merge_combines_registries() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("shared").add(1);
+        b.counter("shared").add(2);
+        a.counter("only_a").add(5);
+        b.gauge("g").set(-3);
+        a.histogram("h").record_us(10);
+        b.histogram("h").record_us(20);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(
+            snap.counters,
+            vec![("only_a".to_string(), 5), ("shared".to_string(), 3)]
+        );
+        assert_eq!(snap.gauges, vec![("g".to_string(), -3)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 2);
+    }
+
+    #[test]
+    fn json_snapshot_round_trips() {
+        use crate::json::JsonValue;
+        let r = Registry::new();
+        r.counter("serve.requests").add(12);
+        r.gauge("serve.in_flight").set(-2);
+        let h = r.histogram("serve.request.rule");
+        h.record_us(3);
+        h.record_us(900);
+        let v = JsonValue::parse(&r.snapshot().to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("serve.requests"))
+                .and_then(JsonValue::as_u64),
+            Some(12)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("serve.in_flight"))
+                .and_then(JsonValue::as_f64),
+            Some(-2.0)
+        );
+        let hist = v
+            .get("histograms")
+            .and_then(|h| h.get("serve.request.rule"))
+            .expect("histogram present");
+        assert_eq!(hist.get("count").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(hist.get("max_us").and_then(JsonValue::as_u64), Some(900));
+        let buckets = hist.get("buckets").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(buckets.len(), HIST_BUCKETS);
+        let total: u64 = buckets.iter().map(|b| b.as_u64().unwrap()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn prometheus_text_uses_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("serve.requests").add(5);
+        r.gauge("serve.in_flight").set(2);
+        let h = r.histogram("serve.request.rule");
+        h.record_us(1); // bucket 0
+        h.record_us(3); // bucket 1
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 5\n"));
+        assert!(text.contains("# TYPE serve_in_flight gauge\nserve_in_flight 2\n"));
+        assert!(text.contains("serve_request_rule_bucket{le=\"2\"} 1\n"));
+        assert!(
+            text.contains("serve_request_rule_bucket{le=\"4\"} 2\n"),
+            "buckets are cumulative"
+        );
+        assert!(text.contains("serve_request_rule_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("serve_request_rule_sum 4\n"));
+        assert!(text.contains("serve_request_rule_count 2\n"));
+        assert!(!text.contains('.'), "no dots survive sanitization");
+    }
+
+    #[test]
+    fn sanitize_handles_odd_names() {
+        assert_eq!(sanitize_metric_name("a.b-c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn spans_record_when_enabled_and_not_otherwise() {
+        // Serialize against other span tests via the flag itself: this
+        // test owns the global flag while it runs.
+        set_spans_enabled(false);
+        let before = recent_events(usize::MAX).len();
+        {
+            let _g = span("test.disabled");
+        }
+        assert_eq!(
+            recent_events(usize::MAX).len(),
+            before,
+            "disabled spans record nothing"
+        );
+        set_spans_enabled(true);
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        set_spans_enabled(false);
+        let events = recent_events(usize::MAX);
+        let inner = events
+            .iter()
+            .rfind(|e| e.name == "test.inner")
+            .expect("inner span recorded");
+        let outer = events
+            .iter()
+            .rfind(|e| e.name == "test.outer")
+            .expect("outer span recorded");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1, "nesting increments depth");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("test.global.counter");
+        let before = c.get();
+        global().counter("test.global.counter").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+
+    fn snapshot_from(values: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::new();
+        for &v in values {
+            h.record_us(v);
+        }
+        h.snapshot()
+    }
+
+    fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut m = a.clone();
+        m.merge(b);
+        m
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn merge_is_associative_and_commutative(
+            a in proptest::collection::vec(0u64..2_000_000, 0..40),
+            b in proptest::collection::vec(0u64..2_000_000, 0..40),
+            c in proptest::collection::vec(0u64..2_000_000, 0..40),
+        ) {
+            let (sa, sb, sc) = (snapshot_from(&a), snapshot_from(&b), snapshot_from(&c));
+            prop_assert_eq!(merged(&merged(&sa, &sb), &sc), merged(&sa, &merged(&sb, &sc)));
+            prop_assert_eq!(merged(&sa, &sb), merged(&sb, &sa));
+            // Merging is also equivalent to having recorded everything into
+            // one histogram.
+            let mut all = a.clone();
+            all.extend(&b);
+            all.extend(&c);
+            prop_assert_eq!(merged(&merged(&sa, &sb), &sc), snapshot_from(&all));
+        }
+
+        #[test]
+        fn quantiles_are_monotone_and_bounded(
+            values in proptest::collection::vec(0u64..5_000_000, 1..80),
+            qs in proptest::collection::vec(0.0f64..1.0, 2..6),
+        ) {
+            let s = snapshot_from(&values);
+            let mut sorted = qs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let ps: Vec<u64> = sorted.iter().map(|&q| s.quantile_us(q)).collect();
+            for w in ps.windows(2) {
+                prop_assert!(w[0] <= w[1], "quantiles must be monotone in q");
+            }
+            for &p in &ps {
+                prop_assert!(p <= s.max_us, "no quantile exceeds the recorded max");
+            }
+            prop_assert_eq!(s.quantile_us(1.0), s.max_us);
+            prop_assert_eq!(s.count, values.len() as u64);
+            let in_buckets: u64 = s.buckets.iter().sum();
+            prop_assert_eq!(in_buckets, s.count);
+        }
+    }
+}

@@ -160,4 +160,63 @@ mod tests {
         assert_eq!(r.phase("x"), Duration::from_secs(1));
         assert_eq!(r.phase("y"), Duration::ZERO);
     }
+
+    #[test]
+    fn zero_duration_phases_are_recorded_not_dropped() {
+        let mut t = PhaseTimer::new();
+        t.record("instant", Duration::ZERO);
+        t.record("work", Duration::from_millis(3));
+        t.record("instant", Duration::ZERO);
+        let r = t.report();
+        let names: Vec<&str> = r.phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["instant", "work"],
+            "a zero-duration phase still claims its report slot"
+        );
+        assert_eq!(r.phase("instant"), Duration::ZERO);
+        assert_eq!(r.total(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn empty_timer_report_is_empty() {
+        let r = PhaseTimer::new().report();
+        assert!(r.phases().is_empty());
+        assert_eq!(r.total(), Duration::ZERO);
+        assert_eq!(r.phase("anything"), Duration::ZERO);
+    }
+
+    #[test]
+    fn finish_falls_back_to_phase_sum_only_when_wall_unset() {
+        use crate::memory::CounterMemory;
+        use crate::report::ReportBuilder;
+
+        let mut t = PhaseTimer::new();
+        t.record("scan", Duration::from_millis(4));
+        t.record("emit", Duration::from_millis(6));
+        let builder = ReportBuilder::new("implication", "in-memory", 0, 0.9);
+        let report = builder.finish(0, &t.report(), &CounterMemory::new(), None);
+        assert!(
+            (report.wall_seconds - 0.010).abs() < 1e-9,
+            "unset wall clock falls back to the phase sum"
+        );
+
+        // All-zero phases leave the fallback at zero rather than inventing
+        // a wall clock.
+        let mut t = PhaseTimer::new();
+        t.record("scan", Duration::ZERO);
+        let builder = ReportBuilder::new("implication", "in-memory", 0, 0.9);
+        let report = builder.finish(0, &t.report(), &CounterMemory::new(), None);
+        assert_eq!(report.wall_seconds, 0.0);
+
+        let mut t = PhaseTimer::new();
+        t.record("scan", Duration::from_millis(4));
+        let mut builder = ReportBuilder::new("implication", "in-memory", 0, 0.9);
+        builder.wall(Duration::from_millis(25));
+        let report = builder.finish(0, &t.report(), &CounterMemory::new(), None);
+        assert!(
+            (report.wall_seconds - 0.025).abs() < 1e-9,
+            "an explicit wall clock wins over the phase sum"
+        );
+    }
 }

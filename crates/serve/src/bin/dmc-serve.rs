@@ -4,6 +4,7 @@
 //! ```text
 //! dmc-serve <matrix-file> (--minconf X | --minsim X)
 //!           [--threads N] [--addr HOST:PORT] [--metrics FILE]
+//!           [--telemetry-addr HOST:PORT]
 //! ```
 //!
 //! Prints `listening on HOST:PORT` once ready (with `--addr` defaulting
@@ -17,7 +18,7 @@ use std::fs::File;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: dmc-serve <matrix-file> (--minconf X | --minsim X) \
-[--threads N] [--addr HOST:PORT] [--metrics FILE]";
+[--threads N] [--addr HOST:PORT] [--metrics FILE] [--telemetry-addr HOST:PORT]";
 
 struct Cli {
     matrix: String,
@@ -49,6 +50,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--addr" => options.addr = value("--addr")?,
             "--metrics" => options.metrics = Some(value("--metrics")?),
+            "--telemetry-addr" => options.telemetry_addr = Some(value("--telemetry-addr")?),
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             other if matrix.is_none() => matrix = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other}")),

@@ -17,8 +17,13 @@
 //! standalone `dmc-serve` binary and the `dmc serve` subcommand: it
 //! mines, prints `listening on ADDR` (machine-parseable; bind port 0 to
 //! let the OS pick), serves until a `shutdown` request, and then writes
-//! the engine's `dmc.run_report.v7` report — `serve` and `ingest`
-//! sections included — wherever `--metrics` pointed.
+//! the engine's `dmc.run_report.v8` report — `serve`, `ingest` and
+//! `telemetry` sections included — wherever `--metrics` pointed.
+//!
+//! With `--telemetry-addr` the daemon also binds a plain-HTTP listener
+//! serving the live registry in Prometheus text format: `telemetry on
+//! HOST:PORT` is printed *before* the `listening on` line, so scripts
+//! that wait for readiness have both addresses by then.
 
 pub mod protocol;
 pub mod server;
@@ -27,9 +32,9 @@ pub use protocol::{read_frame, request, write_frame, Request, MAX_FRAME_BYTES};
 pub use server::Server;
 
 use dmc_core::Engine;
-use dmc_metrics::ServeStats;
+use dmc_metrics::{ServeStats, TelemetryReport};
 use std::io;
-use std::net::ToSocketAddrs;
+use std::net::{TcpListener, ToSocketAddrs};
 
 /// Options for [`run_daemon`], shared by the binary and `dmc serve`.
 #[derive(Clone, Debug)]
@@ -38,6 +43,9 @@ pub struct DaemonOptions {
     pub addr: String,
     /// Where to write the final run report (`-` for stdout), if anywhere.
     pub metrics: Option<String>,
+    /// Bind address for the Prometheus text exposition listener; `None`
+    /// leaves scraping off.
+    pub telemetry_addr: Option<String>,
 }
 
 impl Default for DaemonOptions {
@@ -45,6 +53,7 @@ impl Default for DaemonOptions {
         Self {
             addr: "127.0.0.1:0".to_string(),
             metrics: None,
+            telemetry_addr: None,
         }
     }
 }
@@ -53,7 +62,8 @@ impl Default for DaemonOptions {
 ///
 /// Prints exactly one `listening on HOST:PORT` line to stdout once the
 /// socket is bound and the initial mine has completed — scripts should
-/// wait for that line before connecting.
+/// wait for that line before connecting. With a telemetry address
+/// configured, a `telemetry on HOST:PORT` line precedes it.
 ///
 /// # Errors
 ///
@@ -71,6 +81,11 @@ pub fn run_daemon(engine: Engine, options: &DaemonOptions) -> io::Result<ServeSt
             engine.mine();
         }
     }
+    if let Some(taddr) = &options.telemetry_addr {
+        let listener = TcpListener::bind(taddr)?;
+        println!("telemetry on {}", listener.local_addr()?);
+        server.spawn_exposition(listener);
+    }
     println!("listening on {}", server.local_addr()?);
     let stats = server.run()?;
 
@@ -82,6 +97,7 @@ pub fn run_daemon(engine: Engine, options: &DaemonOptions) -> io::Result<ServeSt
             .report_with_ingest()
             .expect("the daemon mined before serving");
         report.serve = Some(stats);
+        report.telemetry = Some(TelemetryReport::from_snapshot(&server.metrics_snapshot()));
         let json = report.to_json();
         if dest == "-" {
             println!("{json}");

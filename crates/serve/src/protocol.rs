@@ -18,6 +18,7 @@
 //! | `expand`   | optional `threshold`, optional `limit`   | all rules implied by the irredundant base at or above `threshold` (default: the engine's own threshold) — byte-identical to the uncompacted rule set |
 //! | `ingest`   | `rows` (array of column-id arrays)       | the incremental [`IngestReport`](dmc_core::IngestReport) |
 //! | `stats`    | —                                        | engine shape plus live serve counters |
+//! | `metrics`  | —                                        | the daemon's telemetry registry: named counters, gauges, and per-request-type latency histograms with p50/p90/p99 |
 //! | `shutdown` | —                                        | `{"ok": true}`, then the daemon drains and exits |
 //!
 //! Every response carries `"ok"`; failures are `{"ok": false, "error":
@@ -122,6 +123,9 @@ pub enum Request {
     Ingest { rows: Vec<Vec<ColumnId>> },
     /// Engine shape and live serve counters.
     Stats,
+    /// The live telemetry registry: counters, gauges, and latency
+    /// histograms, merged across the daemon and the process globals.
+    Metrics,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
 }
@@ -203,6 +207,7 @@ impl Request {
                 Ok(Request::Ingest { rows })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
         }
@@ -290,6 +295,10 @@ mod tests {
         assert_eq!(
             Request::parse("{\"type\": \"stats\"}").unwrap(),
             Request::Stats
+        );
+        assert_eq!(
+            Request::parse("{\"type\": \"metrics\"}").unwrap(),
+            Request::Metrics
         );
         assert_eq!(
             Request::parse("{\"type\": \"shutdown\"}").unwrap(),

@@ -18,25 +18,106 @@
 //! Shutdown is cooperative: a `shutdown` request flips the shared flag
 //! and pokes the listener with a loopback connection so the blocking
 //! `accept` wakes up and the loop exits.
+//!
+//! # Telemetry
+//!
+//! Every received frame — well-formed or not — is timed into exactly one
+//! per-request-type latency histogram (`serve.request.rule`, `.rules_ge`,
+//! `.expand`, `.ingest`, `.stats`, `.metrics`, plus `.error` for frames
+//! that fail to parse and `.shutdown`), so the histogram counts sum to
+//! the `requests` counter with no gaps. The instruments live in a
+//! per-server [`Registry`] (a test process runs many servers; their
+//! counts must not bleed into each other) and are merged with the
+//! process-wide [`telemetry::global()`](dmc_metrics::telemetry::global)
+//! registry — miner and engine instruments — at snapshot time: the
+//! `metrics` request and the Prometheus exposition both serve that
+//! merged view.
 
 use crate::protocol::{read_frame, write_frame, Request};
 use dmc_core::threshold::{conf_qualifies, sim_qualifies};
 use dmc_core::{Engine, IngestReport, MineConfig, RuleAnswer};
 use dmc_metrics::json::JsonWriter;
+use dmc_metrics::telemetry::{self, Counter, Gauge, Histogram, Registry, RegistrySnapshot};
 use dmc_metrics::ServeStats;
-use std::io;
+use std::io::{self, Read as _, Write as _};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// The request-type labels, in the order their histograms are resolved.
+/// `error` covers frames that failed to parse; everything else is the
+/// wire `type` tag.
+const REQUEST_KINDS: [&str; 8] = [
+    "rule", "rules_ge", "expand", "ingest", "stats", "metrics", "error", "shutdown",
+];
+
+/// Pre-resolved per-server instruments: one latency histogram per request
+/// kind, the in-flight gauge, and byte counters. Owning the [`Registry`]
+/// per server keeps concurrent servers in one process (the tests) from
+/// polluting each other's counts.
+struct ServeTelemetry {
+    registry: Registry,
+    request_hists: Vec<(&'static str, Arc<Histogram>)>,
+    in_flight: Arc<Gauge>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+}
+
+impl ServeTelemetry {
+    fn new() -> Self {
+        let registry = Registry::default();
+        let request_hists = REQUEST_KINDS
+            .iter()
+            .map(|&kind| (kind, registry.histogram(&format!("serve.request.{kind}"))))
+            .collect();
+        let in_flight = registry.gauge("serve.in_flight");
+        let bytes_in = registry.counter("serve.bytes_in");
+        let bytes_out = registry.counter("serve.bytes_out");
+        Self {
+            registry,
+            request_hists,
+            in_flight,
+            bytes_in,
+            bytes_out,
+        }
+    }
+
+    /// Times one finished request into its kind's histogram.
+    fn record(&self, kind: &str, elapsed: Duration) {
+        if let Some((_, h)) = self.request_hists.iter().find(|(k, _)| *k == kind) {
+            h.record(elapsed);
+        }
+    }
+
+    /// This server's instruments merged with the process-wide registry.
+    fn merged_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.merge(&telemetry::global().snapshot());
+        snap
+    }
+}
 
 /// Live counters and the shutdown flag, shared across connection threads.
-#[derive(Default)]
 struct Shared {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
     shutdown: AtomicBool,
+    telemetry: ServeTelemetry,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Self {
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            telemetry: ServeTelemetry::new(),
+        }
+    }
 }
 
 impl Shared {
@@ -111,6 +192,22 @@ impl Server {
         self.shared.snapshot()
     }
 
+    /// This server's telemetry registry merged with the process-wide
+    /// one — the same view a `metrics` request answers with.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.shared.telemetry.merged_snapshot()
+    }
+
+    /// Spawns a detached Prometheus text-exposition listener answering
+    /// every connection on `listener` with the merged registry snapshot.
+    /// The thread lives until the process exits (scrape listeners have no
+    /// drain protocol; the daemon's lifetime is the process's).
+    pub fn spawn_exposition(&self, listener: TcpListener) {
+        let shared = Arc::clone(&self.shared);
+        thread::spawn(move || serve_exposition(&listener, &shared));
+    }
+
     /// Accepts and serves connections until a `shutdown` request, then
     /// returns the final counters.
     ///
@@ -149,6 +246,40 @@ impl Server {
     }
 }
 
+/// Answers one plain-HTTP connection per scrape with the merged registry
+/// rendered as Prometheus text format 0.0.4.
+fn serve_exposition(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        let body = shared.telemetry.merged_snapshot().to_prometheus_text();
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        // Drain the scraper's request line best-effort, then answer;
+        // a scrape failure must never disturb the daemon.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let _ = stream.write_all(response.as_bytes());
+    }
+}
+
+/// The wire `type` tag of a parsed request, doubling as its histogram
+/// label.
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Rule { .. } => "rule",
+        Request::RulesGe { .. } => "rules_ge",
+        Request::Expand { .. } => "expand",
+        Request::Ingest { .. } => "ingest",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+    }
+}
+
 /// Frame-at-a-time request loop for one client.
 fn serve_connection(
     mut stream: TcpStream,
@@ -156,26 +287,50 @@ fn serve_connection(
     shared: &Shared,
 ) -> io::Result<()> {
     while let Some(payload) = read_frame(&mut stream)? {
+        let start = Instant::now();
+        let t = &shared.telemetry;
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        let response = match Request::parse(&payload) {
+        t.bytes_in.add(4 + payload.len() as u64);
+        t.in_flight.add(1);
+        let parsed = Request::parse(&payload);
+        let (kind, response) = match &parsed {
             Err(message) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
-                error_response(&message)
+                ("error", error_response(message))
             }
             Ok(Request::Shutdown) => {
                 shared.shutdown.store(true, Ordering::SeqCst);
-                write_frame(&mut stream, &ok_response())?;
-                return Ok(());
+                ("shutdown", ok_response())
             }
-            Ok(request) => match handle(&request, engine, shared) {
-                Ok(response) => response,
-                Err(message) => {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
-                    error_response(&message)
-                }
-            },
+            Ok(Request::Metrics) => {
+                // Record this request's latency *before* snapshotting, so
+                // the snapshot it answers with already reconciles: the
+                // histogram counts sum to the requests counter with no
+                // off-by-one for the request in flight.
+                t.record("metrics", start.elapsed());
+                ("metrics", metrics_response(t))
+            }
+            Ok(request) => {
+                let kind = request_kind(request);
+                let response = match handle(request, engine, shared) {
+                    Ok(response) => response,
+                    Err(message) => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        error_response(&message)
+                    }
+                };
+                (kind, response)
+            }
         };
+        if kind != "metrics" {
+            t.record(kind, start.elapsed());
+        }
+        t.in_flight.add(-1);
+        t.bytes_out.add(4 + response.len() as u64);
         write_frame(&mut stream, &response)?;
+        if matches!(parsed, Ok(Request::Shutdown)) {
+            return Ok(());
+        }
     }
     Ok(())
 }
@@ -209,8 +364,20 @@ fn handle(request: &Request, engine: &RwLock<Engine>, shared: &Shared) -> Result
                 .map_err(|e| e.to_string())
         }
         Request::Stats => Ok(stats_response(&read_engine(engine), &shared.snapshot())),
-        Request::Shutdown => unreachable!("shutdown is handled in the connection loop"),
+        Request::Metrics | Request::Shutdown => {
+            unreachable!("metrics and shutdown are handled in the connection loop")
+        }
     }
+}
+
+/// The merged registry snapshot as a framed response. The snapshot JSON
+/// comes pre-rendered from [`RegistrySnapshot::to_json`]; splicing it in
+/// keeps the registry's encoding in one place.
+fn metrics_response(t: &ServeTelemetry) -> String {
+    format!(
+        "{{\"ok\": true, \"metrics\": {}}}",
+        t.merged_snapshot().to_json()
+    )
 }
 
 fn ok_response() -> String {
@@ -660,6 +827,45 @@ mod tests {
         assert_eq!(ge.get("rules"), ex.get("rules"));
         request(&mut client, "{\"type\": \"shutdown\"}").unwrap();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_request_reconciles_with_the_request_counter() {
+        let (addr, handle) = start(MineConfig::implications(0.8).unwrap());
+        let mut client = TcpStream::connect(addr).unwrap();
+        for _ in 0..3 {
+            request(&mut client, "{\"type\": \"rule\", \"lhs\": 5, \"rhs\": 3}").unwrap();
+        }
+        request(&mut client, "this is not json").unwrap();
+
+        // 3 rule + 1 error + this metrics request = 5 frames so far; the
+        // snapshot in the response must already include all of them.
+        let v = request(&mut client, "{\"type\": \"metrics\"}").unwrap();
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        let m = v.get("metrics").expect("metrics payload");
+        let hists = m.get("histograms").expect("histograms section");
+        let request_count: u64 = hists
+            .keys()
+            .into_iter()
+            .filter(|name| name.starts_with("serve.request."))
+            .map(|name| get_u64(hists, &[name, "count"]))
+            .sum();
+        assert_eq!(request_count, 5, "every frame lands in one histogram");
+        assert_eq!(get_u64(hists, &["serve.request.rule", "count"]), 3);
+        assert_eq!(get_u64(hists, &["serve.request.error", "count"]), 1);
+        assert_eq!(get_u64(hists, &["serve.request.metrics", "count"]), 1);
+        let p50 = get_u64(hists, &["serve.request.rule", "p50_us"]);
+        let p99 = get_u64(hists, &["serve.request.rule", "p99_us"]);
+        let max = get_u64(hists, &["serve.request.rule", "max_us"]);
+        assert!(p50 <= p99 && p99 <= max, "quantiles are monotone");
+        let counters = m.get("counters").expect("counters section");
+        assert!(get_u64(counters, &["serve.bytes_in"]) > 0);
+        assert!(get_u64(counters, &["serve.bytes_out"]) > 0);
+
+        request(&mut client, "{\"type\": \"shutdown\"}").unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.errors, 1);
     }
 
     #[test]

@@ -6,15 +6,20 @@ Usage: serve_smoke.py DMC_BINARY DATA_FILE [METRICS_FILE]
     DMC_BINARY    path to the `dmc` CLI (the script runs `dmc serve`)
     DATA_FILE     transaction file to mine and serve
     METRICS_FILE  optional --metrics destination; the daemon writes its
-                  v5 run report there after shutdown
+                  v8 run report there after shutdown
 
-Starts `dmc serve DATA_FILE --minconf 0.9 --addr 127.0.0.1:0`, waits
-for the `listening on HOST:PORT` line, then exercises every request
-type over one connection: `stats`, `rule`, `rules_ge`, a garbage frame
-(which must produce an error response without killing the connection),
-`ingest`, and finally `shutdown`. Asserts the daemon exits 0 and, when
-METRICS_FILE is given, that the report carries non-null `serve` and
-`ingest` sections consistent with what the script did.
+Starts `dmc serve DATA_FILE --minconf 0.9 --addr 127.0.0.1:0
+--telemetry-addr 127.0.0.1:0`, waits for the `telemetry on` and
+`listening on HOST:PORT` lines, then exercises every request type over
+one connection: `stats`, `rule`, `rules_ge`, a garbage frame (which
+must produce an error response without killing the connection),
+`ingest`, `metrics` — whose per-request-type histogram counts must sum
+exactly to the frames sent so far — and finally `shutdown`. Between
+`metrics` and `shutdown` it scrapes the Prometheus exposition listener
+once and asserts the same reconciliation there. Asserts the daemon
+exits 0 and, when METRICS_FILE is given, that the report carries
+non-null `serve`, `ingest` and `telemetry` sections consistent with
+what the script did.
 
 Exits 0 on success, 1 with a diagnostic otherwise. CI runs this in the
 serve-smoke job; the Rust test suite covers the same surface in-process
@@ -54,7 +59,18 @@ def request(sock, obj: dict) -> dict:
     return recv_frame(sock)
 
 
+def parse_addr(line: str) -> tuple:
+    host, _, port = line.rpartition(" ")[2].rpartition(":")
+    return host.strip("[]"), int(port)
+
+
 def wait_for_listen_line(proc, timeout=60.0) -> tuple:
+    """Returns ((host, port), (telemetry_host, telemetry_port) or None).
+
+    The daemon prints `telemetry on HOST:PORT` (when scraping is on)
+    strictly before `listening on HOST:PORT`.
+    """
+    telemetry = None
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
         line = proc.stdout.readline()
@@ -64,20 +80,50 @@ def wait_for_listen_line(proc, timeout=60.0) -> tuple:
                 f"(code {proc.poll()})")
         line = line.strip()
         print(f"daemon: {line}")
+        if line.startswith("telemetry on "):
+            telemetry = parse_addr(line)
         if line.startswith("listening on "):
-            host, _, port = line.rpartition(" ")[2].rpartition(":")
-            return host.strip("[]"), int(port)
+            return parse_addr(line), telemetry
     raise AssertionError("timed out waiting for the listening line")
+
+
+def scrape_exposition(addr) -> str:
+    """One plain-HTTP scrape of the Prometheus text exposition."""
+    with socket.create_connection(addr, timeout=30) as sock:
+        sock.settimeout(30)
+        sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert b"200 OK" in head.splitlines()[0], head
+    return body.decode()
+
+
+def prometheus_counts(body: str, prefix: str) -> dict:
+    """Histogram totals: `<name>_count VALUE` lines under `prefix`."""
+    counts = {}
+    for line in body.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.partition(" ")
+        if name.startswith(prefix) and name.endswith("_count"):
+            counts[name] = int(float(value))
+    return counts
 
 
 def check(binary, data, metrics):
     cmd = [binary, "serve", data, "--minconf", "0.9",
-           "--addr", "127.0.0.1:0"]
+           "--addr", "127.0.0.1:0", "--telemetry-addr", "127.0.0.1:0"]
     if metrics:
         cmd += ["--metrics", metrics]
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
     try:
-        host, port = wait_for_listen_line(proc)
+        (host, port), telemetry_addr = wait_for_listen_line(proc)
+        assert telemetry_addr is not None, "no 'telemetry on' line"
         sock = socket.create_connection((host, port), timeout=30)
         sock.settimeout(30)
         with sock:
@@ -119,6 +165,31 @@ def check(binary, data, metrics):
             assert s2["errors"] >= 1, s2
             assert s2["requests"] > s2["errors"], s2
 
+            # 7th frame on this connection; the daemon records the
+            # metrics request itself before snapshotting, so the
+            # per-request-type histogram counts must sum to exactly 7.
+            snapshot = request(sock, {"type": "metrics"})
+            assert snapshot["ok"] is True, snapshot
+            hists = snapshot["metrics"]["histograms"]
+            by_type = {name: h["count"] for name, h in hists.items()
+                       if name.startswith("serve.request.")}
+            assert sum(by_type.values()) == 7, by_type
+            assert by_type.get("serve.request.stats") == 2, by_type
+            assert by_type.get("serve.request.rule") == 1, by_type
+            assert by_type.get("serve.request.error") == 1, by_type
+            assert by_type.get("serve.request.metrics") == 1, by_type
+            for h in hists.values():
+                assert h["p50_us"] <= h["p90_us"] <= h["p99_us"] \
+                    <= h["max_us"], hists
+
+            # One Prometheus scrape; no daemon frame is involved, so
+            # the exposition must agree with the in-band snapshot.
+            body = scrape_exposition(telemetry_addr)
+            scraped = prometheus_counts(body, "serve_request_")
+            assert sum(scraped.values()) == 7, scraped
+            assert scraped.get("serve_request_rule_count") == 1, scraped
+            assert "serve_in_flight" in body, body
+
             bye = request(sock, {"type": "shutdown"})
             assert bye["ok"] is True, bye
 
@@ -141,6 +212,11 @@ def check(binary, data, metrics):
         ingested = report["ingest"]
         assert ingested is not None and ingested["rows_ingested"] == 3, \
             ingested
+        telemetry = report["telemetry"]
+        assert telemetry is not None, "report missing telemetry section"
+        final = sum(h["count"] for h in telemetry["histograms"]
+                    if h["name"].startswith("serve.request."))
+        assert final == serve["requests"], (final, serve)
 
     print("serve smoke: ok")
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a `dmc.run_report.v7` JSON run report.
+"""Validate a `dmc.run_report.v8` JSON run report.
 
 Usage: validate_run_report.py PATH ALGORITHM MODE WORKERS
 
@@ -24,7 +24,13 @@ run counters, rule counts summing to the merged total, and a counter
 fingerprint per shard. The v7 `compaction` section (null unless the
 run compacted its rules) must keep `rules_in_base <= rules_in`, a
 six-bucket boost histogram summing to `rules_in_base`, and a `ratio`
-equal to `rules_in_base / rules_in` (1.0 for an empty rule set).
+equal to `rules_in_base / rules_in` (1.0 for an empty rule set). The
+v8 `telemetry` section (null unless live telemetry was captured) must
+keep every histogram's quantiles monotone (p50 <= p90 <= p99 <= max),
+an empty histogram's max at zero, and — when the `serve` section is
+present too — the `serve.request.*` histogram counts summing exactly
+to the serve section's `requests` counter (every received frame lands
+in exactly one per-request-type histogram).
 
 Exits 0 on a valid report, 1 with a diagnostic otherwise. CI runs this
 against freshly mined reports; `tests/tests/validator_script.rs` runs
@@ -34,14 +40,14 @@ it in the repo test suite so the script cannot drift from the schema.
 import json
 import sys
 
-SCHEMA = "dmc.run_report.v7"
+SCHEMA = "dmc.run_report.v8"
 
 REQUIRED_KEYS = (
     "schema", "algorithm", "mode", "threads", "rows", "cols", "threshold",
     "rules", "counters", "hundred_stage", "sub_stage", "reverse_rules",
     "phases", "wall_seconds", "peak_candidates", "peak_counter_bytes",
     "bitmap_switch_at", "spill_bytes", "io", "workers", "serve", "ingest",
-    "shard", "compaction",
+    "shard", "compaction", "telemetry",
 )
 
 SERVE_KEYS = ("connections", "requests", "errors")
@@ -53,6 +59,9 @@ INGEST_KEYS = ("batches", "rows_ingested", "pairs_bumped",
                "pairs_recounted", "rules_born", "rules_died")
 
 COMPACTION_KEYS = ("rules_in", "rules_in_base", "ratio", "boost_hist")
+
+TELEMETRY_HIST_KEYS = ("name", "count", "p50_us", "p90_us", "p99_us",
+                       "max_us")
 
 
 def check(path, algorithm, mode, workers):
@@ -164,6 +173,23 @@ def check(path, algorithm, mode, workers):
         expected = 1.0 if rules_in == 0 else in_base / rules_in
         assert abs(compaction["ratio"] - expected) <= 1e-9, \
             (path, compaction["ratio"], expected)
+
+    telemetry = r["telemetry"]
+    if telemetry is not None:
+        assert isinstance(telemetry["counters"], dict), (path, telemetry)
+        assert isinstance(telemetry["events_dropped"], int), (path, telemetry)
+        serve_request_count = 0
+        for h in telemetry["histograms"]:
+            for key in TELEMETRY_HIST_KEYS:
+                assert key in h, f"{path}: telemetry histogram missing {key}"
+            assert h["p50_us"] <= h["p90_us"] <= h["p99_us"] <= h["max_us"], \
+                (path, h)
+            assert not (h["count"] == 0 and h["max_us"] != 0), (path, h)
+            if h["name"].startswith("serve.request."):
+                serve_request_count += h["count"]
+        if serve is not None:
+            assert serve_request_count == serve["requests"], \
+                (path, serve_request_count, serve)
 
     if r["bitmap_switch_at"] is not None:
         assert 0 <= r["bitmap_switch_at"] <= r["rows"], path

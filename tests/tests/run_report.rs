@@ -66,7 +66,7 @@ fn all_reports(m: &SparseMatrix, threshold: f64) -> Vec<(String, RunReport)> {
     out
 }
 
-/// The golden top-level key set of `dmc.run_report.v7`, in serialization
+/// The golden top-level key set of `dmc.run_report.v8`, in serialization
 /// order. A failure here means the schema changed: bump the version.
 const GOLDEN_KEYS: &[&str] = &[
     "schema",
@@ -93,6 +93,7 @@ const GOLDEN_KEYS: &[&str] = &[
     "ingest",
     "shard",
     "compaction",
+    "telemetry",
 ];
 
 const GOLDEN_IO_KEYS: &[&str] = &[
